@@ -1,0 +1,143 @@
+// Command freq streams "item weight" records from a file (or stdin)
+// through a frequent-items summary and reports heavy hitters and point
+// queries — the end-user shape of the §1.2 problem statement.
+//
+// Usage:
+//
+//	freq [flags] [stream-file]
+//
+// The stream file is the text or binary format of cmd/genstream; "-" or
+// no argument reads text records from stdin. Examples:
+//
+//	genstream -kind trace -n 1000000 | freq -k 1024 -phi 0.01
+//	freq -k 4096 -algo smin -top 20 trace.bin
+//	freq -k 1024 -query 12345,9876 trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/streamgen"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 1024, "maximum number of tracked counters")
+		algo     = flag.String("algo", "smed", "decrement policy: smed, smin, or a quantile like 0.7")
+		phi      = flag.Float64("phi", 0, "report items with frequency > phi*N (0 = use the sketch's own error band)")
+		top      = flag.Int("top", 0, "report only the top-N rows (0 = all qualifying)")
+		noFP     = flag.Bool("nofp", false, "no-false-positives extraction (default: no false negatives)")
+		queries  = flag.String("query", "", "comma-separated item ids to point-query instead of listing heavy hitters")
+		dumpFile = flag.String("serialize", "", "also write the serialized sketch to this file")
+	)
+	flag.Parse()
+
+	sketch, err := newSketch(*k, *algo)
+	if err != nil {
+		fatal(err)
+	}
+
+	stream, err := readStream(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	for _, u := range stream {
+		if err := sketch.Update(u.Item, u.Weight); err != nil {
+			fatal(fmt.Errorf("update (%d, %d): %w", u.Item, u.Weight, err))
+		}
+	}
+
+	fmt.Println(sketch)
+	if *queries != "" {
+		for _, q := range strings.Split(*queries, ",") {
+			item, err := strconv.ParseInt(strings.TrimSpace(q), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad query item %q", q))
+			}
+			fmt.Printf("item %d: estimate=%d bounds=[%d, %d]\n",
+				item, sketch.Estimate(item), sketch.LowerBound(item), sketch.UpperBound(item))
+		}
+	} else {
+		et := core.NoFalseNegatives
+		if *noFP {
+			et = core.NoFalsePositives
+		}
+		threshold := sketch.MaximumError()
+		if *phi > 0 {
+			threshold = int64(*phi * float64(sketch.StreamWeight()))
+		}
+		rows := sketch.FrequentItemsAboveThreshold(threshold, et)
+		if *top > 0 && len(rows) > *top {
+			rows = rows[:*top]
+		}
+		fmt.Printf("%d heavy hitters above threshold %d (%s):\n", len(rows), threshold, et)
+		for i, r := range rows {
+			fmt.Printf("%4d. item=%-12d est=%-12d lb=%-12d ub=%d\n",
+				i+1, r.Item, r.Estimate, r.LowerBound, r.UpperBound)
+		}
+	}
+
+	if *dumpFile != "" {
+		f, err := os.Create(*dumpFile)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := sketch.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serialized %d bytes to %s\n", sketch.SerializedSizeBytes(), *dumpFile)
+	}
+}
+
+func newSketch(k int, algo string) (*core.Sketch, error) {
+	switch algo {
+	case "smed":
+		return core.New(k)
+	case "smin":
+		return core.NewSMIN(k)
+	default:
+		q, err := strconv.ParseFloat(algo, 64)
+		if err != nil {
+			return nil, fmt.Errorf("unknown algo %q (want smed, smin, or a quantile)", algo)
+		}
+		if q == 0 {
+			q = core.QuantileMin
+		}
+		return core.NewWithOptions(core.Options{MaxCounters: k, Quantile: q})
+	}
+}
+
+// readStream loads a text or binary stream file; "-" or "" reads text
+// from stdin.
+func readStream(path string) ([]streamgen.Update, error) {
+	if path == "" || path == "-" {
+		return streamgen.ReadText(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Try binary first; fall back to text.
+	if stream, err := streamgen.ReadBinary(f); err == nil {
+		return stream, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return streamgen.ReadText(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "freq:", err)
+	os.Exit(1)
+}

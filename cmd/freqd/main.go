@@ -1,0 +1,66 @@
+// Command freqd runs the frequent-items summary as a network service: a
+// line-protocol TCP daemon over the concurrent sharded sketch. Collectors
+// stream weighted updates; operators query live estimates, heavy hitters,
+// and serialized snapshots (see internal/server for the protocol).
+//
+// Usage:
+//
+//	freqd -listen :7070 -k 24576 -shards 8
+//
+// Try it:
+//
+//	printf 'U 7 100\nU 7 50\nQ 7\nTOP 5\nSTATS\nQUIT\n' | nc localhost 7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7070", "listen address")
+		k      = flag.Int("k", 24576, "total counter budget")
+		shards = flag.Int("shards", 8, "shard count for concurrent ingest")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{MaxCounters: *k, Shards: *shards})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "freqd: listening on %s (k=%d, shards=%d, %d KB summary budget)\n",
+		ln.Addr(), *k, *shards, 24**k/1024)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "freqd: shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil && err != net.ErrClosed {
+		// Closed listeners surface wrapped errors; a clean shutdown ends here.
+		if ne, ok := err.(*net.OpError); !ok || ne.Err.Error() != "use of closed network connection" {
+			fatal(err)
+		}
+	}
+	updates, queries := srv.Counters()
+	fmt.Fprintf(os.Stderr, "freqd: served %d updates, %d queries\n", updates, queries)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "freqd:", err)
+	os.Exit(1)
+}

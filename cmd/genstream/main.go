@@ -1,0 +1,88 @@
+// Command genstream generates the synthetic workloads of DESIGN.md §4 to
+// a file or stdout, in the text or binary stream formats read by cmd/freq
+// and cmd/experiments.
+//
+// Usage:
+//
+//	genstream -kind trace -n 4000000 -o trace.bin -format binary
+//	genstream -kind zipf -alpha 1.05 -n 1000000 -maxweight 10000
+//	genstream -kind adversarial -k 1024 -n 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/streamgen"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "trace", "workload: trace, zipf, or adversarial")
+		n         = flag.Int("n", 1_000_000, "stream length")
+		out       = flag.String("o", "", "output file (default stdout)")
+		format    = flag.String("format", "text", "output format: text or binary")
+		alpha     = flag.Float64("alpha", 1.05, "zipf skew (zipf kind)")
+		universe  = flag.Int("universe", 1<<18, "distinct items (zipf and trace kinds)")
+		maxWeight = flag.Int64("maxweight", 10000, "uniform weight upper bound (zipf kind)")
+		k         = flag.Int("k", 1024, "counter budget targeted by the adversarial stream")
+		seed      = flag.Uint64("seed", 0xCA1DA, "generator seed")
+	)
+	flag.Parse()
+
+	var (
+		stream []streamgen.Update
+		err    error
+	)
+	switch *kind {
+	case "trace":
+		stream, err = streamgen.PacketTrace(streamgen.TraceConfig{
+			Packets:         *n,
+			DistinctSources: *universe,
+			Alpha:           1.1,
+			Seed:            *seed,
+		})
+	case "zipf":
+		stream, err = streamgen.ZipfStream(*alpha, *universe, *n, *maxWeight, *seed)
+	case "adversarial":
+		stream = streamgen.Adversarial(*k, int64(*n))
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "text":
+		err = streamgen.WriteText(w, stream)
+	case "binary":
+		err = streamgen.WriteBinary(w, stream)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "genstream: wrote %d updates (N=%d)\n", len(stream), streamgen.TotalWeight(stream))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genstream:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Package repro is a from-scratch Go reproduction of Anderson, Bevin,
+// Lang, Liberty, Rhodes, and Thaler, "A High-Performance Algorithm for
+// Identifying Frequent Items in Data Streams" (IMC 2017) — the weighted
+// Misra–Gries variant deployed as the Apache DataSketches Frequent Items
+// sketch.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the paper's algorithm (SMED/SMIN and any decrement
+//     quantile), with merging, serialization, heavy-hitter queries, and a
+//     turnstile wrapper.
+//   - internal/items — the generic-item (any comparable type) variant.
+//   - internal/mg, internal/spacesaving, internal/sketches, internal/lossy
+//     — every baseline the paper's evaluation compares against.
+//   - internal/hashmap, internal/qselect, internal/xrand — the §2.3.3
+//     data-structure substrate.
+//   - internal/streamgen, internal/exact, internal/experiments — workload
+//     generation, ground truth, and the harness regenerating Figures 1-4.
+//   - internal/sampling, internal/hhh, internal/entropy — the §5/§6
+//     extensions.
+//
+// bench_test.go in this directory holds one benchmark per evaluation
+// figure plus the ablations called out in DESIGN.md. Binaries are under
+// cmd/ and runnable examples under examples/.
+package repro

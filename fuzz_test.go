@@ -1,0 +1,143 @@
+// Native fuzz targets for the parsers and decoders that accept untrusted
+// bytes: the sketch wire format, the generic-items wire format, and the
+// stream file readers. Each runs its seed corpus under plain `go test`
+// and can be expanded with `go test -fuzz=FuzzName`.
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/items"
+	"repro/internal/streamgen"
+)
+
+// FuzzCoreDeserialize: Deserialize must never panic and, when it accepts
+// bytes, the result must re-serialize to a decodable sketch with the same
+// queryable state.
+func FuzzCoreDeserialize(f *testing.F) {
+	seed, err := core.NewWithOptions(core.Options{MaxCounters: 64, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		_ = seed.Update(i%80, i%13+1)
+	}
+	f.Add(seed.Serialize())
+	empty, err := core.New(16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Serialize())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x31, 0x53, 0x49, 0x46}, 20))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := core.Deserialize(data)
+		if err != nil {
+			return
+		}
+		// Accepted: must be internally consistent and round-trip stable.
+		if s.NumActive() > s.MaxCounters()+1 {
+			t.Fatalf("accepted sketch overfull: %d > %d", s.NumActive(), s.MaxCounters())
+		}
+		again, err := core.Deserialize(s.Serialize())
+		if err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		if again.StreamWeight() != s.StreamWeight() || again.MaximumError() != s.MaximumError() ||
+			again.NumActive() != s.NumActive() {
+			t.Fatal("round trip drifted")
+		}
+		// The sketch must stay usable.
+		if err := s.Update(42, 7); err != nil {
+			t.Fatalf("accepted sketch unusable: %v", err)
+		}
+	})
+}
+
+// FuzzItemsDeserialize covers the generic wire format with the string
+// SerDe.
+func FuzzItemsDeserialize(f *testing.F) {
+	s, err := items.New[string](32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = s.Update("hello", 10)
+	_ = s.Update("", 3)
+	f.Add(items.Serialize[string](s, items.StringSerDe{}))
+	f.Add([]byte{})
+	f.Add([]byte{0x32, 0x54, 0x49, 0x46, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := items.Deserialize[string](data, items.StringSerDe{})
+		if err != nil {
+			return
+		}
+		blob := items.Serialize[string](s, items.StringSerDe{})
+		again, err := items.Deserialize[string](blob, items.StringSerDe{})
+		if err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		if again.StreamWeight() != s.StreamWeight() || again.NumActive() != s.NumActive() {
+			t.Fatal("round trip drifted")
+		}
+	})
+}
+
+// FuzzReadText: the text stream parser must never panic and must either
+// reject input or produce updates that re-encode losslessly.
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("1 2\n3 4\n"))
+	f.Add([]byte("# comment\n\n 7\n"))
+	f.Add([]byte("-9223372036854775808 9223372036854775807\n"))
+	f.Add([]byte("garbage here\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stream, err := streamgen.ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := streamgen.WriteText(&buf, stream); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := streamgen.ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(stream) {
+			t.Fatalf("round trip length %d != %d", len(again), len(stream))
+		}
+		for i := range stream {
+			if again[i] != stream[i] {
+				t.Fatalf("record %d drifted: %v != %v", i, again[i], stream[i])
+			}
+		}
+	})
+}
+
+// FuzzReadBinary covers the binary stream format.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	_ = streamgen.WriteBinary(&buf, []streamgen.Update{{Item: 1, Weight: 2}, {Item: -3, Weight: 4}})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stream, err := streamgen.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := streamgen.WriteBinary(&out, stream); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := streamgen.ReadBinary(&out)
+		if err != nil || len(again) != len(stream) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package calibrate reproduces the numerical calculations of §2.3.2: the
+// choice ℓ = 1024 guarantees that, for streams of weighted length up to
+// 10^20, Algorithm 4 returns estimates satisfying
+//
+//	0 <= fi − f̂i <= N^res(j)/(0.33·k − j)
+//
+// with probability at least 1 − 1.5×10⁻⁸.
+//
+// The mechanics: each DecrementCounters() samples ℓ counters with
+// replacement and decrements by the sample median. Two things can go
+// wrong at a decrement:
+//
+//   - speed failure — the sampled median falls below the true 1/3
+//     quantile of the counters, so fewer than k/3 counters are evicted
+//     (Theorem 3's progress argument). This requires at least ℓ/2 of the
+//     ℓ samples to land in the bottom third: P[Bin(ℓ, 1/3) >= ℓ/2].
+//   - error failure — the sampled median exceeds the true 2/3 quantile,
+//     so the decrement is larger than 0.33·k counters (Theorem 4's
+//     accuracy argument). By symmetry this is again P[Bin(ℓ, 1/3) >= ℓ/2]
+//     (at least ℓ/2 samples land in the top third).
+//
+// A stream of weighted length N causes at most N decrements (wildly
+// conservative — the true count is at most n/(k/3) unit-update batches),
+// so a union bound over 10^20 decrements with the exact binomial tail at
+// ℓ = 1024 lands under 1.5×10⁻⁸, which is the §2.3.2 statement. The
+// package computes exact binomial tails in log space so these
+// astronomically small numbers are first-class values.
+package calibrate
+
+import "math"
+
+// LogBinomialTail returns ln P[Bin(n, p) >= k], computed exactly by
+// summing terms in log space. It returns 0 (probability 1) when k <= 0
+// and -Inf when k > n.
+func LogBinomialTail(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > n || p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return 0
+	}
+	logP := math.Log(p)
+	logQ := math.Log1p(-p)
+	lgN, _ := math.Lgamma(float64(n + 1))
+	// log-sum-exp over i = k..n of C(n,i) p^i q^(n-i).
+	maxLog := math.Inf(-1)
+	logs := make([]float64, 0, n-k+1)
+	for i := k; i <= n; i++ {
+		lgI, _ := math.Lgamma(float64(i + 1))
+		lgNI, _ := math.Lgamma(float64(n - i + 1))
+		l := lgN - lgI - lgNI + float64(i)*logP + float64(n-i)*logQ
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	return maxLog + math.Log(sum)
+}
+
+// ErrorFraction is the §2.3.2 constant: the guarantee
+// N^res(j)/(0.33·k − j) requires every decrement value to be at most the
+// counters' (1 − 0.33)-quantile.
+const ErrorFraction = 0.33
+
+// LogDecrementErrorFailure returns ln of the probability that a single
+// DecrementCounters() with sample size l decrements by more than the true
+// (1 − fraction)-quantile of the counters — i.e. that at least l/2 of the
+// samples land in the top fraction of counters: P[Bin(l, fraction) >= l/2].
+// This is the failure mode behind the Theorem 4 error guarantee.
+func LogDecrementErrorFailure(l int, fraction float64) float64 {
+	return LogBinomialTail(l, fraction, (l+1)/2)
+}
+
+// LogDecrementSpeedFailure returns ln of the probability that a single
+// decrement evicts fewer than fraction·k counters (the Theorem 3 progress
+// property): at least l/2 samples land in the bottom fraction.
+// Symmetric to the error failure.
+func LogDecrementSpeedFailure(l int, fraction float64) float64 {
+	return LogBinomialTail(l, fraction, (l+1)/2)
+}
+
+// LogStreamFailureProb returns ln of the union-bound probability that any
+// decrement over a stream of weighted length n violates the §2.3.2 error
+// property at ErrorFraction: every weighted update triggers at most one
+// decrement, so at most n decrements occur (deliberately conservative —
+// the true count is at most one per k/3 updates).
+func LogStreamFailureProb(l int, n float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return math.Log(n) + LogDecrementErrorFailure(l, ErrorFraction)
+}
+
+// StreamFailureProb returns the §2.3.2 failure probability itself;
+// underflows to 0 only below ~1e-300, far past the regime of interest.
+func StreamFailureProb(l int, n float64) float64 {
+	return math.Exp(LogStreamFailureProb(l, n))
+}
+
+// MinSampleSize returns the smallest sample size ℓ whose stream failure
+// probability at weighted length n is at most delta. It scans powers of
+// two then bisects, using the monotonicity of the tail in ℓ.
+func MinSampleSize(n, delta float64) int {
+	logDelta := math.Log(delta)
+	ok := func(l int) bool { return LogStreamFailureProb(l, n) <= logDelta }
+	lo, hi := 1, 2
+	for !ok(hi) {
+		lo = hi
+		hi *= 2
+		if hi > 1<<22 {
+			return hi // delta unreachably small
+		}
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,50 @@
+package core
+
+import "math"
+
+// A-priori error planning helpers, the analogue of the DataSketches
+// getAprioriError / getEpsilon utilities, derived from the paper's
+// guarantees: with ℓ = 1024, §2.3.2 gives the high-probability bound
+// fi − f̂i <= N^res(j)/(0.33·k − j) for any j < 0.33·k; with j = 0 this is
+// an additive εN error with ε = 1/(0.33·k).
+
+// EpsilonFraction is the §2.3.2 constant: the decrement value is, with
+// overwhelming probability, at most the true 1/0.33 ≈ 3-rd quantile of the
+// counters, so k* >= 0.33·k in the Theorem 2 bound.
+const EpsilonFraction = 0.33
+
+// Epsilon returns ε such that every estimate satisfies
+// fi − f̂i <= ε·N with the §2.3.2 failure probability, for a sketch with
+// maxCounters counters at the default sample size.
+func Epsilon(maxCounters int) float64 {
+	if maxCounters <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (EpsilonFraction * float64(maxCounters))
+}
+
+// AprioriError returns the worst-case additive error of any estimate after
+// processing weighted stream length streamWeight with maxCounters counters.
+func AprioriError(maxCounters int, streamWeight int64) float64 {
+	return Epsilon(maxCounters) * float64(streamWeight)
+}
+
+// CountersForEpsilon returns the counter budget needed to guarantee
+// additive error at most epsilon·N.
+func CountersForEpsilon(epsilon float64) int {
+	if epsilon <= 0 {
+		panic("core: epsilon must be positive")
+	}
+	return int(math.Ceil(1 / (EpsilonFraction * epsilon)))
+}
+
+// TailBound returns the §2.3.2 tail guarantee N^res(j)/(0.33·k − j): the
+// high-probability error bound in terms of the residual stream weight
+// after removing the top j items. It returns +Inf when j >= 0.33·k.
+func TailBound(maxCounters, j int, residualWeight int64) float64 {
+	denom := EpsilonFraction*float64(maxCounters) - float64(j)
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return float64(residualWeight) / denom
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEpsilon(t *testing.T) {
+	if eps := Epsilon(1000); math.Abs(eps-1/330.0) > 1e-12 {
+		t.Errorf("Epsilon(1000) = %v", eps)
+	}
+	if !math.IsInf(Epsilon(0), 1) {
+		t.Error("Epsilon(0) should be +Inf")
+	}
+	if !math.IsInf(Epsilon(-5), 1) {
+		t.Error("Epsilon(-5) should be +Inf")
+	}
+}
+
+func TestAprioriError(t *testing.T) {
+	// k=1000, N=1e6: error bound ~3030.3.
+	got := AprioriError(1000, 1_000_000)
+	want := 1_000_000.0 / 330.0
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("AprioriError = %v, want %v", got, want)
+	}
+}
+
+func TestCountersForEpsilon(t *testing.T) {
+	for _, eps := range []float64{0.01, 0.001, 0.1} {
+		k := CountersForEpsilon(eps)
+		if Epsilon(k) > eps {
+			t.Errorf("CountersForEpsilon(%v) = %d gives epsilon %v", eps, k, Epsilon(k))
+		}
+		if k > 1 && Epsilon(k-1) <= eps {
+			t.Errorf("CountersForEpsilon(%v) = %d not minimal", eps, k)
+		}
+	}
+	assertPanics(t, func() { CountersForEpsilon(0) })
+	assertPanics(t, func() { CountersForEpsilon(-1) })
+}
+
+func TestTailBound(t *testing.T) {
+	// j=0 reduces to the plain epsilon bound.
+	if got, want := TailBound(1000, 0, 1_000_000), AprioriError(1000, 1_000_000); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TailBound j=0 = %v, want %v", got, want)
+	}
+	// Larger j with the same residual loosens the bound.
+	if TailBound(1000, 100, 500_000) <= TailBound(1000, 0, 500_000) {
+		t.Error("tail bound should grow with j at fixed residual")
+	}
+	// j beyond 0.33k is out of the theorem's range.
+	if !math.IsInf(TailBound(100, 40, 1000), 1) {
+		t.Error("TailBound beyond 0.33k should be +Inf")
+	}
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}

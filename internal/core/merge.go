@@ -1,0 +1,32 @@
+package core
+
+// Merge folds other into s using Algorithm 5: every assigned counter of
+// other is replayed into s as the weighted update (item, c(item)), then
+// the offsets add (errors of the two summaries are additive, Theorem 5).
+// Merging uses no space beyond the two summaries and runs in O(k) — and
+// in amortized O(k') when many k'-counter summaries are merged into one
+// (§3.2 "Speed").
+//
+// Per the §3.2 note, other's counters are visited in a randomized order so
+// that merging two summaries that happen to share a hash function cannot
+// pile keys up at the front of s's probe runs. (Sketches constructed with
+// Options.Seed == 0 draw independent seeds, which already avoids the
+// hazard; the randomized order makes merging safe regardless.)
+//
+// other is not modified. Merging a sketch into itself is not supported.
+// The result always lives in s, which is also returned for chaining.
+func (s *Sketch) Merge(other *Sketch) *Sketch {
+	if other == nil || other == s || other.IsEmpty() {
+		return s
+	}
+	mergedN := s.streamN + other.streamN
+	other.hm.RangeShuffled(&s.rng, func(key, value int64) bool {
+		s.update(key, value)
+		return true
+	})
+	s.offset += other.offset
+	// update() accumulated only other's surviving counter mass C into
+	// streamN; the true weighted length of the concatenation is N1 + N2.
+	s.streamN = mergedN
+	return s
+}

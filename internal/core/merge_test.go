@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/streamgen"
+)
+
+// buildPair fills two sketches from independent Zipf streams and returns
+// them with the oracle of the concatenated stream.
+func buildPair(t *testing.T, k int, n int, seedA, seedB uint64) (*Sketch, *Sketch, *exact.Counter) {
+	t.Helper()
+	a := mustNew(t, Options{MaxCounters: k, Seed: 0xAAAA})
+	b := mustNew(t, Options{MaxCounters: k, Seed: 0xBBBB})
+	oracle := exact.New()
+	for s, sk := range map[uint64]*Sketch{seedA: a, seedB: b} {
+		stream, err := streamgen.ZipfStream(1.05, 1<<13, n, 10_000, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range stream {
+			if err := sk.Update(u.Item, u.Weight); err != nil {
+				t.Fatal(err)
+			}
+			oracle.Update(u.Item, u.Weight)
+		}
+	}
+	return a, b, oracle
+}
+
+// checkMerged verifies the Theorem 5 guarantees on a merged summary.
+func checkMerged(t *testing.T, m *Sketch, oracle *exact.Counter, label string) {
+	t.Helper()
+	if m.StreamWeight() != oracle.StreamWeight() {
+		t.Fatalf("%s: merged N %d, want %d", label, m.StreamWeight(), oracle.StreamWeight())
+	}
+	oracle.Range(func(item, truth int64) bool {
+		if lb, ub := m.LowerBound(item), m.UpperBound(item); lb > truth || ub < truth {
+			t.Fatalf("%s: item %d bounds [%d, %d] miss truth %d", label, item, lb, ub, truth)
+		}
+		return true
+	})
+	// Theorem 5 with the 3x slack used throughout for sampled decrements.
+	bound := 3 * TailBound(m.MaxCounters(), 0, oracle.StreamWeight())
+	if got := float64(oracle.MaxError(m)); got > bound {
+		t.Errorf("%s: max error %.0f > bound %.0f", label, got, bound)
+	}
+}
+
+func TestMergeTheorem5(t *testing.T) {
+	a, b, oracle := buildPair(t, 256, 50_000, 1, 2)
+	merged := a.Merge(b)
+	if merged != a {
+		t.Fatal("Merge must return the receiver")
+	}
+	checkMerged(t, merged, oracle, "algorithm5")
+}
+
+func TestMergeBaselinesAgree(t *testing.T) {
+	// ACH+13 and Hoa61 must satisfy the same guarantees and produce
+	// errors within a small factor of each other and of Algorithm 5
+	// (§4.5 reports them within 2.5%).
+	build := func() (*Sketch, *Sketch, *exact.Counter) { return buildPair(t, 256, 50_000, 3, 4) }
+
+	a, b, oracle := build()
+	ours := a.Merge(b)
+	oursErr := oracle.MaxError(ours)
+
+	a, b, oracle = build()
+	ach := MergeACH(a, b)
+	checkMerged(t, ach, oracle, "ACH+13")
+	achErr := oracle.MaxError(ach)
+
+	a, b, oracle = build()
+	hoa := MergeQuickselect(a, b)
+	checkMerged(t, hoa, oracle, "Hoa61")
+	hoaErr := oracle.MaxError(hoa)
+
+	// The baselines keep exactly the top k and should be close to each
+	// other; ours may differ somewhat more but stays within a small factor.
+	if achErr == 0 || hoaErr == 0 {
+		t.Fatalf("suspicious zero errors: ach=%d hoa=%d", achErr, hoaErr)
+	}
+	if ratio := float64(achErr) / float64(hoaErr); ratio < 0.5 || ratio > 2 {
+		t.Errorf("ACH vs Hoa error ratio %.2f implausible", ratio)
+	}
+	if ratio := float64(oursErr) / float64(achErr); ratio > 3 {
+		t.Errorf("our merge error %.1fx the baseline's", ratio)
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	a := mustNew(t, Options{MaxCounters: 64, Seed: 1})
+	_ = a.Update(1, 10)
+
+	if got := a.Merge(nil); got != a || a.Estimate(1) != 10 {
+		t.Error("Merge(nil) changed state")
+	}
+	if got := a.Merge(a); got != a || a.Estimate(1) != 10 || a.StreamWeight() != 10 {
+		t.Error("self-merge changed state")
+	}
+	empty := mustNew(t, Options{MaxCounters: 64, Seed: 2})
+	a.Merge(empty)
+	if a.StreamWeight() != 10 || a.Estimate(1) != 10 {
+		t.Error("merging empty changed state")
+	}
+	// Merging into an empty sketch adopts the other's counters.
+	fresh := mustNew(t, Options{MaxCounters: 64, Seed: 3})
+	fresh.Merge(a)
+	if fresh.StreamWeight() != 10 || fresh.Estimate(1) != 10 {
+		t.Errorf("empty.Merge: N=%d est=%d", fresh.StreamWeight(), fresh.Estimate(1))
+	}
+}
+
+func TestMergeOffsetsAdd(t *testing.T) {
+	// Force decrements in both summaries; the merged offset must be at
+	// least the sum of the constituents' offsets (merge replay may add
+	// more).
+	a := mustNew(t, Options{MaxCounters: MinCounters, Seed: 4, DisableGrowth: true})
+	b := mustNew(t, Options{MaxCounters: MinCounters, Seed: 5, DisableGrowth: true})
+	for i := int64(0); i < 1000; i++ {
+		_ = a.Update(i, 3)
+		_ = b.Update(i+10_000, 3)
+	}
+	ao, bo := a.MaximumError(), b.MaximumError()
+	if ao == 0 || bo == 0 {
+		t.Fatal("expected decrements in both summaries")
+	}
+	a.Merge(b)
+	if a.MaximumError() < ao+bo {
+		t.Errorf("merged offset %d < %d + %d", a.MaximumError(), ao, bo)
+	}
+}
+
+func TestMergeManySmallIntoLarge(t *testing.T) {
+	// §3.2: merging many small summaries into one large one; amortized
+	// O(k') per merge and the final summary still honors its bound.
+	big := mustNew(t, Options{MaxCounters: 512, Seed: 6})
+	oracle := exact.New()
+	for i := 0; i < 32; i++ {
+		small := mustNew(t, Options{MaxCounters: 48, Seed: 7 + uint64(i)})
+		stream, err := streamgen.ZipfStream(1.1, 1<<10, 2000, 100, uint64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range stream {
+			_ = small.Update(u.Item, u.Weight)
+			oracle.Update(u.Item, u.Weight)
+		}
+		big.Merge(small)
+	}
+	if big.StreamWeight() != oracle.StreamWeight() {
+		t.Fatalf("N=%d want %d", big.StreamWeight(), oracle.StreamWeight())
+	}
+	oracle.Range(func(item, truth int64) bool {
+		if lb, ub := big.LowerBound(item), big.UpperBound(item); lb > truth || ub < truth {
+			t.Fatalf("item %d: [%d, %d] misses %d", item, lb, ub, truth)
+		}
+		return true
+	})
+	// Merging 32 summaries of budget 48 into budget 512: per-merge error
+	// adds, so use the additive bound: each small summary contributes
+	// error <= N_i/(0.33*48) and the big one its own decrements.
+	bound := 3 * (TailBound(48, 0, oracle.StreamWeight()) + TailBound(512, 0, oracle.StreamWeight()))
+	if got := float64(oracle.MaxError(big)); got > bound {
+		t.Errorf("max error %.0f > additive bound %.0f", got, bound)
+	}
+}
+
+func TestMergeArbitraryTree(t *testing.T) {
+	// The §3 requirement prior work failed: error must not compound
+	// exponentially under an arbitrary aggregation tree. Build 16 leaf
+	// summaries and merge them pairwise in a balanced tree.
+	const leaves = 16
+	oracle := exact.New()
+	sketches := make([]*Sketch, leaves)
+	for i := range sketches {
+		sketches[i] = mustNew(t, Options{MaxCounters: 128, Seed: 100 + uint64(i)})
+		stream, err := streamgen.ZipfStream(1.05, 1<<12, 10_000, 1000, uint64(50+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range stream {
+			_ = sketches[i].Update(u.Item, u.Weight)
+			oracle.Update(u.Item, u.Weight)
+		}
+	}
+	for len(sketches) > 1 {
+		var next []*Sketch
+		for i := 0; i+1 < len(sketches); i += 2 {
+			next = append(next, sketches[i].Merge(sketches[i+1]))
+		}
+		sketches = next
+	}
+	root := sketches[0]
+	checkMerged(t, root, oracle, "tree-root")
+	// Linear, not exponential, error growth: the per-leaf contributions
+	// add up to roughly leaves * N_leaf/(0.33k) = N/(0.33k) total.
+	bound := 4 * TailBound(128, 0, oracle.StreamWeight())
+	if got := float64(oracle.MaxError(root)); got > bound {
+		t.Errorf("tree merge error %.0f > linear bound %.0f", got, bound)
+	}
+}

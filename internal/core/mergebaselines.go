@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/qselect"
+)
+
+// This file implements the two prior-work merge procedures that Figure 4
+// compares Algorithm 5 against. Both follow Agarwal et al. [1] (§3.1):
+// add the counters of the two summaries together in a scratch table, keep
+// only the top k, and build a fresh summary from them. "ACH+13" finds the
+// top k by sorting; "Hoa61" finds the k-th largest with Quickselect and
+// makes one more pass. Both allocate Θ(k) scratch space and a whole new
+// summary — the space overhead §3.1 charges them with — whereas Algorithm 5
+// (Sketch.Merge) works in place.
+
+type kvPair struct {
+	key   int64
+	value int64
+}
+
+// addCounters pools the counters of a and b, summing values of items
+// present in both, and returns the pooled pairs (the "hash table of
+// capacity 2k" of §3.1) along with the summed offsets and stream weights.
+func addCounters(a, b *Sketch) (pairs []kvPair, offset, streamN int64) {
+	pooled := make(map[int64]int64, a.NumActive()+b.NumActive())
+	a.hm.Range(func(key, value int64) bool {
+		pooled[key] += value
+		return true
+	})
+	b.hm.Range(func(key, value int64) bool {
+		pooled[key] += value
+		return true
+	})
+	pairs = make([]kvPair, 0, len(pooled))
+	for k, v := range pooled {
+		pairs = append(pairs, kvPair{k, v})
+	}
+	return pairs, a.offset + b.offset, a.streamN + b.streamN
+}
+
+// rebuild creates a new summary with a's configuration containing exactly
+// the given counters, adjusted state per the Agarwal et al. analysis: the
+// discarded counters' k-th largest value joins the offset so estimates
+// remain upper bounds.
+func rebuild(model *Sketch, pairs []kvPair, cutoff, offset, streamN int64) *Sketch {
+	out, err := NewWithOptions(Options{
+		MaxCounters: model.MaxCounters(),
+		Quantile:    quantileOpt(model.quantile),
+		SampleSize:  model.sampleSize,
+	})
+	if err != nil {
+		panic(err) // model was already validated
+	}
+	for out.hm.Capacity() < len(pairs) && out.hm.LgLength() < out.lgMaxLength {
+		out.grow()
+	}
+	for _, p := range pairs {
+		if v := p.value - cutoff; v > 0 {
+			out.hm.Adjust(p.key, v)
+		}
+	}
+	out.offset = offset + cutoff
+	out.streamN = streamN
+	return out
+}
+
+// quantileOpt converts an internal quantile back to its Options encoding.
+func quantileOpt(q float64) float64 {
+	if q == 0 {
+		return QuantileMin
+	}
+	return q
+}
+
+// MergeACH merges a and b with the sort-based procedure of Agarwal et
+// al. [1] ("ACH+13" in Figure 4): pool counters, sort descending,
+// keep the top k, fold the (k+1)-st value into the offset. Runs in
+// Θ(k log k) and allocates a scratch table plus a whole new summary.
+func MergeACH(a, b *Sketch) *Sketch {
+	pairs, offset, streamN := addCounters(a, b)
+	k := a.MaxCounters()
+	var cutoff int64
+	if len(pairs) > k {
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].value > pairs[j].value })
+		cutoff = pairs[k].value
+		pairs = pairs[:k]
+	}
+	return rebuild(a, pairs, cutoff, offset, streamN)
+}
+
+// MergeQuickselect merges a and b with the Quickselect variant of the
+// Agarwal et al. procedure proposed in §3.1 ("Hoa61" in Figure 4): find
+// the k-th largest pooled counter in O(k) with Hoare's Find, then keep
+// everything strictly above it in one more pass.
+func MergeQuickselect(a, b *Sketch) *Sketch {
+	pairs, offset, streamN := addCounters(a, b)
+	k := a.MaxCounters()
+	var cutoff int64
+	if len(pairs) > k {
+		values := make([]int64, len(pairs))
+		for i, p := range pairs {
+			values[i] = p.value
+		}
+		// The value below which counters are discarded: with ties this may
+		// keep slightly fewer than k counters, matching the "at least as
+		// large as ck" pass described in §3.1.
+		cutoff = qselect.SelectKthLargest(values, k+1)
+	}
+	return rebuild(a, pairs, cutoff, offset, streamN)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/streamgen"
+)
+
+// TestMergeDifferentBudgets covers Algorithm 5 across unequal counter
+// budgets in both directions: the receiver's budget governs the merged
+// summary, and the guarantees must hold either way.
+func TestMergeDifferentBudgets(t *testing.T) {
+	build := func(k int, seed uint64) (*Sketch, *exact.Counter) {
+		s := mustNew(t, Options{MaxCounters: k, Seed: seed})
+		oracle := exact.New()
+		stream, err := streamgen.ZipfStream(1.1, 1<<11, 30_000, 500, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range stream {
+			_ = s.Update(u.Item, u.Weight)
+			oracle.Update(u.Item, u.Weight)
+		}
+		return s, oracle
+	}
+	mergeOracles := func(a, b *exact.Counter) *exact.Counter {
+		out := exact.New()
+		for _, o := range []*exact.Counter{a, b} {
+			o.Range(func(item, f int64) bool {
+				out.Update(item, f)
+				return true
+			})
+		}
+		return out
+	}
+
+	t.Run("small-into-big", func(t *testing.T) {
+		big, oa := build(1024, 101)
+		small, ob := build(48, 102)
+		oracle := mergeOracles(oa, ob)
+		big.Merge(small)
+		if big.StreamWeight() != oracle.StreamWeight() {
+			t.Fatalf("N %d want %d", big.StreamWeight(), oracle.StreamWeight())
+		}
+		oracle.Range(func(item, truth int64) bool {
+			if lb, ub := big.LowerBound(item), big.UpperBound(item); lb > truth || ub < truth {
+				t.Fatalf("item %d: [%d, %d] misses %d", item, lb, ub, truth)
+			}
+			return true
+		})
+		// Errors add: the merged band is bounded by the small summary's
+		// (coarse) band plus the big one's.
+		bound := 3 * (TailBound(48, 0, ob.StreamWeight()) + TailBound(1024, 0, oracle.StreamWeight()))
+		if got := float64(oracle.MaxError(big)); got > bound {
+			t.Errorf("max error %.0f > %.0f", got, bound)
+		}
+	})
+
+	t.Run("big-into-small", func(t *testing.T) {
+		small, oa := build(48, 103)
+		big, ob := build(1024, 104)
+		oracle := mergeOracles(oa, ob)
+		small.Merge(big)
+		if small.StreamWeight() != oracle.StreamWeight() {
+			t.Fatalf("N %d want %d", small.StreamWeight(), oracle.StreamWeight())
+		}
+		if small.NumActive() > small.MaxCounters() {
+			t.Fatalf("receiver exceeded its own budget: %d > %d", small.NumActive(), small.MaxCounters())
+		}
+		oracle.Range(func(item, truth int64) bool {
+			if lb, ub := small.LowerBound(item), small.UpperBound(item); lb > truth || ub < truth {
+				t.Fatalf("item %d: [%d, %d] misses %d", item, lb, ub, truth)
+			}
+			return true
+		})
+	})
+}
+
+// TestQuickMergeBrackets is a property test: for arbitrary pairs of small
+// update sequences, merging two sketches brackets the combined truth.
+func TestQuickMergeBrackets(t *testing.T) {
+	f := func(itemsA, itemsB []uint8, weightsA, weightsB []uint8) bool {
+		a, err := NewWithOptions(Options{MaxCounters: 8, Seed: 201, DisableGrowth: true})
+		if err != nil {
+			return false
+		}
+		b, err := NewWithOptions(Options{MaxCounters: 8, Seed: 202, DisableGrowth: true})
+		if err != nil {
+			return false
+		}
+		truth := map[int64]int64{}
+		feed := func(s *Sketch, items, weights []uint8) bool {
+			for i, it := range items {
+				w := int64(2)
+				if i < len(weights) {
+					w = int64(weights[i]) + 1
+				}
+				if s.Update(int64(it), w) != nil {
+					return false
+				}
+				truth[int64(it)] += w
+			}
+			return true
+		}
+		if !feed(a, itemsA, weightsA) || !feed(b, itemsB, weightsB) {
+			return false
+		}
+		a.Merge(b)
+		for item, want := range truth {
+			if a.LowerBound(item) > want || a.UpperBound(item) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

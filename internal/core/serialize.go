@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/hashmap"
+)
+
+// Serialization implements the geographically-distributed scenario of §3:
+// summarize locally, ship only the summary, merge centrally. The format is
+// a fixed little-endian header followed by the active (item, counter)
+// pairs; deserialized sketches answer every query identically to the
+// original and can keep absorbing updates and merges.
+
+const (
+	serialMagic   uint32 = 0x46495331 // "FIS1"
+	serialVersion uint8  = 1
+	headerBytes          = 4 + 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 4 // through numActive
+)
+
+var (
+	// ErrBadMagic indicates the bytes do not start with a frequent-items
+	// sketch header.
+	ErrBadMagic = errors.New("core: not a serialized frequent-items sketch")
+	// ErrBadVersion indicates an unsupported serialization version.
+	ErrBadVersion = errors.New("core: unsupported serialization version")
+	// ErrCorrupt indicates a structurally invalid serialized sketch.
+	ErrCorrupt = errors.New("core: corrupt serialized sketch")
+)
+
+// SerializedSizeBytes returns the exact encoding length of the sketch.
+func (s *Sketch) SerializedSizeBytes() int {
+	return headerBytes + 16*s.NumActive()
+}
+
+// Serialize encodes the sketch to a new byte slice.
+func (s *Sketch) Serialize() []byte {
+	buf := make([]byte, 0, s.SerializedSizeBytes())
+	buf = binary.LittleEndian.AppendUint32(buf, serialMagic)
+	buf = append(buf, serialVersion)
+	var flags uint8
+	if s.IsEmpty() {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = append(buf, uint8(s.lgMaxLength), uint8(0) /* reserved */)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.sampleSize))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.quantile))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.streamN))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.offset))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.NumActive()))
+	s.hm.Range(func(key, value int64) bool {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(key))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(value))
+		return true
+	})
+	return buf
+}
+
+// WriteTo encodes the sketch to w, implementing io.WriterTo.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(s.Serialize())
+	return int64(n), err
+}
+
+// Deserialize reconstructs a sketch from bytes produced by Serialize. The
+// reconstructed sketch draws a fresh hash seed, which is desirable: merges
+// of independently deserialized sketches never share a hash function
+// (§3.2 note).
+func Deserialize(data []byte) (*Sketch, error) {
+	if len(data) < headerBytes {
+		return nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != serialMagic {
+		return nil, ErrBadMagic
+	}
+	if data[4] != serialVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, data[4])
+	}
+	flags := data[5]
+	lgMax := int(data[6])
+	sampleSize := int(binary.LittleEndian.Uint32(data[8:]))
+	quantile := math.Float64frombits(binary.LittleEndian.Uint64(data[12:]))
+	streamN := int64(binary.LittleEndian.Uint64(data[20:]))
+	offset := int64(binary.LittleEndian.Uint64(data[28:]))
+	numActive := int(binary.LittleEndian.Uint32(data[36:]))
+
+	if lgMax < hashmap.MinLgLength || lgMax > hashmap.MaxLgLength {
+		return nil, fmt.Errorf("%w: lgMaxLength %d", ErrCorrupt, lgMax)
+	}
+	if sampleSize < 1 || quantile < 0 || quantile >= 1 ||
+		streamN < 0 || offset < 0 || numActive < 0 {
+		return nil, fmt.Errorf("%w: invalid header fields", ErrCorrupt)
+	}
+	maxCounters := int(float64(int(1)<<lgMax) * hashmap.LoadFactor)
+	if numActive > maxCounters+1 {
+		return nil, fmt.Errorf("%w: %d active counters exceed capacity %d", ErrCorrupt, numActive, maxCounters)
+	}
+	if len(data) != headerBytes+16*numActive {
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrCorrupt, len(data), headerBytes+16*numActive)
+	}
+	if flags&1 != 0 && (numActive != 0 || streamN != 0) {
+		return nil, fmt.Errorf("%w: empty flag with non-empty payload", ErrCorrupt)
+	}
+
+	q := quantile
+	if q == 0 {
+		q = QuantileMin
+	}
+	s, err := NewWithOptions(Options{
+		MaxCounters: maxCounters,
+		Quantile:    q,
+		SampleSize:  sampleSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Size the table to hold the counters, then install them directly:
+	// these are summary counters, not stream updates, so they bypass the
+	// Update path (no decrement may fire while loading state).
+	for s.hm.Capacity() < numActive && s.hm.LgLength() < s.lgMaxLength {
+		s.grow()
+	}
+	p := headerBytes
+	for i := 0; i < numActive; i++ {
+		key := int64(binary.LittleEndian.Uint64(data[p:]))
+		value := int64(binary.LittleEndian.Uint64(data[p+8:]))
+		p += 16
+		if value <= 0 {
+			return nil, fmt.Errorf("%w: non-positive counter %d for item %d", ErrCorrupt, value, key)
+		}
+		if !s.hm.Adjust(key, value) {
+			return nil, fmt.Errorf("%w: duplicate item %d", ErrCorrupt, key)
+		}
+	}
+	s.streamN = streamN
+	s.offset = offset
+	return s, nil
+}
+
+// ReadFrom decodes a sketch from r, which must contain exactly one
+// serialized sketch followed by EOF or further data; only the sketch's
+// own bytes are consumed.
+func ReadFrom(r io.Reader) (*Sketch, error) {
+	header := make([]byte, headerBytes)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(header[0:]) != serialMagic {
+		return nil, ErrBadMagic
+	}
+	numActive := int(binary.LittleEndian.Uint32(header[36:]))
+	if numActive < 0 || numActive > (1<<hashmap.MaxLgLength) {
+		return nil, ErrCorrupt
+	}
+	body := make([]byte, 16*numActive)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Deserialize(append(header, body...))
+}

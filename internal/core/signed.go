@@ -1,0 +1,95 @@
+package core
+
+import "fmt"
+
+// SignedSketch implements the strict-turnstile recipe from the Note in
+// §1.3: one counter-based summary for the positive updates and one for the
+// magnitudes of the negative updates, with point estimates formed as the
+// difference. By the triangle inequality the error of an estimate is at
+// most the sum of the two summaries' errors, i.e. proportional to
+// Σ|Δj| rather than to N = ΣΔj — suitable when deletions are a small
+// share of the stream.
+type SignedSketch struct {
+	pos *Sketch
+	neg *Sketch
+}
+
+// NewSigned returns a turnstile-capable pair of sketches, each with the
+// given counter budget and options.
+func NewSigned(opts Options) (*SignedSketch, error) {
+	pos, err := NewWithOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	// The negative-side sketch must hash independently even when the
+	// caller pinned a seed, or its probe behaviour correlates with the
+	// positive side for identical key sets; derive a distinct seed.
+	negOpts := opts
+	if opts.Seed != 0 {
+		negOpts.Seed = opts.Seed ^ 0x9e3779b97f4a7c15
+	}
+	neg, err := NewWithOptions(negOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &SignedSketch{pos: pos, neg: neg}, nil
+}
+
+// Update processes a signed weighted update; weight may be negative.
+func (t *SignedSketch) Update(item int64, weight int64) {
+	switch {
+	case weight > 0:
+		t.pos.update(item, weight)
+	case weight < 0:
+		t.neg.update(item, -weight)
+	}
+}
+
+// Estimate returns the difference of the two summaries' estimates. It may
+// be negative for items whose deletions were overestimated; callers that
+// know the stream is strict-turnstile (final frequencies non-negative) may
+// clamp at zero.
+func (t *SignedSketch) Estimate(item int64) int64 {
+	return t.pos.Estimate(item) - t.neg.Estimate(item)
+}
+
+// LowerBound returns a certain lower bound on the true signed frequency.
+func (t *SignedSketch) LowerBound(item int64) int64 {
+	return t.pos.LowerBound(item) - t.neg.UpperBound(item)
+}
+
+// UpperBound returns a certain upper bound on the true signed frequency.
+func (t *SignedSketch) UpperBound(item int64) int64 {
+	return t.pos.UpperBound(item) - t.neg.LowerBound(item)
+}
+
+// MaximumError returns the additive error bound of any estimate: the sum
+// of the two summaries' offsets (triangle inequality, §1.3 Note).
+func (t *SignedSketch) MaximumError() int64 {
+	return t.pos.MaximumError() + t.neg.MaximumError()
+}
+
+// GrossWeight returns Σ|Δj|, the quantity the error guarantee is
+// proportional to in the turnstile setting.
+func (t *SignedSketch) GrossWeight() int64 {
+	return t.pos.StreamWeight() + t.neg.StreamWeight()
+}
+
+// NetWeight returns N = ΣΔj.
+func (t *SignedSketch) NetWeight() int64 {
+	return t.pos.StreamWeight() - t.neg.StreamWeight()
+}
+
+// Merge folds other into t component-wise (Algorithm 5 on each side).
+func (t *SignedSketch) Merge(other *SignedSketch) *SignedSketch {
+	if other == nil || other == t {
+		return t
+	}
+	t.pos.Merge(other.pos)
+	t.neg.Merge(other.neg)
+	return t
+}
+
+func (t *SignedSketch) String() string {
+	return fmt.Sprintf("SignedSketch{pos: %s, neg: %s}", t.pos, t.neg)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSignedExactSmall(t *testing.T) {
+	s, err := NewSigned(Options{MaxCounters: 64, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(1, 100)
+	s.Update(1, -30)
+	s.Update(2, 50)
+	s.Update(2, -50)
+	s.Update(3, 0) // no-op
+	if got := s.Estimate(1); got != 70 {
+		t.Errorf("Estimate(1) = %d, want 70", got)
+	}
+	if got := s.Estimate(2); got != 0 {
+		t.Errorf("Estimate(2) = %d, want 0", got)
+	}
+	if s.NetWeight() != 70 || s.GrossWeight() != 230 {
+		t.Errorf("net %d gross %d, want 70 230", s.NetWeight(), s.GrossWeight())
+	}
+	if s.MaximumError() != 0 {
+		t.Errorf("small stream should be exact, error %d", s.MaximumError())
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSignedBracketsUnderPressure(t *testing.T) {
+	// Strict turnstile stream over many items through tiny summaries:
+	// bounds must bracket the signed truth, with error bounded relative
+	// to gross weight (§1.3 Note).
+	s, err := NewSigned(Options{MaxCounters: 32, Seed: 42, DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[int64]int64{}
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 50_000; i++ {
+		item := int64(rng.Intn(2000))
+		w := int64(rng.Intn(100) + 1)
+		// Delete only up to the current frequency (strict turnstile).
+		if rng.Intn(4) == 0 && truth[item] > 0 {
+			if w > truth[item] {
+				w = truth[item]
+			}
+			s.Update(item, -w)
+			truth[item] -= w
+		} else {
+			s.Update(item, w)
+			truth[item] += w
+		}
+	}
+	maxErr := s.MaximumError()
+	bound := 3 * TailBound(32, 0, s.GrossWeight())
+	if float64(maxErr) > bound {
+		t.Errorf("signed max error %d > gross-weight bound %.0f", maxErr, bound)
+	}
+	for item, want := range truth {
+		lb, ub := s.LowerBound(item), s.UpperBound(item)
+		if lb > want || ub < want {
+			t.Fatalf("item %d: [%d, %d] misses %d", item, lb, ub, want)
+		}
+		est := s.Estimate(item)
+		if d := est - want; d > maxErr || d < -maxErr {
+			t.Fatalf("item %d: estimate %d off truth %d beyond MaximumError %d", item, est, want, maxErr)
+		}
+	}
+}
+
+func TestSignedMerge(t *testing.T) {
+	a, err := NewSigned(Options{MaxCounters: 64, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSigned(Options{MaxCounters: 64, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Update(1, 100)
+	b.Update(1, -40)
+	b.Update(2, 70)
+	a.Merge(b)
+	if got := a.Estimate(1); got != 60 {
+		t.Errorf("merged Estimate(1) = %d, want 60", got)
+	}
+	if got := a.Estimate(2); got != 70 {
+		t.Errorf("merged Estimate(2) = %d, want 70", got)
+	}
+	if a.Merge(nil) != a || a.Merge(a) != a {
+		t.Error("degenerate merges must be no-ops returning the receiver")
+	}
+}
+
+func TestSignedValidation(t *testing.T) {
+	if _, err := NewSigned(Options{MaxCounters: 0}); err == nil {
+		t.Error("expected constructor error")
+	}
+}

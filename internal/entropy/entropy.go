@@ -1,0 +1,142 @@
+// Package entropy estimates the empirical entropy of a weighted stream
+// from a frequent-items summary — the second §1.2/§6 downstream
+// application (Chakrabarti, Cormode, McGregor [5] style: entropy splits
+// into a heavy-hitter part, known accurately from the summary, and a
+// residual-tail part, bracketed by extremal distributions).
+//
+// The empirical entropy is H = Σᵢ (fᵢ/N)·log₂(N/fᵢ). For the items the
+// summary tracks, the bracketing bounds give fᵢ within [lb, ub]. For the
+// untracked residual mass R = N − Σ tracked fᵢ, the contribution lies
+// between the minimum possible (all residual mass on one item: (R/N)·
+// log₂(N/R)) and the maximum possible (residual spread evenly over the
+// remaining distinct items).
+package entropy
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Estimate is an entropy estimate with certainty bounds, in bits.
+type Estimate struct {
+	// Bits is the point estimate.
+	Bits float64
+	// Low and High bracket the true empirical entropy whenever the
+	// distinct-item count passed to FromSketch is an upper bound on the
+	// stream's true distinct count.
+	Low, High float64
+}
+
+// plogp returns (f/N)·log₂(N/f), the entropy contribution of an item with
+// frequency f, and 0 at the f = 0 and f = N boundaries.
+func plogp(f, n float64) float64 {
+	if f <= 0 || n <= 0 || f >= n {
+		return 0
+	}
+	p := f / n
+	return -p * math.Log2(p)
+}
+
+// intervalMin returns the minimum of plogp over frequencies in [lb, ub]:
+// plogp is concave in f, so the minimum sits at an endpoint.
+func intervalMin(lb, ub, n float64) float64 {
+	return math.Min(plogp(lb, n), plogp(ub, n))
+}
+
+// intervalMax returns the maximum of plogp over [lb, ub]: the concave
+// peak at f = N/e when the interval straddles it, otherwise the larger
+// endpoint.
+func intervalMax(lb, ub, n float64) float64 {
+	if peak := n / math.E; lb < peak && ub > peak {
+		return math.Log2(math.E) / math.E
+	}
+	return math.Max(plogp(lb, n), plogp(ub, n))
+}
+
+// FromSketch estimates the stream's empirical entropy from a frequent-
+// items summary. maxDistinct is the caller's bound on the number of
+// distinct items in the stream (the universe size m always works); it
+// determines the worst-case spread of the residual tail.
+func FromSketch(s *core.Sketch, maxDistinct int64) Estimate {
+	n := float64(s.StreamWeight())
+	if n == 0 {
+		return Estimate{}
+	}
+	rows := s.FrequentItemsAboveThreshold(0, core.NoFalseNegatives)
+	var point, low, high float64
+	var trackedEst, trackedLB int64
+	for _, r := range rows {
+		point += plogp(float64(r.Estimate), n)
+		lb, ub := float64(r.LowerBound), float64(r.UpperBound)
+		low += intervalMin(lb, ub, n)
+		high += intervalMax(lb, ub, n)
+		trackedEst += r.Estimate
+		trackedLB += r.LowerBound
+	}
+
+	// Residual mass not attributed to tracked counters. Estimates
+	// overcount by up to offset each, so the certain residual range is
+	// [N - Σub, N - Σlb].
+	resLow := n - float64(trackedEst)
+	if resLow < 0 {
+		resLow = 0
+	}
+	resHigh := n - float64(trackedLB)
+	if resHigh > n {
+		resHigh = n
+	}
+	resPoint := (resLow + resHigh) / 2
+
+	// Tail entropy bounds: minimum when the residual (whatever its exact
+	// mass in [resLow, resHigh]) is concentrated on a single item — plogp
+	// is concave so the interval minimum sits at an endpoint — maximum
+	// when the largest possible residual is spread evenly over the
+	// remaining distinct budget.
+	remaining := maxDistinct - int64(len(rows))
+	if remaining < 1 {
+		remaining = 1
+	}
+	low += math.Min(plogp(resLow, n), plogp(resHigh, n))
+	if resHigh > 0 {
+		perItem := resHigh / float64(remaining)
+		high += float64(remaining) * plogp(perItem, n)
+	}
+	// Point estimate: residual spread over sqrt(remaining) items, a
+	// neutral prior between the two extremes.
+	if resPoint > 0 {
+		spread := math.Sqrt(float64(remaining))
+		if spread < 1 {
+			spread = 1
+		}
+		perItem := resPoint / spread
+		point += spread * plogp(perItem, n)
+	}
+	if high < low {
+		low, high = high, low
+	}
+	if point < low {
+		point = low
+	}
+	if point > high {
+		point = high
+	}
+	return Estimate{Bits: point, Low: low, High: high}
+}
+
+// Exact computes the exact empirical entropy of explicit frequencies,
+// for tests and harness comparisons.
+func Exact(freqs map[int64]int64) float64 {
+	var n float64
+	for _, f := range freqs {
+		n += float64(f)
+	}
+	if n == 0 {
+		return 0
+	}
+	var h float64
+	for _, f := range freqs {
+		h += plogp(float64(f), n)
+	}
+	return h
+}

@@ -1,0 +1,119 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/streamgen"
+)
+
+func TestExact(t *testing.T) {
+	// Uniform over 8 items: 3 bits.
+	freqs := map[int64]int64{}
+	for i := int64(0); i < 8; i++ {
+		freqs[i] = 100
+	}
+	if got := Exact(freqs); math.Abs(got-3) > 1e-12 {
+		t.Errorf("uniform-8 entropy %v, want 3", got)
+	}
+	// Point mass: 0 bits.
+	if got := Exact(map[int64]int64{5: 999}); got != 0 {
+		t.Errorf("point mass entropy %v", got)
+	}
+	// Empty: 0.
+	if got := Exact(nil); got != 0 {
+		t.Errorf("empty entropy %v", got)
+	}
+	// Two equal items: 1 bit.
+	if got := Exact(map[int64]int64{1: 7, 2: 7}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("two-item entropy %v", got)
+	}
+}
+
+func TestFromSketchExactRegime(t *testing.T) {
+	// Under capacity the sketch is exact, so the entropy bracket must
+	// contain the exact entropy tightly.
+	s, err := core.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := map[int64]int64{1: 500, 2: 300, 3: 150, 4: 50}
+	for item, f := range freqs {
+		_ = s.Update(item, f)
+	}
+	want := Exact(freqs)
+	est := FromSketch(s, 4)
+	if est.Low > want+1e-9 || est.High < want-1e-9 {
+		t.Errorf("bracket [%v, %v] misses exact %v", est.Low, est.High, want)
+	}
+	if est.Bits < est.Low || est.Bits > est.High {
+		t.Errorf("point %v outside bracket", est.Bits)
+	}
+	if math.Abs(est.Bits-want) > 0.01 {
+		t.Errorf("exact-regime point estimate %v, want %v", est.Bits, want)
+	}
+}
+
+func TestFromSketchEmptyAndDegenerate(t *testing.T) {
+	s, _ := core.New(64)
+	if got := FromSketch(s, 100); got.Bits != 0 || got.Low != 0 || got.High != 0 {
+		t.Errorf("empty sketch entropy %v", got)
+	}
+	_ = s.Update(1, 1000)
+	got := FromSketch(s, 1)
+	if got.Bits > 0.01 {
+		t.Errorf("single-item entropy %v", got.Bits)
+	}
+}
+
+func TestFromSketchBracketsSkewedStream(t *testing.T) {
+	stream, err := streamgen.ZipfStream(1.5, 1<<12, 100_000, 100, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.New(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	for _, u := range stream {
+		_ = s.Update(u.Item, u.Weight)
+		oracle.Update(u.Item, u.Weight)
+	}
+	freqs := map[int64]int64{}
+	oracle.Range(func(item, f int64) bool { freqs[item] = f; return true })
+	want := Exact(freqs)
+	est := FromSketch(s, int64(oracle.NumItems()))
+	if want < est.Low || want > est.High {
+		t.Errorf("true entropy %v outside bracket [%v, %v]", want, est.Low, est.High)
+	}
+	// On a skewed stream the point estimate should land in the right
+	// ballpark (the heavy head dominates the entropy).
+	if math.Abs(est.Bits-want) > 0.35*want+0.5 {
+		t.Errorf("point estimate %v far from true %v", est.Bits, want)
+	}
+}
+
+func TestBracketWidthShrinksWithCounters(t *testing.T) {
+	stream, err := streamgen.ZipfStream(1.2, 1<<12, 80_000, 100, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := func(k int) float64 {
+		s, err := core.New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range stream {
+			_ = s.Update(u.Item, u.Weight)
+		}
+		est := FromSketch(s, 1<<12)
+		return est.High - est.Low
+	}
+	small, big := width(64), width(2048)
+	if big > small {
+		t.Errorf("bracket width grew with more counters: k=64 %.3f, k=2048 %.3f", small, big)
+	}
+}

@@ -1,0 +1,145 @@
+// Package exact is the ground-truth oracle every accuracy experiment
+// measures against: an exact frequency map with the derived statistics the
+// paper's analysis uses — top-j frequencies, the residual tail weight
+// N^res(j) of Lemma 2, and maximum estimate error over a summary.
+package exact
+
+import "sort"
+
+// Counter tracks exact weighted frequencies. This is the "trivial
+// solution" of §4.1, against which the sketches' 70x space advantage is
+// computed.
+type Counter struct {
+	freqs   map[int64]int64
+	streamN int64
+}
+
+// New returns an empty exact counter.
+func New() *Counter {
+	return &Counter{freqs: make(map[int64]int64)}
+}
+
+// Update adds weight to item's frequency.
+func (c *Counter) Update(item int64, weight int64) {
+	if weight <= 0 {
+		return
+	}
+	c.freqs[item] += weight
+	c.streamN += weight
+}
+
+// Freq returns the exact frequency of item.
+func (c *Counter) Freq(item int64) int64 { return c.freqs[item] }
+
+// StreamWeight returns N.
+func (c *Counter) StreamWeight() int64 { return c.streamN }
+
+// NumItems returns the number of distinct items.
+func (c *Counter) NumItems() int { return len(c.freqs) }
+
+// SizeBytes approximates the footprint of the exact solution at 40 bytes
+// per distinct item (key, value, and map overhead), for the space-ratio
+// comparison of §4.1.
+func (c *Counter) SizeBytes() int { return 40 * len(c.freqs) }
+
+// Item is an (item, frequency) pair.
+type Item struct {
+	Item int64
+	Freq int64
+}
+
+// TopK returns the j most frequent items in descending frequency order
+// (ties broken by item id). j larger than the item count returns all.
+func (c *Counter) TopK(j int) []Item {
+	all := make([]Item, 0, len(c.freqs))
+	for item, f := range c.freqs {
+		all = append(all, Item{item, f})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Freq != all[b].Freq {
+			return all[a].Freq > all[b].Freq
+		}
+		return all[a].Item < all[b].Item
+	})
+	if j < len(all) {
+		all = all[:j]
+	}
+	return all
+}
+
+// Residual returns N^res(j), the total weight minus the weight of the top
+// j items (Lemma 2).
+func (c *Counter) Residual(j int) int64 {
+	top := c.TopK(j)
+	res := c.streamN
+	for _, it := range top {
+		res -= it.Freq
+	}
+	return res
+}
+
+// HeavyHitters returns all items with frequency >= threshold, descending.
+func (c *Counter) HeavyHitters(threshold int64) []Item {
+	rows := make([]Item, 0, 16)
+	for item, f := range c.freqs {
+		if f >= threshold {
+			rows = append(rows, Item{item, f})
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].Freq != rows[b].Freq {
+			return rows[a].Freq > rows[b].Freq
+		}
+		return rows[a].Item < rows[b].Item
+	})
+	return rows
+}
+
+// Estimator is any summary answering point queries; all algorithms in
+// this repository satisfy it.
+type Estimator interface {
+	Estimate(item int64) int64
+}
+
+// MaxError returns max_i |f̂i − fi| over every distinct item in the
+// stream — the metric of Figures 2 and 3. Items never inserted into the
+// summary but present in the stream count via their (possibly zero)
+// estimates, exactly as a point-query user would experience.
+func (c *Counter) MaxError(e Estimator) int64 {
+	var worst int64
+	for item, f := range c.freqs {
+		d := e.Estimate(item) - f
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MeanAbsError returns the mean of |f̂i − fi| over distinct items.
+func (c *Counter) MeanAbsError(e Estimator) float64 {
+	if len(c.freqs) == 0 {
+		return 0
+	}
+	var sum float64
+	for item, f := range c.freqs {
+		d := e.Estimate(item) - f
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum / float64(len(c.freqs))
+}
+
+// Range visits every (item, frequency) pair in unspecified order.
+func (c *Counter) Range(fn func(item, freq int64) bool) {
+	for item, f := range c.freqs {
+		if !fn(item, f) {
+			return
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/streamgen"
+)
+
+// PaperKs are the five counter budgets of Figures 1-3. The paper quotes
+// k = 24,576 explicitly (§4.1); the five tested values are the powers-of-
+// two-times-1.5 ladder ending there.
+var PaperKs = []int{1536, 3072, 6144, 12288, 24576}
+
+// Config scales the experiments. The zero value is unusable; use
+// DefaultConfig (laptop scale, seconds per figure) or QuickConfig
+// (CI scale, used by the tests).
+type Config struct {
+	// Packets is the stream length of the CAIDA-like trace.
+	Packets int
+	// DistinctSources is the approximate distinct-item count.
+	DistinctSources int
+	// Ks are the counter budgets to sweep.
+	Ks []int
+	// Repetitions averages timings over this many runs (the paper uses 10).
+	Repetitions int
+	// MergePairs is the number of sketch pairs merged in Figure 4 (paper: 50).
+	MergePairs int
+	// Seed fixes the workloads.
+	Seed uint64
+}
+
+// DefaultConfig reproduces the figures at laptop scale: the trace is ~32x
+// shorter than CAIDA 2016 but has the same per-update character, so
+// relative speeds and error shapes are preserved (§4.2: algorithm
+// differences are largest at small k, which is unchanged).
+func DefaultConfig() Config {
+	return Config{
+		Packets:         4_000_000,
+		DistinctSources: 1 << 18,
+		Ks:              PaperKs,
+		Repetitions:     3,
+		MergePairs:      50,
+		Seed:            0xCA1DA,
+	}
+}
+
+// QuickConfig is a seconds-total configuration for tests.
+func QuickConfig() Config {
+	return Config{
+		Packets:         200_000,
+		DistinctSources: 1 << 14,
+		Ks:              []int{512, 1024},
+		Repetitions:     1,
+		MergePairs:      8,
+		Seed:            0xCA1DA,
+	}
+}
+
+// Trace returns the shared CAIDA-like packet stream for the config.
+func (c Config) Trace() ([]streamgen.Update, error) {
+	return streamgen.PacketTrace(streamgen.TraceConfig{
+		Packets:         c.Packets,
+		DistinctSources: c.DistinctSources,
+		Alpha:           1.1,
+		Seed:            c.Seed,
+	})
+}
+
+// RunRow is one (algorithm, k) measurement shared by Figures 1 and 2.
+type RunRow struct {
+	Algo     string
+	K        int // counter budget actually used
+	KRef     int // reference k of the equal-space row (equals K for equal-counter rows)
+	Bytes    int
+	Seconds  float64
+	MUpdates float64 // million updates per second
+	MaxErr   int64
+	ErrRatio float64 // MaxErr / (N/k), the scale-free error the figures plot
+}
+
+// runOne feeds the stream through a fresh algorithm from maker, averaging
+// the time over reps runs, and measures the maximum point-query error
+// against the oracle.
+func runOne(name string, mk func(k int) Algo, k, kRef int, stream []streamgen.Update, oracle *exact.Counter, reps int) RunRow {
+	var total time.Duration
+	var a Algo
+	for r := 0; r < reps; r++ {
+		a = mk(k)
+		start := time.Now()
+		for _, u := range stream {
+			a.Update(u.Item, u.Weight)
+		}
+		total += time.Since(start)
+	}
+	secs := total.Seconds() / float64(reps)
+	row := RunRow{
+		Algo:     name,
+		K:        k,
+		KRef:     kRef,
+		Bytes:    a.SizeBytes(),
+		Seconds:  secs,
+		MUpdates: float64(len(stream)) / secs / 1e6,
+	}
+	if oracle != nil {
+		row.MaxErr = oracle.MaxError(a)
+		row.ErrRatio = float64(row.MaxErr) * float64(kRef) / float64(oracle.StreamWeight())
+	}
+	return row
+}
+
+// Figure1And2 runs the four algorithms over the trace at every k, in both
+// the equal-counters and equal-space regimes, returning (equalCounters,
+// equalSpace) rows carrying both the timing of Figure 1 and the maximum
+// error of Figure 2.
+func Figure1And2(cfg Config) (equalCounters, equalSpace []RunRow, err error) {
+	stream, err := cfg.Trace()
+	if err != nil {
+		return nil, nil, err
+	}
+	oracle := exact.New()
+	for _, u := range stream {
+		oracle.Update(u.Item, u.Weight)
+	}
+	makers := FigureMakers()
+	for _, k := range cfg.Ks {
+		budget := NewSMED(k).SizeBytes()
+		for _, m := range makers {
+			// Equal counters: every algorithm gets k counters.
+			equalCounters = append(equalCounters,
+				runOne(m.Name, m.New, k, k, stream, oracle, cfg.Repetitions))
+			// Equal space: every algorithm gets the SMED(k) byte budget.
+			kEq := EqualSpaceCounters(m.New, budget)
+			equalSpace = append(equalSpace,
+				runOne(m.Name, m.New, kEq, k, stream, oracle, cfg.Repetitions))
+		}
+	}
+	return equalCounters, equalSpace, nil
+}
+
+// Quantiles returns the Figure 3 sweep points: 50 quantiles from 0 (SMIN)
+// to 0.98.
+func Quantiles() []float64 {
+	qs := make([]float64, 50)
+	for i := range qs {
+		qs[i] = float64(i) * 0.02
+	}
+	return qs
+}
+
+// Figure3 sweeps the decrement quantile at every k over the trace,
+// reporting time and maximum error per point (§4.4).
+func Figure3(cfg Config, quantiles []float64) ([]RunRow, error) {
+	if quantiles == nil {
+		quantiles = Quantiles()
+	}
+	stream, err := cfg.Trace()
+	if err != nil {
+		return nil, err
+	}
+	oracle := exact.New()
+	for _, u := range stream {
+		oracle.Update(u.Item, u.Weight)
+	}
+	var rows []RunRow
+	for _, k := range cfg.Ks {
+		for _, q := range quantiles {
+			q := q
+			mk := func(k int) Algo { return NewQuantile(k, q) }
+			row := runOne(fmt.Sprintf("q=%.2f", q), mk, k, k, stream, oracle, cfg.Repetitions)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// MergeRow is one Figure 4 measurement.
+type MergeRow struct {
+	Method    string
+	K         int
+	Pairs     int
+	Seconds   float64 // total time to merge all pairs
+	PerMergeU float64 // microseconds per merge
+	MaxErr    int64   // max point-query error of the merged summaries vs truth
+}
+
+// mergeMethod abstracts the three Figure 4 procedures. Merging may
+// consume its inputs (ours does; the rebuild-based baselines do not).
+type mergeMethod struct {
+	name string
+	run  func(a, b *core.Sketch) *core.Sketch
+}
+
+func mergeMethods() []mergeMethod {
+	return []mergeMethod{
+		{name: "Ours", run: func(a, b *core.Sketch) *core.Sketch { return a.Merge(b) }},
+		{name: "ACH+13", run: core.MergeACH},
+		{name: "Hoa61", run: core.MergeQuickselect},
+	}
+}
+
+// Figure4 fills 2·MergePairs sketches from Zipf(1.05) streams with
+// uniform weights 1..10000 (§4.5) and times each merge procedure over the
+// same pairs. Sketches are rebuilt between methods so each method merges
+// identical inputs.
+func Figure4(cfg Config, ks []int) ([]MergeRow, error) {
+	if ks == nil {
+		ks = cfg.Ks
+	}
+	var rows []MergeRow
+	perSketch := cfg.Packets / 4
+	if perSketch < 1 {
+		perSketch = 1
+	}
+	for _, k := range ks {
+		// Build the per-pair source streams once.
+		streams := make([][]streamgen.Update, 2*cfg.MergePairs)
+		for i := range streams {
+			st, err := streamgen.ZipfStream(1.05, cfg.DistinctSources, perSketch, 10000, cfg.Seed+uint64(i)*7919)
+			if err != nil {
+				return nil, err
+			}
+			streams[i] = st
+		}
+		oracle := exact.New()
+		for _, st := range streams {
+			for _, u := range st {
+				oracle.Update(u.Item, u.Weight)
+			}
+		}
+		fill := func(i int) *core.Sketch {
+			s, err := core.NewWithOptions(core.Options{MaxCounters: k, Seed: 0x5EED + uint64(i), DisableGrowth: true})
+			if err != nil {
+				panic(err)
+			}
+			for _, u := range streams[i] {
+				if err := s.Update(u.Item, u.Weight); err != nil {
+					panic(err)
+				}
+			}
+			return s
+		}
+		for _, m := range mergeMethods() {
+			sketches := make([]*core.Sketch, 2*cfg.MergePairs)
+			for i := range sketches {
+				sketches[i] = fill(i)
+			}
+			merged := make([]*core.Sketch, cfg.MergePairs)
+			start := time.Now()
+			for p := 0; p < cfg.MergePairs; p++ {
+				merged[p] = m.run(sketches[2*p], sketches[2*p+1])
+			}
+			elapsed := time.Since(start)
+			// Error of the merged summaries against the truth of the
+			// concatenated pair streams (reported to be within 2.5%
+			// across methods, §4.5).
+			var worst int64
+			for p := 0; p < cfg.MergePairs; p++ {
+				pairOracle := exact.New()
+				for _, st := range streams[2*p : 2*p+2] {
+					for _, u := range st {
+						pairOracle.Update(u.Item, u.Weight)
+					}
+				}
+				if e := pairOracle.MaxError(merged[p]); e > worst {
+					worst = e
+				}
+			}
+			rows = append(rows, MergeRow{
+				Method:    m.name,
+				K:         k,
+				Pairs:     cfg.MergePairs,
+				Seconds:   elapsed.Seconds(),
+				PerMergeU: elapsed.Seconds() * 1e6 / float64(cfg.MergePairs),
+				MaxErr:    worst,
+			})
+		}
+	}
+	return rows, nil
+}

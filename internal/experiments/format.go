@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Formatting helpers: each experiment's rows print as an aligned table in
+// the spirit of the paper's figures (series per algorithm, one row per
+// parameter point).
+
+func newTW(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// PrintRunRows prints Figure 1/2 style rows.
+func PrintRunRows(w io.Writer, title string, rows []RunRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	tw := newTW(w)
+	fmt.Fprintln(tw, "algo\tk\tk_ref\tbytes\tseconds\tMupd/s\tmax_err\terr*k/N")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%.2f\t%d\t%.3f\n",
+			r.Algo, r.K, r.KRef, r.Bytes, r.Seconds, r.MUpdates, r.MaxErr, r.ErrRatio)
+	}
+	tw.Flush()
+}
+
+// PrintSpeedups prints the headline Figure 1 ratios: SMED speed relative
+// to each alternative at equal space (the paper quotes 5.5x-8.7x vs MHE,
+// 6.5x-30x vs SMIN, 20x-70x vs RBMC).
+func PrintSpeedups(w io.Writer, rows []RunRow) {
+	bySeries := map[string]map[int]RunRow{}
+	for _, r := range rows {
+		if bySeries[r.Algo] == nil {
+			bySeries[r.Algo] = map[int]RunRow{}
+		}
+		bySeries[r.Algo][r.KRef] = r
+	}
+	smed, ok := bySeries["SMED"]
+	if !ok {
+		return
+	}
+	fmt.Fprintln(w, "-- SMED speedup vs alternatives (equal space) --")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "k\tvs MHE\tvs SMIN\tvs RBMC")
+	for _, k := range sortedKeys(smed) {
+		base := smed[k].Seconds
+		ratio := func(name string) string {
+			r, ok := bySeries[name][k]
+			if !ok || base == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1fx", r.Seconds/base)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", k, ratio("MHE"), ratio("SMIN"), ratio("RBMC"))
+	}
+	tw.Flush()
+}
+
+func sortedKeys(m map[int]RunRow) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// PrintMergeRows prints Figure 4 rows plus the headline ratios.
+func PrintMergeRows(w io.Writer, rows []MergeRow) {
+	fmt.Fprintln(w, "== Figure 4: merge procedure timing ==")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "method\tk\tpairs\tseconds\tus/merge\tmax_err")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.1f\t%d\n",
+			r.Method, r.K, r.Pairs, r.Seconds, r.PerMergeU, r.MaxErr)
+	}
+	tw.Flush()
+	// Speed ratios per k.
+	byMethod := map[string]map[int]MergeRow{}
+	for _, r := range rows {
+		if byMethod[r.Method] == nil {
+			byMethod[r.Method] = map[int]MergeRow{}
+		}
+		byMethod[r.Method][r.K] = r
+	}
+	ours, ok := byMethod["Ours"]
+	if !ok {
+		return
+	}
+	fmt.Fprintln(w, "-- speedup of our merge (paper: 8.6x-10x vs ACH+13, 1.9x-2.26x vs Hoa61) --")
+	tw = newTW(w)
+	fmt.Fprintln(tw, "k\tvs ACH+13\tvs Hoa61")
+	ks := make([]int, 0, len(ours))
+	for k := range ours {
+		ks = append(ks, k)
+	}
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	for _, k := range ks {
+		base := ours[k].Seconds
+		ratio := func(name string) string {
+			r, ok := byMethod[name][k]
+			if !ok || base == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1fx", r.Seconds/base)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\n", k, ratio("ACH+13"), ratio("Hoa61"))
+	}
+	tw.Flush()
+}
+
+// PrintSpaceRows prints the space-accounting table.
+func PrintSpaceRows(w io.Writer, rows []SpaceRow) {
+	fmt.Fprintln(w, "== Space accounting (§2.3.3: 24k bytes for the paper's summary) ==")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "algo\tk\tbytes\tbytes/k\tvs exact")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t1/%.0f\n", r.Algo, r.K, r.Bytes, r.PerCtr, 1/r.VsExact)
+	}
+	tw.Flush()
+}
+
+// PrintAccuracyRows prints the guarantee-validation table.
+func PrintAccuracyRows(w io.Writer, rows []AccuracyRow) {
+	fmt.Fprintln(w, "== Error guarantees (Theorem 4 shape: max_err <= N/(0.33k)) ==")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "workload\talgo\tk\tN\tmax_err\tbound\ttail_bound(j=10)\tholds")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.0f\t%.0f\t%v\n",
+			r.Workload, r.Algo, r.K, r.N, r.MaxErr, r.Bound, r.TailBoundJ10, r.Holds)
+	}
+	tw.Flush()
+}
+
+// PrintInitialRows prints the counter-vs-sketch comparison.
+func PrintInitialRows(w io.Writer, rows []InitialRow) {
+	fmt.Fprintln(w, "== Initial experiments (§1.3): counter-based vs linear sketches, equal bytes ==")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "algo\tbytes\tseconds\tMupd/s\tmax_err")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.2f\t%d\n", r.Algo, r.Bytes, r.Seconds, r.MUpdates, r.MaxErr)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,365 @@
+// Package floats implements the frequent-items sketch over real-valued
+// weights. §1.2 notes that weighted-update algorithms "typically apply to
+// real-valued weights. This will be the case for the algorithms we give
+// in this work" — the int64 core sketch follows the DataSketches
+// deployment, and this package completes the paper's stated generality
+// for workloads like seconds of watch time or dollars of spend.
+//
+// The structure mirrors internal/core exactly: the §2.3.3 parallel-array
+// linear-probing table (with float64 values), sample-quantile decrements,
+// an offset, and the Algorithm 5 merge. Counters whose value drops to or
+// below zero are purged; weights must be positive and finite.
+package floats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Default parameters match the core sketch (§2.3.2, §4).
+const (
+	DefaultSampleSize = 1024
+	DefaultQuantile   = 0.5
+	loadFactor        = 0.75
+	minLgLength       = 3
+	maxLgLength       = 26
+)
+
+// QuantileMin requests sample-minimum decrements (SMIN).
+const QuantileMin = -1.0
+
+// Options configures a Sketch.
+type Options struct {
+	// MaxCounters is the counter budget k.
+	MaxCounters int
+	// Quantile in (0, 1); zero value means DefaultQuantile, QuantileMin
+	// means the sample minimum.
+	Quantile float64
+	// SampleSize is ℓ; 0 means DefaultSampleSize.
+	SampleSize int
+	// Seed fixes hashing and sampling; 0 draws a random seed.
+	Seed uint64
+}
+
+var seeder = xrand.NewSplitMix64(0xf10a7f10a7f10a75)
+
+// Sketch is a weighted frequent-items summary with float64 weights.
+// It is not safe for concurrent use.
+type Sketch struct {
+	lgLength   int
+	mask       uint64
+	capacity   int
+	numActive  int
+	keys       []int64
+	values     []float64
+	states     []uint16
+	offset     float64
+	streamN    float64
+	quantile   float64
+	sampleSize int
+	seed       uint64
+	rng        xrand.SplitMix64
+	sampleBuf  []float64
+}
+
+// New returns a SMED-configured sketch tracking up to maxCounters items.
+func New(maxCounters int) (*Sketch, error) {
+	return NewWithOptions(Options{MaxCounters: maxCounters})
+}
+
+// NewWithOptions returns a sketch configured by opts.
+func NewWithOptions(opts Options) (*Sketch, error) {
+	if opts.MaxCounters < 6 {
+		return nil, fmt.Errorf("floats: MaxCounters %d below minimum 6", opts.MaxCounters)
+	}
+	lg := minLgLength
+	for int(float64(int(1)<<lg)*loadFactor) < opts.MaxCounters {
+		lg++
+	}
+	if lg > maxLgLength {
+		return nil, fmt.Errorf("floats: MaxCounters %d too large", opts.MaxCounters)
+	}
+	q := opts.Quantile
+	switch {
+	case q == 0:
+		q = DefaultQuantile
+	case q == QuantileMin:
+		q = 0
+	case q < 0 || q >= 1:
+		return nil, fmt.Errorf("floats: quantile %v outside (0, 1) and not QuantileMin", opts.Quantile)
+	}
+	ss := opts.SampleSize
+	if ss == 0 {
+		ss = DefaultSampleSize
+	}
+	if ss < 1 {
+		return nil, fmt.Errorf("floats: SampleSize %d < 1", ss)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = seeder.Uint64()
+	}
+	length := 1 << lg
+	return &Sketch{
+		lgLength:   lg,
+		mask:       uint64(length - 1),
+		capacity:   int(float64(length) * loadFactor),
+		keys:       make([]int64, length),
+		values:     make([]float64, length),
+		states:     make([]uint16, length),
+		quantile:   q,
+		sampleSize: ss,
+		seed:       seed,
+		rng:        xrand.NewSplitMix64(seed ^ 0x6c62272e07bb0142),
+		sampleBuf:  make([]float64, ss),
+	}, nil
+}
+
+func (s *Sketch) hash(key int64) uint64 {
+	return xrand.Mix64(uint64(key) + s.seed)
+}
+
+// Update processes the weighted update (item, weight). Weights must be
+// positive and finite; zero is ignored.
+func (s *Sketch) Update(item int64, weight float64) error {
+	if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("floats: invalid weight %v", weight)
+	}
+	if weight == 0 {
+		return nil
+	}
+	s.streamN += weight
+	s.adjust(item, weight)
+	if s.numActive > s.capacity {
+		s.decrementCounters()
+	}
+	return nil
+}
+
+func (s *Sketch) adjust(item int64, weight float64) {
+	i := s.hash(item) & s.mask
+	d := uint16(1)
+	for s.states[i] != 0 {
+		if s.keys[i] == item {
+			s.values[i] += weight
+			return
+		}
+		i = (i + 1) & s.mask
+		d++
+	}
+	s.keys[i] = item
+	s.values[i] = weight
+	s.states[i] = d
+	s.numActive++
+}
+
+// decrementCounters samples counters, decrements by the sample quantile,
+// and purges non-positive counters in place.
+func (s *Sketch) decrementCounters() {
+	n := 0
+	if s.numActive <= s.sampleSize {
+		for i, st := range s.states {
+			if st != 0 {
+				s.sampleBuf[n] = s.values[i]
+				n++
+			}
+		}
+	} else {
+		for n < s.sampleSize {
+			i := s.rng.Uint64n(uint64(len(s.states)))
+			if s.states[i] != 0 {
+				s.sampleBuf[n] = s.values[i]
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return
+	}
+	buf := s.sampleBuf[:n]
+	var dec float64
+	if s.quantile == 0 {
+		dec = buf[0]
+		for _, v := range buf[1:] {
+			if v < dec {
+				dec = v
+			}
+		}
+	} else {
+		// Small n and float values: a sort is simplest and the decrement
+		// path is already amortized over Ω(k) updates.
+		sort.Float64s(buf)
+		dec = buf[int(s.quantile*float64(n-1))]
+	}
+	for i, st := range s.states {
+		if st != 0 {
+			s.values[i] -= dec
+		}
+	}
+	s.purgeNonPositive()
+	s.offset += dec
+}
+
+// purgeNonPositive removes counters <= 0 with backward-shift compaction,
+// scanning from just past an empty slot so no run wraps the origin.
+func (s *Sketch) purgeNonPositive() {
+	if s.numActive == 0 {
+		return
+	}
+	start := 0
+	for s.states[start] != 0 {
+		start++
+	}
+	length := len(s.states)
+	for off := 1; off <= length; off++ {
+		i := (start + off) & int(s.mask)
+		for s.states[i] != 0 && s.values[i] <= 0 {
+			s.deleteSlot(i)
+		}
+	}
+}
+
+func (s *Sketch) deleteSlot(free int) {
+	s.states[free] = 0
+	s.numActive--
+	j := free
+	for {
+		j = (j + 1) & int(s.mask)
+		st := s.states[j]
+		if st == 0 {
+			return
+		}
+		d := int(st) - 1
+		gap := (j - free) & int(s.mask)
+		if d >= gap {
+			s.keys[free] = s.keys[j]
+			s.values[free] = s.values[j]
+			s.states[free] = uint16(d - gap + 1)
+			s.states[j] = 0
+			free = j
+		}
+	}
+}
+
+func (s *Sketch) get(item int64) (float64, bool) {
+	i := s.hash(item) & s.mask
+	for s.states[i] != 0 {
+		if s.keys[i] == item {
+			return s.values[i], true
+		}
+		i = (i + 1) & s.mask
+	}
+	return 0, false
+}
+
+// Estimate returns the §2.3.1 hybrid estimate.
+func (s *Sketch) Estimate(item int64) float64 {
+	if v, ok := s.get(item); ok {
+		return v + s.offset
+	}
+	return 0
+}
+
+// LowerBound returns a certain lower bound on item's frequency.
+func (s *Sketch) LowerBound(item int64) float64 {
+	v, _ := s.get(item)
+	return v
+}
+
+// UpperBound returns a certain upper bound on item's frequency.
+func (s *Sketch) UpperBound(item int64) float64 {
+	if v, ok := s.get(item); ok {
+		return v + s.offset
+	}
+	return s.offset
+}
+
+// MaximumError returns the additive error band (the offset).
+func (s *Sketch) MaximumError() float64 { return s.offset }
+
+// StreamWeight returns N.
+func (s *Sketch) StreamWeight() float64 { return s.streamN }
+
+// NumActive returns the number of assigned counters.
+func (s *Sketch) NumActive() int { return s.numActive }
+
+// MaxCounters returns the counter budget.
+func (s *Sketch) MaxCounters() int { return s.capacity }
+
+// IsEmpty reports whether no weight has been processed.
+func (s *Sketch) IsEmpty() bool { return s.streamN == 0 }
+
+// Row is one frequent-item result.
+type Row struct {
+	Item       int64
+	Estimate   float64
+	LowerBound float64
+	UpperBound float64
+}
+
+// FrequentItemsAboveThreshold returns qualifying rows, descending by
+// estimate. noFalsePositives selects the lower-bound test; otherwise the
+// upper-bound (no-false-negatives) test is used.
+func (s *Sketch) FrequentItemsAboveThreshold(threshold float64, noFalsePositives bool) []Row {
+	if threshold < 0 {
+		threshold = 0
+	}
+	rows := make([]Row, 0, 16)
+	for i, st := range s.states {
+		if st == 0 {
+			continue
+		}
+		r := Row{
+			Item:       s.keys[i],
+			Estimate:   s.values[i] + s.offset,
+			LowerBound: s.values[i],
+			UpperBound: s.values[i] + s.offset,
+		}
+		if (noFalsePositives && r.LowerBound > threshold) ||
+			(!noFalsePositives && r.UpperBound > threshold) {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].Estimate != rows[b].Estimate {
+			return rows[a].Estimate > rows[b].Estimate
+		}
+		return rows[a].Item < rows[b].Item
+	})
+	return rows
+}
+
+// Merge folds other into s per Algorithm 5 and returns s.
+func (s *Sketch) Merge(other *Sketch) *Sketch {
+	if other == nil || other == s || other.IsEmpty() {
+		return s
+	}
+	mergedN := s.streamN + other.streamN
+	// Randomized replay (§3.2 note): random start, odd stride.
+	length := len(other.states)
+	start := other.rng.Uint64n(uint64(length))
+	stride := other.rng.Uint64()<<1 | 1
+	idx := start
+	for n := 0; n < length; n++ {
+		j := idx & other.mask
+		if other.states[j] != 0 {
+			s.streamN += other.values[j]
+			s.adjust(other.keys[j], other.values[j])
+			if s.numActive > s.capacity {
+				s.decrementCounters()
+			}
+		}
+		idx += stride
+	}
+	s.offset += other.offset
+	s.streamN = mergedN
+	return s
+}
+
+func (s *Sketch) String() string {
+	return fmt.Sprintf("FloatsSketch(k=%d, q=%.2f): N=%.6g, active=%d, offset=%.6g",
+		s.capacity, s.quantile, s.streamN, s.numActive, s.offset)
+}

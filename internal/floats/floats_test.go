@@ -1,0 +1,208 @@
+package floats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/streamgen"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewWithOptions(Options{MaxCounters: 100, Quantile: 1.5}); err == nil {
+		t.Error("quantile 1.5 accepted")
+	}
+	if _, err := NewWithOptions(Options{MaxCounters: 100, SampleSize: -1}); err == nil {
+		t.Error("negative sample size accepted")
+	}
+	if _, err := NewWithOptions(Options{MaxCounters: 1 << 30}); err == nil {
+		t.Error("huge k accepted")
+	}
+	s, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := s.Update(1, w); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+	if err := s.Update(1, 0); err != nil || !s.IsEmpty() {
+		t.Error("zero weight mishandled")
+	}
+}
+
+func TestExactUnderCapacity(t *testing.T) {
+	s, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[int64]float64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		item := int64(rng.Intn(60))
+		w := rng.Float64()*99 + 0.001 // fractional weights
+		if err := s.Update(item, w); err != nil {
+			t.Fatal(err)
+		}
+		truth[item] += w
+	}
+	if s.MaximumError() != 0 {
+		t.Fatal("offset on under-capacity stream")
+	}
+	for item, want := range truth {
+		if got := s.Estimate(item); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("Estimate(%d) = %v, want %v", item, got, want)
+		}
+	}
+	if s.Estimate(999) != 0 {
+		t.Error("unseen item")
+	}
+	if s.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestBracketingUnderPressure(t *testing.T) {
+	for _, q := range []float64{QuantileMin, 0, 0.9} { // 0 = default SMED
+		s, err := NewWithOptions(Options{MaxCounters: 128, Quantile: q, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := map[int64]float64{}
+		base, err := streamgen.ZipfStream(1.0, 1<<12, 60_000, 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		var n float64
+		for _, u := range base {
+			w := rng.ExpFloat64() * 10 // heavy-tailed fractional weights
+			if err := s.Update(u.Item, w); err != nil {
+				t.Fatal(err)
+			}
+			truth[u.Item] += w
+			n += w
+		}
+		if math.Abs(s.StreamWeight()-n) > 1e-6*n {
+			t.Fatalf("StreamWeight %v, want %v", s.StreamWeight(), n)
+		}
+		if s.NumActive() > s.MaxCounters() {
+			t.Fatalf("active %d > budget %d", s.NumActive(), s.MaxCounters())
+		}
+		offset := s.MaximumError()
+		const eps = 1e-6
+		for item, want := range truth {
+			lb, ub := s.LowerBound(item), s.UpperBound(item)
+			if lb > want+eps || ub < want-eps {
+				t.Fatalf("q=%v item %d: [%v, %v] misses %v", q, item, lb, ub, want)
+			}
+			if lb > 0 && math.Abs((ub-lb)-offset) > eps {
+				t.Fatalf("ub-lb %v != offset %v", ub-lb, offset)
+			}
+		}
+		// Theorem 4 shape with slack.
+		if offset > 3*n/(0.33*128) {
+			t.Errorf("q=%v: offset %v beyond bound", q, offset)
+		}
+	}
+}
+
+func TestFrequentItems(t *testing.T) {
+	s, err := New(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Update(1, 1000.5)
+	_ = s.Update(2, 500.25)
+	for i := int64(10); i < 5000; i++ {
+		_ = s.Update(i, 0.5)
+	}
+	rows := s.FrequentItemsAboveThreshold(400, false)
+	if len(rows) < 2 || rows[0].Item != 1 || rows[1].Item != 2 {
+		t.Errorf("rows = %v", rows[:min(3, len(rows))])
+	}
+	for _, r := range s.FrequentItemsAboveThreshold(400, true) {
+		if r.Item != 1 && r.Item != 2 {
+			t.Errorf("NFP returned light item %d", r.Item)
+		}
+	}
+	if got := s.FrequentItemsAboveThreshold(-5, false); len(got) == 0 {
+		t.Error("negative threshold clamp")
+	}
+}
+
+func TestMergeFloats(t *testing.T) {
+	a, err := New(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[int64]float64{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30_000; i++ {
+		item := int64(rng.Intn(1000))
+		w := rng.Float64() * 20
+		sk := a
+		if i%2 == 1 {
+			sk = b
+		}
+		if err := sk.Update(item, w); err != nil {
+			t.Fatal(err)
+		}
+		truth[item] += w
+	}
+	wantN := a.StreamWeight() + b.StreamWeight()
+	a.Merge(b)
+	if math.Abs(a.StreamWeight()-wantN) > 1e-6*wantN {
+		t.Fatalf("merged N %v, want %v", a.StreamWeight(), wantN)
+	}
+	const eps = 1e-6
+	for item, want := range truth {
+		if lb, ub := a.LowerBound(item), a.UpperBound(item); lb > want+eps || ub < want-eps {
+			t.Fatalf("item %d: [%v, %v] misses %v", item, lb, ub, want)
+		}
+	}
+	if a.Merge(nil) != a || a.Merge(a) != a {
+		t.Error("degenerate merges")
+	}
+	empty, _ := New(96)
+	before := a.StreamWeight()
+	a.Merge(empty)
+	if a.StreamWeight() != before {
+		t.Error("empty merge changed N")
+	}
+}
+
+func TestTinyWeightsPurge(t *testing.T) {
+	// Sub-unit weights must still guarantee decrement progress: dec is an
+	// actual counter value, so at least that counter dies each decrement.
+	s, err := NewWithOptions(Options{MaxCounters: 6, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20_000; i++ {
+		if err := s.Update(i, 1e-6); err != nil {
+			t.Fatal(err)
+		}
+		if s.NumActive() > s.MaxCounters() {
+			t.Fatal("budget exceeded")
+		}
+	}
+	if s.MaximumError() <= 0 {
+		t.Error("no decrements on over-capacity stream")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,208 @@
+package gk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/streamgen"
+)
+
+func TestValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.1, 2} {
+		if _, err := New(eps); err == nil {
+			t.Errorf("epsilon %v accepted", eps)
+		}
+	}
+	s, err := New(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epsilon() != 0.01 || s.N() != 0 {
+		t.Error("accessors")
+	}
+}
+
+func TestRankBoundsExactSmall(t *testing.T) {
+	s, _ := New(0.1)
+	for _, v := range []int64{5, 1, 9, 5, 3} {
+		s.Insert(v)
+	}
+	// Sorted: 1 3 5 5 9.
+	cases := []struct {
+		v        int64
+		trueRank int64
+	}{{0, 0}, {1, 1}, {2, 1}, {3, 2}, {5, 4}, {9, 5}, {100, 5}}
+	for _, c := range cases {
+		lo, hi := s.RankBounds(c.v)
+		if c.trueRank < lo || c.trueRank > hi+1 {
+			t.Errorf("RankBounds(%d) = [%d, %d], true %d", c.v, lo, hi, c.trueRank)
+		}
+	}
+}
+
+func TestRankErrorBound(t *testing.T) {
+	const eps = 0.01
+	const n = 50_000
+	s, _ := New(eps)
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(10_000))
+		s.Insert(values[i])
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	trueRank := func(v int64) int64 {
+		return int64(sort.Search(len(values), func(i int) bool { return values[i] > v }))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	slack := int64(2*eps*n) + 2
+	for _, v := range []int64{0, 100, 500, 2500, 5000, 7500, 9999} {
+		lo, hi := s.RankBounds(v)
+		tr := trueRank(v)
+		if tr < lo-slack || tr > hi+slack {
+			t.Errorf("rank(%d): true %d outside [%d, %d] ± %d", v, tr, lo, hi, slack)
+		}
+	}
+	// Summary is much smaller than the input.
+	if s.NumTuples() > n/4 {
+		t.Errorf("summary holds %d tuples for %d inputs", s.NumTuples(), n)
+	}
+	if s.SizeBytes() <= 0 {
+		t.Error("SizeBytes")
+	}
+}
+
+func TestQuantileQueries(t *testing.T) {
+	const eps = 0.01
+	const n = 100_000
+	s, _ := New(eps)
+	// Insert a permutation of 0..n-1 so true quantiles are trivial.
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(n)
+	for _, v := range perm {
+		s.Insert(int64(v))
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		got := s.Quantile(q)
+		want := q * n
+		slack := 3 * eps * n
+		if float64(got) < want-slack || float64(got) > want+slack {
+			t.Errorf("Quantile(%.2f) = %d, want %.0f ± %.0f", q, got, want, slack)
+		}
+	}
+	// Out-of-range quantiles clamp.
+	if s.Quantile(-1) > s.Quantile(0.05) {
+		t.Error("negative quantile not clamped to minimum region")
+	}
+	_ = s.Quantile(2)
+}
+
+func TestEmptySummary(t *testing.T) {
+	s, _ := New(0.1)
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty quantile")
+	}
+	lo, hi := s.RankBounds(5)
+	if lo != 0 || hi != 0 {
+		t.Error("empty rank bounds")
+	}
+	if s.Estimate(5) != 0 {
+		t.Error("empty estimate")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrequencyEstimates(t *testing.T) {
+	// The §1.3 point: GK point-query error is ~2εn for space comparable
+	// to a counter summary's εn — verify the 2εn band holds and that the
+	// heavy item is clearly visible.
+	const eps = 0.005
+	s, _ := New(eps)
+	oracle := exact.New()
+	stream, err := streamgen.UnitZipfStream(1.2, 1<<10, 80_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range stream {
+		s.Insert(u.Item)
+		oracle.Update(u.Item, 1)
+	}
+	band := int64(3*eps*float64(oracle.StreamWeight())) + 2
+	worst := int64(0)
+	oracle.Range(func(item, fi int64) bool {
+		d := s.Estimate(item) - fi
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+		return true
+	})
+	if worst > band {
+		t.Errorf("GK point-query error %d beyond %d", worst, band)
+	}
+	top := oracle.TopK(1)[0]
+	if est := s.Estimate(top.Item); est < top.Freq/2 {
+		t.Errorf("top item invisible: est %d, truth %d", est, top.Freq)
+	}
+}
+
+func TestInsertWeighted(t *testing.T) {
+	a, _ := New(0.05)
+	b, _ := New(0.05)
+	a.InsertWeighted(7, 100)
+	for i := 0; i < 100; i++ {
+		b.Insert(7)
+	}
+	if a.N() != b.N() {
+		t.Error("weighted insert miscounts")
+	}
+	la, ha := a.RankBounds(7)
+	lb, hb := b.RankBounds(7)
+	if la != lb || ha != hb {
+		t.Error("weighted insert diverges from unit inserts")
+	}
+}
+
+func TestInvariantsUnderAdversarialOrder(t *testing.T) {
+	for _, name := range []string{"ascending", "descending", "constant"} {
+		s, _ := New(0.02)
+		for i := 0; i < 30_000; i++ {
+			switch name {
+			case "ascending":
+				s.Insert(int64(i))
+			case "descending":
+				s.Insert(int64(30_000 - i))
+			default:
+				s.Insert(42)
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.NumTuples() > 10_000 {
+			t.Errorf("%s: summary did not compress: %d tuples", name, s.NumTuples())
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s, _ := New(0.01)
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 1<<16)
+	for i := range vals {
+		vals[i] = rng.Int63()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(vals[i&(1<<16-1)])
+	}
+}

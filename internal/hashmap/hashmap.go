@@ -1,0 +1,358 @@
+// Package hashmap implements the open-addressing counter table of §2.3.3:
+// linear probing over parallel arrays of keys, values, and 16-bit "state"
+// variables, where a state of 0 marks an empty cell and a positive state is
+// the probe distance (plus one) of the stored key from its preferred cell.
+//
+// The table length L is a power of two and the supported counter budget is
+// k = loadFactor * L (the paper uses L ≈ 4k/3, i.e. a 3/4 load factor).
+// Beyond ordinary lookup/adjust, the table supports the operation the
+// frequent-items algorithms live on: "decrement every value by c* and purge
+// the non-positive counters", performed fully in place with backward-shift
+// run compaction, so the summary never allocates during a purge — the first
+// of the two Algorithm-3 disadvantages §2.2 sets out to remove.
+package hashmap
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// MinLgLength is the smallest supported table size (2^3 = 8 slots).
+const MinLgLength = 3
+
+// MaxLgLength caps the table at 2^26 slots (~50M counters); the 16-bit
+// state field comfortably covers probe distances at 3/4 load far beyond
+// this size (§2.3.3 quotes < 10^-250 overflow probability at k ≤ 2^32).
+const MaxLgLength = 26
+
+// LoadFactor is the fraction of the table that may hold active counters.
+// §2.3.3: L ≈ 4k/3, i.e. k = (3/4)·L.
+const LoadFactor = 0.75
+
+// Map is the linear-probing counter table. It is not safe for concurrent
+// use; the sketches that embed it document the same.
+type Map struct {
+	lgLength  int
+	length    int
+	mask      uint64
+	capacity  int // LoadFactor * length
+	numActive int
+	seed      uint64
+	keys      []int64
+	values    []int64
+	states    []uint16
+}
+
+// New returns a table with 2^lgLength slots hashing with the given seed,
+// at the paper's 3/4 load factor. Two maps with different seeds place the
+// same keys independently, which is what the §3.2 merge note asks of
+// summaries that will be merged.
+func New(lgLength int, seed uint64) (*Map, error) {
+	return NewWithLoadFactor(lgLength, seed, LoadFactor)
+}
+
+// NewWithLoadFactor returns a table with an explicit load factor in
+// (0, 1), the knob behind the §2.3.3 choice L ≈ 4k/3. Exposed for the
+// load-factor ablation bench; the sketches always use LoadFactor.
+func NewWithLoadFactor(lgLength int, seed uint64, load float64) (*Map, error) {
+	if lgLength < MinLgLength || lgLength > MaxLgLength {
+		return nil, fmt.Errorf("hashmap: lgLength %d outside [%d, %d]", lgLength, MinLgLength, MaxLgLength)
+	}
+	if load <= 0 || load >= 1 {
+		return nil, fmt.Errorf("hashmap: load factor %v outside (0, 1)", load)
+	}
+	length := 1 << lgLength
+	capacity := int(float64(length) * load)
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Map{
+		lgLength: lgLength,
+		length:   length,
+		mask:     uint64(length - 1),
+		capacity: capacity,
+		seed:     seed,
+		keys:     make([]int64, length),
+		values:   make([]int64, length),
+		states:   make([]uint16, length),
+	}, nil
+}
+
+// LgLength returns log2 of the table length.
+func (m *Map) LgLength() int { return m.lgLength }
+
+// Length returns the number of slots.
+func (m *Map) Length() int { return m.length }
+
+// Capacity returns the counter budget k = LoadFactor * Length.
+func (m *Map) Capacity() int { return m.capacity }
+
+// NumActive returns the number of assigned counters.
+func (m *Map) NumActive() int { return m.numActive }
+
+// Seed returns the hash seed.
+func (m *Map) Seed() uint64 { return m.seed }
+
+func (m *Map) hash(key int64) uint64 {
+	return xrand.Mix64(uint64(key) + m.seed)
+}
+
+// Get returns the counter value for key and whether it is assigned.
+func (m *Map) Get(key int64) (int64, bool) {
+	i := m.hash(key) & m.mask
+	// Plain linear probing: scan forward until the key or an empty cell.
+	for m.states[i] != 0 {
+		if m.keys[i] == key {
+			return m.values[i], true
+		}
+		i = (i + 1) & m.mask
+	}
+	return 0, false
+}
+
+// Adjust adds delta to key's counter, inserting the key with value delta if
+// it is not assigned. It reports whether a new counter was assigned.
+// The caller must leave at least one empty slot in the table: Adjust panics
+// if an insert would fill the last slot, since lookups would then never
+// terminate. The sketches enforce NumActive <= Capacity (+1 transiently)
+// which keeps the table at most ~3/4 full.
+func (m *Map) Adjust(key int64, delta int64) bool {
+	i := m.hash(key) & m.mask
+	d := uint16(1)
+	for m.states[i] != 0 {
+		if m.keys[i] == key {
+			m.values[i] += delta
+			return false
+		}
+		i = (i + 1) & m.mask
+		d++
+		if d == 0 {
+			// Probe distance overflowed 16 bits. §2.3.3 computes this has
+			// probability < 10^-250 at 3/4 load; reaching it means the
+			// caller broke the load-factor contract.
+			panic("hashmap: probe distance exceeds 16-bit state")
+		}
+	}
+	if m.numActive+1 >= m.length {
+		panic("hashmap: table full")
+	}
+	m.keys[i] = key
+	m.values[i] = delta
+	m.states[i] = d
+	m.numActive++
+	return true
+}
+
+// Delete removes key from the table if present, compacting the probe run
+// so that subsequent lookups remain correct. It reports whether the key
+// was present.
+func (m *Map) Delete(key int64) bool {
+	i := m.hash(key) & m.mask
+	for m.states[i] != 0 {
+		if m.keys[i] == key {
+			m.deleteSlot(int(i))
+			return true
+		}
+		i = (i + 1) & m.mask
+	}
+	return false
+}
+
+// deleteSlot empties slot free and shifts subsequent run entries backward
+// (toward their preferred cells) so no key becomes unreachable. An entry at
+// slot j with probe distance dist(j) = states[j]-1 may move into the freed
+// slot iff its preferred cell is at or before the freed slot in forward
+// circular order, i.e. iff dist(j) >= (j - free) mod L.
+func (m *Map) deleteSlot(free int) {
+	m.states[free] = 0
+	m.numActive--
+	j := free
+	for {
+		j = (j + 1) & int(m.mask)
+		s := m.states[j]
+		if s == 0 {
+			return
+		}
+		d := int(s) - 1
+		gap := (j - free) & int(m.mask)
+		if d >= gap {
+			m.keys[free] = m.keys[j]
+			m.values[free] = m.values[j]
+			m.states[free] = uint16(d - gap + 1)
+			m.states[j] = 0
+			free = j
+		}
+	}
+}
+
+// AdjustAllValuesBy adds delta to every assigned counter. Combined with
+// KeepOnlyPositiveCounts this is the DecrementCounters body of Algorithm 4.
+func (m *Map) AdjustAllValuesBy(delta int64) {
+	for i, s := range m.states {
+		if s != 0 {
+			m.values[i] += delta
+		}
+	}
+}
+
+// KeepOnlyPositiveCounts deletes every counter whose value is <= 0,
+// compacting probe runs in place (§2.3.3: work from within each run,
+// shifting keys and values so future lookups behave correctly).
+//
+// The scan starts just past an empty slot so that no probe run wraps
+// across the scan origin; backward shifts therefore never move an entry
+// into territory the scan has already passed, and one pass suffices.
+func (m *Map) KeepOnlyPositiveCounts() {
+	if m.numActive == 0 {
+		return
+	}
+	start := 0
+	for m.states[start] != 0 {
+		start++ // an empty slot exists because load < 1 is enforced
+	}
+	lenMask := int(m.mask)
+	for off := 1; off <= m.length; off++ {
+		i := (start + off) & lenMask
+		for m.states[i] != 0 && m.values[i] <= 0 {
+			m.deleteSlot(i)
+		}
+	}
+}
+
+// DecrementAndPurge subtracts dec from every counter and removes the
+// counters that become non-positive, in place.
+func (m *Map) DecrementAndPurge(dec int64) {
+	m.AdjustAllValuesBy(-dec)
+	m.KeepOnlyPositiveCounts()
+}
+
+// SampleValues fills buf with the values of uniformly random assigned
+// counters (with replacement) and returns the number written, which is
+// min(len(buf), NumActive). If NumActive <= len(buf) it instead copies
+// every active value exactly once, so small summaries get the exact
+// quantile rather than a sampled one.
+func (m *Map) SampleValues(buf []int64, rng *xrand.SplitMix64) int {
+	if m.numActive == 0 {
+		return 0
+	}
+	if m.numActive <= len(buf) {
+		n := 0
+		for i, s := range m.states {
+			if s != 0 {
+				buf[n] = m.values[i]
+				n++
+			}
+		}
+		return n
+	}
+	// At 3/4 load a random slot is occupied with probability >= 3/4 - the
+	// expected number of redraws per sample is < 4/3.
+	for n := 0; n < len(buf); {
+		i := rng.Uint64n(uint64(m.length))
+		if m.states[i] != 0 {
+			buf[n] = m.values[i]
+			n++
+		}
+	}
+	return len(buf)
+}
+
+// Range calls fn for every assigned (key, value) pair in table order,
+// stopping early if fn returns false.
+func (m *Map) Range(fn func(key, value int64) bool) {
+	for i, s := range m.states {
+		if s != 0 {
+			if !fn(m.keys[i], m.values[i]) {
+				return
+			}
+		}
+	}
+}
+
+// RangeShuffled calls fn for every assigned pair, visiting slots from a
+// random start with a random odd stride (odd strides are coprime to the
+// power-of-two length, so every slot is visited exactly once). This is the
+// cheap randomized iteration order the §3.2 note prescribes for merging,
+// avoiding probe-run pile-up when two summaries share a hash function.
+func (m *Map) RangeShuffled(rng *xrand.SplitMix64, fn func(key, value int64) bool) {
+	start := rng.Uint64n(uint64(m.length))
+	stride := rng.Uint64()<<1 | 1
+	i := start
+	for n := 0; n < m.length; n++ {
+		j := i & m.mask
+		if m.states[j] != 0 {
+			if !fn(m.keys[j], m.values[j]) {
+				return
+			}
+		}
+		i += stride
+	}
+}
+
+// ActiveValues appends the values of all assigned counters to dst and
+// returns the extended slice.
+func (m *Map) ActiveValues(dst []int64) []int64 {
+	for i, s := range m.states {
+		if s != 0 {
+			dst = append(dst, m.values[i])
+		}
+	}
+	return dst
+}
+
+// SumValues returns the sum C of all assigned counter values.
+func (m *Map) SumValues() int64 {
+	var sum int64
+	for i, s := range m.states {
+		if s != 0 {
+			sum += m.values[i]
+		}
+	}
+	return sum
+}
+
+// MaxProbeDistance returns the largest probe distance of any assigned
+// counter; §2.3.3's state-width argument says this stays far below 2^14
+// at 3/4 load. Exposed for tests and diagnostics.
+func (m *Map) MaxProbeDistance() int {
+	maxD := 0
+	for _, s := range m.states {
+		if d := int(s) - 1; s != 0 && d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// CheckInvariants verifies the probing invariants: every state equals the
+// key's true circular distance from its home slot plus one, every key is
+// reachable from its home slot without crossing an empty cell, and
+// numActive matches the occupied-cell count. It returns an error describing
+// the first violation, or nil. Intended for tests.
+func (m *Map) CheckInvariants() error {
+	n := 0
+	for i, s := range m.states {
+		if s == 0 {
+			continue
+		}
+		n++
+		home := int(m.hash(m.keys[i]) & m.mask)
+		gap := (i - home) & int(m.mask)
+		if int(s)-1 != gap {
+			return fmt.Errorf("slot %d: state %d but true distance %d", i, s, gap)
+		}
+		for j := home; j != i; j = (j + 1) & int(m.mask) {
+			if m.states[j] == 0 {
+				return fmt.Errorf("slot %d: empty cell %d inside probe run from home %d", i, j, home)
+			}
+		}
+		if v, ok := m.Get(m.keys[i]); !ok || v != m.values[i] {
+			return fmt.Errorf("slot %d: key %d not reachable via Get", i, m.keys[i])
+		}
+	}
+	if n != m.numActive {
+		return fmt.Errorf("numActive %d but %d occupied slots", m.numActive, n)
+	}
+	return nil
+}

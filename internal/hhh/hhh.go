@@ -1,0 +1,192 @@
+// Package hhh implements hierarchical heavy hitters over the IPv4 prefix
+// hierarchy in the style of Mitzenmacher, Steinke, and Thaler [18] — the
+// §1.2/§6 downstream application the paper proposes substituting its
+// optimized summary into. One frequent-items sketch is kept per prefix
+// level; an update to an address updates its ancestor prefix at every
+// level; a query walks the hierarchy bottom-up and reports the prefixes
+// whose traffic, after discounting the already-reported HHHs beneath
+// them, still exceeds the threshold.
+//
+// Using the weighted sketch makes byte- or bit-weighted HHH (who is
+// sending the traffic volume, not just the packets) a one-liner, which is
+// exactly the §1.2 motivation for weighted updates.
+package hhh
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// DefaultLevels are the conventional IPv4 aggregation levels.
+var DefaultLevels = []int{8, 16, 24, 32}
+
+// Config parameterizes the hierarchy.
+type Config struct {
+	// Levels are prefix lengths in ascending order, each in [1, 32].
+	// Nil means DefaultLevels.
+	Levels []int
+	// MaxCounters is the per-level sketch budget k.
+	MaxCounters int
+	// Seed fixes all per-level sketch seeds for reproducibility; 0 draws
+	// random seeds.
+	Seed uint64
+}
+
+// Hierarchy tracks weighted traffic per prefix level.
+type Hierarchy struct {
+	levels   []int
+	sketches []*core.Sketch
+	streamN  int64
+}
+
+// New returns an empty hierarchy.
+func New(cfg Config) (*Hierarchy, error) {
+	levels := cfg.Levels
+	if levels == nil {
+		levels = DefaultLevels
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("hhh: no levels")
+	}
+	prev := 0
+	for _, l := range levels {
+		if l <= prev || l > 32 {
+			return nil, fmt.Errorf("hhh: levels must be ascending in [1, 32], got %v", levels)
+		}
+		prev = l
+	}
+	h := &Hierarchy{levels: levels, sketches: make([]*core.Sketch, len(levels))}
+	for i := range levels {
+		seed := cfg.Seed
+		if seed != 0 {
+			seed = seed + uint64(i)*0x9e3779b97f4a7c15
+		}
+		sk, err := core.NewWithOptions(core.Options{MaxCounters: cfg.MaxCounters, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		h.sketches[i] = sk
+	}
+	return h, nil
+}
+
+// prefixID packs a masked address and its level index into a sketch item.
+func prefixID(addr uint32, prefixLen int) int64 {
+	masked := addr &^ (1<<(32-uint(prefixLen)) - 1)
+	if prefixLen == 32 {
+		masked = addr
+	}
+	return int64(prefixLen)<<32 | int64(masked)
+}
+
+// Update records weight (bytes, bits, packets, ...) for the IPv4 address.
+func (h *Hierarchy) Update(addr uint32, weight int64) error {
+	if weight < 0 {
+		return fmt.Errorf("hhh: negative weight %d", weight)
+	}
+	for i, l := range h.levels {
+		if err := h.sketches[i].Update(prefixID(addr, l), weight); err != nil {
+			return err
+		}
+	}
+	h.streamN += weight
+	return nil
+}
+
+// StreamWeight returns the total weight processed.
+func (h *Hierarchy) StreamWeight() int64 { return h.streamN }
+
+// Merge folds another hierarchy (with identical levels) into h.
+func (h *Hierarchy) Merge(other *Hierarchy) error {
+	if len(other.levels) != len(h.levels) {
+		return fmt.Errorf("hhh: level mismatch")
+	}
+	for i := range h.levels {
+		if other.levels[i] != h.levels[i] {
+			return fmt.Errorf("hhh: level mismatch at %d", i)
+		}
+		h.sketches[i].Merge(other.sketches[i])
+	}
+	h.streamN += other.streamN
+	return nil
+}
+
+// Result is one hierarchical heavy hitter.
+type Result struct {
+	// Prefix is the masked network address.
+	Prefix uint32
+	// PrefixLen is the level.
+	PrefixLen int
+	// Estimate is the (upper-bound) traffic estimate for the prefix.
+	Estimate int64
+	// Discounted is the estimate minus the estimates of the reported
+	// HHHs strictly beneath this prefix — the "conditioned count" that
+	// must exceed the threshold for the prefix itself to be reported.
+	Discounted int64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d est=%d disc=%d",
+		byte(r.Prefix>>24), byte(r.Prefix>>16), byte(r.Prefix>>8), byte(r.Prefix),
+		r.PrefixLen, r.Estimate, r.Discounted)
+}
+
+// Query returns the hierarchical heavy hitters at the given absolute
+// weight threshold: walking levels from most to least specific, a prefix
+// is reported when its discounted estimate meets the threshold. Results
+// are ordered by level (most specific first), then descending estimate.
+func (h *Hierarchy) Query(threshold int64) []Result {
+	if threshold < 1 {
+		threshold = 1
+	}
+	var results []Result
+	// discount[level i] maps prefixID -> weight already claimed by
+	// reported descendants.
+	discount := make(map[int64]int64)
+	for i := len(h.levels) - 1; i >= 0; i-- {
+		rows := h.sketches[i].FrequentItemsAboveThreshold(threshold-1, core.NoFalseNegatives)
+		var reported []Result
+		for _, row := range rows {
+			disc := row.Estimate - discount[row.Item]
+			if disc >= threshold {
+				reported = append(reported, Result{
+					Prefix:     uint32(row.Item),
+					PrefixLen:  h.levels[i],
+					Estimate:   row.Estimate,
+					Discounted: disc,
+				})
+			}
+		}
+		sort.Slice(reported, func(a, b int) bool { return reported[a].Estimate > reported[b].Estimate })
+		results = append(results, reported...)
+		if i == 0 {
+			break
+		}
+		// Propagate claims (reported HHH mass plus mass already claimed
+		// below unreported prefixes) to the parent level.
+		parentLen := h.levels[i-1]
+		next := make(map[int64]int64)
+		claimed := make(map[int64]bool, len(reported))
+		for _, r := range reported {
+			claimed[prefixID(r.Prefix, h.levels[i])] = true
+			next[prefixID(r.Prefix, parentLen)] += r.Estimate
+		}
+		for id, d := range discount {
+			if !claimed[id] {
+				next[prefixID(uint32(id), parentLen)] += d
+			}
+		}
+		discount = next
+	}
+	return results
+}
+
+// QueryFraction returns the HHHs at threshold phi·N.
+func (h *Hierarchy) QueryFraction(phi float64) []Result {
+	if phi <= 0 || phi > 1 {
+		return nil
+	}
+	return h.Query(int64(phi * float64(h.streamN)))
+}

@@ -1,0 +1,227 @@
+package hhh
+
+import (
+	"testing"
+)
+
+func addr(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Levels: []int{}, MaxCounters: 64}); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := New(Config{Levels: []int{16, 8}, MaxCounters: 64}); err == nil {
+		t.Error("descending levels accepted")
+	}
+	if _, err := New(Config{Levels: []int{8, 8}, MaxCounters: 64}); err == nil {
+		t.Error("duplicate levels accepted")
+	}
+	if _, err := New(Config{Levels: []int{0}, MaxCounters: 64}); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := New(Config{Levels: []int{40}, MaxCounters: 64}); err == nil {
+		t.Error("level 40 accepted")
+	}
+	if _, err := New(Config{MaxCounters: 0}); err == nil {
+		t.Error("zero counters accepted")
+	}
+	h, err := New(Config{MaxCounters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Update(addr(1, 2, 3, 4), -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestPrefixID(t *testing.T) {
+	a := addr(10, 20, 30, 40)
+	if got := prefixID(a, 32); uint32(got) != a {
+		t.Errorf("/32 id %x", got)
+	}
+	if got := prefixID(a, 24); uint32(got) != addr(10, 20, 30, 0) {
+		t.Errorf("/24 id %x", got)
+	}
+	if got := prefixID(a, 8); uint32(got) != addr(10, 0, 0, 0) {
+		t.Errorf("/8 id %x", got)
+	}
+	// Level tag disambiguates equal masked values across levels.
+	if prefixID(addr(10, 0, 0, 0), 8) == prefixID(addr(10, 0, 0, 0), 16) {
+		t.Error("levels collide")
+	}
+}
+
+func TestSingleHeavyHost(t *testing.T) {
+	h, err := New(Config{MaxCounters: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := addr(9, 9, 9, 9)
+	if err := h.Update(heavy, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	// Light noise spread over another /8.
+	for i := byte(0); i < 100; i++ {
+		if err := h.Update(addr(20, 1, 1, i), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := h.Query(5000)
+	// The /32 is heavy; its ancestors carry no additional discounted
+	// weight and must not be re-reported.
+	if len(results) != 1 {
+		t.Fatalf("results = %v", results)
+	}
+	r := results[0]
+	if r.PrefixLen != 32 || r.Prefix != heavy || r.Estimate != 10_000 {
+		t.Errorf("unexpected result %v", r)
+	}
+	if r.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestAggregateOnlyHeavyAtCoarserLevel(t *testing.T) {
+	h, err := New(Config{MaxCounters: 512, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 hosts spread over 200 distinct /24s of 10.1.0.0/16, each far
+	// below threshold, 50 units each — heavy only in aggregate at /16.
+	for i := 0; i < 200; i++ {
+		a := addr(10, 1, byte(i), byte(i%250))
+		if err := h.Update(a, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unrelated noise.
+	for i := 0; i < 100; i++ {
+		if err := h.Update(addr(50, byte(i), 1, 1), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := h.Query(5000) // total attack mass = 10000
+	var got *Result
+	for i := range results {
+		if results[i].PrefixLen == 16 && results[i].Prefix == addr(10, 1, 0, 0) {
+			got = &results[i]
+		}
+		if results[i].PrefixLen == 32 {
+			t.Errorf("no single host is heavy, but got %v", results[i])
+		}
+	}
+	if got == nil {
+		t.Fatalf("aggregate /16 not reported: %v", results)
+	}
+	if got.Estimate < 10_000 {
+		t.Errorf("estimate %d below true mass", got.Estimate)
+	}
+}
+
+func TestDiscounting(t *testing.T) {
+	h, err := New(Config{MaxCounters: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One heavy host (6000) inside a /16 that also has diffuse mass (5000).
+	heavy := addr(10, 1, 2, 3)
+	if err := h.Update(heavy, 6000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		// One light host per /24 so no intermediate prefix is heavy.
+		if err := h.Update(addr(10, 1, byte(100+i%150), byte(i)), 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := h.Query(4000)
+	var host, net16 *Result
+	for i := range results {
+		switch {
+		case results[i].PrefixLen == 32 && results[i].Prefix == heavy:
+			host = &results[i]
+		case results[i].PrefixLen == 16 && results[i].Prefix == addr(10, 1, 0, 0):
+			net16 = &results[i]
+		}
+	}
+	if host == nil {
+		t.Fatal("heavy host not reported")
+	}
+	if net16 == nil {
+		t.Fatal("diffuse /16 not reported")
+	}
+	// The /16's discounted weight excludes the reported host.
+	if net16.Discounted > net16.Estimate-6000+1 {
+		t.Errorf("discounting failed: est %d disc %d", net16.Estimate, net16.Discounted)
+	}
+}
+
+func TestQueryFraction(t *testing.T) {
+	h, err := New(Config{MaxCounters: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h.Update(addr(1, 1, 1, 1), 900)
+	_ = h.Update(addr(2, 2, 2, 2), 100)
+	if got := h.QueryFraction(0.5); len(got) != 1 || got[0].Prefix != addr(1, 1, 1, 1) {
+		t.Errorf("QueryFraction(0.5) = %v", got)
+	}
+	if got := h.QueryFraction(0); got != nil {
+		t.Error("phi=0 should return nil")
+	}
+	if got := h.QueryFraction(1.5); got != nil {
+		t.Error("phi>1 should return nil")
+	}
+	if h.StreamWeight() != 1000 {
+		t.Error("StreamWeight")
+	}
+}
+
+func TestMergeHierarchies(t *testing.T) {
+	a, err := New(Config{MaxCounters: 128, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{MaxCounters: 128, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Update(addr(7, 7, 7, 7), 4000)
+	_ = b.Update(addr(7, 7, 7, 7), 3000)
+	_ = b.Update(addr(8, 8, 8, 8), 500)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.StreamWeight() != 7500 {
+		t.Errorf("merged weight %d", a.StreamWeight())
+	}
+	results := a.Query(6000)
+	if len(results) != 1 || results[0].Prefix != addr(7, 7, 7, 7) || results[0].Estimate != 7000 {
+		t.Errorf("merged query = %v", results)
+	}
+	// Mismatched levels rejected.
+	c, err := New(Config{Levels: []int{8, 24}, MaxCounters: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("level mismatch accepted")
+	}
+	d, err := New(Config{Levels: []int{8, 16, 24, 31}, MaxCounters: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(d); err == nil {
+		t.Error("level value mismatch accepted")
+	}
+}
+
+func TestThresholdClamp(t *testing.T) {
+	h, _ := New(Config{MaxCounters: 64, Seed: 7})
+	_ = h.Update(addr(1, 1, 1, 1), 5)
+	if got := h.Query(0); len(got) != 1 {
+		t.Errorf("threshold 0 clamped to 1, got %v", got)
+	}
+}

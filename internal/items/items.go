@@ -1,0 +1,220 @@
+// Package items provides the generic-item counterpart of the core int64
+// sketch — the analogue of the Apache DataSketches ItemsSketch<T> built on
+// the same Algorithm 4: weighted updates in amortized constant time,
+// decrement by a sample quantile, offset-based hybrid estimates, and the
+// Algorithm 5 replay merge.
+//
+// Where the core sketch squeezes items into the §2.3.3 parallel-array
+// table, this sketch accepts any comparable Go type (strings, tuples,
+// netip.Addr, ...) and stores counters in a Go map. That costs roughly 3x
+// the memory per counter and some constant-factor speed, which is exactly
+// the trade the DataSketches library offers between its LongsSketch and
+// ItemsSketch.
+package items
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/qselect"
+)
+
+// DefaultSampleSize is ℓ (§2.3.2).
+const DefaultSampleSize = 1024
+
+// ErrorType selects heavy-hitter semantics; it mirrors the core package.
+type ErrorType int
+
+const (
+	// NoFalsePositives returns only items certainly above the threshold.
+	NoFalsePositives ErrorType = iota
+	// NoFalseNegatives returns all items possibly above the threshold.
+	NoFalseNegatives
+)
+
+// Sketch is a weighted frequent-items summary over items of type T.
+// It is not safe for concurrent use.
+type Sketch[T comparable] struct {
+	counters   map[T]int64
+	k          int
+	offset     int64
+	streamN    int64
+	quantile   float64
+	sampleSize int
+	sampleBuf  []int64
+}
+
+// New returns a sketch tracking up to maxCounters items with the SMED
+// median decrement.
+func New[T comparable](maxCounters int) (*Sketch[T], error) {
+	return NewWithQuantile[T](maxCounters, 0.5)
+}
+
+// NewWithQuantile returns a sketch with an explicit decrement quantile in
+// [0, 1); 0 decrements by the sample minimum (SMIN).
+func NewWithQuantile[T comparable](maxCounters int, quantile float64) (*Sketch[T], error) {
+	if maxCounters < 1 {
+		return nil, fmt.Errorf("items: maxCounters %d must be positive", maxCounters)
+	}
+	if quantile < 0 || quantile >= 1 {
+		return nil, fmt.Errorf("items: quantile %v outside [0, 1)", quantile)
+	}
+	return &Sketch[T]{
+		counters:   make(map[T]int64, maxCounters+1),
+		k:          maxCounters,
+		quantile:   quantile,
+		sampleSize: DefaultSampleSize,
+		sampleBuf:  make([]int64, DefaultSampleSize),
+	}, nil
+}
+
+// Update processes the weighted update (item, weight); negative weights
+// are rejected.
+func (s *Sketch[T]) Update(item T, weight int64) error {
+	if weight < 0 {
+		return fmt.Errorf("items: negative weight %d", weight)
+	}
+	if weight == 0 {
+		return nil
+	}
+	s.streamN += weight
+	s.counters[item] += weight
+	if len(s.counters) > s.k {
+		s.decrementCounters()
+	}
+	return nil
+}
+
+// UpdateOne processes a unit update.
+func (s *Sketch[T]) UpdateOne(item T) { _ = s.Update(item, 1) }
+
+// decrementCounters samples counter values, decrements every counter by
+// the sample quantile, and deletes the non-positive ones. Go randomizes
+// map iteration order per range statement, so taking the first ℓ values
+// of an iteration is a uniform-ish sample over counters — the same role
+// the random-slot probe plays in the core sketch.
+func (s *Sketch[T]) decrementCounters() {
+	n := 0
+	for _, v := range s.counters {
+		s.sampleBuf[n] = v
+		n++
+		if n == s.sampleSize {
+			break
+		}
+	}
+	if n == 0 {
+		return
+	}
+	var dec int64
+	if s.quantile == 0 {
+		dec = qselect.Min(s.sampleBuf[:n])
+	} else {
+		dec = qselect.Quantile(s.sampleBuf[:n], s.quantile)
+	}
+	for item, v := range s.counters {
+		if v -= dec; v <= 0 {
+			delete(s.counters, item)
+		} else {
+			s.counters[item] = v
+		}
+	}
+	s.offset += dec
+}
+
+// Estimate returns the §2.3.1 hybrid estimate.
+func (s *Sketch[T]) Estimate(item T) int64 {
+	if v, ok := s.counters[item]; ok {
+		return v + s.offset
+	}
+	return 0
+}
+
+// LowerBound returns a certain lower bound on item's frequency.
+func (s *Sketch[T]) LowerBound(item T) int64 { return s.counters[item] }
+
+// UpperBound returns a certain upper bound on item's frequency.
+func (s *Sketch[T]) UpperBound(item T) int64 {
+	if v, ok := s.counters[item]; ok {
+		return v + s.offset
+	}
+	return s.offset
+}
+
+// MaximumError returns the additive error bound of any estimate.
+func (s *Sketch[T]) MaximumError() int64 { return s.offset }
+
+// StreamWeight returns N.
+func (s *Sketch[T]) StreamWeight() int64 { return s.streamN }
+
+// NumActive returns the number of assigned counters.
+func (s *Sketch[T]) NumActive() int { return len(s.counters) }
+
+// MaxCounters returns the counter budget k.
+func (s *Sketch[T]) MaxCounters() int { return s.k }
+
+// IsEmpty reports whether no weight has been processed.
+func (s *Sketch[T]) IsEmpty() bool { return s.streamN == 0 }
+
+// Merge folds other into s per Algorithm 5 and returns s. Go map
+// iteration order is already randomized, providing the §3.2 shuffled
+// replay for free.
+func (s *Sketch[T]) Merge(other *Sketch[T]) *Sketch[T] {
+	if other == nil || other == s || other.IsEmpty() {
+		return s
+	}
+	mergedN := s.streamN + other.streamN
+	for item, v := range other.counters {
+		_ = s.Update(item, v)
+	}
+	s.offset += other.offset
+	s.streamN = mergedN
+	return s
+}
+
+// Row is one frequent-item result.
+type Row[T comparable] struct {
+	Item       T
+	Estimate   int64
+	LowerBound int64
+	UpperBound int64
+}
+
+// FrequentItems returns qualifying items against the summary's own error
+// band, ordered by descending estimate.
+func (s *Sketch[T]) FrequentItems(errorType ErrorType) []Row[T] {
+	return s.FrequentItemsAboveThreshold(s.offset, errorType)
+}
+
+// FrequentItemsAboveThreshold returns qualifying items against a caller
+// threshold (φ·N for (φ, ε)-heavy hitters).
+func (s *Sketch[T]) FrequentItemsAboveThreshold(threshold int64, errorType ErrorType) []Row[T] {
+	if threshold < 0 {
+		threshold = 0
+	}
+	rows := make([]Row[T], 0, 16)
+	for item, v := range s.counters {
+		r := Row[T]{Item: item, Estimate: v + s.offset, LowerBound: v, UpperBound: v + s.offset}
+		if (errorType == NoFalsePositives && r.LowerBound > threshold) ||
+			(errorType == NoFalseNegatives && r.UpperBound > threshold) {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Estimate > rows[j].Estimate })
+	return rows
+}
+
+// TopK returns up to k rows with the largest estimates.
+func (s *Sketch[T]) TopK(k int) []Row[T] {
+	rows := s.FrequentItemsAboveThreshold(0, NoFalseNegatives)
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows
+}
+
+// Reset clears the sketch, keeping its configuration.
+func (s *Sketch[T]) Reset() {
+	clear(s.counters)
+	s.offset = 0
+	s.streamN = 0
+}

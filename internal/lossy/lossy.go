@@ -1,0 +1,129 @@
+// Package lossy implements the Lossy Counting algorithm of Manku and
+// Motwani [15], the third classic counter-based frequent-items algorithm
+// alongside Misra–Gries and Space Saving in the prior-work taxonomy of
+// §1.3.1. It processes the stream in buckets of width ⌈1/ε⌉ and, at each
+// bucket boundary, discards counters whose value plus their insertion-time
+// underestimate Δ falls below the current bucket id. Extended here to
+// weighted updates in the natural way (bucket boundaries advance with
+// accumulated weight).
+package lossy
+
+import (
+	"fmt"
+	"sort"
+)
+
+type entry struct {
+	count int64
+	delta int64 // maximum undercount at insertion time
+}
+
+// Counting is a Lossy Counting summary with error parameter epsilon:
+// estimates underestimate by at most epsilon·N and all items with
+// frequency above epsilon·N are retained.
+type Counting struct {
+	epsilon float64
+	width   int64 // bucket width w = ceil(1/epsilon)
+	bucket  int64 // current bucket id b = ceil(N/w)
+	entries map[int64]entry
+	streamN int64
+}
+
+// New returns a Lossy Counting summary with the given epsilon in (0, 1).
+func New(epsilon float64) (*Counting, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("lossy: epsilon %v outside (0, 1)", epsilon)
+	}
+	width := int64(1 / epsilon)
+	if float64(width) < 1/epsilon {
+		width++
+	}
+	return &Counting{
+		epsilon: epsilon,
+		width:   width,
+		bucket:  1,
+		entries: make(map[int64]entry),
+	}, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (c *Counting) Name() string { return "LossyCounting" }
+
+// Update processes the weighted update (item, weight), pruning at every
+// bucket boundary the weight crosses.
+func (c *Counting) Update(item int64, weight int64) {
+	if weight <= 0 {
+		return
+	}
+	c.streamN += weight
+	if e, ok := c.entries[item]; ok {
+		e.count += weight
+		c.entries[item] = e
+	} else {
+		c.entries[item] = entry{count: weight, delta: c.bucket - 1}
+	}
+	if newBucket := (c.streamN + c.width - 1) / c.width; newBucket > c.bucket {
+		c.bucket = newBucket
+		c.prune()
+	}
+}
+
+// prune removes entries with count + delta <= current bucket id.
+func (c *Counting) prune() {
+	for item, e := range c.entries {
+		if e.count+e.delta <= c.bucket {
+			delete(c.entries, item)
+		}
+	}
+}
+
+// Estimate returns the stored count (a lower bound on the true frequency,
+// short by at most epsilon·N), or 0 for untracked items.
+func (c *Counting) Estimate(item int64) int64 {
+	return c.entries[item].count
+}
+
+// UpperBound returns count + delta, an upper bound on the true frequency
+// for tracked items; for untracked items the bound is epsilon·N.
+func (c *Counting) UpperBound(item int64) int64 {
+	if e, ok := c.entries[item]; ok {
+		return e.count + e.delta
+	}
+	return c.bucket
+}
+
+// StreamWeight returns N.
+func (c *Counting) StreamWeight() int64 { return c.streamN }
+
+// NumActive returns the number of tracked items; unlike the fixed-k
+// algorithms this fluctuates around O(1/epsilon · log(epsilon·N)).
+func (c *Counting) NumActive() int { return len(c.entries) }
+
+// SizeBytes approximates the map footprint at 48 bytes per entry
+// (key + two counters + map overhead).
+func (c *Counting) SizeBytes() int { return 48 * len(c.entries) }
+
+// Row is a frequent-item result.
+type Row struct {
+	Item     int64
+	Estimate int64
+}
+
+// FrequentItems returns items with count >= (phi − epsilon)·N, the
+// standard Lossy Counting extraction rule, sorted by descending estimate.
+func (c *Counting) FrequentItems(phi float64) []Row {
+	threshold := int64((phi - c.epsilon) * float64(c.streamN))
+	rows := make([]Row, 0, 16)
+	for item, e := range c.entries {
+		if e.count >= threshold {
+			rows = append(rows, Row{Item: item, Estimate: e.count})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Estimate != rows[j].Estimate {
+			return rows[i].Estimate > rows[j].Estimate
+		}
+		return rows[i].Item < rows[j].Item
+	})
+	return rows
+}

@@ -1,0 +1,137 @@
+package lossy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/streamgen"
+)
+
+func TestValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := New(eps); err == nil {
+			t.Errorf("epsilon %v accepted", eps)
+		}
+	}
+	c, err := New(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "LossyCounting" {
+		t.Error("name")
+	}
+}
+
+func TestGuarantees(t *testing.T) {
+	const eps = 0.005
+	c, err := New(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	stream, err := streamgen.ZipfStream(1.1, 1<<12, 100_000, 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range stream {
+		c.Update(u.Item, u.Weight)
+		oracle.Update(u.Item, u.Weight)
+	}
+	n := oracle.StreamWeight()
+	if c.StreamWeight() != n {
+		t.Fatal("stream weight")
+	}
+	epsN := int64(eps * float64(n))
+	oracle.Range(func(item, fi int64) bool {
+		est := c.Estimate(item)
+		if est > fi {
+			t.Fatalf("item %d: overestimate %d > %d", item, est, fi)
+		}
+		if fi-est > epsN+1 {
+			t.Fatalf("item %d: undercount %d > εN = %d", item, fi-est, epsN)
+		}
+		if ub := c.UpperBound(item); est > 0 && ub < fi {
+			t.Fatalf("item %d: upper bound %d < truth %d", item, ub, fi)
+		}
+		return true
+	})
+	// All items above εN are retained.
+	for _, it := range oracle.HeavyHitters(epsN + 1) {
+		if c.Estimate(it.Item) == 0 {
+			t.Errorf("item %d with freq %d dropped", it.Item, it.Freq)
+		}
+	}
+	// Space is O(1/ε log εN)-ish, far below the distinct count.
+	if c.NumActive() >= oracle.NumItems() {
+		t.Errorf("lossy kept %d of %d items", c.NumActive(), oracle.NumItems())
+	}
+	if c.SizeBytes() <= 0 {
+		t.Error("SizeBytes")
+	}
+}
+
+func TestFrequentItemsRule(t *testing.T) {
+	c, err := New(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50_000; i++ {
+		item := int64(rng.Intn(400))
+		c.Update(item, 1)
+		oracle.Update(item, 1)
+	}
+	// Heavy injection.
+	for i := 0; i < 5000; i++ {
+		c.Update(999, 1)
+		oracle.Update(999, 1)
+	}
+	phi := 0.05
+	rows := c.FrequentItems(phi)
+	// No false negatives: every item with fi >= phi*N appears.
+	threshold := int64(phi * float64(oracle.StreamWeight()))
+	for _, it := range oracle.HeavyHitters(threshold) {
+		found := false
+		for _, r := range rows {
+			if r.Item == it.Item {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missed heavy item %d", it.Item)
+		}
+	}
+	// Descending order.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Estimate > rows[i-1].Estimate {
+			t.Error("rows not descending")
+		}
+	}
+}
+
+func TestNonPositiveWeights(t *testing.T) {
+	c, _ := New(0.1)
+	c.Update(1, 0)
+	c.Update(1, -5)
+	if c.StreamWeight() != 0 || c.NumActive() != 0 {
+		t.Error("non-positive weights processed")
+	}
+}
+
+func TestWeightedBucketAdvance(t *testing.T) {
+	// A single heavy update must advance multiple buckets and trigger
+	// pruning of light entries.
+	c, _ := New(0.1) // width 10
+	c.Update(1, 1)   // light entry in bucket 1
+	c.Update(2, 1000)
+	// Item 1 (count 1, delta 0) must be pruned once bucket id exceeds 1.
+	if c.Estimate(1) != 0 {
+		t.Errorf("light item retained with estimate %d", c.Estimate(1))
+	}
+	if c.Estimate(2) != 1000 {
+		t.Errorf("heavy item estimate %d", c.Estimate(2))
+	}
+}

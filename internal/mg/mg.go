@@ -1,0 +1,254 @@
+// Package mg implements the Misra–Gries family of counter-based
+// frequent-items algorithms that the paper builds on and benchmarks
+// against:
+//
+//   - Unit: the classic unit-weight algorithm (Algorithm 1) with the
+//     §1.3.2 hash-table implementation, amortized O(1) per update.
+//   - RTUC: the Reduce-To-Unit-Case weighted extension (§1.3.4) — feeds Δ
+//     unit updates per weighted update; reference semantics for the
+//     isomorphism tests, hopeless speed by design.
+//   - RBMC: the Reduce-By-Min-Counter extension of Berinde et al. (§1.3.4),
+//     whose worst-case Θ(k)-per-update decrements motivate the paper.
+//   - MED: the Reduce-By-Median-Counter "initial proposal" (Algorithm 3),
+//     which finds the exact k*-th largest counter with Quickselect over a
+//     scratch copy of the counters — the extra pass and extra k words of
+//     space that §2.2 then removes with sampling.
+//
+// All variants share the same linear-probing counter table as the core
+// sketch, so benchmark differences isolate the decrement policy rather
+// than the container.
+package mg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashmap"
+	"repro/internal/qselect"
+)
+
+// table wraps the shared counter map with the bookkeeping every MG variant
+// needs: the counter budget k, the §2.3.1 offset, and the stream weight.
+type table struct {
+	hm      *hashmap.Map
+	k       int
+	offset  int64
+	streamN int64
+}
+
+func newTable(k int, seed uint64) (table, error) {
+	if k < 1 {
+		return table{}, fmt.Errorf("mg: k must be positive, got %d", k)
+	}
+	lg := hashmap.MinLgLength
+	for int(float64(int(1)<<lg)*hashmap.LoadFactor) < k {
+		lg++
+	}
+	if lg > hashmap.MaxLgLength {
+		return table{}, fmt.Errorf("mg: k %d too large", k)
+	}
+	hm, err := hashmap.New(lg, seed)
+	if err != nil {
+		return table{}, err
+	}
+	return table{hm: hm, k: k}, nil
+}
+
+// Estimate returns the §2.3.1 hybrid estimate c(i)+offset, or 0 when
+// unassigned, so the error behaviour of every variant is compared on the
+// same estimator.
+func (t *table) Estimate(item int64) int64 {
+	if v, ok := t.hm.Get(item); ok {
+		return v + t.offset
+	}
+	return 0
+}
+
+// LowerBound returns the raw counter, the classic MG estimate.
+func (t *table) LowerBound(item int64) int64 {
+	v, _ := t.hm.Get(item)
+	return v
+}
+
+// UpperBound returns c(i)+offset, or offset when unassigned.
+func (t *table) UpperBound(item int64) int64 {
+	if v, ok := t.hm.Get(item); ok {
+		return v + t.offset
+	}
+	return t.offset
+}
+
+// MaximumError returns the sum of all decrement values.
+func (t *table) MaximumError() int64 { return t.offset }
+
+// StreamWeight returns N.
+func (t *table) StreamWeight() int64 { return t.streamN }
+
+// NumActive returns the number of assigned counters.
+func (t *table) NumActive() int { return t.hm.NumActive() }
+
+// MaxCounters returns the counter budget k.
+func (t *table) MaxCounters() int { return t.k }
+
+// SizeBytes returns the 18-bytes-per-slot footprint of the counter table.
+func (t *table) SizeBytes() int { return 18 * t.hm.Length() }
+
+// Range visits every assigned (item, counter) pair.
+func (t *table) Range(fn func(item, value int64) bool) { t.hm.Range(fn) }
+
+// Unit is the Misra–Gries algorithm for unit-weight updates (Algorithm 1).
+type Unit struct {
+	table
+}
+
+// NewUnit returns a unit-update MG summary with k counters.
+func NewUnit(k int, seed uint64) (*Unit, error) {
+	t, err := newTable(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{table: t}, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (u *Unit) Name() string { return "MG" }
+
+// Update processes a unit update. When all k counters are assigned to
+// other items, every counter is decremented by one and zeroed counters are
+// unassigned (lines 10-15 of Algorithm 1); inserting the new item first
+// and letting the decrement cancel it reproduces exactly the classic
+// behaviour while reusing the shared decrement-and-purge pass.
+func (u *Unit) Update(item int64) {
+	u.streamN++
+	u.hm.Adjust(item, 1)
+	if u.hm.NumActive() > u.k {
+		u.hm.DecrementAndPurge(1)
+		u.offset++
+	}
+}
+
+// RTUC is the Reduce-To-Unit-Case weighted extension of MG (§1.3.4): an
+// update (i, Δ) is processed as Δ unit updates, costing Θ(Δ) time. It
+// exists as the semantic reference point — RBMC and MED produce identical
+// estimates (§1.3.4, §1.4) — and to demonstrate why it is unusable when
+// weights are large.
+type RTUC struct {
+	Unit
+}
+
+// NewRTUC returns a reduce-to-unit-case weighted MG summary.
+func NewRTUC(k int, seed uint64) (*RTUC, error) {
+	u, err := NewUnit(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &RTUC{Unit: *u}, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (r *RTUC) Name() string { return "RTUC-MG" }
+
+// Update processes (item, weight) as weight unit updates.
+func (r *RTUC) Update(item int64, weight int64) {
+	for ; weight > 0; weight-- {
+		r.Unit.Update(item)
+	}
+}
+
+// RBMC is the Reduce-By-Min-Counter weighted extension of Berinde et
+// al. (§1.3.4). Its estimates are identical to RTUC's, but a decrement —
+// a full Θ(k) pass — can be triggered by essentially every update on
+// adversarial (and, per §4, realistic) streams, because decrementing by
+// the global minimum may evict only a single counter.
+type RBMC struct {
+	table
+}
+
+// NewRBMC returns a reduce-by-min-counter weighted MG summary.
+func NewRBMC(k int, seed uint64) (*RBMC, error) {
+	t, err := newTable(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &RBMC{table: t}, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (r *RBMC) Name() string { return "RBMC" }
+
+// Update processes the weighted update (item, weight). Inserting first
+// and decrementing by the global minimum (which then includes the new
+// counter at value Δ) reproduces Berinde et al.'s two cases at once:
+// if Δ <= old cmin the new item itself is the minimum and is cancelled;
+// otherwise the old minimum counters are evicted and the new item keeps
+// Δ − cmin.
+func (r *RBMC) Update(item int64, weight int64) {
+	if weight <= 0 {
+		return
+	}
+	r.streamN += weight
+	r.hm.Adjust(item, weight)
+	if r.hm.NumActive() > r.k {
+		cmin := int64(math.MaxInt64)
+		r.hm.Range(func(_, v int64) bool {
+			if v < cmin {
+				cmin = v
+			}
+			return true
+		})
+		r.hm.DecrementAndPurge(cmin)
+		r.offset += cmin
+	}
+}
+
+// MED is Algorithm 3, the Reduce-By-Median-Counter extension: when the
+// table is full it decrements by the exact k*-th largest counter value,
+// found by Quickselect over a scratch copy of all k counters — the extra
+// Θ(k) words and extra pass that SMED's sampling then eliminates (§2.2).
+type MED struct {
+	table
+	kStar   int
+	scratch []int64
+}
+
+// NewMED returns an Algorithm 3 summary with k counters and k* = k/2
+// (the §2.1 default that decrements by the median counter).
+func NewMED(k int, seed uint64) (*MED, error) {
+	return NewMEDKStar(k, k/2, seed)
+}
+
+// NewMEDKStar returns an Algorithm 3 summary decrementing by the exact
+// kStar-th largest counter (1 <= kStar <= k).
+func NewMEDKStar(k, kStar int, seed uint64) (*MED, error) {
+	t, err := newTable(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	if kStar < 1 || kStar > k {
+		return nil, fmt.Errorf("mg: kStar %d outside [1, %d]", kStar, k)
+	}
+	return &MED{table: t, kStar: kStar, scratch: make([]int64, 0, k+1)}, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (m *MED) Name() string { return "MED" }
+
+// Update processes the weighted update (item, weight) per Algorithm 3.
+func (m *MED) Update(item int64, weight int64) {
+	if weight <= 0 {
+		return
+	}
+	m.streamN += weight
+	m.hm.Adjust(item, weight)
+	if m.hm.NumActive() > m.k {
+		// The extra pass and extra k words of §2.2: copy the counters out
+		// so Quickselect does not disturb the hash table.
+		m.scratch = m.hm.ActiveValues(m.scratch[:0])
+		ck := qselect.SelectKthLargest(m.scratch, m.kStar)
+		m.hm.DecrementAndPurge(ck)
+		m.offset += ck
+	}
+}
+
+// SizeBytes includes the scratch buffer Algorithm 3 must keep.
+func (m *MED) SizeBytes() int { return m.table.SizeBytes() + 8*cap(m.scratch) }

@@ -1,0 +1,130 @@
+// Package qselect implements Hoare's selection algorithm ("Find",
+// Algorithm 65, CACM 1961) for int64 slices.
+//
+// The paper uses Quickselect in three places: to find the sample quantile
+// inside DecrementCounters (§2.2), to find the exact k*-th largest counter
+// in the MED baseline (Algorithm 3), and in the quickselect variant of the
+// Agarwal et al. merge baseline (§3.1, "Hoa61" in Figure 4). All of those
+// operate on small scratch buffers of counter values, so this package works
+// in place on an []int64 with no allocation.
+package qselect
+
+// Select partially sorts a in place so that a[k] holds the element that
+// would be at index k if a were fully sorted ascending, and returns it.
+// It panics if k is out of range.
+//
+// The expected running time is O(len(a)). The pivot is chosen by
+// median-of-three, which defeats the classic quadratic behaviour on
+// already-sorted and constant inputs that a first-element pivot suffers.
+func Select(a []int64, k int) int64 {
+	if k < 0 || k >= len(a) {
+		panic("qselect: index out of range")
+	}
+	lo, hi := 0, len(a)-1
+	for hi-lo > insertionCutoff {
+		p := partition(a, lo, hi)
+		switch {
+		case k < p:
+			hi = p - 1
+		case k > p:
+			lo = p + 1
+		default:
+			return a[k]
+		}
+	}
+	insertionSort(a, lo, hi)
+	return a[k]
+}
+
+// insertionCutoff is the range length below which Select falls back to
+// insertion sort. Median-of-three partitioning needs at least four elements
+// to place its sentinels, and insertion sort is faster on tiny ranges anyway.
+const insertionCutoff = 12
+
+func insertionSort(a []int64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		v := a[i]
+		j := i - 1
+		for j >= lo && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// SelectKthLargest returns the k-th largest element of a (k=1 is the
+// maximum), partially sorting a in place. It panics unless 1 <= k <= len(a).
+func SelectKthLargest(a []int64, k int) int64 {
+	if k < 1 || k > len(a) {
+		panic("qselect: k out of range")
+	}
+	return Select(a, len(a)-k)
+}
+
+// Quantile returns the element at quantile q in [0, 1], where q = 0 is the
+// minimum and q = 1 the maximum, partially sorting a in place. The index is
+// floor(q * (len(a)-1)), matching the "sample quantile" used by the
+// DecrementCounters variants in §4.4. It panics on an empty slice or a
+// quantile outside [0, 1].
+func Quantile(a []int64, q float64) int64 {
+	if len(a) == 0 {
+		panic("qselect: empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("qselect: quantile out of range")
+	}
+	return Select(a, int(q*float64(len(a)-1)))
+}
+
+// Median returns the lower median (index (len-1)/2 of the sorted order),
+// partially sorting a in place.
+func Median(a []int64) int64 {
+	return Select(a, (len(a)-1)/2)
+}
+
+// Min returns the minimum of a without reordering it. It panics on an
+// empty slice. Provided so that SMIN-style callers do not pay even the
+// partition cost of Select.
+func Min(a []int64) int64 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// partition partitions a[lo:hi+1] around a median-of-three pivot and
+// returns the pivot's final index.
+func partition(a []int64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Order a[lo], a[mid], a[hi]; the median lands at mid.
+	if a[mid] < a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] < a[lo] {
+		a[hi], a[lo] = a[lo], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	// Stash the pivot just before hi and partition a[lo+1:hi-1].
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	pivot := a[hi-1]
+	// a[lo] <= pivot and a[hi] >= pivot act as sentinels for the scans.
+	i, j := lo, hi-1
+	for {
+		for i++; a[i] < pivot; i++ {
+		}
+		for j--; a[j] > pivot; j-- {
+		}
+		if i >= j {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+	}
+	a[i], a[hi-1] = a[hi-1], a[i]
+	return i
+}

@@ -1,0 +1,217 @@
+package qselect
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedCopy(a []int64) []int64 {
+	b := append([]int64(nil), a...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return b
+}
+
+func TestSelectAgainstSortSmall(t *testing.T) {
+	cases := [][]int64{
+		{1},
+		{2, 1},
+		{1, 2},
+		{3, 1, 2},
+		{5, 5, 5},
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+		{7, 7, 1, 7, 7, 2},
+		{-3, 0, 3, -1<<62 + 1, 1 << 62},
+	}
+	for _, c := range cases {
+		want := sortedCopy(c)
+		for k := range c {
+			got := Select(append([]int64(nil), c...), k)
+			if got != want[k] {
+				t.Errorf("Select(%v, %d) = %d, want %d", c, k, got, want[k])
+			}
+		}
+	}
+}
+
+func TestSelectRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = int64(rng.Intn(50)) // many duplicates
+		}
+		want := sortedCopy(a)
+		k := rng.Intn(n)
+		if got := Select(append([]int64(nil), a...), k); got != want[k] {
+			t.Fatalf("trial %d: Select k=%d got %d want %d (input %v)", trial, k, got, want[k], a)
+		}
+	}
+}
+
+func TestSelectAdversarialPatterns(t *testing.T) {
+	// Sorted, reverse-sorted, constant, and organ-pipe inputs defeat naive
+	// first-element pivots; median-of-three must handle them.
+	n := 4096
+	patterns := map[string]func(i int) int64{
+		"sorted":    func(i int) int64 { return int64(i) },
+		"reverse":   func(i int) int64 { return int64(n - i) },
+		"constant":  func(i int) int64 { return 42 },
+		"organpipe": func(i int) int64 { return int64(min(i, n-i)) },
+		"twovalue":  func(i int) int64 { return int64(i % 2) },
+	}
+	for name, gen := range patterns {
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = gen(i)
+		}
+		want := sortedCopy(a)
+		for _, k := range []int{0, 1, n / 4, n / 2, n - 2, n - 1} {
+			if got := Select(append([]int64(nil), a...), k); got != want[k] {
+				t.Errorf("%s: Select k=%d got %d want %d", name, k, got, want[k])
+			}
+		}
+	}
+}
+
+func TestSelectQuick(t *testing.T) {
+	f := func(a []int64, kRaw uint16) bool {
+		if len(a) == 0 {
+			return true
+		}
+		k := int(kRaw) % len(a)
+		want := sortedCopy(a)[k]
+		return Select(append([]int64(nil), a...), k) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectPartitionsInPlace(t *testing.T) {
+	// After Select(a, k), a[k] is the k-th order statistic and a contains
+	// the same multiset.
+	rng := rand.New(rand.NewSource(2))
+	a := make([]int64, 257)
+	for i := range a {
+		a[i] = int64(rng.Intn(1000))
+	}
+	want := sortedCopy(a)
+	got := Select(a, 100)
+	if got != want[100] {
+		t.Fatalf("got %d want %d", got, want[100])
+	}
+	if after := sortedCopy(a); !equal(after, want) {
+		t.Fatal("Select changed the multiset of elements")
+	}
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectKthLargest(t *testing.T) {
+	a := []int64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	for k := 1; k <= len(a); k++ {
+		want := int64(10 - k)
+		if got := SelectKthLargest(append([]int64(nil), a...), k); got != want {
+			t.Errorf("SelectKthLargest k=%d got %d want %d", k, got, want)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	a := make([]int64, 101)
+	for i := range a {
+		a[i] = int64(i)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 0}, {0.5, 50}, {1, 100}, {0.25, 25}, {0.98, 98},
+	}
+	for _, c := range cases {
+		if got := Quantile(append([]int64(nil), a...), c.q); got != c.want {
+			t.Errorf("Quantile(%.2f) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]int64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %d, want 2", got)
+	}
+	// Lower median for even length.
+	if got := Median([]int64{4, 1, 3, 2}); got != 2 {
+		t.Errorf("Median even = %d, want 2", got)
+	}
+	if got := Median([]int64{7}); got != 7 {
+		t.Errorf("Median single = %d, want 7", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	a := []int64{5, 3, 9, 3, 12}
+	if got := Min(a); got != 3 {
+		t.Errorf("Min = %d, want 3", got)
+	}
+	// Min must not reorder.
+	if !equal(a, []int64{5, 3, 9, 3, 12}) {
+		t.Error("Min reordered its input")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanics(t, "Select out of range", func() { Select([]int64{1}, 1) })
+	assertPanics(t, "Select negative", func() { Select([]int64{1}, -1) })
+	assertPanics(t, "Select empty", func() { Select(nil, 0) })
+	assertPanics(t, "KthLargest zero", func() { SelectKthLargest([]int64{1}, 0) })
+	assertPanics(t, "KthLargest big", func() { SelectKthLargest([]int64{1}, 2) })
+	assertPanics(t, "Quantile empty", func() { Quantile(nil, 0.5) })
+	assertPanics(t, "Quantile range", func() { Quantile([]int64{1}, 1.5) })
+	assertPanics(t, "Quantile negative", func() { Quantile([]int64{1}, -0.1) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func BenchmarkSelectMedian1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]int64, 1024)
+	for i := range src {
+		src[i] = rng.Int63()
+	}
+	buf := make([]int64, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		Median(buf)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

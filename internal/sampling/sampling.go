@@ -1,0 +1,147 @@
+// Package sampling implements the weighted-stream adaptation, sketched in
+// §5, of the simple algorithm of Bhattacharyya, Dey, and Woodruff [3]:
+// implicitly subsample the unit-update expansion of a weighted stream at
+// rate p, in O(1 + pΔ) expected time per update, and feed the sampled
+// weight into any counter-based summary. Scaled up by 1/p, the summary's
+// estimates approximate the original stream's frequencies with the [3]
+// guarantees while using counters sized for the sample, not the stream.
+//
+// Per §5, for an update (i, Δ) the sampler repeatedly draws geometric
+// variables with parameter p (trials-until-success) and counts how many
+// land within Δ; the count is Binomial(Δ, p) without ever iterating over
+// the Δ implicit unit updates.
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Sampler subsamples weighted updates at rate p.
+type Sampler struct {
+	p       float64
+	logQ    float64 // ln(1 - p), used to invert the geometric CDF
+	rng     xrand.SplitMix64
+	carry   int64 // trials remaining until the pending next success
+	sampled int64 // total sampled weight emitted
+	gross   int64 // total raw weight observed
+}
+
+// New returns a sampler with inclusion probability p in (0, 1].
+// ChooseP computes p from a sample-size budget.
+func New(p float64, seed uint64) (*Sampler, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("sampling: p %v outside (0, 1]", p)
+	}
+	s := &Sampler{
+		p:    p,
+		logQ: math.Log1p(-p),
+		rng:  xrand.NewSplitMix64(seed),
+	}
+	s.carry = s.nextGap()
+	return s, nil
+}
+
+// ChooseP returns the inclusion probability for a target sampled weight
+// of about sampleBudget given an (estimated) total stream weight; [3]
+// sets the budget to O(ε⁻² log(1/δ)). The §5 note explains the
+// known-N assumption can be removed with the doubling trick of
+// [3, §3.5]; callers re-create the sampler with halved p when the budget
+// overflows.
+func ChooseP(sampleBudget, totalWeight int64) float64 {
+	if totalWeight <= 0 || sampleBudget >= totalWeight {
+		return 1
+	}
+	return float64(sampleBudget) / float64(totalWeight)
+}
+
+// nextGap draws a geometric(p) gap: the number of Bernoulli(p) trials up
+// to and including the next success.
+func (s *Sampler) nextGap() int64 {
+	if s.p == 1 {
+		return 1
+	}
+	u := s.rng.Float64()
+	// Inverse CDF; u == 0 would map to +Inf, nudge it.
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	g := int64(math.Log(u)/s.logQ) + 1
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// SampleWeight returns the sampled portion t ~ Binomial(weight, p) of a
+// weighted update, consuming the stream's implicit unit updates. The
+// caller feeds (item, t) to its summary when t > 0. Expected time is
+// O(1 + p·weight): successes are enumerated, skipped trials are not.
+func (s *Sampler) SampleWeight(weight int64) int64 {
+	if weight <= 0 {
+		return 0
+	}
+	s.gross += weight
+	var t int64
+	remaining := weight
+	for s.carry <= remaining {
+		t++
+		remaining -= s.carry
+		s.carry = s.nextGap()
+	}
+	s.carry -= remaining
+	s.sampled += t
+	return t
+}
+
+// P returns the inclusion probability.
+func (s *Sampler) P() float64 { return s.p }
+
+// SampledWeight returns the total sampled weight emitted so far.
+func (s *Sampler) SampledWeight() int64 { return s.sampled }
+
+// GrossWeight returns the total raw weight observed so far.
+func (s *Sampler) GrossWeight() int64 { return s.gross }
+
+// Scale converts a sampled-domain estimate back to the raw stream domain.
+func (s *Sampler) Scale(sampledEstimate int64) int64 {
+	return int64(float64(sampledEstimate) / s.p)
+}
+
+// Summary is the counter-based summary interface the sampled front-end
+// drives; the core, items, mg, and spacesaving weighted summaries all
+// provide these methods (modulo the error return on core.Sketch.Update,
+// adapted by SketchAdapter in callers).
+type Summary interface {
+	Update(item int64, weight int64)
+	Estimate(item int64) int64
+}
+
+// Sampled couples a sampler with a summary, exposing raw-domain updates
+// and scaled raw-domain estimates — the complete §5 pipeline.
+type Sampled struct {
+	sampler *Sampler
+	summary Summary
+}
+
+// NewSampled wires a sampler to a summary.
+func NewSampled(sampler *Sampler, summary Summary) *Sampled {
+	return &Sampled{sampler: sampler, summary: summary}
+}
+
+// Update feeds the sampled portion of (item, weight) to the summary.
+func (s *Sampled) Update(item int64, weight int64) {
+	if t := s.sampler.SampleWeight(weight); t > 0 {
+		s.summary.Update(item, t)
+	}
+}
+
+// Estimate returns the summary's estimate scaled back to the raw domain.
+func (s *Sampled) Estimate(item int64) int64 {
+	return s.sampler.Scale(s.summary.Estimate(item))
+}
+
+// Sampler returns the underlying sampler.
+func (s *Sampled) Sampler() *Sampler { return s.sampler }

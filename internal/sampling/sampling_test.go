@@ -1,0 +1,160 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/streamgen"
+)
+
+func TestValidation(t *testing.T) {
+	for _, p := range []float64{0, -0.1, 1.1} {
+		if _, err := New(p, 1); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+}
+
+func TestPOneIsIdentity(t *testing.T) {
+	s, err := New(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int64{1, 5, 1000} {
+		if got := s.SampleWeight(w); got != w {
+			t.Errorf("p=1 SampleWeight(%d) = %d", w, got)
+		}
+	}
+	if s.SampledWeight() != 1006 || s.GrossWeight() != 1006 {
+		t.Error("accounting")
+	}
+	if s.Scale(10) != 10 {
+		t.Error("Scale at p=1")
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	// SampleWeight(w) ~ Binomial(w, p): check mean and variance over many
+	// draws.
+	const p = 0.01
+	const w = 10_000
+	const trials = 2000
+	s, err := New(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v := float64(s.SampleWeight(w))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	wantMean := p * w                // 100
+	wantVar := w * p * (1 - p)       // 99
+	if math.Abs(mean-wantMean) > 5 { // ~7 sigma of the mean estimator
+		t.Errorf("mean %.2f, want %.2f", mean, wantMean)
+	}
+	if variance < wantVar/2 || variance > wantVar*2 {
+		t.Errorf("variance %.2f, want ~%.2f", variance, wantVar)
+	}
+	if s.GrossWeight() != int64(w*trials) {
+		t.Error("gross weight")
+	}
+	if s.P() != p {
+		t.Error("P()")
+	}
+}
+
+func TestZeroAndNegativeWeights(t *testing.T) {
+	s, _ := New(0.5, 4)
+	if s.SampleWeight(0) != 0 || s.SampleWeight(-10) != 0 {
+		t.Error("non-positive weights sampled")
+	}
+	if s.GrossWeight() != 0 {
+		t.Error("gross counted non-positive weight")
+	}
+}
+
+func TestChooseP(t *testing.T) {
+	if p := ChooseP(1000, 1_000_000); p != 0.001 {
+		t.Errorf("ChooseP = %v", p)
+	}
+	if p := ChooseP(100, 50); p != 1 {
+		t.Errorf("budget >= total should give 1, got %v", p)
+	}
+	if p := ChooseP(100, 0); p != 1 {
+		t.Errorf("zero total should give 1, got %v", p)
+	}
+}
+
+// sketchAdapter lets the core sketch satisfy Summary (whose Update does
+// not return an error).
+type sketchAdapter struct{ *core.Sketch }
+
+func (a sketchAdapter) Update(item, weight int64) { _ = a.Sketch.Update(item, weight) }
+
+func TestSampledPipeline(t *testing.T) {
+	// The full §5 pipeline: sample a heavy weighted stream at rate p into
+	// a small sketch and verify the scaled estimates track the heavy
+	// items within the sampling + sketch error.
+	stream, err := streamgen.ZipfStream(1.3, 1<<12, 100_000, 10_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	var total int64
+	for _, u := range stream {
+		oracle.Update(u.Item, u.Weight)
+		total += u.Weight
+	}
+	p := ChooseP(2_000_000, total)
+	sampler, err := New(p, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := core.New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewSampled(sampler, sketchAdapter{sk})
+	for _, u := range stream {
+		pipe.Update(u.Item, u.Weight)
+	}
+	if pipe.Sampler() != sampler {
+		t.Error("Sampler accessor")
+	}
+	// Sampled weight should be near p * total.
+	want := p * float64(total)
+	if got := float64(sampler.SampledWeight()); math.Abs(got-want) > 0.05*want {
+		t.Errorf("sampled weight %.0f, want ~%.0f", got, want)
+	}
+	// Heavy items within 15% after scaling (sampling noise at this budget
+	// is ~1/sqrt(p*fi) < 5% for the top items, plus sketch error).
+	for _, top := range oracle.TopK(5) {
+		est := pipe.Estimate(top.Item)
+		diff := math.Abs(float64(est - top.Freq))
+		if diff > 0.15*float64(top.Freq) {
+			t.Errorf("item %d: scaled estimate %d vs truth %d", top.Item, est, top.Freq)
+		}
+	}
+}
+
+func TestSampleWeightConsumesCarryAcrossUpdates(t *testing.T) {
+	// The geometric carry must persist across updates: total successes
+	// over many small updates match Binomial over the concatenation.
+	const p = 0.1
+	a, _ := New(p, 13)
+	b, _ := New(p, 13) // same seed -> same gap sequence
+	var totalA int64
+	for i := 0; i < 10_000; i++ {
+		totalA += a.SampleWeight(7)
+	}
+	totalB := b.SampleWeight(70_000)
+	if totalA != totalB {
+		t.Errorf("split %d vs whole %d: carry not preserved", totalA, totalB)
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Client speaks the line protocol to a Server. It is a thin synchronous
+// wrapper suitable for collectors and tests; it is not safe for
+// concurrent use (open one per goroutine — the server side is concurrent).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (e.g. net.Pipe in tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.w, "QUIT")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(format string, args ...any) (string, error) {
+	if _, err := fmt.Fprintf(c.w, format+"\n", args...); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return "", fmt.Errorf("server: %s", line[4:])
+	}
+	return line, nil
+}
+
+// Update sends a weighted update.
+func (c *Client) Update(item, weight int64) error {
+	resp, err := c.roundTrip("U %d %d", item, weight)
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("server: unexpected response %q", resp)
+	}
+	return nil
+}
+
+// Query returns (estimate, lowerBound, upperBound) for item.
+func (c *Client) Query(item int64) (est, lb, ub int64, err error) {
+	resp, err := c.roundTrip("Q %d", item)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := fmt.Sscanf(resp, "EST %d %d %d", &est, &lb, &ub); err != nil {
+		return 0, 0, 0, fmt.Errorf("server: bad response %q", resp)
+	}
+	return est, lb, ub, nil
+}
+
+// readMulti parses a MULTI block into rows.
+func (c *Client) readMulti(header string) ([]core.Row, error) {
+	var n int
+	if _, err := fmt.Sscanf(header, "MULTI %d", &n); err != nil {
+		return nil, fmt.Errorf("server: bad multi header %q", header)
+	}
+	rows := make([]core.Row, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		var r core.Row
+		if _, err := fmt.Sscanf(strings.TrimSpace(line), "ITEM %d %d %d %d",
+			&r.Item, &r.Estimate, &r.LowerBound, &r.UpperBound); err != nil {
+			return nil, fmt.Errorf("server: bad row %q", line)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Top returns the n largest items.
+func (c *Client) Top(n int) ([]core.Row, error) {
+	resp, err := c.roundTrip("TOP %d", n)
+	if err != nil {
+		return nil, err
+	}
+	return c.readMulti(resp)
+}
+
+// HeavyHitters returns items above phi (in [0,1]) of the stream weight.
+func (c *Client) HeavyHitters(phi float64) ([]core.Row, error) {
+	resp, err := c.roundTrip("HH %d", int(phi*1000))
+	if err != nil {
+		return nil, err
+	}
+	return c.readMulti(resp)
+}
+
+// Stats returns the server-side stream weight and error band.
+func (c *Client) Stats() (n, maxErr int64, err error) {
+	resp, err := c.roundTrip("STATS")
+	if err != nil {
+		return 0, 0, err
+	}
+	var shards int
+	if _, err := fmt.Sscanf(resp, "STATS n=%d err=%d shards=%d", &n, &maxErr, &shards); err != nil {
+		return 0, 0, fmt.Errorf("server: bad stats %q", resp)
+	}
+	return n, maxErr, nil
+}
+
+// Snapshot fetches the serialized summary and decodes it into a core
+// sketch — the §3 geographically-distributed pattern over the wire.
+func (c *Client) Snapshot() (*core.Sketch, error) {
+	resp, err := c.roundTrip("SNAPSHOT")
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "SNAP %d", &n); err != nil {
+		return nil, fmt.Errorf("server: bad snapshot header %q", resp)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(c.r, blob); err != nil {
+		return nil, err
+	}
+	return core.Deserialize(blob)
+}
+
+// Reset clears the server-side summary.
+func (c *Client) Reset() error {
+	resp, err := c.roundTrip("RESET")
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("server: unexpected response %q", resp)
+	}
+	return nil
+}
+
+// Raw sends a raw protocol line and returns the first response line
+// (diagnostics and protocol tests).
+func (c *Client) Raw(line string) (string, error) {
+	return c.roundTrip("%s", line)
+}

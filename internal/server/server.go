@@ -1,0 +1,272 @@
+// Package server provides a line-protocol TCP service around the
+// concurrent sharded sketch: the deployment shape of the §1.2 motivation,
+// where collectors stream weighted updates (bytes per source, watch time
+// per user) and operators issue point and heavy-hitter queries against
+// the live summary. Everything is stdlib net + the sharded sketch; one
+// goroutine per connection, queries and updates freely interleaved.
+//
+// Protocol (one request per line, space separated; responses are single
+// lines except MULTI blocks):
+//
+//	U <item> <weight>     add weight to item        -> "OK" (or nothing in pipelined mode)
+//	Q <item>              point query               -> "EST <estimate> <lower> <upper>"
+//	TOP <n>               top n items               -> "MULTI <k>" then k lines "ITEM <item> <est> <lb> <ub>"
+//	HH <phi-millis>       items above phi/1000 * N  -> MULTI block as TOP
+//	STATS                 summary state             -> "STATS n=<N> err=<offset> shards=<s>"
+//	SNAPSHOT              serialized summary        -> "SNAP <n>" then n bytes of sketch wire format
+//	RESET                 clear the summary         -> "OK"
+//	QUIT                  close the connection
+//
+// Malformed requests get "ERR <reason>" and the connection stays usable.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sharded"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxCounters is the total counter budget (default 24576).
+	MaxCounters int
+	// Shards is the concurrency fan-out (default 8).
+	Shards int
+}
+
+// Server owns the live summary and serves the line protocol.
+type Server struct {
+	sketch *sharded.Sketch
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	updates int64
+	queries int64
+	statsMu sync.Mutex
+}
+
+// New returns a server with a fresh summary.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxCounters == 0 {
+		cfg.MaxCounters = 24576
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	sk, err := sharded.New(cfg.MaxCounters, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		sketch: sk,
+		conns:  map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Sketch exposes the underlying summary (for embedding and tests).
+func (s *Server) Sketch() *sharded.Sketch { return s.sketch }
+
+// Serve accepts connections on ln until Close is called. It returns
+// net.ErrClosed after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 64*1024), 64*1024)
+	w := bufio.NewWriter(conn)
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		quit, err := s.dispatch(w, line)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n", err)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one protocol line, writing the response to w.
+func (s *Server) dispatch(w io.Writer, line string) (quit bool, err error) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch cmd {
+	case "U":
+		if len(args) != 2 {
+			return false, errors.New("usage: U <item> <weight>")
+		}
+		item, err1 := strconv.ParseInt(args[0], 10, 64)
+		weight, err2 := strconv.ParseInt(args[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return false, errors.New("bad integer")
+		}
+		if err := s.sketch.Update(item, weight); err != nil {
+			return false, err
+		}
+		s.statsMu.Lock()
+		s.updates++
+		s.statsMu.Unlock()
+		fmt.Fprintln(w, "OK")
+	case "Q":
+		if len(args) != 1 {
+			return false, errors.New("usage: Q <item>")
+		}
+		item, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return false, errors.New("bad integer")
+		}
+		s.statsMu.Lock()
+		s.queries++
+		s.statsMu.Unlock()
+		fmt.Fprintf(w, "EST %d %d %d\n",
+			s.sketch.Estimate(item), s.sketch.LowerBound(item), s.sketch.UpperBound(item))
+	case "TOP":
+		if len(args) != 1 {
+			return false, errors.New("usage: TOP <n>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return false, errors.New("bad count")
+		}
+		rows := s.sketch.FrequentItemsAboveThreshold(0, core.NoFalseNegatives)
+		if len(rows) > n {
+			rows = rows[:n]
+		}
+		writeRows(w, rows)
+	case "HH":
+		if len(args) != 1 {
+			return false, errors.New("usage: HH <phi-millis>")
+		}
+		millis, err := strconv.Atoi(args[0])
+		if err != nil || millis < 0 || millis > 1000 {
+			return false, errors.New("phi-millis must be 0..1000")
+		}
+		threshold := int64(float64(millis) / 1000 * float64(s.sketch.StreamWeight()))
+		writeRows(w, s.sketch.FrequentItemsAboveThreshold(threshold, core.NoFalseNegatives))
+	case "STATS":
+		fmt.Fprintf(w, "STATS n=%d err=%d shards=%d\n",
+			s.sketch.StreamWeight(), s.sketch.MaximumError(), s.sketch.NumShards())
+	case "SNAPSHOT":
+		snap, err := s.sketch.Snapshot()
+		if err != nil {
+			return false, err
+		}
+		blob := snap.Serialize()
+		fmt.Fprintf(w, "SNAP %d\n", len(blob))
+		if _, err := w.Write(blob); err != nil {
+			return false, err
+		}
+	case "RESET":
+		s.sketch.Reset()
+		fmt.Fprintln(w, "OK")
+	case "QUIT":
+		fmt.Fprintln(w, "BYE")
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown command %q", cmd)
+	}
+	return false, nil
+}
+
+func writeRows(w io.Writer, rows []core.Row) {
+	fmt.Fprintf(w, "MULTI %d\n", len(rows))
+	for _, r := range rows {
+		fmt.Fprintf(w, "ITEM %d %d %d %d\n", r.Item, r.Estimate, r.LowerBound, r.UpperBound)
+	}
+}
+
+// Counters returns the number of updates and queries served (diagnostics).
+func (s *Server) Counters() (updates, queries int64) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.updates, s.queries
+}

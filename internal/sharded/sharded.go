@@ -1,0 +1,204 @@
+// Package sharded provides a goroutine-safe frequent-items sketch built
+// from per-shard core sketches — the concurrency pattern the paper's §3
+// mergeability story enables: shard by item hash, summarize each shard
+// independently under its own lock, and combine results either per query
+// (point queries touch exactly one shard) or by merging snapshots
+// (Algorithm 5) when a single summary is needed.
+//
+// Because items are partitioned by hash, each item's counters live in
+// exactly one shard: point queries and heavy-hitter extraction need no
+// cross-shard reconciliation, and each estimate carries its own shard's
+// error band rather than the sum of all of them.
+package sharded
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// Sketch is a goroutine-safe weighted frequent-items summary.
+type Sketch struct {
+	shards []shard
+	mask   uint64
+	seed   uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	s  *core.Sketch
+	// Pad to a cache line so neighbouring shard locks do not false-share.
+	_ [40]byte
+}
+
+// New returns a sketch with the given total counter budget spread over
+// numShards shards (rounded up to a power of two). Each shard receives
+// maxCounters/numShards counters; an item's error band is its own
+// shard's, bounded by the shard's share of the stream.
+func New(maxCounters, numShards int) (*Sketch, error) {
+	if numShards < 1 {
+		return nil, fmt.Errorf("sharded: numShards %d must be positive", numShards)
+	}
+	n := 1
+	for n < numShards {
+		n <<= 1
+	}
+	perShard := maxCounters / n
+	if perShard < core.MinCounters {
+		return nil, fmt.Errorf("sharded: %d counters over %d shards leaves %d per shard (min %d)",
+			maxCounters, n, perShard, core.MinCounters)
+	}
+	sk := &Sketch{
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+		seed:   0x5a4d5bfe1c0ffee5,
+	}
+	for i := range sk.shards {
+		s, err := core.New(perShard)
+		if err != nil {
+			return nil, err
+		}
+		sk.shards[i].s = s
+	}
+	return sk, nil
+}
+
+// shardFor routes an item to its shard. The route hash is independent of
+// the shards' table hashes (different mixing constant plus per-sketch
+// seed), so shard assignment does not correlate with probe positions.
+func (sk *Sketch) shardFor(item int64) *shard {
+	return &sk.shards[xrand.Mix64(uint64(item)^sk.seed)&sk.mask]
+}
+
+// NumShards returns the shard count.
+func (sk *Sketch) NumShards() int { return len(sk.shards) }
+
+// Update processes a weighted update; safe for concurrent use.
+func (sk *Sketch) Update(item int64, weight int64) error {
+	sh := sk.shardFor(item)
+	sh.mu.Lock()
+	err := sh.s.Update(item, weight)
+	sh.mu.Unlock()
+	return err
+}
+
+// Estimate returns the point estimate for item; safe for concurrent use.
+func (sk *Sketch) Estimate(item int64) int64 {
+	sh := sk.shardFor(item)
+	sh.mu.Lock()
+	v := sh.s.Estimate(item)
+	sh.mu.Unlock()
+	return v
+}
+
+// LowerBound returns a certain lower bound on item's frequency.
+func (sk *Sketch) LowerBound(item int64) int64 {
+	sh := sk.shardFor(item)
+	sh.mu.Lock()
+	v := sh.s.LowerBound(item)
+	sh.mu.Unlock()
+	return v
+}
+
+// UpperBound returns a certain upper bound on item's frequency.
+func (sk *Sketch) UpperBound(item int64) int64 {
+	sh := sk.shardFor(item)
+	sh.mu.Lock()
+	v := sh.s.UpperBound(item)
+	sh.mu.Unlock()
+	return v
+}
+
+// StreamWeight returns N summed over shards. It is a consistent total
+// only when no updates race the call; under concurrency it is a lower
+// bound on the weight of all updates that started before it returned.
+func (sk *Sketch) StreamWeight() int64 {
+	var n int64
+	for i := range sk.shards {
+		sh := &sk.shards[i]
+		sh.mu.Lock()
+		n += sh.s.StreamWeight()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// MaximumError returns the largest per-shard error band; every estimate
+// is within its own shard's (smaller or equal) band.
+func (sk *Sketch) MaximumError() int64 {
+	var worst int64
+	for i := range sk.shards {
+		sh := &sk.shards[i]
+		sh.mu.Lock()
+		if e := sh.s.MaximumError(); e > worst {
+			worst = e
+		}
+		sh.mu.Unlock()
+	}
+	return worst
+}
+
+// FrequentItemsAboveThreshold gathers qualifying rows from every shard.
+// Items are hash-partitioned, so the union over shards is exactly the
+// global answer under the chosen semantics.
+func (sk *Sketch) FrequentItemsAboveThreshold(threshold int64, et core.ErrorType) []core.Row {
+	var rows []core.Row
+	for i := range sk.shards {
+		sh := &sk.shards[i]
+		sh.mu.Lock()
+		rows = append(rows, sh.s.FrequentItemsAboveThreshold(threshold, et)...)
+		sh.mu.Unlock()
+	}
+	sortRows(rows)
+	return rows
+}
+
+func sortRows(rows []core.Row) {
+	// Insertion sort by descending estimate; row counts are small (a few
+	// k at most) and usually nearly sorted per shard.
+	for i := 1; i < len(rows); i++ {
+		r := rows[i]
+		j := i - 1
+		for j >= 0 && (rows[j].Estimate < r.Estimate ||
+			(rows[j].Estimate == r.Estimate && rows[j].Item > r.Item)) {
+			rows[j+1] = rows[j]
+			j--
+		}
+		rows[j+1] = r
+	}
+}
+
+// Snapshot merges all shards into a single fresh core sketch with the
+// combined counter budget, via Algorithm 5. The result is independent of
+// the sharded sketch and safe to serialize or merge further. Shards are
+// locked one at a time, so a snapshot taken under concurrent updates
+// reflects each shard at a (possibly different) consistent point.
+func (sk *Sketch) Snapshot() (*core.Sketch, error) {
+	total := 0
+	for i := range sk.shards {
+		total += sk.shards[i].s.MaxCounters()
+	}
+	out, err := core.New(total)
+	if err != nil {
+		return nil, err
+	}
+	for i := range sk.shards {
+		sh := &sk.shards[i]
+		sh.mu.Lock()
+		out.Merge(sh.s)
+		sh.mu.Unlock()
+	}
+	return out, nil
+}
+
+// Reset clears every shard.
+func (sk *Sketch) Reset() {
+	for i := range sk.shards {
+		sh := &sk.shards[i]
+		sh.mu.Lock()
+		sh.s.Reset()
+		sh.mu.Unlock()
+	}
+}

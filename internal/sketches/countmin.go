@@ -1,0 +1,90 @@
+// Package sketches implements the linear-sketch class of frequency
+// estimators from the Cormode–Hadjieleftheriou taxonomy (§1.3): the
+// Count-Min sketch [9] and the CountSketch [6]. The paper (and our
+// "initial experiments" harness, cmd/experiments initial) uses them as the
+// class counter-based algorithms are compared against and found to beat on
+// space, speed, and accuracy for insertion streams; their genuine
+// advantage — handling deletions — is noted in §1.3's Note.
+package sketches
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// CountMin is the Count-Min sketch of Cormode and Muthukrishnan [9]:
+// depth × width counters; every update adds the weight to one counter per
+// row; a point query returns the minimum over rows, an overestimate with
+// error at most e·N/width with probability 1 − e^−depth.
+type CountMin struct {
+	depth   int
+	width   int
+	mask    uint64
+	seeds   []uint64
+	rows    [][]int64
+	streamN int64
+}
+
+// NewCountMin returns a Count-Min sketch with the given depth (number of
+// rows) and width rounded up to a power of two.
+func NewCountMin(depth, width int, seed uint64) (*CountMin, error) {
+	if depth < 1 || width < 1 {
+		return nil, fmt.Errorf("sketches: depth %d and width %d must be positive", depth, width)
+	}
+	w := 1
+	for w < width {
+		w <<= 1
+	}
+	rng := xrand.NewSplitMix64(seed)
+	cm := &CountMin{
+		depth: depth,
+		width: w,
+		mask:  uint64(w - 1),
+		seeds: make([]uint64, depth),
+		rows:  make([][]int64, depth),
+	}
+	for i := range cm.rows {
+		cm.seeds[i] = rng.Uint64() | 1
+		cm.rows[i] = make([]int64, w)
+	}
+	return cm, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (c *CountMin) Name() string { return "CountMin" }
+
+// Update adds weight to item's counter in every row.
+func (c *CountMin) Update(item int64, weight int64) {
+	if weight <= 0 {
+		return
+	}
+	c.streamN += weight
+	for i := 0; i < c.depth; i++ {
+		c.rows[i][xrand.Mix64(uint64(item)+c.seeds[i])&c.mask] += weight
+	}
+}
+
+// Estimate returns the minimum row counter, an upper bound on the true
+// frequency.
+func (c *CountMin) Estimate(item int64) int64 {
+	est := c.rows[0][xrand.Mix64(uint64(item)+c.seeds[0])&c.mask]
+	for i := 1; i < c.depth; i++ {
+		if v := c.rows[i][xrand.Mix64(uint64(item)+c.seeds[i])&c.mask]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// StreamWeight returns N.
+func (c *CountMin) StreamWeight() int64 { return c.streamN }
+
+// SizeBytes returns the counter-array footprint.
+func (c *CountMin) SizeBytes() int { return 8 * c.depth * c.width }
+
+// Depth returns the number of rows.
+func (c *CountMin) Depth() int { return c.depth }
+
+// Width returns the per-row counter count.
+func (c *CountMin) Width() int { return c.width }

@@ -1,0 +1,96 @@
+package sketches
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// CountSketch is the sketch of Charikar, Chen, and Farach-Colton [6]:
+// depth × width counters with a ±1 sign hash per row; a point query
+// returns the median over rows of sign·counter, an unbiased estimator
+// with additive error O(sqrt(F2)/sqrt(width)) per row.
+type CountSketch struct {
+	depth   int
+	width   int
+	mask    uint64
+	seeds   []uint64
+	rows    [][]int64
+	scratch []int64
+	streamN int64
+}
+
+// NewCountSketch returns a CountSketch with the given depth and width
+// rounded up to a power of two.
+func NewCountSketch(depth, width int, seed uint64) (*CountSketch, error) {
+	if depth < 1 || width < 1 {
+		return nil, fmt.Errorf("sketches: depth %d and width %d must be positive", depth, width)
+	}
+	w := 1
+	for w < width {
+		w <<= 1
+	}
+	rng := xrand.NewSplitMix64(seed ^ 0xc6a4a7935bd1e995)
+	cs := &CountSketch{
+		depth:   depth,
+		width:   w,
+		mask:    uint64(w - 1),
+		seeds:   make([]uint64, depth),
+		rows:    make([][]int64, depth),
+		scratch: make([]int64, depth),
+	}
+	for i := range cs.rows {
+		cs.seeds[i] = rng.Uint64() | 1
+		cs.rows[i] = make([]int64, w)
+	}
+	return cs, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (c *CountSketch) Name() string { return "CountSketch" }
+
+// cellAndSign returns the row-i cell index and ±1 sign for item. The low
+// bits index the row; a high bit (independent of the index bits for
+// width < 2^63) supplies the sign.
+func (c *CountSketch) cellAndSign(i int, item int64) (uint64, int64) {
+	h := xrand.Mix64(uint64(item) + c.seeds[i])
+	sign := int64(h>>63)<<1 - 1 // ±1 from the top bit
+	return h & c.mask, sign
+}
+
+// Update adds sign·weight to item's counter in every row.
+func (c *CountSketch) Update(item int64, weight int64) {
+	if weight <= 0 {
+		return
+	}
+	c.streamN += weight
+	for i := 0; i < c.depth; i++ {
+		cell, sign := c.cellAndSign(i, item)
+		c.rows[i][cell] += sign * weight
+	}
+}
+
+// Estimate returns the median over rows of sign·counter. Negative medians
+// are clamped to zero, as true frequencies are non-negative here.
+func (c *CountSketch) Estimate(item int64) int64 {
+	for i := 0; i < c.depth; i++ {
+		cell, sign := c.cellAndSign(i, item)
+		c.scratch[i] = sign * c.rows[i][cell]
+	}
+	sort.Slice(c.scratch, func(a, b int) bool { return c.scratch[a] < c.scratch[b] })
+	med := c.scratch[c.depth/2]
+	if c.depth%2 == 0 {
+		med = (med + c.scratch[c.depth/2-1]) / 2
+	}
+	if med < 0 {
+		return 0
+	}
+	return med
+}
+
+// StreamWeight returns N.
+func (c *CountSketch) StreamWeight() int64 { return c.streamN }
+
+// SizeBytes returns the counter-array footprint.
+func (c *CountSketch) SizeBytes() int { return 8 * c.depth * c.width }

@@ -1,0 +1,138 @@
+package sketches
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/streamgen"
+)
+
+func TestCountMinValidation(t *testing.T) {
+	if _, err := NewCountMin(0, 8, 1); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := NewCountMin(3, 0, 1); err == nil {
+		t.Error("width 0 accepted")
+	}
+	cm, err := NewCountMin(3, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Width() != 128 {
+		t.Errorf("width %d, want 128 (power of two)", cm.Width())
+	}
+	if cm.Depth() != 3 || cm.SizeBytes() != 8*3*128 || cm.Name() != "CountMin" {
+		t.Error("metadata")
+	}
+}
+
+func TestCountMinOverestimates(t *testing.T) {
+	cm, err := NewCountMin(4, 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	stream, err := streamgen.ZipfStream(1.0, 1<<12, 50_000, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range stream {
+		cm.Update(u.Item, u.Weight)
+		oracle.Update(u.Item, u.Weight)
+	}
+	if cm.StreamWeight() != oracle.StreamWeight() {
+		t.Fatal("stream weight")
+	}
+	// CM never underestimates, and the expected error bound e·N/w holds
+	// with high probability over all items.
+	bound := 2 * float64(oracle.StreamWeight()) * 2.72 / float64(cm.Width())
+	oracle.Range(func(item, fi int64) bool {
+		est := cm.Estimate(item)
+		if est < fi {
+			t.Fatalf("item %d: CM underestimated %d < %d", item, est, fi)
+		}
+		if float64(est-fi) > bound {
+			t.Fatalf("item %d: CM error %d > %.0f", item, est-fi, bound)
+		}
+		return true
+	})
+	// Non-positive weights ignored.
+	n := cm.StreamWeight()
+	cm.Update(1, 0)
+	cm.Update(1, -5)
+	if cm.StreamWeight() != n {
+		t.Error("non-positive weight processed")
+	}
+}
+
+func TestCountSketchValidation(t *testing.T) {
+	if _, err := NewCountSketch(0, 8, 1); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := NewCountSketch(3, 0, 1); err == nil {
+		t.Error("width 0 accepted")
+	}
+	cs, err := NewCountSketch(5, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.SizeBytes() != 8*5*128 || cs.Name() != "CountSketch" {
+		t.Error("metadata")
+	}
+}
+
+func TestCountSketchAccuracy(t *testing.T) {
+	cs, err := NewCountSketch(5, 2048, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	rng := rand.New(rand.NewSource(5))
+	// Heavy items plus noise: CountSketch should estimate the heavy items
+	// with error small relative to their counts.
+	for i := 0; i < 20; i++ {
+		item := int64(i)
+		w := int64(50_000 - 1000*i)
+		cs.Update(item, w)
+		oracle.Update(item, w)
+	}
+	for i := 0; i < 50_000; i++ {
+		item := int64(1000 + rng.Intn(10_000))
+		cs.Update(item, 1)
+		oracle.Update(item, 1)
+	}
+	for _, top := range oracle.TopK(10) {
+		est := cs.Estimate(top.Item)
+		diff := est - top.Freq
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.2*float64(top.Freq) {
+			t.Errorf("item %d: CS estimate %d vs %d", top.Item, est, top.Freq)
+		}
+	}
+	// Estimates are clamped at zero.
+	if cs.Estimate(999_999_999) < 0 {
+		t.Error("negative estimate not clamped")
+	}
+	if cs.StreamWeight() != oracle.StreamWeight() {
+		t.Error("stream weight")
+	}
+	cs.Update(1, 0)
+	cs.Update(1, -1)
+}
+
+func TestCountMinDeterministicSeed(t *testing.T) {
+	a, _ := NewCountMin(3, 256, 7)
+	b, _ := NewCountMin(3, 256, 7)
+	for i := int64(0); i < 1000; i++ {
+		a.Update(i%37, 2)
+		b.Update(i%37, 2)
+	}
+	for i := int64(0); i < 37; i++ {
+		if a.Estimate(i) != b.Estimate(i) {
+			t.Fatal("same seed, different estimates")
+		}
+	}
+}

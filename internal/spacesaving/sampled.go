@@ -1,0 +1,153 @@
+package spacesaving
+
+import (
+	"fmt"
+
+	"repro/internal/hashmap"
+	"repro/internal/xrand"
+)
+
+// RTUC is the Reduce-To-Unit-Case weighted extension of Space Saving
+// (§1.3.5): an update (i, Δ) is fed to SSL as Δ unit updates, costing
+// Θ(Δ) time per update. Like mg.RTUC it exists as the semantic reference
+// for the isomorphism tests.
+type RTUC struct {
+	*StreamSummary
+}
+
+// NewRTUC returns a reduce-to-unit-case weighted SS summary.
+func NewRTUC(k int) (*RTUC, error) {
+	ss, err := NewStreamSummary(k)
+	if err != nil {
+		return nil, err
+	}
+	return &RTUC{StreamSummary: ss}, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (r *RTUC) Name() string { return "RTUC-SS" }
+
+// UpdateWeighted processes (item, weight) as weight unit updates.
+func (r *RTUC) UpdateWeighted(item int64, weight int64) {
+	for ; weight > 0; weight-- {
+		r.StreamSummary.Update(item)
+	}
+}
+
+// DefaultSampledL is the eviction sample size of the Sivaraman et al.
+// proposal (§5); they use a small constant to bound per-update memory
+// accesses on switching hardware.
+const DefaultSampledL = 2
+
+// Sampled is the Space Saving modification of Sivaraman et al. described
+// in §5: counters live in a flat array; when an unassigned item arrives
+// and every counter is in use, the minimum of ℓ randomly sampled counters
+// (rather than the global minimum) is reassigned to the item and
+// incremented by Δ. With constant ℓ this is O(1) worst-case per update,
+// at the price of a weaker error guarantee than Algorithm 2 — the trade
+// the paper defers to future experimental work, exercised here by the
+// ablation bench.
+type Sampled struct {
+	k       int
+	l       int
+	values  []int64
+	items   []int64
+	index   *hashmap.Map // item -> slot
+	rng     xrand.SplitMix64
+	streamN int64
+}
+
+// NewSampled returns a sampled-eviction SS summary with k counters and
+// eviction sample size l.
+func NewSampled(k, l int, seed uint64) (*Sampled, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("spacesaving: k must be positive, got %d", k)
+	}
+	if l < 1 {
+		return nil, fmt.Errorf("spacesaving: sample size must be positive, got %d", l)
+	}
+	lg := hashmap.MinLgLength
+	for int(float64(int(1)<<lg)*hashmap.LoadFactor) < k {
+		lg++
+	}
+	if lg > hashmap.MaxLgLength {
+		return nil, fmt.Errorf("spacesaving: k %d too large", k)
+	}
+	index, err := hashmap.New(lg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampled{
+		k:      k,
+		l:      l,
+		values: make([]int64, 0, k),
+		items:  make([]int64, 0, k),
+		index:  index,
+		rng:    xrand.NewSplitMix64(seed ^ 0xe7037ed1a0b428db),
+	}, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (s *Sampled) Name() string { return "SampledSS" }
+
+// Update processes the weighted update (item, weight).
+func (s *Sampled) Update(item int64, weight int64) {
+	if weight <= 0 {
+		return
+	}
+	s.streamN += weight
+	if slot, ok := s.index.Get(item); ok {
+		s.values[slot] += weight
+		return
+	}
+	if len(s.values) < s.k {
+		s.values = append(s.values, weight)
+		s.items = append(s.items, item)
+		s.index.Adjust(item, int64(len(s.values)-1))
+		return
+	}
+	// Reassign the minimum of l sampled counters.
+	best := s.rng.Intn(s.k)
+	for i := 1; i < s.l; i++ {
+		if c := s.rng.Intn(s.k); s.values[c] < s.values[best] {
+			best = c
+		}
+	}
+	s.index.Delete(s.items[best])
+	s.items[best] = item
+	s.values[best] += weight
+	s.index.Adjust(item, int64(best))
+}
+
+// Estimate returns the counter value when assigned and 0 otherwise; with
+// sampled eviction the global minimum is not tracked, so the unassigned
+// case cannot return it in O(1) and the MG-style 0 is reported instead.
+func (s *Sampled) Estimate(item int64) int64 {
+	if slot, ok := s.index.Get(item); ok {
+		return s.values[slot]
+	}
+	return 0
+}
+
+// StreamWeight returns N.
+func (s *Sampled) StreamWeight() int64 { return s.streamN }
+
+// NumActive returns the number of assigned counters.
+func (s *Sampled) NumActive() int { return len(s.values) }
+
+// MaxCounters returns k.
+func (s *Sampled) MaxCounters() int { return s.k }
+
+// SizeBytes returns the flat-array plus index footprint.
+func (s *Sampled) SizeBytes() int {
+	return 16*cap(s.values) + 18*s.index.Length()
+}
+
+// Range visits every assigned (item, counter) pair.
+func (s *Sampled) Range(fn func(item, value int64) bool) {
+	for i := range s.values {
+		if !fn(s.items[i], s.values[i]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package spacesaving
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/mg"
+	"repro/internal/streamgen"
+)
+
+// sumCounters returns Σc(i), which for Space Saving equals N exactly —
+// the structural invariant behind Algorithm 2's analysis.
+func sumCounters(r interface {
+	Range(func(item, value int64) bool)
+}) int64 {
+	var sum int64
+	r.Range(func(_, v int64) bool { sum += v; return true })
+	return sum
+}
+
+func TestHeapInvariants(t *testing.T) {
+	const k = 32
+	h, err := NewHeap(k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50_000; i++ {
+		item := int64(rng.Intn(500))
+		w := int64(rng.Intn(100) + 1)
+		h.Update(item, w)
+		oracle.Update(item, w)
+		if i%1000 == 0 {
+			if got := sumCounters(h); got != oracle.StreamWeight() {
+				t.Fatalf("op %d: Σc = %d, want N = %d", i, got, oracle.StreamWeight())
+			}
+		}
+	}
+	if h.NumActive() != k || h.MaxCounters() != k {
+		t.Errorf("active %d", h.NumActive())
+	}
+	// Overestimation: fi <= f̂i <= fi + min.
+	minV := h.MinValue()
+	oracle.Range(func(item, fi int64) bool {
+		est := h.Estimate(item)
+		if est < fi {
+			t.Fatalf("item %d: SS underestimated %d < %d", item, est, fi)
+		}
+		if est > fi+minV {
+			t.Fatalf("item %d: overestimate %d beyond fi+min = %d", item, est, fi+minV)
+		}
+		if lb := h.LowerBound(item); lb > fi {
+			t.Fatalf("item %d: lower bound %d > truth %d", item, lb, fi)
+		}
+		return true
+	})
+	// min <= N/k.
+	if minV > oracle.StreamWeight()/k {
+		t.Errorf("min counter %d > N/k = %d", minV, oracle.StreamWeight()/k)
+	}
+	if h.MaximumError() != minV {
+		t.Error("MaximumError != MinValue")
+	}
+	if h.SizeBytes() <= 16*k {
+		t.Error("SizeBytes must include the index")
+	}
+	if h.Name() != "MHE" {
+		t.Error("name")
+	}
+}
+
+func TestHeapIsMinHeap(t *testing.T) {
+	h, err := NewHeap(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20_000; i++ {
+		h.Update(int64(rng.Intn(300)), int64(rng.Intn(50)+1))
+	}
+	// Heap order property over the values array, checked through Range
+	// order (Range visits in array order).
+	var values []int64
+	h.Range(func(_, v int64) bool { values = append(values, v); return true })
+	for i := range values {
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(values) && values[c] < values[i] {
+				t.Fatalf("heap violation at %d: parent %d child %d", i, values[i], values[c])
+			}
+		}
+	}
+}
+
+func TestHeapUnitMatchesStreamSummary(t *testing.T) {
+	// SSH (heap, unit updates) and SSL (stream summary) implement the same
+	// Algorithm 2 up to eviction tie-breaking; their counter-value
+	// multisets and min values must agree on tie-free prefixes, and their
+	// estimates must satisfy identical invariants on any stream. Here we
+	// check the structural agreement: equal N, equal min, and equal
+	// multiset of counter values on a random unit stream.
+	const k = 16
+	h, err := NewHeap(k, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewStreamSummary(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30_000; i++ {
+		item := int64(rng.Intn(200))
+		h.UpdateOne(item)
+		ss.Update(item)
+	}
+	if got, want := sumCounters(ss), sumCounters(h); got != want {
+		t.Fatalf("ΣSSL %d != ΣSSH %d", got, want)
+	}
+	if ss.MinValue() != h.MinValue() {
+		t.Fatalf("min: SSL %d, SSH %d", ss.MinValue(), h.MinValue())
+	}
+	counts := func(r interface {
+		Range(func(item, value int64) bool)
+	}) map[int64]int {
+		m := map[int64]int{}
+		r.Range(func(_, v int64) bool { m[v]++; return true })
+		return m
+	}
+	hc, sc := counts(h), counts(ss)
+	if len(hc) != len(sc) {
+		t.Fatalf("distinct counter values: %d vs %d", len(hc), len(sc))
+	}
+	for v, n := range hc {
+		if sc[v] != n {
+			t.Fatalf("counter value %d multiplicity %d vs %d", v, n, sc[v])
+		}
+	}
+}
+
+func TestStreamSummaryBasics(t *testing.T) {
+	ss, err := NewStreamSummary(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ss.Update(1)
+	}
+	ss.Update(2)
+	if got := ss.Estimate(1); got != 5 {
+		t.Errorf("Estimate(1) = %d", got)
+	}
+	if got := ss.Estimate(2); got != 1 {
+		t.Errorf("Estimate(2) = %d", got)
+	}
+	if got := ss.Estimate(99); got != 0 {
+		t.Errorf("unassigned estimate with free counters = %d, want 0", got)
+	}
+	if ss.NumActive() != 2 || ss.MaxCounters() != 8 || ss.StreamWeight() != 6 {
+		t.Error("accessors")
+	}
+	if err := ss.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if ss.Name() != "SSL" || ss.SizeBytes() <= 0 {
+		t.Error("metadata")
+	}
+}
+
+func TestStreamSummaryInvariantsUnderChurn(t *testing.T) {
+	for _, k := range []int{1, 2, 7, 64} {
+		ss, err := NewStreamSummary(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := exact.New()
+		rng := rand.New(rand.NewSource(int64(k)))
+		for i := 0; i < 20_000; i++ {
+			item := int64(rng.Intn(3 * k))
+			ss.Update(item)
+			oracle.Update(item, 1)
+			if i%500 == 0 {
+				if err := ss.CheckInvariants(); err != nil {
+					t.Fatalf("k=%d op %d: %v", k, i, err)
+				}
+			}
+		}
+		if err := ss.CheckInvariants(); err != nil {
+			t.Fatalf("k=%d final: %v", k, err)
+		}
+		if got := sumCounters(ss); got != oracle.StreamWeight() {
+			t.Fatalf("k=%d: Σc %d != N %d", k, got, oracle.StreamWeight())
+		}
+		// Overestimation property.
+		oracle.Range(func(item, fi int64) bool {
+			if est := ss.Estimate(item); est < fi {
+				t.Fatalf("k=%d item %d: underestimate %d < %d", k, item, est, fi)
+			}
+			return true
+		})
+	}
+}
+
+func TestRTUCMatchesStreamSummary(t *testing.T) {
+	r, err := NewRTUC(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewStreamSummary(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		item := int64(rng.Intn(30))
+		w := int64(rng.Intn(10) + 1)
+		r.UpdateWeighted(item, w)
+		for j := int64(0); j < w; j++ {
+			ss.Update(item)
+		}
+	}
+	if r.StreamWeight() != ss.StreamWeight() || r.MinValue() != ss.MinValue() {
+		t.Error("RTUC diverged from direct unit feeding")
+	}
+	if r.Name() != "RTUC-SS" {
+		t.Error("name")
+	}
+}
+
+// TestIsomorphismMGSS verifies the Agarwal et al. isomorphism of §1.4 in
+// its weighted form: run RBMC (≡ RTUC-MG) with k counters and MHE
+// (≡ RTUC-SS) with k+1 counters on the same stream; then
+// (N − C_MG)/(k+1) equals SS's minimum counter, and every MG counter
+// satisfies c_MG(i) = c_SS(i) − min_SS.
+//
+// Weights are drawn from a wide range so counter ties (whose eviction
+// choice is the one free parameter of SS) are improbable.
+func TestIsomorphismMGSS(t *testing.T) {
+	const k = 8
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 100)))
+		mgSketch, err := mg.NewRBMC(k, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssSketch, err := NewHeap(k+1, uint64(trial)+77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int64
+		for i := 0; i < 400; i++ {
+			item := int64(rng.Intn(40))
+			w := int64(rng.Intn(1_000_000) + 1)
+			mgSketch.Update(item, w)
+			ssSketch.Update(item, w)
+			n += w
+		}
+		var cMG int64
+		mgSketch.Range(func(_, v int64) bool { cMG += v; return true })
+		wantMin := (n - cMG) / int64(k+1)
+		if rem := (n - cMG) % int64(k+1); rem != 0 {
+			// The exact divisibility holds for the idealized RTUC pair;
+			// with real-valued decrements it holds exactly too because
+			// every decrement value is an integer removed from exactly
+			// k+1 "virtual" counters. If it ever fails, the relation
+			// below is still checked against the floor.
+			t.Logf("trial %d: (N-C) %% (k+1) = %d", trial, rem)
+		}
+		if ssMin := ssSketch.MinValue(); ssMin != wantMin {
+			t.Fatalf("trial %d: SS min %d, (N - C_MG)/(k+1) = %d", trial, ssMin, wantMin)
+		}
+		mgSketch.Range(func(item, cmg int64) bool {
+			if pos, ok := ssHas(ssSketch, item); !ok {
+				t.Fatalf("trial %d: MG item %d absent from SS summary", trial, item)
+			} else if cmg != pos-ssSketch.MinValue() {
+				t.Fatalf("trial %d: item %d: c_MG %d != c_SS %d - min %d",
+					trial, item, cmg, pos, ssSketch.MinValue())
+			}
+			return true
+		})
+	}
+}
+
+func ssHas(h *Heap, item int64) (int64, bool) {
+	var v int64
+	found := false
+	h.Range(func(it, val int64) bool {
+		if it == item {
+			v, found = val, true
+			return false
+		}
+		return true
+	})
+	return v, found
+}
+
+func TestSampledSS(t *testing.T) {
+	s, err := NewSampled(64, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	// Strongly skewed stream: the regime the Sivaraman et al. proposal
+	// targets, where heavy flows dwarf the churn.
+	stream, err := streamgen.ZipfStream(1.8, 1<<10, 50_000, 100, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range stream {
+		s.Update(u.Item, u.Weight)
+		oracle.Update(u.Item, u.Weight)
+	}
+	if s.NumActive() != 64 {
+		t.Errorf("active %d", s.NumActive())
+	}
+	// Σc = N still holds: every unit of weight lands in some counter.
+	if got := sumCounters(s); got != oracle.StreamWeight() {
+		t.Fatalf("Σc %d != N %d", got, oracle.StreamWeight())
+	}
+	// Unlike classic SS, sampled eviction loses the no-underestimate
+	// property (an item re-entering inherits a sampled counter's value,
+	// not the global minimum) — the "larger error" §5 concedes. What must
+	// still hold on a skewed stream: the heaviest items are tracked with
+	// small relative error, since their counters are never the sample
+	// minimum once established.
+	for _, top := range oracle.TopK(5) {
+		est := s.Estimate(top.Item)
+		diff := est - top.Freq
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.1*float64(top.Freq) {
+			t.Errorf("top item %d: estimate %d vs truth %d (>10%% off)", top.Item, est, top.Freq)
+		}
+	}
+	if s.Name() != "SampledSS" || s.SizeBytes() <= 0 || s.MaxCounters() != 64 {
+		t.Error("metadata")
+	}
+	if s.StreamWeight() != oracle.StreamWeight() {
+		t.Error("weight")
+	}
+	s.Update(1, 0)
+	s.Update(1, -1)
+	if s.StreamWeight() != oracle.StreamWeight() {
+		t.Error("non-positive weights processed")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewHeap(0, 1); err == nil {
+		t.Error("heap k=0")
+	}
+	if _, err := NewHeap(1<<30, 1); err == nil {
+		t.Error("heap huge k")
+	}
+	if _, err := NewStreamSummary(0); err == nil {
+		t.Error("ssl k=0")
+	}
+	if _, err := NewSampled(0, 2, 1); err == nil {
+		t.Error("sampled k=0")
+	}
+	if _, err := NewSampled(10, 0, 1); err == nil {
+		t.Error("sampled l=0")
+	}
+	if _, err := NewSampled(1<<30, 2, 1); err == nil {
+		t.Error("sampled huge k")
+	}
+	if _, err := NewRTUC(0); err == nil {
+		t.Error("rtuc k=0")
+	}
+}
+
+func TestHeapNonPositiveWeightIgnored(t *testing.T) {
+	h, err := NewHeap(4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Update(1, 0)
+	h.Update(1, -5)
+	if h.StreamWeight() != 0 || h.NumActive() != 0 {
+		t.Error("non-positive weight processed")
+	}
+}

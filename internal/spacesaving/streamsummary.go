@@ -1,0 +1,277 @@
+package spacesaving
+
+import "fmt"
+
+// StreamSummary is the doubly-linked "Stream Summary" data structure of
+// Metwally et al. (§1.3.3), denoted SSL in Cormode–Hadjieleftheriou and in
+// the paper: buckets of equal-count counters kept in ascending count
+// order, so a unit increment moves a counter to the adjacent bucket in
+// O(1) and eviction takes any counter from the first (minimum) bucket.
+//
+// Counters and buckets are allocated from index-based pools rather than
+// the heap, which keeps the structure compact and garbage-free, but it
+// still stores four pointers per counter plus bucket overhead — the more
+// than-doubled space of §1.3.3. It supports only unit updates: the
+// bucket-hop trick has no weighted analogue (§1.3.5), which is precisely
+// why prior weighted work fell back to MHE.
+type StreamSummary struct {
+	k       int
+	streamN int64
+
+	counters []ssCounter
+	buckets  []ssBucket
+	index    map[int64]int32 // item -> counter pool index
+	freeCtr  int32           // head of counter free list (-1 none)
+	freeBkt  int32
+	minBkt   int32 // bucket with the smallest count (-1 when empty)
+	size     int
+}
+
+type ssCounter struct {
+	item       int64
+	bucket     int32
+	prev, next int32 // siblings within the bucket (-1 terminated)
+}
+
+type ssBucket struct {
+	count      int64
+	head       int32 // first counter in this bucket
+	prev, next int32 // neighbouring buckets in ascending count order
+}
+
+const nilIdx = int32(-1)
+
+// NewStreamSummary returns an SSL summary with k counters.
+func NewStreamSummary(k int) (*StreamSummary, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("spacesaving: k must be positive, got %d", k)
+	}
+	s := &StreamSummary{
+		k:        k,
+		counters: make([]ssCounter, k),
+		buckets:  make([]ssBucket, k+1),
+		index:    make(map[int64]int32, k),
+		minBkt:   nilIdx,
+	}
+	for i := range s.counters {
+		s.counters[i].next = int32(i) + 1
+	}
+	s.counters[k-1].next = nilIdx
+	s.freeCtr = 0
+	for i := range s.buckets {
+		s.buckets[i].next = int32(i) + 1
+	}
+	s.buckets[k].next = nilIdx
+	s.freeBkt = 0
+	return s, nil
+}
+
+// Name identifies the algorithm in harness output.
+func (s *StreamSummary) Name() string { return "SSL" }
+
+// Update processes a unit update in O(1): increment-and-hop for assigned
+// items, claim a free counter at count 1, or evict a minimum-bucket
+// counter per Algorithm 2.
+func (s *StreamSummary) Update(item int64) {
+	s.streamN++
+	if ci, ok := s.index[item]; ok {
+		s.increment(ci)
+		return
+	}
+	if s.size < s.k {
+		ci := s.allocCounter(item)
+		s.attach(ci, s.bucketWithCount(1, s.minBkt))
+		s.index[item] = ci
+		s.size++
+		return
+	}
+	// Evict any counter from the minimum bucket.
+	mb := s.minBkt
+	ci := s.buckets[mb].head
+	delete(s.index, s.counters[ci].item)
+	s.counters[ci].item = item
+	s.index[item] = ci
+	s.increment(ci)
+}
+
+// increment moves counter ci from its bucket to the bucket holding
+// count+1, creating or destroying buckets as needed.
+func (s *StreamSummary) increment(ci int32) {
+	b := s.counters[ci].bucket
+	newCount := s.buckets[b].count + 1
+	s.detach(ci)
+	// Find or create the successor bucket with newCount. It can only be
+	// the immediate next bucket (counts are distinct and ordered).
+	next := s.buckets[b].next
+	var target int32
+	if next != nilIdx && s.buckets[next].count == newCount {
+		target = next
+	} else {
+		target = s.insertBucketAfter(b, newCount)
+	}
+	s.attach(ci, target)
+	if s.buckets[b].head == nilIdx {
+		s.removeBucket(b)
+	}
+}
+
+// bucketWithCount returns the bucket holding count, creating it at the
+// front if necessary; hint is the current minimum bucket (count 1 inserts
+// only ever happen at the front).
+func (s *StreamSummary) bucketWithCount(count int64, hint int32) int32 {
+	if hint != nilIdx && s.buckets[hint].count == count {
+		return hint
+	}
+	// Insert a new minimum bucket at the front.
+	bi := s.allocBucket(count)
+	s.buckets[bi].next = s.minBkt
+	s.buckets[bi].prev = nilIdx
+	if s.minBkt != nilIdx {
+		s.buckets[s.minBkt].prev = bi
+	}
+	s.minBkt = bi
+	return bi
+}
+
+func (s *StreamSummary) insertBucketAfter(b int32, count int64) int32 {
+	bi := s.allocBucket(count)
+	next := s.buckets[b].next
+	s.buckets[bi].prev = b
+	s.buckets[bi].next = next
+	s.buckets[b].next = bi
+	if next != nilIdx {
+		s.buckets[next].prev = bi
+	}
+	return bi
+}
+
+func (s *StreamSummary) removeBucket(b int32) {
+	prev, next := s.buckets[b].prev, s.buckets[b].next
+	if prev != nilIdx {
+		s.buckets[prev].next = next
+	} else {
+		s.minBkt = next
+	}
+	if next != nilIdx {
+		s.buckets[next].prev = prev
+	}
+	s.buckets[b].next = s.freeBkt
+	s.freeBkt = b
+}
+
+func (s *StreamSummary) allocCounter(item int64) int32 {
+	ci := s.freeCtr
+	s.freeCtr = s.counters[ci].next
+	s.counters[ci] = ssCounter{item: item, bucket: nilIdx, prev: nilIdx, next: nilIdx}
+	return ci
+}
+
+func (s *StreamSummary) allocBucket(count int64) int32 {
+	bi := s.freeBkt
+	s.freeBkt = s.buckets[bi].next
+	s.buckets[bi] = ssBucket{count: count, head: nilIdx, prev: nilIdx, next: nilIdx}
+	return bi
+}
+
+// attach links counter ci at the head of bucket bi.
+func (s *StreamSummary) attach(ci, bi int32) {
+	head := s.buckets[bi].head
+	s.counters[ci].bucket = bi
+	s.counters[ci].prev = nilIdx
+	s.counters[ci].next = head
+	if head != nilIdx {
+		s.counters[head].prev = ci
+	}
+	s.buckets[bi].head = ci
+}
+
+// detach unlinks counter ci from its bucket without freeing it.
+func (s *StreamSummary) detach(ci int32) {
+	b := s.counters[ci].bucket
+	prev, next := s.counters[ci].prev, s.counters[ci].next
+	if prev != nilIdx {
+		s.counters[prev].next = next
+	} else {
+		s.buckets[b].head = next
+	}
+	if next != nilIdx {
+		s.counters[next].prev = prev
+	}
+}
+
+// Estimate returns the Algorithm 2 estimate: the assigned count, or the
+// minimum count when unassigned (0 while counters remain free).
+func (s *StreamSummary) Estimate(item int64) int64 {
+	if ci, ok := s.index[item]; ok {
+		return s.buckets[s.counters[ci].bucket].count
+	}
+	return s.MinValue()
+}
+
+// MinValue returns the smallest count, or 0 when counters remain free.
+func (s *StreamSummary) MinValue() int64 {
+	if s.size < s.k || s.minBkt == nilIdx {
+		return 0
+	}
+	return s.buckets[s.minBkt].count
+}
+
+// MaximumError returns the overestimation bound MinValue().
+func (s *StreamSummary) MaximumError() int64 { return s.MinValue() }
+
+// StreamWeight returns N (= n for unit updates).
+func (s *StreamSummary) StreamWeight() int64 { return s.streamN }
+
+// NumActive returns the number of assigned counters.
+func (s *StreamSummary) NumActive() int { return s.size }
+
+// MaxCounters returns k.
+func (s *StreamSummary) MaxCounters() int { return s.k }
+
+// SizeBytes returns the pool footprint: 24 bytes per counter node, 20 per
+// bucket node, plus roughly 24 bytes per map entry for the index — the
+// "more than double" of §1.3.3.
+func (s *StreamSummary) SizeBytes() int {
+	return 24*len(s.counters) + 20*len(s.buckets) + 24*s.k
+}
+
+// Range visits every assigned (item, count) pair in ascending count order.
+func (s *StreamSummary) Range(fn func(item, value int64) bool) {
+	for b := s.minBkt; b != nilIdx; b = s.buckets[b].next {
+		for ci := s.buckets[b].head; ci != nilIdx; ci = s.counters[ci].next {
+			if !fn(s.counters[ci].item, s.buckets[b].count) {
+				return
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies structural invariants for tests: ascending
+// distinct bucket counts, consistent sibling links, index agreement, and
+// size accounting.
+func (s *StreamSummary) CheckInvariants() error {
+	seen := 0
+	var prevCount int64 = -1 << 62
+	for b := s.minBkt; b != nilIdx; b = s.buckets[b].next {
+		if s.buckets[b].count <= prevCount {
+			return fmt.Errorf("bucket counts not strictly ascending at %d", b)
+		}
+		prevCount = s.buckets[b].count
+		if s.buckets[b].head == nilIdx {
+			return fmt.Errorf("empty bucket %d (count %d) not removed", b, s.buckets[b].count)
+		}
+		for ci := s.buckets[b].head; ci != nilIdx; ci = s.counters[ci].next {
+			seen++
+			if s.counters[ci].bucket != b {
+				return fmt.Errorf("counter %d bucket pointer mismatch", ci)
+			}
+			if got, ok := s.index[s.counters[ci].item]; !ok || got != ci {
+				return fmt.Errorf("index mismatch for item %d", s.counters[ci].item)
+			}
+		}
+	}
+	if seen != s.size || len(s.index) != s.size {
+		return fmt.Errorf("size %d, counted %d, index %d", s.size, seen, len(s.index))
+	}
+	return nil
+}

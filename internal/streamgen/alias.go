@@ -1,0 +1,131 @@
+// Package streamgen generates the workloads of §4: Zipf-distributed
+// synthetic streams with uniform random weights (the Figure 4 merge
+// workload, cf. [2, Section 5]), a synthetic stand-in for the CAIDA 2016
+// packet trace (items = source IPv4 addresses, weights = packet sizes in
+// bits), and the adversarial stream of §1.3.4 that forces RBMC into a
+// decrement on every update. Streams are deterministic functions of their
+// seed.
+package streamgen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// AliasTable samples from an arbitrary discrete distribution in O(1) per
+// draw using Walker's alias method (Vose's linear-time construction).
+// Zipf sampling at any skew α > 0 — including α <= 1, which the stdlib
+// Zipf generator cannot produce — reduces to an alias table over the rank
+// probabilities.
+type AliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAliasTable builds an alias table for the given non-negative weights
+// (not necessarily normalized). At least one weight must be positive.
+func NewAliasTable(weights []float64) (*AliasTable, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("streamgen: empty weight vector")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("streamgen: invalid weight %v at %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("streamgen: all weights zero")
+	}
+	t := &AliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Vose's method: split indices into under- and over-full stacks of
+	// scaled probabilities, then pair each under-full cell with an
+	// over-full donor.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers are all (within rounding) exactly 1.
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+	}
+	return t, nil
+}
+
+// Draw returns a sample index distributed per the construction weights.
+func (t *AliasTable) Draw(rng *xrand.SplitMix64) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// Len returns the support size.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// ZipfWeights returns the unnormalized Zipf(α) rank weights 1/r^α for
+// ranks 1..n.
+func ZipfWeights(alpha float64, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+	}
+	return w
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^α, any α > 0.
+type Zipf struct {
+	table *AliasTable
+	rng   xrand.SplitMix64
+}
+
+// NewZipf returns a Zipf(α) rank sampler over n ranks seeded with seed.
+func NewZipf(alpha float64, n int, seed uint64) (*Zipf, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("streamgen: alpha %v must be positive", alpha)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("streamgen: support size %d must be positive", n)
+	}
+	t, err := NewAliasTable(ZipfWeights(alpha, n))
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{table: t, rng: xrand.NewSplitMix64(seed)}, nil
+}
+
+// Next returns the next sampled rank in [0, n).
+func (z *Zipf) Next() int { return z.table.Draw(&z.rng) }

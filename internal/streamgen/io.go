@@ -1,0 +1,137 @@
+package streamgen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Stream file formats used by cmd/genstream and cmd/freq. Text: one
+// "item weight" pair per line (weight optional, defaulting to 1), the
+// format of the paper's preprocessed packet captures. Binary: a 16-byte
+// magic-and-count header followed by little-endian (int64, int64) pairs,
+// ~6x faster to parse for large experiment streams.
+
+const binaryMagic uint64 = 0x53545245414d3147 // "STREAM1G"
+
+// WriteText writes the stream in text form.
+func WriteText(w io.Writer, stream []Update) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	buf := make([]byte, 0, 48)
+	for _, u := range stream {
+		buf = strconv.AppendInt(buf[:0], u.Item, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, u.Weight, 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a text stream: one update per line, "item" or
+// "item weight", blank lines and '#' comments skipped.
+func ReadText(r io.Reader) ([]Update, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Update
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		// Trim leading spaces; skip blanks and comments.
+		for len(line) > 0 && (line[0] == ' ' || line[0] == '\t') {
+			line = line[1:]
+		}
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		item, rest, err := parseInt(line)
+		if err != nil {
+			return nil, fmt.Errorf("streamgen: line %d: %w", lineNo, err)
+		}
+		weight := int64(1)
+		if len(rest) > 0 {
+			weight, _, err = parseInt(rest)
+			if err != nil {
+				return nil, fmt.Errorf("streamgen: line %d: %w", lineNo, err)
+			}
+		}
+		out = append(out, Update{Item: item, Weight: weight})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseInt reads one signed decimal integer from the front of b and
+// returns it with the remainder after any following whitespace.
+func parseInt(b []byte) (int64, []byte, error) {
+	i := 0
+	for i < len(b) && b[i] != ' ' && b[i] != '\t' {
+		i++
+	}
+	v, err := strconv.ParseInt(string(b[:i]), 10, 64)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+		i++
+	}
+	return v, b[i:], nil
+}
+
+// WriteBinary writes the stream in binary form.
+func WriteBinary(w io.Writer, stream []Update) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], binaryMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(stream)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for _, u := range stream {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(u.Item))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(u.Weight))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrNotBinaryStream reports a missing binary magic header.
+var ErrNotBinaryStream = errors.New("streamgen: not a binary stream file")
+
+// ReadBinary parses a binary stream file.
+func ReadBinary(r io.Reader) ([]Update, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != binaryMagic {
+		return nil, ErrNotBinaryStream
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	const maxStream = 1 << 31
+	if n > maxStream {
+		return nil, fmt.Errorf("streamgen: stream length %d exceeds limit", n)
+	}
+	out := make([]Update, n)
+	var rec [16]byte
+	for i := range out {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("streamgen: truncated at record %d: %w", i, err)
+		}
+		out[i].Item = int64(binary.LittleEndian.Uint64(rec[0:]))
+		out[i].Weight = int64(binary.LittleEndian.Uint64(rec[8:]))
+	}
+	return out, nil
+}

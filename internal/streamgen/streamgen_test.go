@@ -1,0 +1,339 @@
+package streamgen
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestAliasTableValidation(t *testing.T) {
+	if _, err := NewAliasTable(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewAliasTable([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewAliasTable([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewAliasTable([]float64{math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := NewAliasTable([]float64{math.Inf(1)}); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestAliasTableDistribution(t *testing.T) {
+	// Chi-square of the sampled histogram against the target distribution.
+	weights := []float64{10, 1, 5, 0, 2, 2}
+	tab, err := NewAliasTable(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != len(weights) {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	rng := xrand.NewSplitMix64(1)
+	const samples = 400_000
+	counts := make([]int, len(weights))
+	for i := 0; i < samples; i++ {
+		counts[tab.Draw(&rng)]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	var chi2 float64
+	for i, w := range weights {
+		expected := float64(samples) * w / total
+		if w == 0 {
+			if counts[i] != 0 {
+				t.Errorf("zero-weight index %d drawn %d times", i, counts[i])
+			}
+			continue
+		}
+		d := float64(counts[i]) - expected
+		chi2 += d * d / expected
+	}
+	// 4 degrees of freedom, p=0.001 critical value ~18.5.
+	if chi2 > 18.5 {
+		t.Errorf("chi-square %.1f; counts %v", chi2, counts)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// The rank-1 frequency of Zipf(α) over n ranks is 1/H where H is the
+	// generalized harmonic number; spot check at α=1, n=1000.
+	z, err := NewZipf(1.0, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 200_000
+	rank0 := 0
+	for i := 0; i < samples; i++ {
+		if z.Next() == 0 {
+			rank0++
+		}
+	}
+	var h float64
+	for r := 1; r <= 1000; r++ {
+		h += 1 / float64(r)
+	}
+	want := float64(samples) / h
+	if got := float64(rank0); got < 0.9*want || got > 1.1*want {
+		t.Errorf("rank-0 count %v, want ~%v", got, want)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 10, 1); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewZipf(-1, 10, 1); err == nil {
+		t.Error("alpha negative accepted")
+	}
+	if _, err := NewZipf(1, 0, 1); err == nil {
+		t.Error("n 0 accepted")
+	}
+}
+
+func TestZipfStreamDeterministic(t *testing.T) {
+	a, err := ZipfStream(1.05, 1000, 5000, 10_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ZipfStream(1.05, 1000, 5000, 10_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c, err := ZipfStream(1.05, 1000, 5000, 10_000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+	for _, u := range a {
+		if u.Weight < 1 || u.Weight > 10_000 {
+			t.Fatalf("weight %d out of range", u.Weight)
+		}
+		if u.Item < 0 {
+			t.Fatalf("negative item %d", u.Item)
+		}
+	}
+	if _, err := ZipfStream(1.0, 10, 10, 0, 1); err == nil {
+		t.Error("maxWeight 0 accepted")
+	}
+}
+
+func TestUnitZipfStream(t *testing.T) {
+	s, err := UnitZipfStream(1.0, 100, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s {
+		if u.Weight != 1 {
+			t.Fatalf("unit stream weight %d", u.Weight)
+		}
+	}
+	if TotalWeight(s) != 1000 {
+		t.Error("TotalWeight")
+	}
+}
+
+func TestPacketTrace(t *testing.T) {
+	cfg := TraceConfig{Packets: 50_000, DistinctSources: 1 << 12, Seed: 9}
+	trace, err := PacketTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != cfg.Packets {
+		t.Fatalf("length %d", len(trace))
+	}
+	distinct := map[int64]bool{}
+	minW, maxW := int64(math.MaxInt64), int64(0)
+	for _, u := range trace {
+		if u.Item < 0 || u.Item > math.MaxUint32 {
+			t.Fatalf("item %d not an IPv4 address", u.Item)
+		}
+		distinct[u.Item] = true
+		if u.Weight < minW {
+			minW = u.Weight
+		}
+		if u.Weight > maxW {
+			maxW = u.Weight
+		}
+	}
+	// Packet sizes 40..1500 bytes in bits.
+	if minW < 40*8 || maxW > 1501*8 {
+		t.Errorf("weights [%d, %d] outside packet-size range", minW, maxW)
+	}
+	// Zipf head: far fewer realized sources than draws, and the trimodal
+	// weight mix means both small and large packets appear.
+	if len(distinct) < 1000 || len(distinct) >= cfg.Packets {
+		t.Errorf("distinct sources %d implausible", len(distinct))
+	}
+	if minW >= 576*8 || maxW <= 576*8 {
+		t.Error("trimodal mix missing modes")
+	}
+	// Defaults.
+	if _, err := PacketTrace(TraceConfig{Packets: 10, DistinctSources: 5}); err != nil {
+		t.Errorf("alpha default failed: %v", err)
+	}
+	if _, err := PacketTrace(TraceConfig{Packets: -1, DistinctSources: 5}); err == nil {
+		t.Error("negative packets accepted")
+	}
+	if _, err := PacketTrace(TraceConfig{Packets: 1, DistinctSources: 0}); err == nil {
+		t.Error("zero sources accepted")
+	}
+	d := DefaultTrace()
+	if d.Packets <= 0 || d.DistinctSources <= 0 {
+		t.Error("bad defaults")
+	}
+}
+
+func TestAdversarial(t *testing.T) {
+	s := Adversarial(4, 10)
+	if len(s) != 14 {
+		t.Fatalf("length %d", len(s))
+	}
+	for i := 0; i < 4; i++ {
+		if s[i].Weight != 10 {
+			t.Errorf("head weight %d", s[i].Weight)
+		}
+	}
+	seen := map[int64]bool{}
+	for _, u := range s {
+		if seen[u.Item] {
+			t.Fatalf("item %d repeated", u.Item)
+		}
+		seen[u.Item] = true
+	}
+	for i := 4; i < 14; i++ {
+		if s[i].Weight != 1 {
+			t.Errorf("tail weight %d", s[i].Weight)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	stream := []Update{{1, 2}, {-3, 4}, {5, 1}, {1 << 60, 1 << 40}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, stream); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(stream) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range stream {
+		if got[i] != stream[i] {
+			t.Fatalf("record %d: %v != %v", i, got[i], stream[i])
+		}
+	}
+}
+
+func TestReadTextForgiving(t *testing.T) {
+	in := "# comment\n\n 7 3\n9\n\t12 5\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Update{{7, 3}, {9, 1}, {12, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if _, err := ReadText(strings.NewReader("abc def\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ReadText(strings.NewReader("1 x\n")); err == nil {
+		t.Error("garbage weight accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(items []int64, weights []int64) bool {
+		stream := make([]Update, len(items))
+		for i := range items {
+			w := int64(1)
+			if i < len(weights) {
+				w = weights[i]
+			}
+			stream[i] = Update{items[i], w}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, stream); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(stream) {
+			return false
+		}
+		for i := range stream {
+			if got[i] != stream[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 32))); err != ErrNotBinaryStream {
+		t.Error("bad magic not detected")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, []Update{{1, 1}, {2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestItemIDStable(t *testing.T) {
+	if itemID(5, 1) != itemID(5, 1) {
+		t.Error("itemID unstable")
+	}
+	if itemID(5, 1) == itemID(6, 1) {
+		t.Error("itemID collision on adjacent ranks")
+	}
+	if itemID(5, 1) == itemID(5, 2) {
+		t.Error("itemID ignores seed")
+	}
+}

@@ -1,0 +1,79 @@
+// Package xrand provides a tiny, allocation-free pseudo-random number
+// generator for hot paths (counter sampling in DecrementCounters, random
+// merge iteration order) plus deterministic seeding helpers.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood 2014): one 64-bit state
+// word, one add, three xor-shift-multiplies per output. It is not
+// cryptographic; it only needs to be fast and well-mixed enough that
+// counter samples are effectively uniform, which is all the Chernoff
+// argument of §2.2 requires.
+package xrand
+
+// SplitMix64 is a 64-bit PRNG with a single word of state. The zero value
+// is a valid generator (seeded with 0).
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) SplitMix64 {
+	return SplitMix64{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a pseudo-random value in [0, n). It panics if n == 0.
+// It uses Lemire's multiply-shift reduction; the modulo bias is at most
+// n/2^64 and irrelevant for sampling purposes, so no rejection loop is
+// needed on this hot path.
+func (s *SplitMix64) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	hi, _ := mul64(s.Uint64(), n)
+	return hi
+}
+
+// Intn returns a pseudo-random value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+// Identical to math/bits.Mul64, inlined here to keep the package
+// dependency-free and trivially inlinable.
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return
+}
+
+// Mix64 applies the SplitMix64 finalizer to x. It is a strong 64-bit
+// mixing function suitable for hashing integer keys: every input bit
+// affects every output bit. Used by the hash map with a per-map seed.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

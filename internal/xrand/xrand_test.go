@@ -1,0 +1,167 @@
+package xrand
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewSplitMix64(43)
+	same := 0
+	a = NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s SplitMix64
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) != 100 {
+		t.Errorf("zero-value generator repeated outputs: %d distinct of 100", len(seen))
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := NewSplitMix64(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 20, 1<<63 + 5} {
+		for i := 0; i < 2000; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	if v := s.Uint64n(1); v != 0 {
+		t.Errorf("Uint64n(1) = %d, want 0", v)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square over 16 buckets; loose threshold, deterministic seed.
+	s := NewSplitMix64(99)
+	const buckets, samples = 16, 160000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[s.Uint64n(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom: p=0.001 critical value ~37.7.
+	if chi2 > 37.7 {
+		t.Errorf("chi-square %.1f too large; counts %v", chi2, counts)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := NewSplitMix64(5)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	assertPanics(t, func() { s.Intn(0) })
+	assertPanics(t, func() { s.Intn(-1) })
+	assertPanics(t, func() { s.Uint64n(0) })
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSplitMix64(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Errorf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestMul64MatchesBits(t *testing.T) {
+	f := func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		whi, wlo := bits.Mul64(x, y)
+		return hi == whi && lo == wlo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping any single input bit should flip roughly half the output
+	// bits on average.
+	s := NewSplitMix64(13)
+	for trial := 0; trial < 50; trial++ {
+		x := s.Uint64()
+		for bit := 0; bit < 64; bit += 7 {
+			d := bits.OnesCount64(Mix64(x) ^ Mix64(x^1<<bit))
+			if d < 12 || d > 52 {
+				t.Errorf("weak avalanche: input bit %d flipped only %d output bits", bit, d)
+			}
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 is invertible, so distinct inputs cannot collide; spot-check.
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := NewSplitMix64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	s := NewSplitMix64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64n(12345)
+	}
+	_ = sink
+}
