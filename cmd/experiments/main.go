@@ -19,7 +19,7 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/experiments"
+	"repro/freq/experiments"
 )
 
 func main() {

@@ -22,8 +22,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/streamgen"
+	"repro/freq"
+	"repro/freq/stream"
 )
 
 func main() {
@@ -43,11 +43,11 @@ func main() {
 		fatal(err)
 	}
 
-	stream, err := readStream(flag.Arg(0))
+	updates, err := readStream(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	for _, u := range stream {
+	for _, u := range updates {
 		if err := sketch.Update(u.Item, u.Weight); err != nil {
 			fatal(fmt.Errorf("update (%d, %d): %w", u.Item, u.Weight, err))
 		}
@@ -64,9 +64,9 @@ func main() {
 				item, sketch.Estimate(item), sketch.LowerBound(item), sketch.UpperBound(item))
 		}
 	} else {
-		et := core.NoFalseNegatives
+		et := freq.NoFalseNegatives
 		if *noFP {
-			et = core.NoFalsePositives
+			et = freq.NoFalsePositives
 		}
 		threshold := sketch.MaximumError()
 		if *phi > 0 {
@@ -88,39 +88,40 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := sketch.WriteTo(f); err != nil {
+		n, err := sketch.WriteTo(f)
+		if err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("serialized %d bytes to %s\n", sketch.SerializedSizeBytes(), *dumpFile)
+		fmt.Printf("serialized %d bytes to %s\n", n, *dumpFile)
 	}
 }
 
-func newSketch(k int, algo string) (*core.Sketch, error) {
+func newSketch(k int, algo string) (*freq.Sketch[int64], error) {
 	switch algo {
 	case "smed":
-		return core.New(k)
+		return freq.New[int64](k)
 	case "smin":
-		return core.NewSMIN(k)
+		return freq.New[int64](k, freq.WithSMIN())
 	default:
 		q, err := strconv.ParseFloat(algo, 64)
 		if err != nil {
 			return nil, fmt.Errorf("unknown algo %q (want smed, smin, or a quantile)", algo)
 		}
 		if q == 0 {
-			q = core.QuantileMin
+			return freq.New[int64](k, freq.WithSMIN())
 		}
-		return core.NewWithOptions(core.Options{MaxCounters: k, Quantile: q})
+		return freq.New[int64](k, freq.WithQuantile(q))
 	}
 }
 
 // readStream loads a text or binary stream file; "-" or "" reads text
 // from stdin.
-func readStream(path string) ([]streamgen.Update, error) {
+func readStream(path string) ([]stream.Update, error) {
 	if path == "" || path == "-" {
-		return streamgen.ReadText(os.Stdin)
+		return stream.ReadText(os.Stdin)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -128,13 +129,13 @@ func readStream(path string) ([]streamgen.Update, error) {
 	}
 	defer f.Close()
 	// Try binary first; fall back to text.
-	if stream, err := streamgen.ReadBinary(f); err == nil {
-		return stream, nil
+	if updates, err := stream.ReadBinary(f); err == nil {
+		return updates, nil
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	return streamgen.ReadText(f)
+	return stream.ReadText(f)
 }
 
 func fatal(err error) {

@@ -1,7 +1,7 @@
 // Command freqd runs the frequent-items summary as a network service: a
 // line-protocol TCP daemon over the concurrent sharded sketch. Collectors
 // stream weighted updates; operators query live estimates, heavy hitters,
-// and serialized snapshots (see internal/server for the protocol).
+// and serialized snapshots (see freq/server for the protocol).
 //
 // Usage:
 //
@@ -20,7 +20,7 @@ import (
 	"os/signal"
 	"syscall"
 
-	"repro/internal/server"
+	"repro/freq/server"
 )
 
 func main() {

@@ -15,7 +15,7 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/streamgen"
+	"repro/freq/stream"
 )
 
 func main() {
@@ -33,21 +33,21 @@ func main() {
 	flag.Parse()
 
 	var (
-		stream []streamgen.Update
-		err    error
+		updates []stream.Update
+		err     error
 	)
 	switch *kind {
 	case "trace":
-		stream, err = streamgen.PacketTrace(streamgen.TraceConfig{
+		updates, err = stream.PacketTrace(stream.TraceConfig{
 			Packets:         *n,
 			DistinctSources: *universe,
 			Alpha:           1.1,
 			Seed:            *seed,
 		})
 	case "zipf":
-		stream, err = streamgen.ZipfStream(*alpha, *universe, *n, *maxWeight, *seed)
+		updates, err = stream.ZipfStream(*alpha, *universe, *n, *maxWeight, *seed)
 	case "adversarial":
-		stream = streamgen.Adversarial(*k, int64(*n))
+		updates = stream.Adversarial(*k, int64(*n))
 	default:
 		err = fmt.Errorf("unknown kind %q", *kind)
 	}
@@ -70,16 +70,16 @@ func main() {
 	}
 	switch *format {
 	case "text":
-		err = streamgen.WriteText(w, stream)
+		err = stream.WriteText(w, updates)
 	case "binary":
-		err = streamgen.WriteBinary(w, stream)
+		err = stream.WriteBinary(w, updates)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "genstream: wrote %d updates (N=%d)\n", len(stream), streamgen.TotalWeight(stream))
+	fmt.Fprintf(os.Stderr, "genstream: wrote %d updates (N=%d)\n", len(updates), stream.TotalWeight(updates))
 }
 
 func fatal(err error) {

@@ -2,24 +2,45 @@
 // Lang, Liberty, Rhodes, and Thaler, "A High-Performance Algorithm for
 // Identifying Frequent Items in Data Streams" (IMC 2017) — the weighted
 // Misra–Gries variant deployed as the Apache DataSketches Frequent Items
-// sketch.
+// sketch — grown into a production-shaped system behind one public API.
 //
-// The implementation lives under internal/:
+// # Public API
+//
+// Everything downstream code needs lives in the freq package tree; this
+// root package re-exports the core names for convenience, so
+// repro.New[uint64](k) and freq.New[uint64](k) are interchangeable.
+//
+//   - repro/freq — the generic facade: Sketch[T] (fast parallel-array
+//     backend for int64/uint64, map backend for any other comparable
+//     type), Concurrent[T] (sharded, goroutine-safe), Signed[T]
+//     (turnstile streams with deletions), functional-options
+//     construction, sentinel errors, and binary/streaming serialization.
+//   - repro/freq/stream — workload generation and stream file IO.
+//   - repro/freq/server — the summary as a line-protocol TCP service.
+//   - repro/freq/experiments — regenerates the paper's evaluation
+//     figures.
+//
+// # Implementation
+//
+// The research internals stay under internal/, reachable only through
+// the facade:
 //
 //   - internal/core — the paper's algorithm (SMED/SMIN and any decrement
 //     quantile), with merging, serialization, heavy-hitter queries, and a
 //     turnstile wrapper.
 //   - internal/items — the generic-item (any comparable type) variant.
-//   - internal/mg, internal/spacesaving, internal/sketches, internal/lossy
-//     — every baseline the paper's evaluation compares against.
+//   - internal/sharded — the lock-per-shard concurrent composition.
+//   - internal/mg, internal/spacesaving, internal/sketches,
+//     internal/lossy — every baseline the paper's evaluation compares
+//     against.
 //   - internal/hashmap, internal/qselect, internal/xrand — the §2.3.3
 //     data-structure substrate.
-//   - internal/streamgen, internal/exact, internal/experiments — workload
-//     generation, ground truth, and the harness regenerating Figures 1-4.
+//   - internal/streamgen, internal/exact, internal/experiments —
+//     workload generation, ground truth, and the harness regenerating
+//     Figures 1-4.
 //   - internal/sampling, internal/hhh, internal/entropy — the §5/§6
 //     extensions.
 //
-// bench_test.go in this directory holds one benchmark per evaluation
-// figure plus the ablations called out in DESIGN.md. Binaries are under
-// cmd/ and runnable examples under examples/.
+// Binaries are under cmd/ (freq, freqd, genstream, experiments) and
+// runnable examples under examples/.
 package repro

@@ -10,9 +10,8 @@ import (
 	"log"
 	"sync"
 
-	"repro/internal/core"
-	"repro/internal/exact"
-	"repro/internal/streamgen"
+	"repro/freq"
+	"repro/freq/stream"
 )
 
 const (
@@ -21,7 +20,7 @@ const (
 )
 
 func main() {
-	stream, err := streamgen.ZipfStream(1.05, 1<<16, 2_000_000, 10_000, 7)
+	updates, err := stream.ZipfStream(1.05, 1<<16, 2_000_000, 10_000, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,12 +33,12 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sk, err := core.New(k)
+			sk, err := freq.New[int64](k)
 			if err != nil {
 				log.Fatal(err)
 			}
-			for i := w; i < len(stream); i += workers {
-				if err := sk.Update(stream[i].Item, stream[i].Weight); err != nil {
+			for i := w; i < len(updates); i += workers {
+				if err := sk.Update(updates[i].Item, updates[i].Weight); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -54,12 +53,15 @@ func main() {
 
 	// Coordinator: deserialize and merge in arbitrary order. Merging is
 	// in place — no scratch table, no new summary (§3.2).
-	var merged *core.Sketch
+	var merged *freq.Sketch[int64]
 	totalBytes := 0
 	for _, blob := range blobs {
 		totalBytes += len(blob)
-		sk, err := core.ReadFrom(bytes.NewReader(blob))
+		sk, err := freq.New[int64](k)
 		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sk.ReadFrom(bytes.NewReader(blob)); err != nil {
 			log.Fatal(err)
 		}
 		if merged == nil {
@@ -73,25 +75,37 @@ func main() {
 
 	// Compare against a single sketch over the unpartitioned stream and
 	// against ground truth.
-	single, err := core.New(k)
+	single, err := freq.New[int64](k)
 	if err != nil {
 		log.Fatal(err)
 	}
-	oracle := exact.New()
-	for _, u := range stream {
+	truth := map[int64]int64{}
+	var truthN int64
+	for _, u := range updates {
 		if err := single.Update(u.Item, u.Weight); err != nil {
 			log.Fatal(err)
 		}
-		oracle.Update(u.Item, u.Weight)
+		truth[u.Item] += u.Weight
+		truthN += u.Weight
+	}
+	maxErr := func(sk *freq.Sketch[int64]) int64 {
+		var worst int64
+		for item, want := range truth {
+			if d := sk.Estimate(item) - want; d > worst {
+				worst = d
+			} else if d := want - sk.Estimate(item); d > worst {
+				worst = d
+			}
+		}
+		return worst
 	}
 	fmt.Printf("\nmax error: merged=%d single=%d theorem-5 bound=%.0f\n",
-		oracle.MaxError(merged), oracle.MaxError(single),
-		core.TailBound(k, 0, oracle.StreamWeight()))
+		maxErr(merged), maxErr(single), freq.TailBound(k, 0, truthN))
 
 	fmt.Println("\ntop items, merged vs single-pass vs truth:")
 	fmt.Printf("%12s %12s %12s %12s\n", "item", "merged", "single", "true")
 	for _, row := range merged.TopK(8) {
 		fmt.Printf("%12d %12d %12d %12d\n",
-			row.Item, row.Estimate, single.Estimate(row.Item), oracle.Freq(row.Item))
+			row.Item, row.Estimate, single.Estimate(row.Item), truth[row.Item])
 	}
 }

@@ -8,15 +8,14 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/exact"
-	"repro/internal/streamgen"
+	"repro/freq"
+	"repro/freq/stream"
 )
 
 func main() {
 	// A synthetic stand-in for the CAIDA trace: 2M packets from ~260k
 	// distinct sources; item = source IPv4, weight = packet size in bits.
-	trace, err := streamgen.PacketTrace(streamgen.TraceConfig{
+	trace, err := stream.PacketTrace(stream.TraceConfig{
 		Packets:         2_000_000,
 		DistinctSources: 1 << 18,
 		Alpha:           1.1,
@@ -26,41 +25,40 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sketch, err := core.New(1024)
+	sketch, err := freq.New[int64](1024)
 	if err != nil {
 		log.Fatal(err)
 	}
-	oracle := exact.New() // ground truth, for demonstration only
+	truth := map[int64]int64{} // exact counts, for demonstration only
 	for _, pkt := range trace {
 		if err := sketch.Update(pkt.Item, pkt.Weight); err != nil {
 			log.Fatal(err)
 		}
-		oracle.Update(pkt.Item, pkt.Weight)
+		truth[pkt.Item] += pkt.Weight
 	}
 
 	fmt.Println(sketch)
+	exactBytes := 40 * len(truth) // ~8 key + 8 value + map overhead per entry
 	fmt.Printf("exact solution would use ~%d KB; sketch uses %d KB (%.0fx smaller)\n\n",
-		oracle.SizeBytes()/1024, sketch.MaxSizeBytes()/1024,
-		float64(oracle.SizeBytes())/float64(sketch.MaxSizeBytes()))
+		exactBytes/1024, sketch.MaxSizeBytes()/1024,
+		float64(exactBytes)/float64(sketch.MaxSizeBytes()))
 
 	fmt.Println("top talkers by traffic volume (bits):")
 	fmt.Printf("%-18s %14s %14s %9s\n", "source", "estimate", "true", "err")
 	for _, row := range sketch.TopK(10) {
-		truth := oracle.Freq(row.Item)
 		fmt.Printf("%-18s %14d %14d %9d\n",
-			ipString(uint32(row.Item)), row.Estimate, truth, row.Estimate-truth)
+			ipString(uint32(row.Item)), row.Estimate, truth[row.Item], row.Estimate-truth[row.Item])
 	}
 
 	// Every estimate respects the bracketing guarantee.
 	violations := 0
-	oracle.Range(func(item, truth int64) bool {
-		if sketch.LowerBound(item) > truth || sketch.UpperBound(item) < truth {
+	for item, want := range truth {
+		if sketch.LowerBound(item) > want || sketch.UpperBound(item) < want {
 			violations++
 		}
-		return true
-	})
+	}
 	fmt.Printf("\nbracketing violations over %d distinct sources: %d\n",
-		oracle.NumItems(), violations)
+		len(truth), violations)
 	fmt.Printf("max possible error (offset): %d bits = %.4f%% of N\n",
 		sketch.MaximumError(),
 		100*float64(sketch.MaximumError())/float64(sketch.StreamWeight()))

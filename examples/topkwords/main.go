@@ -1,4 +1,4 @@
-// Topkwords: weighted text analysis with the generic ItemsSketch — the
+// Topkwords: weighted text analysis with the generic sketch — the
 // tf-idf motivation of §1.2, where each occurrence of a term carries an
 // importance weight rather than a unit count. Items here are strings,
 // exercising the generic sketch rather than the int64-optimized core.
@@ -10,7 +10,7 @@ import (
 	"math"
 	"strings"
 
-	"repro/internal/items"
+	"repro/freq"
 )
 
 // Corpus statistics drive idf; the "stream" is every word occurrence of
@@ -46,7 +46,7 @@ func main() {
 		return int64(v * 100)
 	}
 
-	sketch, err := items.New[string](32)
+	sketch, err := freq.New[string](32)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,32 +1,32 @@
 // Turnstile: handling deletions with the two-sketch recipe from the
 // paper's §1.3 Note — one summary for insertions, one for deletion
-// magnitudes, estimates formed as the difference. The scenario: tracking
-// net ad spend per advertiser where charges arrive as positive updates
-// and refunds/chargebacks as negative ones.
+// magnitudes, estimates formed as the difference (freq.Signed). The
+// scenario: tracking net ad spend per advertiser where charges arrive as
+// positive updates and refunds/chargebacks as negative ones.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand/v2"
 
-	"repro/internal/core"
-	"repro/internal/xrand"
+	"repro/freq"
 )
 
 func main() {
-	sketch, err := core.NewSigned(core.Options{MaxCounters: 512})
+	sketch, err := freq.NewSigned[uint64](512)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	rng := xrand.NewSplitMix64(2024)
-	truth := map[int64]int64{}
+	rng := rand.New(rand.NewPCG(2024, 7))
+	truth := map[uint64]int64{}
 
-	// 200k charge events across 10k advertisers (Zipf-ish via mixing),
-	// with ~10% of charge volume later refunded.
+	// 200k charge events across 10k advertisers (Zipf-ish via the product
+	// of two uniforms), with ~10% of charge volume later refunded.
 	for i := 0; i < 200_000; i++ {
-		adv := int64(xrand.Mix64(rng.Uint64n(100)*rng.Uint64n(100)) % 10_000)
-		charge := int64(rng.Uint64n(500)) + 1
+		adv := (rng.Uint64N(100)*rng.Uint64N(100)*0x9e3779b97f4a7c15 + 1) % 10_000
+		charge := int64(rng.Uint64N(500)) + 1
 		sketch.Update(adv, charge)
 		truth[adv] += charge
 		if rng.Float64() < 0.10 {

@@ -1,0 +1,165 @@
+// Benchmark guard for the facade's zero-cost-abstraction claim: the
+// generic fast path must add no measurable per-update overhead over
+// driving internal/core directly. Compare:
+//
+//	go test -bench='Update$' -benchmem ./freq
+//
+// BenchmarkFreqUpdate vs BenchmarkCoreUpdate is the acceptance gate
+// (<= 5% delta); the remaining benchmarks situate the generic fallback
+// and the concurrent wrapper.
+package freq
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/streamgen"
+)
+
+const (
+	benchK    = 6144
+	benchSeed = 0xF00D
+)
+
+var benchStream []streamgen.Update
+
+func benchTrace(b *testing.B) []streamgen.Update {
+	b.Helper()
+	if benchStream == nil {
+		var err error
+		benchStream, err = streamgen.PacketTrace(streamgen.TraceConfig{
+			Packets:         1_000_000,
+			DistinctSources: 1 << 17,
+			Alpha:           1.1,
+			Seed:            0xCA1DA,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return benchStream
+}
+
+// BenchmarkCoreUpdate is the baseline: the internal parallel-array sketch
+// driven directly, no facade.
+func BenchmarkCoreUpdate(b *testing.B) {
+	stream := benchTrace(b)
+	s, err := core.NewWithOptions(core.Options{
+		MaxCounters: benchK, Seed: benchSeed, DisableGrowth: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := stream[i%len(stream)]
+		if err := s.Update(u.Item, u.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFreqUpdate is the same workload through the generic facade's
+// fast path; the acceptance criterion is <= 5% overhead vs
+// BenchmarkCoreUpdate.
+func BenchmarkFreqUpdate(b *testing.B) {
+	stream := benchTrace(b)
+	s, err := New[int64](benchK, WithSeed(benchSeed), WithoutGrowth())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := stream[i%len(stream)]
+		if err := s.Update(u.Item, u.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFreqUpdateUint64 pins the second fast-path instantiation.
+func BenchmarkFreqUpdateUint64(b *testing.B) {
+	stream := benchTrace(b)
+	s, err := New[uint64](benchK, WithSeed(benchSeed), WithoutGrowth())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := stream[i%len(stream)]
+		if err := s.Update(uint64(u.Item), u.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFreqUpdateGeneric situates the map-backed fallback (string
+// items) against the fast path.
+func BenchmarkFreqUpdateGeneric(b *testing.B) {
+	stream := benchTrace(b)
+	words := make([]string, 1<<16)
+	for i := range words {
+		words[i] = string([]byte{
+			byte('a' + i%26), byte('a' + (i>>4)%26), byte('a' + (i>>8)%26), byte('a' + (i>>12)%26),
+		})
+	}
+	s, err := New[string](benchK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := stream[i%len(stream)]
+		if err := s.Update(words[uint64(u.Item)&(1<<16-1)], u.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentUpdate measures the sharded wrapper under parallel
+// load.
+func BenchmarkConcurrentUpdate(b *testing.B) {
+	stream := benchTrace(b)
+	c, err := NewConcurrent[int64](8*benchK, WithShards(8), WithSeed(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			u := stream[i%len(stream)]
+			if err := c.Update(u.Item, u.Weight); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkFreqEstimate measures point-query cost through the facade on
+// a full sketch.
+func BenchmarkFreqEstimate(b *testing.B) {
+	stream := benchTrace(b)
+	s, err := New[int64](benchK, WithSeed(benchSeed), WithoutGrowth())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, u := range stream {
+		if err := s.Update(u.Item, u.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += s.Estimate(stream[i%len(stream)].Item)
+	}
+	_ = sink
+}

@@ -1,0 +1,263 @@
+package freq
+
+import (
+	"hash/maphash"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/items"
+	"repro/internal/sharded"
+)
+
+// Concurrent is the goroutine-safe counterpart of Sketch: the total
+// counter budget is spread over hash-partitioned shards (WithShards,
+// default 8, rounded up to a power of two), each summarizing its slice of
+// the stream under its own lock — the concurrency pattern the paper's §3
+// mergeability story enables. Point queries touch exactly one shard and
+// carry that shard's (smaller) error band rather than the sum of all of
+// them.
+//
+// Like Sketch, it compiles down to the parallel-array backend for int64
+// and uint64 items and falls back to the generic map-backed backend for
+// every other comparable type.
+type Concurrent[T comparable] struct {
+	fast *sharded.Sketch
+
+	slow  []itemShard[T]
+	mask  uint64
+	hseed maphash.Seed
+}
+
+type itemShard[T comparable] struct {
+	mu sync.Mutex
+	s  *items.Sketch[T]
+	// Pad the struct to a full 64-byte cache line (8 mutex + 8 pointer +
+	// 48) so neighbouring shard locks do not false-share.
+	_ [48]byte
+}
+
+// NewConcurrent returns a goroutine-safe sketch with counter budget k
+// spread over the configured shards. Per-shard budgets round up to the
+// smallest supported size rather than error.
+func NewConcurrent[T comparable](k int, opts ...Option) (*Concurrent[T], error) {
+	cfg, err := resolve(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := sharded.NumShardsFor(cfg.shards)
+	if fastKind[T]() {
+		perShard := cfg.coreOptions()
+		perShard.MaxCounters = max(cfg.k/n, core.MinCounters)
+		fast, err := sharded.NewWithOptions(n, perShard)
+		if err != nil {
+			return nil, mapCoreErr(err)
+		}
+		return &Concurrent[T]{fast: fast}, nil
+	}
+	c := &Concurrent[T]{
+		slow:  make([]itemShard[T], n),
+		mask:  uint64(n - 1),
+		hseed: maphash.MakeSeed(),
+	}
+	for i := range c.slow {
+		s, err := items.NewWithConfig[T](max(cfg.k/n, 1), cfg.itemsQuantile(), cfg.sampleSize)
+		if err != nil {
+			return nil, err
+		}
+		c.slow[i].s = s
+	}
+	return c, nil
+}
+
+// shardFor routes an item to its shard on the generic path.
+func (c *Concurrent[T]) shardFor(item T) *itemShard[T] {
+	return &c.slow[maphash.Comparable(c.hseed, item)&c.mask]
+}
+
+// NumShards returns the shard count.
+func (c *Concurrent[T]) NumShards() int {
+	if c.fast != nil {
+		return c.fast.NumShards()
+	}
+	return len(c.slow)
+}
+
+// Update adds weight to item's frequency; safe for concurrent use.
+func (c *Concurrent[T]) Update(item T, weight int64) error {
+	if weight < 0 {
+		return ErrNegativeWeight
+	}
+	if c.fast != nil {
+		return c.fast.Update(asInt64(item), weight)
+	}
+	sh := c.shardFor(item)
+	sh.mu.Lock()
+	err := sh.s.Update(item, weight)
+	sh.mu.Unlock()
+	return err
+}
+
+// UpdateOne adds a unit-weight occurrence of item; safe for concurrent
+// use.
+func (c *Concurrent[T]) UpdateOne(item T) { _ = c.Update(item, 1) }
+
+// Estimate returns the point estimate for item; safe for concurrent use.
+func (c *Concurrent[T]) Estimate(item T) int64 {
+	if c.fast != nil {
+		return c.fast.Estimate(asInt64(item))
+	}
+	sh := c.shardFor(item)
+	sh.mu.Lock()
+	v := sh.s.Estimate(item)
+	sh.mu.Unlock()
+	return v
+}
+
+// LowerBound returns a certain lower bound on item's frequency.
+func (c *Concurrent[T]) LowerBound(item T) int64 {
+	if c.fast != nil {
+		return c.fast.LowerBound(asInt64(item))
+	}
+	sh := c.shardFor(item)
+	sh.mu.Lock()
+	v := sh.s.LowerBound(item)
+	sh.mu.Unlock()
+	return v
+}
+
+// UpperBound returns a certain upper bound on item's frequency.
+func (c *Concurrent[T]) UpperBound(item T) int64 {
+	if c.fast != nil {
+		return c.fast.UpperBound(asInt64(item))
+	}
+	sh := c.shardFor(item)
+	sh.mu.Lock()
+	v := sh.s.UpperBound(item)
+	sh.mu.Unlock()
+	return v
+}
+
+// StreamWeight returns N summed over shards — a consistent total only
+// when no updates race the call.
+func (c *Concurrent[T]) StreamWeight() int64 {
+	if c.fast != nil {
+		return c.fast.StreamWeight()
+	}
+	var n int64
+	for i := range c.slow {
+		sh := &c.slow[i]
+		sh.mu.Lock()
+		n += sh.s.StreamWeight()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// MaximumError returns the largest per-shard error band; every estimate
+// is within its own shard's (smaller or equal) band.
+func (c *Concurrent[T]) MaximumError() int64 {
+	if c.fast != nil {
+		return c.fast.MaximumError()
+	}
+	var worst int64
+	for i := range c.slow {
+		sh := &c.slow[i]
+		sh.mu.Lock()
+		if e := sh.s.MaximumError(); e > worst {
+			worst = e
+		}
+		sh.mu.Unlock()
+	}
+	return worst
+}
+
+// FrequentItems returns items qualifying against the worst per-shard
+// error band, ordered by descending estimate.
+func (c *Concurrent[T]) FrequentItems(et ErrorType) []Row[T] {
+	return c.FrequentItemsAboveThreshold(c.MaximumError(), et)
+}
+
+// FrequentItemsAboveThreshold gathers qualifying rows from every shard.
+// Items are hash-partitioned, so the union over shards is exactly the
+// global answer under the chosen semantics.
+func (c *Concurrent[T]) FrequentItemsAboveThreshold(threshold int64, et ErrorType) []Row[T] {
+	if c.fast != nil {
+		return rowsFromCore[T](c.fast.FrequentItemsAboveThreshold(threshold, core.ErrorType(et)))
+	}
+	var rows []Row[T]
+	for i := range c.slow {
+		sh := &c.slow[i]
+		sh.mu.Lock()
+		rows = append(rows, rowsFromItems(sh.s.FrequentItemsAboveThreshold(threshold, items.ErrorType(et)))...)
+		sh.mu.Unlock()
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Estimate > rows[j].Estimate })
+	return rows
+}
+
+// TopK returns up to k rows with the largest estimates.
+func (c *Concurrent[T]) TopK(k int) []Row[T] {
+	rows := c.FrequentItemsAboveThreshold(0, NoFalseNegatives)
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows
+}
+
+// Snapshot merges all shards into a single fresh Sketch with the combined
+// counter budget via Algorithm 5. The result is independent of the
+// concurrent sketch and is the unit of serialization and cross-process
+// merging: snapshot, ship, Merge. Shards are locked one at a time, so a
+// snapshot taken under concurrent updates reflects each shard at a
+// (possibly different) consistent point.
+func (c *Concurrent[T]) Snapshot() (*Sketch[T], error) {
+	if c.fast != nil {
+		snap, err := c.fast.Snapshot()
+		if err != nil {
+			return nil, mapCoreErr(err)
+		}
+		return &Sketch[T]{fast: snap}, nil
+	}
+	total := 0
+	for i := range c.slow {
+		total += c.slow[i].s.MaxCounters()
+	}
+	// Carry the shards' shared decrement policy and sample size over to
+	// the merged summary.
+	out, err := items.NewWithConfig[T](total, c.slow[0].s.Quantile(), c.slow[0].s.SampleSize())
+	if err != nil {
+		return nil, err
+	}
+	for i := range c.slow {
+		sh := &c.slow[i]
+		sh.mu.Lock()
+		out.Merge(sh.s)
+		sh.mu.Unlock()
+	}
+	return &Sketch[T]{slow: out}, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler by serializing a
+// snapshot; decode it with Sketch.UnmarshalBinary.
+func (c *Concurrent[T]) MarshalBinary() ([]byte, error) {
+	snap, err := c.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return snap.MarshalBinary()
+}
+
+// Reset clears every shard.
+func (c *Concurrent[T]) Reset() {
+	if c.fast != nil {
+		c.fast.Reset()
+		return
+	}
+	for i := range c.slow {
+		sh := &c.slow[i]
+		sh.mu.Lock()
+		sh.s.Reset()
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,86 @@
+// Package experiments regenerates the paper's evaluation artifacts —
+// Figures 1-4 of §4, the §2.3.3 space accounting, and the error-guarantee
+// validation — from synthetic workloads. It is the public face of the
+// internal evaluation harness, kept separate from package freq because it
+// exists to reproduce the paper, not to serve production queries.
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// Config scales the synthetic workloads; zero values take the defaults
+// of DefaultConfig.
+type Config = experiments.Config
+
+// RunRow is one (algorithm, k) measurement of a speed/accuracy run.
+type RunRow = experiments.RunRow
+
+// MergeRow is one merge-procedure measurement (Figure 4).
+type MergeRow = experiments.MergeRow
+
+// SpaceRow is one line of the §2.3.3 space accounting.
+type SpaceRow = experiments.SpaceRow
+
+// AccuracyRow is one line of the error-guarantee validation.
+type AccuracyRow = experiments.AccuracyRow
+
+// InitialRow is one line of the §1.3 counter-vs-sketch comparison.
+type InitialRow = experiments.InitialRow
+
+// DefaultConfig returns the laptop-scale default workload (a few minutes
+// total).
+func DefaultConfig() Config { return experiments.DefaultConfig() }
+
+// QuickConfig returns a seconds-scale smoke configuration.
+func QuickConfig() Config { return experiments.QuickConfig() }
+
+// Figure1And2 runs the four algorithms at equal counters and at equal
+// space (the SMED byte budget).
+func Figure1And2(cfg Config) (equalCounters, equalSpace []RunRow, err error) {
+	return experiments.Figure1And2(cfg)
+}
+
+// Figure3 sweeps the decrement quantile (nil selects the paper's sweep).
+func Figure3(cfg Config, quantiles []float64) ([]RunRow, error) {
+	return experiments.Figure3(cfg, quantiles)
+}
+
+// Figure4 measures the three §4.5 merge procedures (nil selects the
+// configured counter ladder).
+func Figure4(cfg Config, ks []int) ([]MergeRow, error) {
+	return experiments.Figure4(cfg, ks)
+}
+
+// SpaceTable reproduces the §2.3.3 space accounting.
+func SpaceTable(cfg Config) ([]SpaceRow, error) { return experiments.SpaceTable(cfg) }
+
+// AccuracyTable validates the error guarantees against ground truth.
+func AccuracyTable(cfg Config) ([]AccuracyRow, error) { return experiments.AccuracyTable(cfg) }
+
+// InitialExperiments reproduces the §1.3 counter-vs-sketch comparison.
+func InitialExperiments(cfg Config) ([]InitialRow, error) {
+	return experiments.InitialExperiments(cfg)
+}
+
+// PrintRunRows renders run rows as an aligned table.
+func PrintRunRows(w io.Writer, title string, rows []RunRow) {
+	experiments.PrintRunRows(w, title, rows)
+}
+
+// PrintSpeedups renders the relative-speed summary of a run table.
+func PrintSpeedups(w io.Writer, rows []RunRow) { experiments.PrintSpeedups(w, rows) }
+
+// PrintMergeRows renders Figure 4 rows.
+func PrintMergeRows(w io.Writer, rows []MergeRow) { experiments.PrintMergeRows(w, rows) }
+
+// PrintSpaceRows renders the space accounting.
+func PrintSpaceRows(w io.Writer, rows []SpaceRow) { experiments.PrintSpaceRows(w, rows) }
+
+// PrintAccuracyRows renders the accuracy validation.
+func PrintAccuracyRows(w io.Writer, rows []AccuracyRow) { experiments.PrintAccuracyRows(w, rows) }
+
+// PrintInitialRows renders the counter-vs-sketch comparison.
+func PrintInitialRows(w io.Writer, rows []InitialRow) { experiments.PrintInitialRows(w, rows) }

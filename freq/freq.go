@@ -1,0 +1,309 @@
+// Package freq is the public face of this repository: a weighted
+// frequent-items sketch (Anderson et al., IMC 2017 — the algorithm behind
+// the Apache DataSketches Frequent Items sketch) exposed as one generic
+// type over every backend the implementation provides.
+//
+// Sketch[T] answers "which items carry the most total weight?" over a
+// stream of (item, weight) pairs using a fixed number of counters k,
+// guaranteeing LowerBound(x) <= f(x) <= UpperBound(x) with
+// UpperBound - LowerBound <= MaximumError() for every item. When T is
+// int64 or uint64 the sketch runs on the §2.3.3 parallel-array table
+// (amortized O(1) updates, 24k bytes at full size); for any other
+// comparable type it falls back to the map-backed generic implementation,
+// trading roughly 3x memory and some constant-factor speed.
+//
+//	sk, _ := freq.New[uint64](1024)
+//	sk.Update(srcIP, packetBytes)
+//	for _, row := range sk.FrequentItemsAboveThreshold(threshold, freq.NoFalseNegatives) {
+//		fmt.Println(row.Item, row.Estimate)
+//	}
+//
+// Concurrent[T] is the goroutine-safe sharded variant for parallel
+// ingest, Signed[T] the two-sketch turnstile recipe of §1.3 for streams
+// with deletions. Construction is uniform across all three:
+// freq.New / freq.NewConcurrent / freq.NewSigned with functional options
+// (WithQuantile, WithSMIN, WithSampleSize, WithSeed, WithShards,
+// WithoutGrowth). Sketches serialize via encoding.BinaryMarshaler /
+// BinaryUnmarshaler and stream via WriteTo / ReadFrom.
+//
+// Subpackages round out the system: freq/stream generates and stores the
+// paper's workloads, freq/server runs the summary as a TCP service, and
+// freq/experiments regenerates the paper's evaluation figures.
+package freq
+
+import (
+	"fmt"
+	"reflect"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/items"
+)
+
+// Sketch is a weighted frequent-items summary over items of type T.
+// It is not safe for concurrent use; see Concurrent for parallel ingest.
+//
+// Exactly one backend is active per instantiation: the parallel-array
+// core sketch when T's underlying kind is int64 or uint64, the generic
+// map-backed sketch otherwise.
+type Sketch[T comparable] struct {
+	fast *core.Sketch
+	slow *items.Sketch[T]
+	// serde overrides the built-in item codecs for marshaling sketches
+	// over types other than int64/uint64/string.
+	serde SerDe[T]
+}
+
+// fastKind reports whether T updates compile down to the parallel-array
+// core sketch. Resolved once per constructed sketch, never per update.
+func fastKind[T comparable]() bool {
+	var zero T
+	switch k := reflect.TypeOf(zero).Kind(); k {
+	case reflect.Int64, reflect.Uint64:
+		return true
+	}
+	return false
+}
+
+// asInt64 reinterprets item as an int64. Called only on the fast path,
+// which is selected exactly when T is an 8-byte integer kind, so the
+// conversion is a free, lossless bit cast.
+func asInt64[T comparable](item T) int64 {
+	return *(*int64)(unsafe.Pointer(&item))
+}
+
+// fromInt64 is the inverse bit cast, used to surface stored items back as
+// T in query results.
+func fromInt64[T comparable](v int64) T {
+	return *(*T)(unsafe.Pointer(&v))
+}
+
+// New returns a sketch tracking up to k counters, configured by opts. The
+// defaults are the paper's headline configuration: SMED (median decrement
+// quantile), sample size ℓ = 1024, adaptive table growth, and a random
+// per-sketch hash seed. Budgets below the smallest supported table round
+// up to 6 counters on the fast path.
+func New[T comparable](k int, opts ...Option) (*Sketch[T], error) {
+	cfg, err := resolve(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newFromConfig[T](cfg)
+}
+
+func newFromConfig[T comparable](cfg config) (*Sketch[T], error) {
+	if fastKind[T]() {
+		fast, err := core.NewWithOptions(cfg.coreOptions())
+		if err != nil {
+			return nil, mapCoreErr(err)
+		}
+		return &Sketch[T]{fast: fast}, nil
+	}
+	slow, err := items.NewWithConfig[T](cfg.k, cfg.itemsQuantile(), cfg.sampleSize)
+	if err != nil {
+		return nil, fmt.Errorf("freq: %w", err)
+	}
+	return &Sketch[T]{slow: slow}, nil
+}
+
+// mapCoreErr converts residual core constructor failures (those not
+// pre-validated by resolve) onto the package sentinels.
+func mapCoreErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrTooManyCounters, err)
+}
+
+// Update adds weight to item's frequency. Zero weights are no-ops;
+// negative weights return ErrNegativeWeight (use Signed for deletions).
+func (s *Sketch[T]) Update(item T, weight int64) error {
+	if weight < 0 {
+		return fmt.Errorf("%w: %d (use freq.Signed for deletions)", ErrNegativeWeight, weight)
+	}
+	if s.fast != nil {
+		return s.fast.Update(asInt64(item), weight)
+	}
+	return s.slow.Update(item, weight)
+}
+
+// UpdateOne adds a unit-weight occurrence of item.
+func (s *Sketch[T]) UpdateOne(item T) {
+	if s.fast != nil {
+		s.fast.UpdateOne(asInt64(item))
+		return
+	}
+	s.slow.UpdateOne(item)
+}
+
+// Estimate returns the hybrid point estimate f̂(item): within
+// MaximumError above the truth for tracked items, exactly 0 for items
+// never seen or evicted.
+func (s *Sketch[T]) Estimate(item T) int64 {
+	if s.fast != nil {
+		return s.fast.Estimate(asInt64(item))
+	}
+	return s.slow.Estimate(item)
+}
+
+// LowerBound returns a value certainly <= item's true frequency.
+func (s *Sketch[T]) LowerBound(item T) int64 {
+	if s.fast != nil {
+		return s.fast.LowerBound(asInt64(item))
+	}
+	return s.slow.LowerBound(item)
+}
+
+// UpperBound returns a value certainly >= item's true frequency.
+func (s *Sketch[T]) UpperBound(item T) int64 {
+	if s.fast != nil {
+		return s.fast.UpperBound(asInt64(item))
+	}
+	return s.slow.UpperBound(item)
+}
+
+// MaximumError returns the additive error band of any estimate:
+// UpperBound(x) - LowerBound(x) for every tracked item x.
+func (s *Sketch[T]) MaximumError() int64 {
+	if s.fast != nil {
+		return s.fast.MaximumError()
+	}
+	return s.slow.MaximumError()
+}
+
+// StreamWeight returns N, the total weight processed, including weight
+// merged in from other sketches.
+func (s *Sketch[T]) StreamWeight() int64 {
+	if s.fast != nil {
+		return s.fast.StreamWeight()
+	}
+	return s.slow.StreamWeight()
+}
+
+// NumActive returns the number of assigned counters.
+func (s *Sketch[T]) NumActive() int {
+	if s.fast != nil {
+		return s.fast.NumActive()
+	}
+	return s.slow.NumActive()
+}
+
+// MaxCounters returns the counter budget k.
+func (s *Sketch[T]) MaxCounters() int {
+	if s.fast != nil {
+		return s.fast.MaxCounters()
+	}
+	return s.slow.MaxCounters()
+}
+
+// Quantile returns the effective decrement quantile; 0 means SMIN,
+// regardless of backend.
+func (s *Sketch[T]) Quantile() float64 {
+	if s.fast != nil {
+		return s.fast.Quantile()
+	}
+	return s.slow.Quantile()
+}
+
+// SampleSize returns ℓ, the number of counters sampled per decrement.
+func (s *Sketch[T]) SampleSize() int {
+	if s.fast != nil {
+		return s.fast.SampleSize()
+	}
+	return s.slow.SampleSize()
+}
+
+// IsEmpty reports whether the sketch has processed no weight.
+func (s *Sketch[T]) IsEmpty() bool {
+	if s.fast != nil {
+		return s.fast.IsEmpty()
+	}
+	return s.slow.IsEmpty()
+}
+
+// SizeBytes returns the current in-memory footprint of the counter store:
+// exact 18 bytes per table slot on the fast path, an approximation
+// (48 bytes per counter, excluding item payloads) on the generic path.
+func (s *Sketch[T]) SizeBytes() int {
+	if s.fast != nil {
+		return s.fast.SizeBytes()
+	}
+	return 48 * s.slow.NumActive()
+}
+
+// MaxSizeBytes returns the full-size footprint: the §2.3.3 accounting of
+// 24k bytes on the fast path, the 48-bytes-per-counter approximation on
+// the generic path.
+func (s *Sketch[T]) MaxSizeBytes() int {
+	if s.fast != nil {
+		return s.fast.MaxSizeBytes()
+	}
+	return 48 * s.slow.MaxCounters()
+}
+
+// Reset returns the sketch to its freshly constructed state, keeping its
+// configuration.
+func (s *Sketch[T]) Reset() {
+	if s.fast != nil {
+		s.fast.Reset()
+		return
+	}
+	s.slow.Reset()
+}
+
+// Merge folds other into s per Algorithm 5 — s then summarizes the
+// concatenation of both streams, with additive error bands (Theorem 5) —
+// and returns s for chaining. other is not modified.
+func (s *Sketch[T]) Merge(other *Sketch[T]) *Sketch[T] {
+	if other == nil || other == s {
+		return s
+	}
+	if s.fast != nil {
+		s.fast.Merge(other.fast)
+		return s
+	}
+	s.slow.Merge(other.slow)
+	return s
+}
+
+// FrequentItems returns items qualifying against the sketch's own error
+// band, ordered by descending estimate.
+func (s *Sketch[T]) FrequentItems(et ErrorType) []Row[T] {
+	return s.FrequentItemsAboveThreshold(s.MaximumError(), et)
+}
+
+// FrequentItemsAboveThreshold returns items qualifying against a caller
+// threshold (φ·N for (φ, ε)-heavy hitters): under NoFalsePositives those
+// with LowerBound > threshold, under NoFalseNegatives those with
+// UpperBound > threshold. Rows are ordered by descending estimate.
+func (s *Sketch[T]) FrequentItemsAboveThreshold(threshold int64, et ErrorType) []Row[T] {
+	if s.fast != nil {
+		return rowsFromCore[T](s.fast.FrequentItemsAboveThreshold(threshold, core.ErrorType(et)))
+	}
+	return rowsFromItems(s.slow.FrequentItemsAboveThreshold(threshold, items.ErrorType(et)))
+}
+
+// TopK returns up to k rows with the largest estimates.
+func (s *Sketch[T]) TopK(k int) []Row[T] {
+	rows := s.FrequentItemsAboveThreshold(0, NoFalseNegatives)
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows
+}
+
+// String summarizes the sketch state for humans.
+func (s *Sketch[T]) String() string {
+	backend := "generic"
+	if s.fast != nil {
+		backend = "fast"
+	}
+	q := s.Quantile()
+	policy := fmt.Sprintf("q=%.2f", q)
+	if q == 0 {
+		policy = "SMIN"
+	}
+	return fmt.Sprintf("freq.Sketch(k=%d, %s, l=%d, %s): N=%d, active=%d, err=%d",
+		s.MaxCounters(), policy, s.SampleSize(), backend,
+		s.StreamWeight(), s.NumActive(), s.MaximumError())
+}

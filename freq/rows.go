@@ -1,0 +1,82 @@
+package freq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/items"
+)
+
+// ErrorType selects heavy-hitter extraction semantics, mirroring the
+// DataSketches API. The numeric values align with both internal backends,
+// so conversions are free.
+type ErrorType int
+
+const (
+	// NoFalsePositives returns items whose lower bound exceeds the
+	// threshold: every returned item is truly above it, but items within
+	// the error band may be missed.
+	NoFalsePositives ErrorType = iota
+	// NoFalseNegatives returns items whose upper bound exceeds the
+	// threshold: every item truly above it is returned, plus possibly a
+	// few items within the error band below it.
+	NoFalseNegatives
+)
+
+func (e ErrorType) String() string {
+	switch e {
+	case NoFalsePositives:
+		return "NoFalsePositives"
+	case NoFalseNegatives:
+		return "NoFalseNegatives"
+	default:
+		return fmt.Sprintf("ErrorType(%d)", int(e))
+	}
+}
+
+// Row is one frequent-item result: the item with its estimate and the
+// bracketing bounds (UpperBound - LowerBound == MaximumError for every
+// tracked item).
+type Row[T comparable] struct {
+	Item       T
+	Estimate   int64
+	LowerBound int64
+	UpperBound int64
+}
+
+func (r Row[T]) String() string {
+	return fmt.Sprintf("{item:%v est:%d lb:%d ub:%d}", r.Item, r.Estimate, r.LowerBound, r.UpperBound)
+}
+
+func rowsFromCore[T comparable](in []core.Row) []Row[T] {
+	out := make([]Row[T], len(in))
+	for i, r := range in {
+		out[i] = Row[T]{
+			Item:       fromInt64[T](r.Item),
+			Estimate:   r.Estimate,
+			LowerBound: r.LowerBound,
+			UpperBound: r.UpperBound,
+		}
+	}
+	return out
+}
+
+func rowsFromItems[T comparable](in []items.Row[T]) []Row[T] {
+	out := make([]Row[T], len(in))
+	for i, r := range in {
+		out[i] = Row[T]{
+			Item:       r.Item,
+			Estimate:   r.Estimate,
+			LowerBound: r.LowerBound,
+			UpperBound: r.UpperBound,
+		}
+	}
+	return out
+}
+
+// TailBound returns the a-priori §2.3.2 error guarantee for a k-counter
+// sketch after residualWeight stream weight beyond the top j items:
+// N^res(j) / (0.33·k − j), or +Inf once j reaches 0.33·k.
+func TailBound(k, j int, residualWeight int64) float64 {
+	return core.TailBound(k, j, residualWeight)
+}

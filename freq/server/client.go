@@ -7,7 +7,7 @@ import (
 	"net"
 	"strings"
 
-	"repro/internal/core"
+	"repro/freq"
 )
 
 // Client speaks the line protocol to a Server. It is a thin synchronous
@@ -87,18 +87,18 @@ func (c *Client) Query(item int64) (est, lb, ub int64, err error) {
 }
 
 // readMulti parses a MULTI block into rows.
-func (c *Client) readMulti(header string) ([]core.Row, error) {
+func (c *Client) readMulti(header string) ([]freq.Row[int64], error) {
 	var n int
 	if _, err := fmt.Sscanf(header, "MULTI %d", &n); err != nil {
 		return nil, fmt.Errorf("server: bad multi header %q", header)
 	}
-	rows := make([]core.Row, 0, n)
+	rows := make([]freq.Row[int64], 0, n)
 	for i := 0; i < n; i++ {
 		line, err := c.r.ReadString('\n')
 		if err != nil {
 			return nil, err
 		}
-		var r core.Row
+		var r freq.Row[int64]
 		if _, err := fmt.Sscanf(strings.TrimSpace(line), "ITEM %d %d %d %d",
 			&r.Item, &r.Estimate, &r.LowerBound, &r.UpperBound); err != nil {
 			return nil, fmt.Errorf("server: bad row %q", line)
@@ -109,7 +109,7 @@ func (c *Client) readMulti(header string) ([]core.Row, error) {
 }
 
 // Top returns the n largest items.
-func (c *Client) Top(n int) ([]core.Row, error) {
+func (c *Client) Top(n int) ([]freq.Row[int64], error) {
 	resp, err := c.roundTrip("TOP %d", n)
 	if err != nil {
 		return nil, err
@@ -118,7 +118,7 @@ func (c *Client) Top(n int) ([]core.Row, error) {
 }
 
 // HeavyHitters returns items above phi (in [0,1]) of the stream weight.
-func (c *Client) HeavyHitters(phi float64) ([]core.Row, error) {
+func (c *Client) HeavyHitters(phi float64) ([]freq.Row[int64], error) {
 	resp, err := c.roundTrip("HH %d", int(phi*1000))
 	if err != nil {
 		return nil, err
@@ -139,9 +139,9 @@ func (c *Client) Stats() (n, maxErr int64, err error) {
 	return n, maxErr, nil
 }
 
-// Snapshot fetches the serialized summary and decodes it into a core
-// sketch — the §3 geographically-distributed pattern over the wire.
-func (c *Client) Snapshot() (*core.Sketch, error) {
+// Snapshot fetches the serialized summary and decodes it into a sketch —
+// the §3 geographically-distributed pattern over the wire.
+func (c *Client) Snapshot() (*freq.Sketch[int64], error) {
 	resp, err := c.roundTrip("SNAPSHOT")
 	if err != nil {
 		return nil, err
@@ -154,7 +154,14 @@ func (c *Client) Snapshot() (*core.Sketch, error) {
 	if _, err := io.ReadFull(c.r, blob); err != nil {
 		return nil, err
 	}
-	return core.Deserialize(blob)
+	sk, err := freq.New[int64](64)
+	if err != nil {
+		return nil, err
+	}
+	if err := sk.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	return sk, nil
 }
 
 // Reset clears the server-side summary.

@@ -1,9 +1,10 @@
 // Package server provides a line-protocol TCP service around the
-// concurrent sharded sketch: the deployment shape of the §1.2 motivation,
-// where collectors stream weighted updates (bytes per source, watch time
-// per user) and operators issue point and heavy-hitter queries against
-// the live summary. Everything is stdlib net + the sharded sketch; one
-// goroutine per connection, queries and updates freely interleaved.
+// concurrent frequent-items sketch: the deployment shape of the §1.2
+// motivation, where collectors stream weighted updates (bytes per source,
+// watch time per user) and operators issue point and heavy-hitter queries
+// against the live summary. Everything is stdlib net + the public freq
+// API; one goroutine per connection, queries and updates freely
+// interleaved.
 //
 // Protocol (one request per line, space separated; responses are single
 // lines except MULTI blocks):
@@ -30,8 +31,7 @@ import (
 	"strings"
 	"sync"
 
-	"repro/internal/core"
-	"repro/internal/sharded"
+	"repro/freq"
 )
 
 // Config parameterizes a Server.
@@ -44,7 +44,7 @@ type Config struct {
 
 // Server owns the live summary and serves the line protocol.
 type Server struct {
-	sketch *sharded.Sketch
+	sketch *freq.Concurrent[int64]
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -64,7 +64,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = 8
 	}
-	sk, err := sharded.New(cfg.MaxCounters, cfg.Shards)
+	sk, err := freq.NewConcurrent[int64](cfg.MaxCounters, freq.WithShards(cfg.Shards))
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +75,7 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Sketch exposes the underlying summary (for embedding and tests).
-func (s *Server) Sketch() *sharded.Sketch { return s.sketch }
+func (s *Server) Sketch() *freq.Concurrent[int64] { return s.sketch }
 
 // Serve accepts connections on ln until Close is called. It returns
 // net.ErrClosed after a clean shutdown.
@@ -217,11 +217,7 @@ func (s *Server) dispatch(w io.Writer, line string) (quit bool, err error) {
 		if err != nil || n < 1 {
 			return false, errors.New("bad count")
 		}
-		rows := s.sketch.FrequentItemsAboveThreshold(0, core.NoFalseNegatives)
-		if len(rows) > n {
-			rows = rows[:n]
-		}
-		writeRows(w, rows)
+		writeRows(w, s.sketch.TopK(n))
 	case "HH":
 		if len(args) != 1 {
 			return false, errors.New("usage: HH <phi-millis>")
@@ -231,16 +227,15 @@ func (s *Server) dispatch(w io.Writer, line string) (quit bool, err error) {
 			return false, errors.New("phi-millis must be 0..1000")
 		}
 		threshold := int64(float64(millis) / 1000 * float64(s.sketch.StreamWeight()))
-		writeRows(w, s.sketch.FrequentItemsAboveThreshold(threshold, core.NoFalseNegatives))
+		writeRows(w, s.sketch.FrequentItemsAboveThreshold(threshold, freq.NoFalseNegatives))
 	case "STATS":
 		fmt.Fprintf(w, "STATS n=%d err=%d shards=%d\n",
 			s.sketch.StreamWeight(), s.sketch.MaximumError(), s.sketch.NumShards())
 	case "SNAPSHOT":
-		snap, err := s.sketch.Snapshot()
+		blob, err := s.sketch.MarshalBinary()
 		if err != nil {
 			return false, err
 		}
-		blob := snap.Serialize()
 		fmt.Fprintf(w, "SNAP %d\n", len(blob))
 		if _, err := w.Write(blob); err != nil {
 			return false, err
@@ -257,7 +252,7 @@ func (s *Server) dispatch(w io.Writer, line string) (quit bool, err error) {
 	return false, nil
 }
 
-func writeRows(w io.Writer, rows []core.Row) {
+func writeRows(w io.Writer, rows []freq.Row[int64]) {
 	fmt.Fprintf(w, "MULTI %d\n", len(rows))
 	for _, r := range rows {
 		fmt.Fprintf(w, "ITEM %d %d %d %d\n", r.Item, r.Estimate, r.LowerBound, r.UpperBound)

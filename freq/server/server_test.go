@@ -6,8 +6,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/exact"
-	"repro/internal/streamgen"
+	"repro/freq/stream"
 )
 
 // testServer is a started server plus its bound address.
@@ -142,30 +141,31 @@ func TestProtocolErrorsKeepConnectionUsable(t *testing.T) {
 func TestSnapshotOverWire(t *testing.T) {
 	srv := startServer(t, Config{MaxCounters: 2048, Shards: 4})
 	c := dial(t, srv)
-	stream, err := streamgen.ZipfStream(1.1, 1<<10, 5_000, 100, 1)
+	updates, err := stream.ZipfStream(1.1, 1<<10, 5_000, 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle := exact.New()
-	for _, u := range stream {
+	truth := map[int64]int64{}
+	var truthN int64
+	for _, u := range updates {
 		if err := c.Update(u.Item, u.Weight); err != nil {
 			t.Fatal(err)
 		}
-		oracle.Update(u.Item, u.Weight)
+		truth[u.Item] += u.Weight
+		truthN += u.Weight
 	}
 	snap, err := c.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.StreamWeight() != oracle.StreamWeight() {
-		t.Errorf("snapshot N %d, want %d", snap.StreamWeight(), oracle.StreamWeight())
+	if snap.StreamWeight() != truthN {
+		t.Errorf("snapshot N %d, want %d", snap.StreamWeight(), truthN)
 	}
-	oracle.Range(func(item, truth int64) bool {
-		if lb, ub := snap.LowerBound(item), snap.UpperBound(item); lb > truth || ub < truth {
-			t.Fatalf("item %d: [%d, %d] misses %d", item, lb, ub, truth)
+	for item, want := range truth {
+		if lb, ub := snap.LowerBound(item), snap.UpperBound(item); lb > want || ub < want {
+			t.Fatalf("item %d: [%d, %d] misses %d", item, lb, ub, want)
 		}
-		return true
-	})
+	}
 	// Reset clears the live summary but not the snapshot.
 	if err := c.Reset(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,99 @@
+package freq
+
+import "fmt"
+
+// Signed handles streams with deletions via the strict-turnstile recipe
+// from the paper's §1.3 Note: one summary for the positive updates and
+// one for the magnitudes of the negative updates, with point estimates
+// formed as the difference. By the triangle inequality the error of an
+// estimate is at most the sum of the two summaries' errors, i.e.
+// proportional to the gross volume Σ|Δ| rather than to the net weight
+// N = ΣΔ — suitable when deletions are a small share of the stream.
+// It is not safe for concurrent use.
+type Signed[T comparable] struct {
+	pos *Sketch[T]
+	neg *Sketch[T]
+}
+
+// NewSigned returns a turnstile-capable pair of sketches, each with
+// counter budget k and the given options. A pinned seed (WithSeed) is
+// automatically varied between the two sides so their probe behaviour
+// never correlates.
+func NewSigned[T comparable](k int, opts ...Option) (*Signed[T], error) {
+	cfg, err := resolve(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	pos, err := newFromConfig[T](cfg)
+	if err != nil {
+		return nil, err
+	}
+	negCfg := cfg
+	if cfg.seed != 0 {
+		negCfg.seed = cfg.seed ^ 0x9e3779b97f4a7c15
+	}
+	neg, err := newFromConfig[T](negCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Signed[T]{pos: pos, neg: neg}, nil
+}
+
+// Update processes a signed weighted update; weight may be negative.
+func (t *Signed[T]) Update(item T, weight int64) {
+	switch {
+	case weight > 0:
+		_ = t.pos.Update(item, weight)
+	case weight < 0:
+		_ = t.neg.Update(item, -weight)
+	}
+}
+
+// Estimate returns the difference of the two summaries' estimates. It
+// may be negative for items whose deletions were overestimated; callers
+// that know final frequencies are non-negative may clamp at zero.
+func (t *Signed[T]) Estimate(item T) int64 {
+	return t.pos.Estimate(item) - t.neg.Estimate(item)
+}
+
+// LowerBound returns a certain lower bound on the true signed frequency.
+func (t *Signed[T]) LowerBound(item T) int64 {
+	return t.pos.LowerBound(item) - t.neg.UpperBound(item)
+}
+
+// UpperBound returns a certain upper bound on the true signed frequency.
+func (t *Signed[T]) UpperBound(item T) int64 {
+	return t.pos.UpperBound(item) - t.neg.LowerBound(item)
+}
+
+// MaximumError returns the additive error bound of any estimate: the sum
+// of the two summaries' bands (triangle inequality, §1.3 Note).
+func (t *Signed[T]) MaximumError() int64 {
+	return t.pos.MaximumError() + t.neg.MaximumError()
+}
+
+// GrossWeight returns Σ|Δ|, the quantity the turnstile error guarantee
+// is proportional to.
+func (t *Signed[T]) GrossWeight() int64 {
+	return t.pos.StreamWeight() + t.neg.StreamWeight()
+}
+
+// NetWeight returns N = ΣΔ.
+func (t *Signed[T]) NetWeight() int64 {
+	return t.pos.StreamWeight() - t.neg.StreamWeight()
+}
+
+// Merge folds other into t component-wise (Algorithm 5 on each side) and
+// returns t.
+func (t *Signed[T]) Merge(other *Signed[T]) *Signed[T] {
+	if other == nil || other == t {
+		return t
+	}
+	t.pos.Merge(other.pos)
+	t.neg.Merge(other.neg)
+	return t
+}
+
+func (t *Signed[T]) String() string {
+	return fmt.Sprintf("freq.Signed{pos: %s, neg: %s}", t.pos, t.neg)
+}

@@ -1,0 +1,184 @@
+// White-box regression tests locking down the SMIN convention mapping.
+// History: the core backend encodes SMIN as the sentinel Quantile ==
+// QuantileMin (-1) because 0 there means "use the default", while the
+// generic backend encodes SMIN as quantile 0. The facade must translate
+// its explicit WithSMIN flag onto BOTH conventions, and must never let a
+// raw 0 leak through WithQuantile (on the core backend that would
+// silently select SMED).
+package freq
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSMINMapsToBothBackends(t *testing.T) {
+	// Fast path: WithSMIN must reach core as QuantileMin, observable as
+	// an effective quantile of 0.
+	fast, err := New[uint64](64, WithSMIN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.fast == nil {
+		t.Fatal("uint64 sketch not on the fast path")
+	}
+	if q := fast.fast.Quantile(); q != 0 {
+		t.Fatalf("core quantile after WithSMIN = %v, want 0 (SMIN)", q)
+	}
+
+	// Generic path: WithSMIN must reach items as quantile 0.
+	slow, err := New[string](64, WithSMIN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.slow == nil {
+		t.Fatal("string sketch not on the generic path")
+	}
+	if q := slow.slow.Quantile(); q != 0 {
+		t.Fatalf("items quantile after WithSMIN = %v, want 0 (SMIN)", q)
+	}
+
+	// The facade's own accessor reports the unified convention (0 = SMIN)
+	// for both.
+	if fast.Quantile() != 0 || slow.Quantile() != 0 {
+		t.Fatalf("facade Quantile() = (%v, %v), want (0, 0)", fast.Quantile(), slow.Quantile())
+	}
+}
+
+func TestSnapshotKeepsConfigurationOnBothBackends(t *testing.T) {
+	// A Concurrent snapshot must inherit the shards' decrement policy and
+	// sample size, not silently revert to the SMED/ℓ=1024 defaults.
+	fast, err := NewConcurrent[uint64](256, WithSMIN(), WithSampleSize(64), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fast.Update(1, 1)
+	fastSnap, err := fast.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, l := fastSnap.Quantile(), fastSnap.SampleSize(); q != 0 || l != 64 {
+		t.Fatalf("fast snapshot config = (q=%v, l=%d), want (0, 64)", q, l)
+	}
+	slow, err := NewConcurrent[string](256, WithSMIN(), WithSampleSize(64), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = slow.Update("x", 1)
+	slowSnap, err := slow.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, l := slowSnap.Quantile(), slowSnap.SampleSize(); q != 0 || l != 64 {
+		t.Fatalf("generic snapshot config = (q=%v, l=%d), want (0, 64)", q, l)
+	}
+}
+
+func TestDefaultIsSMEDOnBothBackends(t *testing.T) {
+	fast, err := New[int64](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New[string](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Quantile() != core.DefaultQuantile || slow.Quantile() != core.DefaultQuantile {
+		t.Fatalf("default quantiles = (%v, %v), want (%v, %v)",
+			fast.Quantile(), slow.Quantile(), core.DefaultQuantile, core.DefaultQuantile)
+	}
+}
+
+func TestExplicitQuantilePassesThroughUnreinterpreted(t *testing.T) {
+	// 0.7 must arrive as 0.7 on both backends — not the core default, not
+	// SMIN.
+	for _, mk := range []func() (float64, error){
+		func() (float64, error) {
+			s, err := New[uint64](64, WithQuantile(0.7))
+			if err != nil {
+				return 0, err
+			}
+			return s.Quantile(), nil
+		},
+		func() (float64, error) {
+			s, err := New[string](64, WithQuantile(0.7))
+			if err != nil {
+				return 0, err
+			}
+			return s.Quantile(), nil
+		},
+	} {
+		q, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != 0.7 {
+			t.Fatalf("quantile = %v, want 0.7", q)
+		}
+	}
+}
+
+func TestQuantileZeroIsRejectedNotReinterpreted(t *testing.T) {
+	// Before the facade, core treated 0 as "default" (SMED) and items
+	// treated 0 as SMIN — the same value meant opposite policies. The
+	// facade closes that trap by rejecting 0 outright on both paths.
+	if _, err := New[uint64](64, WithQuantile(0)); err == nil {
+		t.Fatal("fast path accepted quantile 0")
+	}
+	if _, err := New[string](64, WithQuantile(0)); err == nil {
+		t.Fatal("generic path accepted quantile 0")
+	}
+}
+
+func TestSMINBehaviorMatchesCoreSentinel(t *testing.T) {
+	// The facade's WithSMIN sketch must behave identically to a core
+	// sketch constructed with the legacy QuantileMin sentinel: same seed,
+	// same stream, same offset and estimates.
+	viaFacade, err := New[int64](32, WithSMIN(), WithSeed(123), WithoutGrowth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := core.NewWithOptions(core.Options{
+		MaxCounters: 32, Quantile: core.QuantileMin, Seed: 123, DisableGrowth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		item := int64(i % 97)
+		w := int64(1 + i%13)
+		if err := viaFacade.Update(item, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := legacy.Update(item, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if viaFacade.MaximumError() != legacy.MaximumError() {
+		t.Fatalf("offset drifted: facade %d, legacy %d",
+			viaFacade.MaximumError(), legacy.MaximumError())
+	}
+	for item := int64(0); item < 97; item++ {
+		if viaFacade.Estimate(item) != legacy.Estimate(item) {
+			t.Fatalf("item %d: facade %d != legacy %d",
+				item, viaFacade.Estimate(item), legacy.Estimate(item))
+		}
+	}
+	// SMIN must actually decrement less aggressively than SMED on the
+	// same overloaded stream.
+	smed, err := New[int64](32, WithSeed(123), WithoutGrowth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		_ = smed.Update(int64(i%97), int64(1+i%13))
+	}
+	if viaFacade.MaximumError() == 0 || smed.MaximumError() == 0 {
+		t.Fatal("streams did not overload the sketches; test is vacuous")
+	}
+	if viaFacade.MaximumError() >= smed.MaximumError() {
+		t.Fatalf("SMIN offset %d not below SMED offset %d",
+			viaFacade.MaximumError(), smed.MaximumError())
+	}
+}

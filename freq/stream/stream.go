@@ -1,0 +1,64 @@
+// Package stream generates and stores the weighted workloads this
+// repository evaluates against — the public face of the internal stream
+// toolkit, for driving freq sketches from the command line, examples, and
+// benchmarks.
+//
+// Three generators cover the paper's evaluation: PacketTrace (the
+// CAIDA-like netflow stand-in: items are IPv4 sources, weights packet
+// sizes in bits), ZipfStream (Zipf items with uniform weights, the
+// Figure 4 workload), and Adversarial (the §4.2 worst case for a given
+// counter budget). Streams round-trip through a text format (one
+// "item weight" pair per line) and a length-prefixed binary format.
+package stream
+
+import (
+	"io"
+
+	"repro/internal/streamgen"
+)
+
+// Update is one weighted stream update (item, Δ) of §1.2.
+type Update = streamgen.Update
+
+// TraceConfig parameterizes the synthetic packet trace.
+type TraceConfig = streamgen.TraceConfig
+
+// DefaultTrace is a laptop-scale trace configuration: 4M packets over
+// 256k sources.
+func DefaultTrace() TraceConfig { return streamgen.DefaultTrace() }
+
+// PacketTrace generates the synthetic CAIDA-like stream: item = IPv4
+// source address, weight = packet size in bits.
+func PacketTrace(cfg TraceConfig) ([]Update, error) { return streamgen.PacketTrace(cfg) }
+
+// ZipfStream generates n updates with Zipf(alpha)-distributed items over
+// a universe of distinct identifiers and weights uniform in
+// [1, maxWeight].
+func ZipfStream(alpha float64, universe, n int, maxWeight int64, seed uint64) ([]Update, error) {
+	return streamgen.ZipfStream(alpha, universe, n, maxWeight, seed)
+}
+
+// UnitZipfStream generates a unit-weight Zipf stream.
+func UnitZipfStream(alpha float64, universe, n int, seed uint64) ([]Update, error) {
+	return streamgen.UnitZipfStream(alpha, universe, n, seed)
+}
+
+// Adversarial generates the §4.2 worst-case stream for a k-counter
+// sketch with total weight about m.
+func Adversarial(k int, m int64) []Update { return streamgen.Adversarial(k, m) }
+
+// TotalWeight returns the summed weight N of a stream.
+func TotalWeight(s []Update) int64 { return streamgen.TotalWeight(s) }
+
+// WriteText encodes the stream as "item weight" lines.
+func WriteText(w io.Writer, s []Update) error { return streamgen.WriteText(w, s) }
+
+// ReadText decodes the text stream format; blank lines and #-comments
+// are skipped.
+func ReadText(r io.Reader) ([]Update, error) { return streamgen.ReadText(r) }
+
+// WriteBinary encodes the stream in the compact binary format.
+func WriteBinary(w io.Writer, s []Update) error { return streamgen.WriteBinary(w, s) }
+
+// ReadBinary decodes the binary stream format.
+func ReadBinary(r io.Reader) ([]Update, error) { return streamgen.ReadBinary(r) }

@@ -1,50 +1,72 @@
 // Native fuzz targets for the parsers and decoders that accept untrusted
-// bytes: the sketch wire format, the generic-items wire format, and the
-// stream file readers. Each runs its seed corpus under plain `go test`
-// and can be expanded with `go test -fuzz=FuzzName`.
+// bytes, driven through the public API: the fast-path sketch wire format,
+// the generic-items wire format, and the stream file readers. Each runs
+// its seed corpus under plain `go test` and can be expanded with
+// `go test -fuzz=FuzzName`.
 package repro_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/items"
-	"repro/internal/streamgen"
+	"repro/freq"
+	"repro/freq/stream"
 )
 
-// FuzzCoreDeserialize: Deserialize must never panic and, when it accepts
-// bytes, the result must re-serialize to a decodable sketch with the same
-// queryable state.
-func FuzzCoreDeserialize(f *testing.F) {
-	seed, err := core.NewWithOptions(core.Options{MaxCounters: 64, Seed: 1})
+// FuzzSketchUnmarshal: UnmarshalBinary must never panic and, when it
+// accepts bytes, the result must re-marshal to a decodable sketch with
+// the same queryable state. Every rejection must match freq.ErrCorrupt.
+func FuzzSketchUnmarshal(f *testing.F) {
+	seed, err := freq.New[int64](64, freq.WithSeed(1))
 	if err != nil {
 		f.Fatal(err)
 	}
 	for i := int64(0); i < 1000; i++ {
 		_ = seed.Update(i%80, i%13+1)
 	}
-	f.Add(seed.Serialize())
-	empty, err := core.New(16)
+	blob, err := seed.MarshalBinary()
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(empty.Serialize())
+	f.Add(blob)
+	empty, err := freq.New[int64](16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err = empty.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0x31, 0x53, 0x49, 0x46}, 20))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s, err := core.Deserialize(data)
+		s, err := freq.New[int64](16)
 		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, freq.ErrCorrupt) {
+				t.Fatalf("rejection not ErrCorrupt: %v", err)
+			}
 			return
 		}
 		// Accepted: must be internally consistent and round-trip stable.
 		if s.NumActive() > s.MaxCounters()+1 {
 			t.Fatalf("accepted sketch overfull: %d > %d", s.NumActive(), s.MaxCounters())
 		}
-		again, err := core.Deserialize(s.Serialize())
+		blob, err := s.MarshalBinary()
 		if err != nil {
-			t.Fatalf("re-serialize failed: %v", err)
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		again, err := freq.New[int64](16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := again.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
 		}
 		if again.StreamWeight() != s.StreamWeight() || again.MaximumError() != s.MaximumError() ||
 			again.NumActive() != s.NumActive() {
@@ -57,28 +79,44 @@ func FuzzCoreDeserialize(f *testing.F) {
 	})
 }
 
-// FuzzItemsDeserialize covers the generic wire format with the string
-// SerDe.
-func FuzzItemsDeserialize(f *testing.F) {
-	s, err := items.New[string](32)
+// FuzzStringSketchUnmarshal covers the generic wire format with the
+// built-in string codec.
+func FuzzStringSketchUnmarshal(f *testing.F) {
+	s, err := freq.New[string](32)
 	if err != nil {
 		f.Fatal(err)
 	}
 	_ = s.Update("hello", 10)
 	_ = s.Update("", 3)
-	f.Add(items.Serialize[string](s, items.StringSerDe{}))
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
 	f.Add([]byte{})
 	f.Add([]byte{0x32, 0x54, 0x49, 0x46, 1})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s, err := items.Deserialize[string](data, items.StringSerDe{})
+		s, err := freq.New[string](32)
 		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, freq.ErrCorrupt) {
+				t.Fatalf("rejection not ErrCorrupt: %v", err)
+			}
 			return
 		}
-		blob := items.Serialize[string](s, items.StringSerDe{})
-		again, err := items.Deserialize[string](blob, items.StringSerDe{})
+		blob, err := s.MarshalBinary()
 		if err != nil {
-			t.Fatalf("re-serialize failed: %v", err)
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		again, err := freq.New[string](32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := again.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
 		}
 		if again.StreamWeight() != s.StreamWeight() || again.NumActive() != s.NumActive() {
 			t.Fatal("round trip drifted")
@@ -95,24 +133,24 @@ func FuzzReadText(f *testing.F) {
 	f.Add([]byte("garbage here\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		stream, err := streamgen.ReadText(bytes.NewReader(data))
+		updates, err := stream.ReadText(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
 		var buf bytes.Buffer
-		if err := streamgen.WriteText(&buf, stream); err != nil {
+		if err := stream.WriteText(&buf, updates); err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
-		again, err := streamgen.ReadText(&buf)
+		again, err := stream.ReadText(&buf)
 		if err != nil {
 			t.Fatalf("re-parse failed: %v", err)
 		}
-		if len(again) != len(stream) {
-			t.Fatalf("round trip length %d != %d", len(again), len(stream))
+		if len(again) != len(updates) {
+			t.Fatalf("round trip length %d != %d", len(again), len(updates))
 		}
-		for i := range stream {
-			if again[i] != stream[i] {
-				t.Fatalf("record %d drifted: %v != %v", i, again[i], stream[i])
+		for i := range updates {
+			if again[i] != updates[i] {
+				t.Fatalf("record %d drifted: %v != %v", i, again[i], updates[i])
 			}
 		}
 	})
@@ -121,22 +159,22 @@ func FuzzReadText(f *testing.F) {
 // FuzzReadBinary covers the binary stream format.
 func FuzzReadBinary(f *testing.F) {
 	var buf bytes.Buffer
-	_ = streamgen.WriteBinary(&buf, []streamgen.Update{{Item: 1, Weight: 2}, {Item: -3, Weight: 4}})
+	_ = stream.WriteBinary(&buf, []stream.Update{{Item: 1, Weight: 2}, {Item: -3, Weight: 4}})
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add(make([]byte, 16))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		stream, err := streamgen.ReadBinary(bytes.NewReader(data))
+		updates, err := stream.ReadBinary(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
 		var out bytes.Buffer
-		if err := streamgen.WriteBinary(&out, stream); err != nil {
+		if err := stream.WriteBinary(&out, updates); err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
-		again, err := streamgen.ReadBinary(&out)
-		if err != nil || len(again) != len(stream) {
+		again, err := stream.ReadBinary(&out)
+		if err != nil || len(again) != len(updates) {
 			t.Fatalf("round trip failed: %v", err)
 		}
 	})

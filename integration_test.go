@@ -1,27 +1,23 @@
-// Integration tests crossing module boundaries: workload generation →
-// stream file IO → sketching → serialization → merging → downstream
-// applications, the full pipeline a deployment would run.
+// Integration tests crossing module boundaries through the public API
+// only: workload generation → stream file IO → sketching → serialization
+// → merging → downstream applications, the full pipeline a deployment
+// would run. (The §5/§6 extension pipeline over the internal research
+// packages lives in internal/hhh.)
 package repro_test
 
 import (
 	"bytes"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/entropy"
-	"repro/internal/exact"
-	"repro/internal/hhh"
-	"repro/internal/items"
-	"repro/internal/sampling"
-	"repro/internal/sharded"
-	"repro/internal/streamgen"
+	"repro/freq"
+	"repro/freq/stream"
 )
 
 // TestPipelineFileToHeavyHitters is the cmd/genstream | cmd/freq flow:
 // generate a trace, round-trip it through both file formats, sketch it,
 // and validate the heavy-hitter report against ground truth.
 func TestPipelineFileToHeavyHitters(t *testing.T) {
-	trace, err := streamgen.PacketTrace(streamgen.TraceConfig{
+	trace, err := stream.PacketTrace(stream.TraceConfig{
 		Packets: 150_000, DistinctSources: 1 << 14, Seed: 0xABC,
 	})
 	if err != nil {
@@ -30,17 +26,17 @@ func TestPipelineFileToHeavyHitters(t *testing.T) {
 
 	// Round-trip through both file formats.
 	var txt, bin bytes.Buffer
-	if err := streamgen.WriteText(&txt, trace); err != nil {
+	if err := stream.WriteText(&txt, trace); err != nil {
 		t.Fatal(err)
 	}
-	if err := streamgen.WriteBinary(&bin, trace); err != nil {
+	if err := stream.WriteBinary(&bin, trace); err != nil {
 		t.Fatal(err)
 	}
-	fromText, err := streamgen.ReadText(&txt)
+	fromText, err := stream.ReadText(&txt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromBin, err := streamgen.ReadBinary(&bin)
+	fromBin, err := stream.ReadBinary(&bin)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,72 +50,75 @@ func TestPipelineFileToHeavyHitters(t *testing.T) {
 	}
 
 	// Sketch the stream and extract φ-heavy hitters.
-	sketch, err := core.New(1024)
+	sketch, err := freq.New[int64](1024)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle := exact.New()
+	truth := map[int64]int64{}
+	var truthN int64
 	for _, u := range fromBin {
 		if err := sketch.Update(u.Item, u.Weight); err != nil {
 			t.Fatal(err)
 		}
-		oracle.Update(u.Item, u.Weight)
+		truth[u.Item] += u.Weight
+		truthN += u.Weight
 	}
 	phi := 0.01
-	threshold := int64(phi * float64(oracle.StreamWeight()))
-	rows := sketch.FrequentItemsAboveThreshold(threshold, core.NoFalseNegatives)
+	threshold := int64(phi * float64(truthN))
+	rows := sketch.FrequentItemsAboveThreshold(threshold, freq.NoFalseNegatives)
 	reported := map[int64]bool{}
 	for _, r := range rows {
 		reported[r.Item] = true
 	}
-	for _, it := range oracle.HeavyHitters(threshold + 1) {
-		if !reported[it.Item] {
-			t.Errorf("heavy item %d (freq %d) missing from NFN report", it.Item, it.Freq)
+	for item, f := range truth {
+		if f > threshold && !reported[item] {
+			t.Errorf("heavy item %d (freq %d) missing from NFN report", item, f)
 		}
 	}
-	for _, r := range sketch.FrequentItemsAboveThreshold(threshold, core.NoFalsePositives) {
-		if oracle.Freq(r.Item) <= threshold {
+	for _, r := range sketch.FrequentItemsAboveThreshold(threshold, freq.NoFalsePositives) {
+		if truth[r.Item] <= threshold {
 			t.Errorf("NFP report contains light item %d", r.Item)
 		}
 	}
 }
 
 // TestPipelineDistributedMergeMatchesSingle simulates the §3 deployment:
-// shard → summarize (concurrently, via the sharded sketch) → snapshot →
-// serialize → merge with a separately-built sketch — and the result must
-// honor the concatenated-stream guarantees.
+// shard → summarize (concurrently, via the Concurrent sketch) → snapshot
+// → serialize → merge with a separately-built sketch — and the result
+// must honor the concatenated-stream guarantees.
 func TestPipelineDistributedMergeMatchesSingle(t *testing.T) {
-	streamA, err := streamgen.ZipfStream(1.05, 1<<12, 60_000, 5_000, 1)
+	streamA, err := stream.ZipfStream(1.05, 1<<12, 60_000, 5_000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	streamB, err := streamgen.ZipfStream(1.05, 1<<12, 60_000, 5_000, 2)
+	streamB, err := stream.ZipfStream(1.05, 1<<12, 60_000, 5_000, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle := exact.New()
-	for _, st := range [][]streamgen.Update{streamA, streamB} {
+	truth := map[int64]int64{}
+	var truthN int64
+	for _, st := range [][]stream.Update{streamA, streamB} {
 		for _, u := range st {
-			oracle.Update(u.Item, u.Weight)
+			truth[u.Item] += u.Weight
+			truthN += u.Weight
 		}
 	}
 
-	shardedA, err := sharded.New(2048, 4)
+	concA, err := freq.NewConcurrent[int64](2048, freq.WithShards(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, u := range streamA {
-		if err := shardedA.Update(u.Item, u.Weight); err != nil {
+		if err := concA.Update(u.Item, u.Weight); err != nil {
 			t.Fatal(err)
 		}
 	}
-	snapA, err := shardedA.Snapshot()
+	blob, err := concA.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob := snapA.Serialize()
 
-	plainB, err := core.New(2048)
+	plainB, err := freq.New[int64](2048)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,119 +128,42 @@ func TestPipelineDistributedMergeMatchesSingle(t *testing.T) {
 		}
 	}
 
-	restoredA, err := core.Deserialize(blob)
+	restoredA, err := freq.New[int64](2048)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restoredA.UnmarshalBinary(blob); err != nil {
 		t.Fatal(err)
 	}
 	merged := restoredA.Merge(plainB)
-	if merged.StreamWeight() != oracle.StreamWeight() {
-		t.Fatalf("merged N %d, want %d", merged.StreamWeight(), oracle.StreamWeight())
+	if merged.StreamWeight() != truthN {
+		t.Fatalf("merged N %d, want %d", merged.StreamWeight(), truthN)
 	}
-	oracle.Range(func(item, truth int64) bool {
-		if lb, ub := merged.LowerBound(item), merged.UpperBound(item); lb > truth || ub < truth {
-			t.Fatalf("item %d: [%d, %d] misses %d", item, lb, ub, truth)
-		}
-		return true
-	})
-}
-
-// TestPipelineSampledHHHEntropy chains the §5/§6 extensions: a sampled
-// front-end feeding per-prefix hierarchies plus an entropy estimate of
-// the same stream.
-func TestPipelineSampledHHHEntropy(t *testing.T) {
-	trace, err := streamgen.PacketTrace(streamgen.TraceConfig{
-		Packets: 120_000, DistinctSources: 1 << 13, Seed: 0xDEF,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Hierarchy over the raw stream.
-	h, err := hhh.New(hhh.Config{MaxCounters: 512, Seed: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	oracle := exact.New()
-	for _, u := range trace {
-		if err := h.Update(uint32(u.Item), u.Weight); err != nil {
-			t.Fatal(err)
-		}
-		oracle.Update(u.Item, u.Weight)
-	}
-	// Every /32 HHH's upper-bound estimate must cover the exact count.
-	for _, r := range h.QueryFraction(0.02) {
-		if r.PrefixLen == 32 {
-			if truth := oracle.Freq(int64(r.Prefix)); r.Estimate < truth {
-				t.Errorf("HHH /32 %v underestimates truth %d", r, truth)
-			}
-		}
-	}
-
-	// Entropy bracket over a plain sketch of the same stream.
-	sk, err := core.New(2048)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, u := range trace {
-		_ = sk.Update(u.Item, u.Weight)
-	}
-	freqs := map[int64]int64{}
-	oracle.Range(func(item, f int64) bool { freqs[item] = f; return true })
-	truth := entropy.Exact(freqs)
-	est := entropy.FromSketch(sk, int64(oracle.NumItems()))
-	if truth < est.Low || truth > est.High {
-		t.Errorf("entropy %v outside [%v, %v]", truth, est.Low, est.High)
-	}
-
-	// Sampled front-end over the same stream: scaled estimates of the top
-	// talkers land near truth.
-	sampler, err := sampling.New(0.05, 9)
-	if err != nil {
-		t.Fatal(err)
-	}
-	small, err := core.New(1024)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pipe := sampling.NewSampled(sampler, coreAdapter{small})
-	for _, u := range trace {
-		pipe.Update(u.Item, u.Weight)
-	}
-	top := oracle.TopK(3)
-	for _, it := range top {
-		est := pipe.Estimate(it.Item)
-		diff := est - it.Freq
-		if diff < 0 {
-			diff = -diff
-		}
-		if float64(diff) > 0.2*float64(it.Freq) {
-			t.Errorf("sampled estimate for %d: %d vs %d", it.Item, est, it.Freq)
+	for item, want := range truth {
+		if lb, ub := merged.LowerBound(item), merged.UpperBound(item); lb > want || ub < want {
+			t.Fatalf("item %d: [%d, %d] misses %d", item, lb, ub, want)
 		}
 	}
 }
-
-type coreAdapter struct{ *core.Sketch }
-
-func (a coreAdapter) Update(item, weight int64) { _ = a.Sketch.Update(item, weight) }
 
 // TestPipelineGenericStringAnalytics drives the generic sketch through a
 // serialize/merge cycle with string items, the topkwords deployment shape.
 func TestPipelineGenericStringAnalytics(t *testing.T) {
 	shardCount := 4
-	shards := make([]*items.Sketch[string], shardCount)
+	shards := make([]*freq.Sketch[string], shardCount)
 	truth := map[string]int64{}
 	for i := range shards {
-		s, err := items.New[string](256)
+		s, err := freq.New[string](256)
 		if err != nil {
 			t.Fatal(err)
 		}
 		shards[i] = s
 	}
-	stream, err := streamgen.ZipfStream(1.2, 500, 40_000, 50, 77)
+	updates, err := stream.ZipfStream(1.2, 500, 40_000, 50, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, u := range stream {
+	for i, u := range updates {
 		word := wordFor(u.Item)
 		truth[word] += u.Weight
 		if err := shards[i%shardCount].Update(word, u.Weight); err != nil {
@@ -249,10 +171,17 @@ func TestPipelineGenericStringAnalytics(t *testing.T) {
 		}
 	}
 	// Serialize every shard, deserialize, merge into one.
-	var merged *items.Sketch[string]
+	var merged *freq.Sketch[string]
 	for _, s := range shards {
-		restored, err := items.Deserialize[string](items.Serialize[string](s, items.StringSerDe{}), items.StringSerDe{})
+		blob, err := s.MarshalBinary()
 		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := freq.New[string](256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.UnmarshalBinary(blob); err != nil {
 			t.Fatal(err)
 		}
 		if merged == nil {

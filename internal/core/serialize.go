@@ -146,20 +146,33 @@ func Deserialize(data []byte) (*Sketch, error) {
 // serialized sketch followed by EOF or further data; only the sketch's
 // own bytes are consumed.
 func ReadFrom(r io.Reader) (*Sketch, error) {
+	s, _, err := ReadFromCount(r)
+	return s, err
+}
+
+// ReadFromCount is ReadFrom reporting the bytes actually read (including
+// partial reads on error, per the io.ReaderFrom convention).
+func ReadFromCount(r io.Reader) (*Sketch, int64, error) {
+	var consumed int64
 	header := make([]byte, headerBytes)
-	if _, err := io.ReadFull(r, header); err != nil {
-		return nil, err
+	n, err := io.ReadFull(r, header)
+	consumed += int64(n)
+	if err != nil {
+		return nil, consumed, err
 	}
 	if binary.LittleEndian.Uint32(header[0:]) != serialMagic {
-		return nil, ErrBadMagic
+		return nil, consumed, ErrBadMagic
 	}
 	numActive := int(binary.LittleEndian.Uint32(header[36:]))
 	if numActive < 0 || numActive > (1<<hashmap.MaxLgLength) {
-		return nil, ErrCorrupt
+		return nil, consumed, ErrCorrupt
 	}
 	body := make([]byte, 16*numActive)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+	n, err = io.ReadFull(r, body)
+	consumed += int64(n)
+	if err != nil {
+		return nil, consumed, err
 	}
-	return Deserialize(append(header, body...))
+	s, err := Deserialize(append(header, body...))
+	return s, consumed, err
 }

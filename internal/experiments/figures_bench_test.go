@@ -7,7 +7,7 @@
 // The experiment harness (cmd/experiments) reports the same workloads as
 // whole-stream wall-clock tables; these benches expose per-update and
 // per-merge costs with allocation accounting.
-package repro_test
+package experiments_test
 
 import (
 	"fmt"

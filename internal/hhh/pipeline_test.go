@@ -1,0 +1,93 @@
+// Cross-package pipeline test for the §5/§6 extensions: a sampled
+// front-end feeding per-prefix hierarchies plus an entropy estimate of
+// the same stream. Lives here (rather than at the module root) because it
+// exercises internal research packages the public freq facade does not
+// re-export.
+package hhh_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/entropy"
+	"repro/internal/exact"
+	"repro/internal/hhh"
+	"repro/internal/sampling"
+	"repro/internal/streamgen"
+)
+
+func TestPipelineSampledHHHEntropy(t *testing.T) {
+	trace, err := streamgen.PacketTrace(streamgen.TraceConfig{
+		Packets: 120_000, DistinctSources: 1 << 13, Seed: 0xDEF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hierarchy over the raw stream.
+	h, err := hhh.New(hhh.Config{MaxCounters: 512, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	for _, u := range trace {
+		if err := h.Update(uint32(u.Item), u.Weight); err != nil {
+			t.Fatal(err)
+		}
+		oracle.Update(u.Item, u.Weight)
+	}
+	// Every /32 HHH's upper-bound estimate must cover the exact count.
+	for _, r := range h.QueryFraction(0.02) {
+		if r.PrefixLen == 32 {
+			if truth := oracle.Freq(int64(r.Prefix)); r.Estimate < truth {
+				t.Errorf("HHH /32 %v underestimates truth %d", r, truth)
+			}
+		}
+	}
+
+	// Entropy bracket over a plain sketch of the same stream.
+	sk, err := core.New(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range trace {
+		_ = sk.Update(u.Item, u.Weight)
+	}
+	freqs := map[int64]int64{}
+	oracle.Range(func(item, f int64) bool { freqs[item] = f; return true })
+	truth := entropy.Exact(freqs)
+	est := entropy.FromSketch(sk, int64(oracle.NumItems()))
+	if truth < est.Low || truth > est.High {
+		t.Errorf("entropy %v outside [%v, %v]", truth, est.Low, est.High)
+	}
+
+	// Sampled front-end over the same stream: scaled estimates of the top
+	// talkers land near truth.
+	sampler, err := sampling.New(0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := core.New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := sampling.NewSampled(sampler, coreAdapter{small})
+	for _, u := range trace {
+		pipe.Update(u.Item, u.Weight)
+	}
+	top := oracle.TopK(3)
+	for _, it := range top {
+		est := pipe.Estimate(it.Item)
+		diff := est - it.Freq
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.2*float64(it.Freq) {
+			t.Errorf("sampled estimate for %d: %d vs %d", it.Item, est, it.Freq)
+		}
+	}
+}
+
+type coreAdapter struct{ *core.Sketch }
+
+func (a coreAdapter) Update(item, weight int64) { _ = a.Sketch.Update(item, weight) }

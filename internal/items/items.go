@@ -53,18 +53,27 @@ func New[T comparable](maxCounters int) (*Sketch[T], error) {
 // NewWithQuantile returns a sketch with an explicit decrement quantile in
 // [0, 1); 0 decrements by the sample minimum (SMIN).
 func NewWithQuantile[T comparable](maxCounters int, quantile float64) (*Sketch[T], error) {
+	return NewWithConfig[T](maxCounters, quantile, DefaultSampleSize)
+}
+
+// NewWithConfig returns a sketch with an explicit decrement quantile in
+// [0, 1) (0 is SMIN) and sample size ℓ.
+func NewWithConfig[T comparable](maxCounters int, quantile float64, sampleSize int) (*Sketch[T], error) {
 	if maxCounters < 1 {
 		return nil, fmt.Errorf("items: maxCounters %d must be positive", maxCounters)
 	}
 	if quantile < 0 || quantile >= 1 {
 		return nil, fmt.Errorf("items: quantile %v outside [0, 1)", quantile)
 	}
+	if sampleSize < 1 {
+		return nil, fmt.Errorf("items: sampleSize %d < 1", sampleSize)
+	}
 	return &Sketch[T]{
 		counters:   make(map[T]int64, maxCounters+1),
 		k:          maxCounters,
 		quantile:   quantile,
-		sampleSize: DefaultSampleSize,
-		sampleBuf:  make([]int64, DefaultSampleSize),
+		sampleSize: sampleSize,
+		sampleBuf:  make([]int64, sampleSize),
 	}, nil
 }
 
@@ -151,6 +160,12 @@ func (s *Sketch[T]) NumActive() int { return len(s.counters) }
 
 // MaxCounters returns the counter budget k.
 func (s *Sketch[T]) MaxCounters() int { return s.k }
+
+// Quantile returns the decrement quantile (0 means SMIN).
+func (s *Sketch[T]) Quantile() float64 { return s.quantile }
+
+// SampleSize returns ℓ.
+func (s *Sketch[T]) SampleSize() int { return s.sampleSize }
 
 // IsEmpty reports whether no weight has been processed.
 func (s *Sketch[T]) IsEmpty() bool { return s.streamN == 0 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -76,10 +77,64 @@ func Serialize[T comparable](s *Sketch[T], serde SerDe[T]) []byte {
 	return buf
 }
 
+// headerLen is the fixed portion of the wire format preceding counters.
+const headerLen = 4 + 1 + 4 + 8 + 4 + 8 + 8 + 4
+
+// WriteTo encodes the sketch to w and reports the bytes written.
+func WriteTo[T comparable](s *Sketch[T], serde SerDe[T], w io.Writer) (int64, error) {
+	n, err := w.Write(Serialize(s, serde))
+	return int64(n), err
+}
+
+// ReadFrom decodes exactly one serialized sketch from r, consuming only
+// the sketch's own bytes, and reports the bytes actually read (including
+// partial reads on error, per the io.ReaderFrom convention). The
+// per-counter length prefixes make the format streamable without
+// buffering past the final counter.
+func ReadFrom[T comparable](r io.Reader, serde SerDe[T]) (*Sketch[T], int64, error) {
+	var consumed int64
+	buf := make([]byte, headerLen)
+	n, err := io.ReadFull(r, buf)
+	consumed += int64(n)
+	if err != nil {
+		return nil, consumed, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != itemsMagic {
+		return nil, consumed, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	numActive := int(binary.LittleEndian.Uint32(buf[37:]))
+	k := int(binary.LittleEndian.Uint32(buf[5:]))
+	if numActive < 0 || numActive > k+1 {
+		return nil, consumed, fmt.Errorf("%w: invalid header", ErrCorrupt)
+	}
+	var lenBuf [4]byte
+	for i := 0; i < numActive; i++ {
+		n, err := io.ReadFull(r, lenBuf[:])
+		consumed += int64(n)
+		if err != nil {
+			return nil, consumed, err
+		}
+		itemLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if itemLen < 0 || itemLen > 1<<24 {
+			return nil, consumed, fmt.Errorf("%w: bad item length %d at counter %d", ErrCorrupt, itemLen, i)
+		}
+		rec := make([]byte, itemLen+8)
+		n, err = io.ReadFull(r, rec)
+		consumed += int64(n)
+		if err != nil {
+			return nil, consumed, err
+		}
+		buf = append(buf, lenBuf[:]...)
+		buf = append(buf, rec...)
+	}
+	s, err := Deserialize(buf, serde)
+	return s, consumed, err
+}
+
 // Deserialize reconstructs a sketch from bytes produced by Serialize with
 // a compatible SerDe.
 func Deserialize[T comparable](data []byte, serde SerDe[T]) (*Sketch[T], error) {
-	const header = 4 + 1 + 4 + 8 + 4 + 8 + 8 + 4
+	const header = headerLen
 	if len(data) < header {
 		return nil, ErrCorrupt
 	}

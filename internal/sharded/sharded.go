@@ -29,8 +29,9 @@ type Sketch struct {
 type shard struct {
 	mu sync.Mutex
 	s  *core.Sketch
-	// Pad to a cache line so neighbouring shard locks do not false-share.
-	_ [40]byte
+	// Pad the struct to a full 64-byte cache line (8 mutex + 8 pointer +
+	// 48) so neighbouring shard locks do not false-share.
+	_ [48]byte
 }
 
 // New returns a sketch with the given total counter budget spread over
@@ -41,22 +42,55 @@ func New(maxCounters, numShards int) (*Sketch, error) {
 	if numShards < 1 {
 		return nil, fmt.Errorf("sharded: numShards %d must be positive", numShards)
 	}
-	n := 1
-	for n < numShards {
-		n <<= 1
-	}
+	n := NumShardsFor(numShards)
 	perShard := maxCounters / n
 	if perShard < core.MinCounters {
 		return nil, fmt.Errorf("sharded: %d counters over %d shards leaves %d per shard (min %d)",
 			maxCounters, n, perShard, core.MinCounters)
 	}
+	return NewWithOptions(n, core.Options{MaxCounters: perShard})
+}
+
+// NumShardsFor rounds a requested shard count up to the power of two the
+// sketch actually uses.
+func NumShardsFor(numShards int) int {
+	n := 1
+	for n < numShards {
+		n <<= 1
+	}
+	return n
+}
+
+// NewWithOptions returns a sketch with numShards shards (rounded up to a
+// power of two), each built from opts with a per-shard counter budget of
+// opts.MaxCounters. When opts.Seed is nonzero, each shard derives its own
+// distinct hash seed from it (and the shard-routing hash a third), so a
+// pinned seed stays reproducible without correlating shard tables; a zero
+// seed keeps the per-sketch random draw of the core package.
+func NewWithOptions(numShards int, opts core.Options) (*Sketch, error) {
+	if numShards < 1 {
+		return nil, fmt.Errorf("sharded: numShards %d must be positive", numShards)
+	}
+	n := NumShardsFor(numShards)
+	routeSeed := uint64(0x5a4d5bfe1c0ffee5)
+	if opts.Seed != 0 {
+		routeSeed = xrand.Mix64(opts.Seed ^ 0xc0ffee5a4d5bfe1c)
+	}
 	sk := &Sketch{
 		shards: make([]shard, n),
 		mask:   uint64(n - 1),
-		seed:   0x5a4d5bfe1c0ffee5,
+		seed:   routeSeed,
 	}
 	for i := range sk.shards {
-		s, err := core.New(perShard)
+		shardOpts := opts
+		if opts.Seed != 0 {
+			s := xrand.Mix64(opts.Seed + uint64(i)*0x9e3779b97f4a7c15)
+			if s == 0 {
+				s = 1
+			}
+			shardOpts.Seed = s
+		}
+		s, err := core.NewWithOptions(shardOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -171,16 +205,27 @@ func sortRows(rows []core.Row) {
 }
 
 // Snapshot merges all shards into a single fresh core sketch with the
-// combined counter budget, via Algorithm 5. The result is independent of
-// the sharded sketch and safe to serialize or merge further. Shards are
-// locked one at a time, so a snapshot taken under concurrent updates
-// reflects each shard at a (possibly different) consistent point.
+// combined counter budget and the shards' decrement policy and sample
+// size, via Algorithm 5. The result is independent of the sharded sketch
+// and safe to serialize or merge further. Shards are locked one at a
+// time, so a snapshot taken under concurrent updates reflects each shard
+// at a (possibly different) consistent point.
 func (sk *Sketch) Snapshot() (*core.Sketch, error) {
 	total := 0
 	for i := range sk.shards {
 		total += sk.shards[i].s.MaxCounters()
 	}
-	out, err := core.New(total)
+	// All shards share a configuration; carry it over (a zero quantile is
+	// the getters' SMIN convention, which Options spells QuantileMin).
+	q := sk.shards[0].s.Quantile()
+	if q == 0 {
+		q = core.QuantileMin
+	}
+	out, err := core.NewWithOptions(core.Options{
+		MaxCounters: total,
+		Quantile:    q,
+		SampleSize:  sk.shards[0].s.SampleSize(),
+	})
 	if err != nil {
 		return nil, err
 	}

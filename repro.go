@@ -1,0 +1,80 @@
+package repro
+
+import "repro/freq"
+
+// The root package re-exports the freq facade (generic aliases are fully
+// supported as of Go 1.24), so small programs can import just "repro".
+// New API surface should be added to repro/freq and mirrored here only
+// when it is part of the everyday vocabulary.
+
+// Sketch is a weighted frequent-items summary over items of type T.
+type Sketch[T comparable] = freq.Sketch[T]
+
+// Concurrent is the goroutine-safe sharded sketch.
+type Concurrent[T comparable] = freq.Concurrent[T]
+
+// Signed is the turnstile (deletion-capable) two-sketch composition.
+type Signed[T comparable] = freq.Signed[T]
+
+// Row is one frequent-item query result.
+type Row[T comparable] = freq.Row[T]
+
+// ErrorType selects heavy-hitter extraction semantics.
+type ErrorType = freq.ErrorType
+
+// Option configures a sketch at construction.
+type Option = freq.Option
+
+// SerDe customizes item encoding for serialization of sketches over
+// types without a built-in codec.
+type SerDe[T comparable] = freq.SerDe[T]
+
+// Heavy-hitter semantics, re-exported.
+const (
+	NoFalsePositives = freq.NoFalsePositives
+	NoFalseNegatives = freq.NoFalseNegatives
+)
+
+// Sentinel errors, re-exported.
+var (
+	ErrTooFewCounters  = freq.ErrTooFewCounters
+	ErrTooManyCounters = freq.ErrTooManyCounters
+	ErrBadQuantile     = freq.ErrBadQuantile
+	ErrBadSampleSize   = freq.ErrBadSampleSize
+	ErrBadShards       = freq.ErrBadShards
+	ErrNegativeWeight  = freq.ErrNegativeWeight
+	ErrCorrupt         = freq.ErrCorrupt
+	ErrNoSerDe         = freq.ErrNoSerDe
+)
+
+// Construction options, re-exported.
+var (
+	WithQuantile   = freq.WithQuantile
+	WithSMIN       = freq.WithSMIN
+	WithSampleSize = freq.WithSampleSize
+	WithSeed       = freq.WithSeed
+	WithShards     = freq.WithShards
+	WithoutGrowth  = freq.WithoutGrowth
+)
+
+// New returns a sketch tracking up to k counters; see freq.New.
+func New[T comparable](k int, opts ...Option) (*Sketch[T], error) {
+	return freq.New[T](k, opts...)
+}
+
+// NewConcurrent returns a goroutine-safe sharded sketch; see
+// freq.NewConcurrent.
+func NewConcurrent[T comparable](k int, opts ...Option) (*Concurrent[T], error) {
+	return freq.NewConcurrent[T](k, opts...)
+}
+
+// NewSigned returns a turnstile-capable sketch pair; see freq.NewSigned.
+func NewSigned[T comparable](k int, opts ...Option) (*Signed[T], error) {
+	return freq.NewSigned[T](k, opts...)
+}
+
+// TailBound returns the a-priori §2.3.2 error guarantee; see
+// freq.TailBound.
+func TailBound(k, j int, residualWeight int64) float64 {
+	return freq.TailBound(k, j, residualWeight)
+}
