@@ -47,10 +47,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, u := range updates {
-		if err := sketch.Update(u.Item, u.Weight); err != nil {
-			fatal(fmt.Errorf("update (%d, %d): %w", u.Item, u.Weight, err))
-		}
+	// Ingest through the batch path: one growth/decrement check per
+	// chunk instead of per update.
+	items, weights := stream.Columns(updates)
+	if err := sketch.UpdateWeightedBatch(items, weights); err != nil {
+		fatal(fmt.Errorf("ingest %d updates: %w", len(updates), err))
 	}
 
 	fmt.Println(sketch)

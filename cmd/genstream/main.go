@@ -7,6 +7,10 @@
 //	genstream -kind trace -n 4000000 -o trace.bin -format binary
 //	genstream -kind zipf -alpha 1.05 -n 1000000 -maxweight 10000
 //	genstream -kind adversarial -k 1024 -n 100000
+//	genstream -kind trace -n 1000000 -push localhost:7077
+//
+// With -push, the workload is streamed into a running freqd server over
+// the batched UB wire command instead of written to a file.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"io"
 	"os"
 
+	"repro/freq/server"
 	"repro/freq/stream"
 )
 
@@ -29,6 +34,8 @@ func main() {
 		maxWeight = flag.Int64("maxweight", 10000, "uniform weight upper bound (zipf kind)")
 		k         = flag.Int("k", 1024, "counter budget targeted by the adversarial stream")
 		seed      = flag.Uint64("seed", 0xCA1DA, "generator seed")
+		push      = flag.String("push", "", "stream the workload to a freqd server at this address instead of writing it")
+		batch     = flag.Int("batch", 8192, "updates per wire batch when pushing")
 	)
 	flag.Parse()
 
@@ -53,6 +60,15 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *push != "" {
+		if err := pushStream(*push, updates, *batch); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "genstream: pushed %d updates (N=%d) to %s\n",
+			len(updates), stream.TotalWeight(updates), *push)
+		return
 	}
 
 	var w io.Writer = os.Stdout
@@ -80,6 +96,27 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "genstream: wrote %d updates (N=%d)\n", len(updates), stream.TotalWeight(updates))
+}
+
+// pushStream ships the workload to a freqd server in UB wire batches —
+// one round trip per batchSize updates.
+func pushStream(addr string, updates []stream.Update, batchSize int) error {
+	if batchSize < 1 {
+		return fmt.Errorf("batch size %d must be positive", batchSize)
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	items, weights := stream.Columns(updates)
+	for lo := 0; lo < len(items); lo += batchSize {
+		hi := min(lo+batchSize, len(items))
+		if err := c.UpdateBatch(items[lo:hi], weights[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,343 @@
+package freq
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/streamgen"
+)
+
+func testStream(t *testing.T, n int) []streamgen.Update {
+	t.Helper()
+	s, err := streamgen.ZipfStream(1.1, 1<<14, n, 1000, 0xBA7C4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestUpdateBatchByteIdenticalFast is the acceptance gate for the fast
+// path: a batched ingest serializes to exactly the bytes of the
+// equivalent Update loop, decrements and PRNG draws included.
+func TestUpdateBatchByteIdenticalFast(t *testing.T) {
+	stream := testStream(t, 150_000)
+	newSketch := func() *Sketch[int64] {
+		s, err := New[int64](64, WithSeed(0x5EED))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	loop := newSketch()
+	for _, u := range stream {
+		if err := loop.Update(u.Item, u.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := loop.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batched := newSketch()
+	items := make([]int64, len(stream))
+	weights := make([]int64, len(stream))
+	for i, u := range stream {
+		items[i], weights[i] = u.Item, u.Weight
+	}
+	const batchSize = 4096
+	for lo := 0; lo < len(items); lo += batchSize {
+		hi := min(lo+batchSize, len(items))
+		if err := batched.UpdateWeightedBatch(items[lo:hi], weights[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := batched.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("batched sketch state differs from Update loop")
+	}
+}
+
+// TestUpdateBatchEquivalenceGeneric checks the map-backed fallback: with
+// no decrement pressure the batched counters match an Update loop
+// exactly.
+func TestUpdateBatchEquivalenceGeneric(t *testing.T) {
+	const distinct = 64
+	items := make([]string, 0, 2000)
+	weights := make([]int64, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		items = append(items, fmt.Sprintf("key-%d", i%distinct))
+		weights = append(weights, int64(i%11)) // includes zeros
+	}
+	loop, err := New[string](distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if err := loop.Update(items[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched, err := New[string](distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.UpdateWeightedBatch(items, weights); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := batched.StreamWeight(), loop.StreamWeight(); got != want {
+		t.Errorf("StreamWeight = %d, want %d", got, want)
+	}
+	for i := 0; i < distinct; i++ {
+		item := fmt.Sprintf("key-%d", i)
+		if got, want := batched.Estimate(item), loop.Estimate(item); got != want {
+			t.Errorf("Estimate(%s) = %d, want %d", item, got, want)
+		}
+	}
+	// Unit-weight batch on both backends.
+	uf, _ := New[uint64](32)
+	uf.UpdateBatch([]uint64{1, 2, 1, 3, 1})
+	if got := uf.Estimate(1); got != 3 {
+		t.Errorf("fast UpdateBatch Estimate(1) = %d, want 3", got)
+	}
+	ug, _ := New[string](32)
+	ug.UpdateBatch([]string{"a", "b", "a"})
+	if got := ug.Estimate("a"); got != 2 {
+		t.Errorf("generic UpdateBatch Estimate(a) = %d, want 2", got)
+	}
+}
+
+// TestBatchValidationSentinels checks that batch validation errors match
+// the package sentinels under errors.Is on both backends, and that
+// rejected batches are all-or-nothing.
+func TestBatchValidationSentinels(t *testing.T) {
+	fast, _ := New[int64](64)
+	slow, _ := New[string](64)
+	if err := fast.UpdateWeightedBatch([]int64{1}, []int64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("fast mismatch error = %v, want ErrLengthMismatch", err)
+	}
+	if err := slow.UpdateWeightedBatch([]string{"a"}, []int64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("slow mismatch error = %v, want ErrLengthMismatch", err)
+	}
+	if err := fast.UpdateWeightedBatch([]int64{1, 2}, []int64{1, -2}); !errors.Is(err, ErrNegativeWeight) {
+		t.Errorf("fast negative error = %v, want ErrNegativeWeight", err)
+	}
+	if err := slow.UpdateWeightedBatch([]string{"a", "b"}, []int64{1, -2}); !errors.Is(err, ErrNegativeWeight) {
+		t.Errorf("slow negative error = %v, want ErrNegativeWeight", err)
+	}
+	if !fast.IsEmpty() || !slow.IsEmpty() {
+		t.Error("rejected batches left state behind")
+	}
+
+	c, _ := NewConcurrent[int64](256)
+	if err := c.UpdateWeightedBatch([]int64{1}, nil); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("concurrent mismatch error = %v, want ErrLengthMismatch", err)
+	}
+	if err := c.UpdateWeightedBatch([]int64{1}, []int64{-1}); !errors.Is(err, ErrNegativeWeight) {
+		t.Errorf("concurrent negative error = %v, want ErrNegativeWeight", err)
+	}
+}
+
+// TestConcurrentBatchMatchesLoop drives a pinned-seed Concurrent sketch
+// via per-item updates and via batches and compares every point query.
+func TestConcurrentBatchMatchesLoop(t *testing.T) {
+	stream := testStream(t, 80_000)
+	opts := []Option{WithSeed(0xABC), WithShards(4)}
+	loop, err := NewConcurrent[int64](256, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewConcurrent[int64](256, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]int64, len(stream))
+	weights := make([]int64, len(stream))
+	for i, u := range stream {
+		items[i], weights[i] = u.Item, u.Weight
+		if err := loop.Update(u.Item, u.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const batchSize = 1 << 12
+	for lo := 0; lo < len(items); lo += batchSize {
+		hi := min(lo+batchSize, len(items))
+		if err := batched.UpdateWeightedBatch(items[lo:hi], weights[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := batched.StreamWeight(), loop.StreamWeight(); got != want {
+		t.Errorf("StreamWeight = %d, want %d", got, want)
+	}
+	for _, u := range stream[:5_000] {
+		if got, want := batched.Estimate(u.Item), loop.Estimate(u.Item); got != want {
+			t.Fatalf("Estimate(%d) = %d, want %d", u.Item, got, want)
+		}
+	}
+}
+
+// TestWriterFlushOnClose checks explicit Flush/Close semantics: buffered
+// updates are invisible until flushed, Close flushes the remainder and
+// further adds fail with ErrWriterClosed.
+func TestWriterFlushOnClose(t *testing.T) {
+	c, err := NewConcurrent[int64](1024, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(c, WithBatchSize(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := w.Add(i, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Buffered(); got != 10 {
+		t.Errorf("Buffered = %d, want 10", got)
+	}
+	if got := c.StreamWeight(); got != 0 {
+		t.Errorf("StreamWeight before flush = %d, want 0", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StreamWeight(); got != 50 {
+		t.Errorf("StreamWeight after Close = %d, want 50", got)
+	}
+	if got := c.Estimate(3); got != 5 {
+		t.Errorf("Estimate(3) = %d, want 5", got)
+	}
+	if err := w.Add(1, 1); !errors.Is(err, ErrWriterClosed) {
+		t.Errorf("Add after Close = %v, want ErrWriterClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+
+	// Auto-flush at the batch size, without an explicit Flush.
+	w2, err := NewWriter(c, WithBatchSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		if err := w2.AddOne(100 + i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w2.Buffered(); got != 0 {
+		t.Errorf("Buffered after auto-flush = %d, want 0", got)
+	}
+	if got := c.Estimate(100); got != 1 {
+		t.Errorf("Estimate(100) = %d, want 1", got)
+	}
+
+	// Writer validation mirrors Update's.
+	if err := w2.Add(1, -1); !errors.Is(err, ErrNegativeWeight) {
+		t.Errorf("negative Add = %v, want ErrNegativeWeight", err)
+	}
+	if _, err := NewWriter(c, WithBatchSize(0)); !errors.Is(err, ErrBadBatchSize) {
+		t.Errorf("WithBatchSize(0) = %v, want ErrBadBatchSize", err)
+	}
+}
+
+// TestWritersVsGroundTruth runs several concurrent writers over disjoint
+// slices of a small stream with a budget that evicts nothing, so every
+// estimate must equal the exact count — on both backends.
+func TestWritersVsGroundTruth(t *testing.T) {
+	const (
+		workers  = 8
+		perG     = 5_000
+		distinct = 512
+	)
+	stream := testStream(t, workers*perG)
+	exact := map[int64]int64{}
+	for i := range stream {
+		stream[i].Item %= distinct // shrink universe so nothing is evicted
+		exact[stream[i].Item] += stream[i].Weight
+	}
+
+	t.Run("fast", func(t *testing.T) {
+		c, err := NewConcurrent[int64](8*distinct, WithShards(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runWriters(t, c, stream, workers)
+		checkExact(t, c.Estimate, exact)
+		if got := c.MaximumError(); got != 0 {
+			t.Errorf("MaximumError = %d, want 0 (budget should evict nothing)", got)
+		}
+	})
+	t.Run("generic", func(t *testing.T) {
+		c, err := NewConcurrent[string](8*distinct, WithShards(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(part []streamgen.Update) {
+				defer wg.Done()
+				w, err := NewWriter(c, WithBatchSize(64))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer w.Close()
+				for _, u := range part {
+					if err := w.Add(fmt.Sprint(u.Item), u.Weight); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(stream[g*perG : (g+1)*perG])
+		}
+		wg.Wait()
+		for item, f := range exact {
+			if got := c.Estimate(fmt.Sprint(item)); got != f {
+				t.Fatalf("Estimate(%d) = %d, want exact %d", item, got, f)
+			}
+		}
+	})
+}
+
+func runWriters(t *testing.T, c *Concurrent[int64], stream []streamgen.Update, workers int) {
+	t.Helper()
+	perG := len(stream) / workers
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(part []streamgen.Update) {
+			defer wg.Done()
+			w, err := NewWriter(c, WithBatchSize(64))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer w.Close()
+			for _, u := range part {
+				if err := w.Add(u.Item, u.Weight); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(stream[g*perG : (g+1)*perG])
+	}
+	wg.Wait()
+}
+
+func checkExact(t *testing.T, estimate func(int64) int64, exact map[int64]int64) {
+	t.Helper()
+	for item, f := range exact {
+		if got := estimate(item); got != f {
+			t.Fatalf("Estimate(%d) = %d, want exact %d", item, got, f)
+		}
+	}
+}

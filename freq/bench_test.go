@@ -10,6 +10,7 @@
 package freq
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -135,7 +136,98 @@ func BenchmarkConcurrentUpdate(b *testing.B) {
 		for pb.Next() {
 			u := stream[i%len(stream)]
 			if err := c.Update(u.Item, u.Weight); err != nil {
-				b.Fatal(err)
+				b.Error(err) // Fatal is not allowed off the benchmark goroutine
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkUpdateBatch measures the batched single-sketch hot path:
+// the same trace as BenchmarkFreqUpdate, applied in 4096-update batches
+// through UpdateWeightedBatch. The delta over BenchmarkFreqUpdate is the
+// amortized growth/decrement check and per-call overhead.
+func BenchmarkUpdateBatch(b *testing.B) {
+	stream := benchTrace(b)
+	items := make([]int64, len(stream))
+	weights := make([]int64, len(stream))
+	for i, u := range stream {
+		items[i], weights[i] = u.Item, u.Weight
+	}
+	s, err := New[int64](benchK, WithSeed(benchSeed), WithoutGrowth())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batchSize {
+		lo := n % len(items)
+		hi := min(lo+batchSize, len(items))
+		if err := s.UpdateWeightedBatch(items[lo:hi], weights[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchConcurrent8 runs body under RunParallel pinned to 8 goroutines
+// regardless of GOMAXPROCS, the acceptance configuration of the batched
+// ingestion story.
+func benchConcurrent8(b *testing.B, body func(pb *testing.PB)) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	b.SetParallelism((8 + prev - 1) / prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(body)
+}
+
+// BenchmarkConcurrentUpdate8 is the per-item baseline for the writer
+// benchmark: 8 goroutines calling Concurrent.Update, one shard lock
+// round trip per update.
+func BenchmarkConcurrentUpdate8(b *testing.B) {
+	stream := benchTrace(b)
+	c, err := NewConcurrent[int64](8*benchK, WithShards(8), WithSeed(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchConcurrent8(b, func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			u := stream[i%len(stream)]
+			if err := c.Update(u.Item, u.Weight); err != nil {
+				b.Error(err) // Fatal is not allowed off the benchmark goroutine
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkWriterConcurrent is the acceptance gate for the batched
+// ingestion path: 8 goroutines each feeding the shared sketch through
+// their own buffered Writer must run >= 2x faster per update than
+// BenchmarkConcurrentUpdate8.
+func BenchmarkWriterConcurrent(b *testing.B) {
+	stream := benchTrace(b)
+	c, err := NewConcurrent[int64](8*benchK, WithShards(8), WithSeed(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchConcurrent8(b, func(pb *testing.PB) {
+		w, err := NewWriter(c)
+		if err != nil {
+			b.Error(err) // Fatal is not allowed off the benchmark goroutine
+			return
+		}
+		defer w.Close()
+		i := 0
+		for pb.Next() {
+			u := stream[i%len(stream)]
+			if err := w.Add(u.Item, u.Weight); err != nil {
+				b.Error(err)
+				return
 			}
 			i++
 		}

@@ -102,6 +102,72 @@ func (c *Concurrent[T]) Update(item T, weight int64) error {
 // use.
 func (c *Concurrent[T]) UpdateOne(item T) { _ = c.Update(item, 1) }
 
+// UpdateBatch adds a unit-weight occurrence of every item; safe for
+// concurrent use. Items are partitioned by shard and each shard's slice
+// is applied under a single lock acquisition. For a long-lived ingest
+// goroutine, a Writer amortizes the partitioning too.
+func (c *Concurrent[T]) UpdateBatch(items []T) {
+	if c.fast != nil {
+		c.fast.UpdateBatch(asInt64Slice(items))
+		return
+	}
+	c.slowBatch(items, nil)
+}
+
+// UpdateWeightedBatch adds weights[i] to items[i]'s frequency for every
+// i; safe for concurrent use. Items are partitioned by shard and each
+// shard's slice is applied under a single lock acquisition, so the
+// per-update locking cost is amortized across the batch. Validation is
+// all-or-nothing: mismatched lengths (ErrLengthMismatch) or a negative
+// weight anywhere (ErrNegativeWeight) rejects the whole batch before any
+// update is applied.
+func (c *Concurrent[T]) UpdateWeightedBatch(items []T, weights []int64) error {
+	if err := checkWeights(items, weights); err != nil {
+		return err
+	}
+	if c.fast != nil {
+		return c.fast.UpdateWeightedBatch(asInt64Slice(items), weights)
+	}
+	c.slowBatch(items, weights)
+	return nil
+}
+
+// slowBatch partitions a validated batch by shard on the generic path and
+// applies each group through the items batch path under one lock
+// acquisition. A nil weights slice means all-unit weights.
+func (c *Concurrent[T]) slowBatch(items []T, weights []int64) {
+	if len(items) == 0 {
+		return
+	}
+	n := len(c.slow)
+	perItems := make([][]T, n)
+	var perWeights [][]int64
+	if weights != nil {
+		perWeights = make([][]int64, n)
+	}
+	for i, item := range items {
+		j := int(maphash.Comparable(c.hseed, item) & c.mask)
+		perItems[j] = append(perItems[j], item)
+		if weights != nil {
+			perWeights[j] = append(perWeights[j], weights[i])
+		}
+	}
+	for j := 0; j < n; j++ {
+		if len(perItems[j]) == 0 {
+			continue
+		}
+		sh := &c.slow[j]
+		sh.mu.Lock()
+		if weights == nil {
+			sh.s.UpdateBatch(perItems[j])
+		} else {
+			// Weights were validated by the caller; cannot fail.
+			_ = sh.s.UpdateWeightedBatch(perItems[j], perWeights[j])
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Estimate returns the point estimate for item; safe for concurrent use.
 func (c *Concurrent[T]) Estimate(item T) int64 {
 	if c.fast != nil {

@@ -30,4 +30,11 @@ var (
 	// item type with no built-in codec (not int64, uint64, or string) and
 	// no SerDe installed via SetSerDe.
 	ErrNoSerDe = errors.New("freq: no codec for item type (use SetSerDe)")
+	// ErrLengthMismatch rejects a batch whose items and weights slices
+	// differ in length.
+	ErrLengthMismatch = errors.New("freq: batch items and weights lengths differ")
+	// ErrBadBatchSize rejects a non-positive Writer batch size.
+	ErrBadBatchSize = errors.New("freq: batch size must be positive")
+	// ErrWriterClosed rejects adds to a Writer after Close.
+	ErrWriterClosed = errors.New("freq: writer is closed")
 )

@@ -1,0 +1,97 @@
+package freq_test
+
+import (
+	"fmt"
+
+	"repro/freq"
+)
+
+// ExampleNew tracks byte counts per source and answers point queries
+// with deterministic bracketing bounds.
+func ExampleNew() {
+	sk, err := freq.New[uint64](1024)
+	if err != nil {
+		panic(err)
+	}
+	sk.Update(0x0A4D0001, 1500) // source 10.77.0.1 sent a 1500-byte packet
+	sk.Update(0x0A4D0001, 9000)
+	sk.Update(0xC0A80101, 40)
+
+	fmt.Println(sk.Estimate(0x0A4D0001))
+	fmt.Println(sk.LowerBound(0x0A4D0001) <= 10500 && 10500 <= sk.UpperBound(0x0A4D0001))
+	// Output:
+	// 10500
+	// true
+}
+
+// ExampleSketch_TopK feeds a small weighted stream in one batch and
+// lists the heaviest items.
+func ExampleSketch_TopK() {
+	sk, err := freq.New[string](64)
+	if err != nil {
+		panic(err)
+	}
+	items := []string{"web", "api", "db", "api", "web", "api"}
+	weights := []int64{10, 40, 5, 40, 10, 20}
+	if err := sk.UpdateWeightedBatch(items, weights); err != nil {
+		panic(err)
+	}
+	for _, row := range sk.TopK(2) {
+		fmt.Printf("%s %d\n", row.Item, row.Estimate)
+	}
+	// Output:
+	// api 100
+	// web 20
+}
+
+// ExampleNewConcurrent shares one sketch between goroutines; every
+// Update takes only its own shard's lock.
+func ExampleNewConcurrent() {
+	c, err := freq.NewConcurrent[int64](4096, freq.WithShards(4))
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			c.Update(7, 2)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		c.Update(7, 3)
+	}
+	<-done
+	fmt.Println(c.Estimate(7))
+	fmt.Println(c.StreamWeight())
+	// Output:
+	// 5000
+	// 5000
+}
+
+// ExampleWriter is the batched ingestion hot path: each goroutine owns a
+// buffered Writer and the shared Concurrent sketch is the only
+// synchronization point. Close flushes the tail of the buffer.
+func ExampleWriter() {
+	c, err := freq.NewConcurrent[int64](4096)
+	if err != nil {
+		panic(err)
+	}
+	w, err := freq.NewWriter(c, freq.WithBatchSize(256))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 100; i++ {
+		w.Add(int64(i%10), 5) // buffered: no lock taken yet
+	}
+	fmt.Println(c.StreamWeight()) // nothing flushed so far
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Println(c.StreamWeight())
+	fmt.Println(c.Estimate(3))
+	// Output:
+	// 0
+	// 500
+	// 50
+}

@@ -78,6 +78,30 @@ func fromInt64[T comparable](v int64) T {
 	return *(*T)(unsafe.Pointer(&v))
 }
 
+// asInt64Slice reinterprets a whole []T as []int64 without copying.
+// Called only on the fast path, where T is an 8-byte integer kind, so
+// layout and alignment match exactly.
+func asInt64Slice[T comparable](items []T) []int64 {
+	if len(items) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&items[0])), len(items))
+}
+
+// checkWeights validates a batch's parallel arrays against the facade
+// sentinels: equal lengths and no negative weights.
+func checkWeights[T comparable](items []T, weights []int64) error {
+	if len(items) != len(weights) {
+		return fmt.Errorf("%w: %d items, %d weights", ErrLengthMismatch, len(items), len(weights))
+	}
+	for _, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("%w: %d (use freq.Signed for deletions)", ErrNegativeWeight, w)
+		}
+	}
+	return nil
+}
+
 // New returns a sketch tracking up to k counters, configured by opts. The
 // defaults are the paper's headline configuration: SMED (median decrement
 // quantile), sample size ℓ = 1024, adaptive table growth, and a random
@@ -134,6 +158,33 @@ func (s *Sketch[T]) UpdateOne(item T) {
 		return
 	}
 	s.slow.UpdateOne(item)
+}
+
+// UpdateBatch adds a unit-weight occurrence of every item in items, in
+// order — equivalent to an UpdateOne loop, but the growth/decrement check
+// (and on the fast path, the facade call) is amortized across the batch.
+func (s *Sketch[T]) UpdateBatch(items []T) {
+	if s.fast != nil {
+		s.fast.UpdateBatch(asInt64Slice(items))
+		return
+	}
+	s.slow.UpdateBatch(items)
+}
+
+// UpdateWeightedBatch adds weights[i] to items[i]'s frequency for every i,
+// in order — the batched hot path of the ingestion pipeline, producing
+// exactly the state of the equivalent Update loop. The slices must have
+// equal length (ErrLengthMismatch). Unlike an Update loop, validation is
+// all-or-nothing: a negative weight anywhere returns ErrNegativeWeight
+// before any update is applied. Zero weights are skipped.
+func (s *Sketch[T]) UpdateWeightedBatch(items []T, weights []int64) error {
+	if err := checkWeights(items, weights); err != nil {
+		return err
+	}
+	if s.fast != nil {
+		return s.fast.UpdateWeightedBatch(asInt64Slice(items), weights)
+	}
+	return s.slow.UpdateWeightedBatch(items, weights)
 }
 
 // Estimate returns the hybrid point estimate f̂(item): within

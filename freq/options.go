@@ -22,6 +22,7 @@ type config struct {
 	seed       uint64
 	shards     int
 	noGrowth   bool
+	batchSize  int
 }
 
 func resolve(k int, opts []Option) (config, error) {
@@ -30,6 +31,7 @@ func resolve(k int, opts []Option) (config, error) {
 		quantile:   core.DefaultQuantile,
 		sampleSize: core.DefaultSampleSize,
 		shards:     defaultShards,
+		batchSize:  DefaultBatchSize,
 	}
 	if k < 1 {
 		return cfg, fmt.Errorf("%w: %d", ErrTooFewCounters, k)
@@ -135,6 +137,24 @@ func WithShards(n int) Option {
 			return fmt.Errorf("%w: %d", ErrBadShards, n)
 		}
 		c.shards = n
+		return nil
+	}
+}
+
+// DefaultBatchSize is a Writer's buffer capacity when WithBatchSize is
+// not given: large enough to amortize shard locking to noise, small
+// enough that a flush stays in cache.
+const DefaultBatchSize = 1024
+
+// WithBatchSize sets how many (item, weight) pairs a Writer buffers
+// before flushing automatically (default DefaultBatchSize). Sketch
+// constructors record it but take no behaviour from it.
+func WithBatchSize(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: %d", ErrBadBatchSize, n)
+		}
+		c.batchSize = n
 		return nil
 	}
 }

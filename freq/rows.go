@@ -8,18 +8,26 @@ import (
 )
 
 // ErrorType selects heavy-hitter extraction semantics, mirroring the
-// DataSketches API. The numeric values align with both internal backends,
-// so conversions are free.
+// DataSketches API: which side of the sketch's error band — at most
+// MaximumError(), the ε·W of the paper's Theorem 2 with ε = 1/(0.33·k)
+// — a query is allowed to err on. One of the two is always exact; the
+// sketch cannot be wrong on both sides at once. The numeric values
+// align with both internal backends, so conversions are free.
 type ErrorType int
 
 const (
-	// NoFalsePositives returns items whose lower bound exceeds the
-	// threshold: every returned item is truly above it, but items within
-	// the error band may be missed.
+	// NoFalsePositives returns items whose LowerBound exceeds the
+	// threshold: every returned item truly carries more weight than the
+	// threshold, but items whose true frequency lies within MaximumError
+	// above it may be missed. Choose this when acting on a result is
+	// expensive (alerting, throttling a customer).
 	NoFalsePositives ErrorType = iota
-	// NoFalseNegatives returns items whose upper bound exceeds the
+	// NoFalseNegatives returns items whose UpperBound exceeds the
 	// threshold: every item truly above it is returned, plus possibly a
-	// few items within the error band below it.
+	// few whose true frequency lies within MaximumError below it — the
+	// "(φ, ε)-heavy hitters with false positives" guarantee of §1.2.
+	// Choose this when missing a heavy item is the expensive outcome
+	// (capacity planning, abuse detection).
 	NoFalseNegatives
 )
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 
 	"repro/freq"
@@ -37,10 +38,13 @@ func NewClient(conn net.Conn) *Client {
 	}
 }
 
-// Close sends QUIT and closes the connection.
+// Close sends QUIT, waits for the server's BYE — which the server only
+// sends after flushing this connection's buffered updates into the
+// shared summary — and closes the connection.
 func (c *Client) Close() error {
 	fmt.Fprintln(c.w, "QUIT")
 	c.w.Flush()
+	_, _ = c.r.ReadString('\n')
 	return c.conn.Close()
 }
 
@@ -70,6 +74,61 @@ func (c *Client) Update(item, weight int64) error {
 	}
 	if resp != "OK" {
 		return fmt.Errorf("server: unexpected response %q", resp)
+	}
+	return nil
+}
+
+// UpdateBatch sends a batch of weighted updates as UB blocks — one
+// buffered write and one round trip per block instead of per update —
+// and waits for the server's acknowledgement. Batches longer than the
+// server's MaxWireBatch cap are chunked transparently. Each block is
+// all-or-nothing on the server: mismatched lengths here or a negative
+// weight there reject it with no updates from that block applied.
+func (c *Client) UpdateBatch(items, weights []int64) error {
+	if len(items) != len(weights) {
+		return fmt.Errorf("client: batch length mismatch: %d items, %d weights", len(items), len(weights))
+	}
+	for lo := 0; lo < len(items); lo += MaxWireBatch {
+		hi := min(lo+MaxWireBatch, len(items))
+		if err := c.updateBlock(items[lo:hi], weights[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// updateBlock ships one UB block of at most MaxWireBatch pairs.
+func (c *Client) updateBlock(items, weights []int64) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(c.w, "UB %d\n", len(items)); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 48)
+	for i := range items {
+		buf = strconv.AppendInt(buf[:0], items[i], 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, weights[i], 10)
+		buf = append(buf, '\n')
+		if _, err := c.w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return fmt.Errorf("server: %s", line[4:])
+	}
+	var n int
+	if _, err := fmt.Sscanf(line, "OK %d", &n); err != nil || n != len(items) {
+		return fmt.Errorf("server: unexpected batch response %q", line)
 	}
 	return nil
 }

@@ -1,0 +1,71 @@
+// Package server provides a line-protocol TCP service around the
+// concurrent frequent-items sketch: the deployment shape of the §1.2
+// motivation, where collectors stream weighted updates (bytes per
+// source, watch time per user) and operators issue point and
+// heavy-hitter queries against the live summary. Everything is stdlib
+// net + the public freq API; one goroutine per connection, queries and
+// updates freely interleaved. This file is the wire-protocol reference:
+// a third-party client can be written from it alone.
+//
+// # Framing
+//
+// The protocol is line-oriented UTF-8: one request per '\n'-terminated
+// line, fields separated by any run of spaces or tabs, at most 64 KiB
+// per line. Command words are case-insensitive; items and weights are
+// decimal int64. Blank lines are ignored. The only non-line payload is
+// the SNAPSHOT reply, which carries a binary blob of exactly the
+// announced length immediately after its header line.
+//
+// Every request receives exactly one reply (a single line, a MULTI
+// block, or a SNAP header plus blob) in request order, so clients may
+// pipeline freely. A malformed or failed request receives
+//
+//	ERR <human-readable reason>
+//
+// and the connection remains usable. Unknown commands are ERRs, not
+// disconnects.
+//
+// # Commands
+//
+//	U <item> <weight>     add weight to item          -> "OK"
+//	UB <count>            batched update block        -> "OK <count>"
+//	Q <item>              point query                 -> "EST <estimate> <lower> <upper>"
+//	TOP <n>               top n items                 -> MULTI block
+//	HH <phi-millis>       items above phi/1000 * N    -> MULTI block
+//	STATS                 summary state               -> "STATS n=<N> err=<maxError> shards=<s>"
+//	SNAPSHOT              serialized summary          -> "SNAP <bytes>" then <bytes> of sketch wire format
+//	RESET                 clear the summary           -> "OK"
+//	QUIT                  close the connection        -> "BYE"
+//
+// A MULTI block is a header line "MULTI <k>" followed by k lines
+//
+//	ITEM <item> <estimate> <lowerBound> <upperBound>
+//
+// ordered by descending estimate.
+//
+// UB <count> is the bulk ingest command: the next <count> lines each
+// carry one "<item> <weight>" pair, with 1 <= count <= 2^20. The block
+// is all-or-nothing — a malformed line or a negative weight consumes
+// the whole block, applies none of it, and replies ERR. On success the
+// server applies the batch through the sketch's partitioned bulk path
+// and replies "OK <count>".
+//
+// # Update visibility
+//
+// Updates are the hot path and ride a per-connection buffered writer
+// (freq.Writer): "OK" acknowledges that an update is durably buffered,
+// not yet necessarily merged into the shared summary. The buffer is
+// flushed into the summary when it reaches the writer's batch size, when
+// the same connection issues any non-update command (so a connection
+// always reads its own writes), and when the connection ends — QUIT's
+// "BYE" therefore also acknowledges the flush. Readers on other
+// connections may lag a connection's unflushed tail by at most one batch
+// (freq.DefaultBatchSize pairs).
+//
+// # Errors
+//
+// ERR reasons are free-form text for humans; clients should treat any
+// ERR as a failed request and not parse the reason. Weight rules follow
+// the freq package: negative weights are rejected, zero weights are
+// accepted no-ops.
+package server

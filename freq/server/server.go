@@ -1,24 +1,3 @@
-// Package server provides a line-protocol TCP service around the
-// concurrent frequent-items sketch: the deployment shape of the §1.2
-// motivation, where collectors stream weighted updates (bytes per source,
-// watch time per user) and operators issue point and heavy-hitter queries
-// against the live summary. Everything is stdlib net + the public freq
-// API; one goroutine per connection, queries and updates freely
-// interleaved.
-//
-// Protocol (one request per line, space separated; responses are single
-// lines except MULTI blocks):
-//
-//	U <item> <weight>     add weight to item        -> "OK" (or nothing in pipelined mode)
-//	Q <item>              point query               -> "EST <estimate> <lower> <upper>"
-//	TOP <n>               top n items               -> "MULTI <k>" then k lines "ITEM <item> <est> <lb> <ub>"
-//	HH <phi-millis>       items above phi/1000 * N  -> MULTI block as TOP
-//	STATS                 summary state             -> "STATS n=<N> err=<offset> shards=<s>"
-//	SNAPSHOT              serialized summary        -> "SNAP <n>" then n bytes of sketch wire format
-//	RESET                 clear the summary         -> "OK"
-//	QUIT                  close the connection
-//
-// Malformed requests get "ERR <reason>" and the connection stays usable.
 package server
 
 import (
@@ -151,21 +130,41 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 64*1024), 64*1024)
-	w := bufio.NewWriter(conn)
-	for r.Scan() {
-		line := strings.TrimSpace(r.Text())
+// MaxWireBatch caps a UB block so a malicious count cannot force an
+// arbitrarily large allocation; Client.UpdateBatch transparently chunks
+// larger batches.
+const MaxWireBatch = 1 << 20
+
+// conn is one connection's state: the protocol streams plus the
+// per-connection buffered writer that carries the ingest hot path (one
+// goroutine per connection makes the writer's single-goroutine contract
+// hold by construction).
+type conn struct {
+	srv    *Server
+	sc     *bufio.Scanner
+	w      *bufio.Writer
+	writer *freq.Writer[int64]
+}
+
+func (s *Server) handle(nc net.Conn) {
+	defer nc.Close()
+	writer, err := freq.NewWriter(s.sketch)
+	if err != nil {
+		return // unreachable: no options are passed
+	}
+	defer writer.Close()
+	c := &conn{srv: s, sc: bufio.NewScanner(nc), w: bufio.NewWriter(nc), writer: writer}
+	c.sc.Buffer(make([]byte, 64*1024), 64*1024)
+	for c.sc.Scan() {
+		line := strings.TrimSpace(c.sc.Text())
 		if line == "" {
 			continue
 		}
-		quit, err := s.dispatch(w, line)
+		quit, err := c.dispatch(line)
 		if err != nil {
-			fmt.Fprintf(w, "ERR %s\n", err)
+			fmt.Fprintf(c.w, "ERR %s\n", err)
 		}
-		if err := w.Flush(); err != nil {
+		if err := c.w.Flush(); err != nil {
 			return
 		}
 		if quit {
@@ -174,11 +173,21 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// dispatch executes one protocol line, writing the response to w.
-func (s *Server) dispatch(w io.Writer, line string) (quit bool, err error) {
+// dispatch executes one protocol line, writing the response to the
+// connection. Updates (U, UB) ride the buffered batch path; every other
+// command flushes the connection's writer first, so a connection always
+// reads its own writes.
+func (c *conn) dispatch(line string) (quit bool, err error) {
+	s := c.srv
+	w := c.w
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
+	if cmd != "U" && cmd != "UB" {
+		if err := c.writer.Flush(); err != nil {
+			return false, err
+		}
+	}
 	switch cmd {
 	case "U":
 		if len(args) != 2 {
@@ -189,13 +198,62 @@ func (s *Server) dispatch(w io.Writer, line string) (quit bool, err error) {
 		if err1 != nil || err2 != nil {
 			return false, errors.New("bad integer")
 		}
-		if err := s.sketch.Update(item, weight); err != nil {
+		if err := c.writer.Add(item, weight); err != nil {
 			return false, err
 		}
 		s.statsMu.Lock()
 		s.updates++
 		s.statsMu.Unlock()
 		fmt.Fprintln(w, "OK")
+	case "UB":
+		if len(args) != 1 {
+			return false, errors.New("usage: UB <count>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 || n > MaxWireBatch {
+			return false, fmt.Errorf("batch count must be 1..%d", MaxWireBatch)
+		}
+		items := make([]int64, 0, n)
+		weights := make([]int64, 0, n)
+		var parseErr error
+		for i := 0; i < n; i++ {
+			// Consume the whole block even past a bad line, so one
+			// malformed pair does not desynchronize the protocol.
+			if !c.sc.Scan() {
+				return true, errors.New("connection closed mid-batch")
+			}
+			f := strings.Fields(c.sc.Text())
+			if parseErr != nil {
+				continue
+			}
+			if len(f) != 2 {
+				parseErr = fmt.Errorf("batch line %d: want \"<item> <weight>\"", i+1)
+				continue
+			}
+			item, err1 := strconv.ParseInt(f[0], 10, 64)
+			weight, err2 := strconv.ParseInt(f[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				parseErr = fmt.Errorf("batch line %d: bad integer", i+1)
+				continue
+			}
+			items = append(items, item)
+			weights = append(weights, weight)
+		}
+		if parseErr != nil {
+			return false, parseErr
+		}
+		// Preserve per-connection ordering: buffered singles land before
+		// the batch, and the batch is all-or-nothing.
+		if err := c.writer.Flush(); err != nil {
+			return false, err
+		}
+		if err := s.sketch.UpdateWeightedBatch(items, weights); err != nil {
+			return false, err
+		}
+		s.statsMu.Lock()
+		s.updates += int64(n)
+		s.statsMu.Unlock()
+		fmt.Fprintf(w, "OK %d\n", n)
 	case "Q":
 		if len(args) != 1 {
 			return false, errors.New("usage: Q <item>")

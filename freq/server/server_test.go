@@ -256,3 +256,81 @@ func TestQuit(t *testing.T) {
 		t.Errorf("QUIT = %q, %v", resp, err)
 	}
 }
+
+// TestUpdateBatchWire exercises the UB block end to end: a successful
+// batch, all-or-nothing rejection of a bad batch, and interleaving with
+// buffered single updates on the same connection.
+func TestUpdateBatchWire(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 1024, Shards: 4})
+	c := dial(t, srv)
+
+	if err := c.Update(7, 5); err != nil { // buffered single, flushed before the batch
+		t.Fatal(err)
+	}
+	items := []int64{7, 8, 9, 7}
+	weights := []int64{10, 20, 30, 40}
+	if err := c.UpdateBatch(items, weights); err != nil {
+		t.Fatal(err)
+	}
+	est, _, _, err := c.Query(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 55 {
+		t.Errorf("Query(7) = %d, want 55", est)
+	}
+
+	// Negative weight rejects the whole block and keeps the connection
+	// usable.
+	if err := c.UpdateBatch([]int64{1, 2}, []int64{5, -1}); err == nil {
+		t.Error("negative-weight batch accepted")
+	}
+	if est, _, _, _ := c.Query(1); est != 0 {
+		t.Errorf("Query(1) = %d after rejected batch, want 0", est)
+	}
+
+	// Malformed block payload: drive the raw protocol.
+	if _, err := c.Raw("UB 0"); err == nil {
+		t.Error("UB 0 accepted")
+	}
+	n, _, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(5 + 10 + 20 + 30 + 40); n != want {
+		t.Errorf("Stats N = %d, want %d", n, want)
+	}
+}
+
+// TestBufferedVisibility pins the documented visibility contract: "OK"
+// acknowledges buffering, any non-update command on the same connection
+// flushes, and Close (QUIT/BYE) makes the tail visible to others.
+func TestBufferedVisibility(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 1024, Shards: 2})
+	c := dial(t, srv)
+	for i := 0; i < 10; i++ {
+		if err := c.Update(42, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read-your-writes: a query on the same connection flushes first.
+	est, _, _, err := c.Query(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 10 {
+		t.Errorf("same-connection Query(42) = %d, want 10", est)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Update(43, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := dial(t, srv)
+	if est, _, _, _ := c2.Query(43); est != 5 {
+		t.Errorf("post-Close Query(43) = %d, want 5", est)
+	}
+}

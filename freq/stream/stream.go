@@ -50,6 +50,20 @@ func Adversarial(k int, m int64) []Update { return streamgen.Adversarial(k, m) }
 // TotalWeight returns the summed weight N of a stream.
 func TotalWeight(s []Update) int64 { return streamgen.TotalWeight(s) }
 
+// Columns splits a stream into the parallel (items, weights) arrays the
+// batch ingestion path consumes:
+//
+//	items, weights := stream.Columns(updates)
+//	err := sketch.UpdateWeightedBatch(items, weights)
+func Columns(s []Update) (items []int64, weights []int64) {
+	items = make([]int64, len(s))
+	weights = make([]int64, len(s))
+	for i, u := range s {
+		items[i], weights[i] = u.Item, u.Weight
+	}
+	return items, weights
+}
+
 // WriteText encodes the stream as "item weight" lines.
 func WriteText(w io.Writer, s []Update) error { return streamgen.WriteText(w, s) }
 

@@ -1,0 +1,209 @@
+package freq
+
+import (
+	"hash/maphash"
+	"unsafe"
+
+	"repro/internal/hashmap"
+	"repro/internal/sharded"
+)
+
+// Writer is a per-goroutine buffered front-end for a Concurrent sketch —
+// the batched ingestion hot path. Add accumulates (item, weight) pairs
+// into per-shard buffers without touching any lock; once BatchSize pairs
+// are buffered (or on an explicit Flush) each shard's slice is applied
+// under a single lock acquisition through the bulk-update path. Compared
+// to calling Concurrent.Update per item, a writer replaces one
+// lock/unlock plus one facade round trip per update with one per
+// shard per batch.
+//
+// A Writer is NOT safe for concurrent use: open one per ingest goroutine
+// (they are cheap) and share the underlying Concurrent sketch, which is
+// the synchronization point. Updates become visible to readers only when
+// flushed; Close flushes the remainder, so the pattern is
+//
+//	w, _ := freq.NewWriter(c)
+//	defer w.Close()
+//	for item, weight := range source {
+//		w.Add(item, weight)
+//	}
+//
+// Queries on the Concurrent sketch between flushes simply miss the
+// not-yet-flushed tail of the stream — the same semantics as a reader
+// racing an unbuffered writer by a few microseconds.
+type Writer[T comparable] struct {
+	c *Concurrent[T]
+	// fast mirrors c.fast so the Add hot path resolves the backend and
+	// the shard route without a second pointer chase or method call.
+	fast      *sharded.Sketch
+	batchSize int
+	buffered  int
+	shards    []writerShard[T]
+	// scratch receives a shard's pairs split into the parallel arrays the
+	// generic backend consumes (the fast backend takes the pair buffer
+	// as-is); reused across flushes so steady state allocates nothing.
+	scratchItems   []T
+	scratchWeights []int64
+	closed         bool
+}
+
+// pair is one pending update. Item and weight share a cache line, so the
+// Add hot path touches one line per update. On the fast path its layout
+// is exactly hashmap.Pair (an 8-byte item followed by an int64), letting
+// Flush hand the buffer to the bulk backend without re-marshaling.
+type pair[T comparable] struct {
+	item   T
+	weight int64
+}
+
+// asPairSlice reinterprets a whole []pair[T] as []hashmap.Pair without
+// copying. Called only on the fast path, where T is an 8-byte integer
+// kind, so the layouts match exactly.
+func asPairSlice[T comparable](pairs []pair[T]) []hashmap.Pair {
+	if len(pairs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*hashmap.Pair)(unsafe.Pointer(&pairs[0])), len(pairs))
+}
+
+// writerShard is one shard's pending pairs. The buffer is pre-sized to
+// twice its fair share of the batch, so the Add hot path is one store
+// and a counter bump — no append header rewrite, no growth check — and
+// a heavily skewed shard that fills early just flushes itself rather
+// than growing (total memory stays ~2x the batch size instead of
+// shards x batch size).
+type writerShard[T comparable] struct {
+	pairs []pair[T]
+	n     int
+}
+
+// NewWriter returns a buffered writer feeding c. WithBatchSize sets the
+// auto-flush threshold (default DefaultBatchSize); all other options are
+// accepted and ignored, as they configure sketch construction.
+func NewWriter[T comparable](c *Concurrent[T], opts ...Option) (*Writer[T], error) {
+	cfg := config{batchSize: DefaultBatchSize}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	n := c.NumShards()
+	perShard := max(64, 2*cfg.batchSize/n)
+	w := &Writer[T]{
+		c:              c,
+		fast:           c.fast,
+		batchSize:      cfg.batchSize,
+		shards:         make([]writerShard[T], n),
+		scratchItems:   make([]T, perShard),
+		scratchWeights: make([]int64, perShard),
+	}
+	for i := range w.shards {
+		w.shards[i].pairs = make([]pair[T], perShard)
+	}
+	return w, nil
+}
+
+// Add buffers a weighted update, flushing automatically when the buffer
+// reaches BatchSize. Zero weights are no-ops; negative weights return
+// ErrNegativeWeight, adds after Close return ErrWriterClosed.
+func (w *Writer[T]) Add(item T, weight int64) error {
+	if weight <= 0 || w.closed {
+		if w.closed {
+			return ErrWriterClosed
+		}
+		if weight < 0 {
+			return ErrNegativeWeight
+		}
+		return nil
+	}
+	// The fast route inlines (hash, mask); the maphash route cannot and
+	// stays behind a call.
+	var j int
+	if w.fast != nil {
+		j = w.fast.ShardIndex(asInt64(item))
+	} else {
+		j = w.slowShardIndex(item)
+	}
+	sh := &w.shards[j]
+	if sh.n == len(sh.pairs) {
+		// Rare: a skewed shard filled its share early; flush just it.
+		if err := w.flushShard(j); err != nil {
+			return err
+		}
+	}
+	sh.pairs[sh.n] = pair[T]{item, weight}
+	sh.n++
+	w.buffered++
+	if w.buffered >= w.batchSize {
+		return w.Flush()
+	}
+	return nil
+}
+
+// slowShardIndex routes an item on the generic map-backed backend.
+func (w *Writer[T]) slowShardIndex(item T) int {
+	return int(maphash.Comparable(w.c.hseed, item) & w.c.mask)
+}
+
+// AddOne buffers a unit-weight occurrence of item.
+func (w *Writer[T]) AddOne(item T) error { return w.Add(item, 1) }
+
+// Flush applies every buffered pair to the sketch, one lock acquisition
+// per shard with pending updates, and empties the buffer. Buffers are
+// retained, so a steady-state writer allocates nothing.
+func (w *Writer[T]) Flush() error {
+	if w.buffered == 0 {
+		return nil
+	}
+	for j := range w.shards {
+		if err := w.flushShard(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushShard applies one shard's pending pairs under a single lock
+// acquisition.
+func (w *Writer[T]) flushShard(j int) error {
+	sh := &w.shards[j]
+	if sh.n == 0 {
+		return nil
+	}
+	var err error
+	if w.fast != nil {
+		err = w.fast.UpdateShardPairs(j, asPairSlice(sh.pairs[:sh.n]))
+	} else {
+		items, weights := w.scratchItems[:sh.n], w.scratchWeights[:sh.n]
+		for i, p := range sh.pairs[:sh.n] {
+			items[i], weights[i] = p.item, p.weight
+		}
+		csh := &w.c.slow[j]
+		csh.mu.Lock()
+		err = csh.s.UpdateWeightedBatch(items, weights)
+		csh.mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	w.buffered -= sh.n
+	sh.n = 0
+	return nil
+}
+
+// Close flushes the remaining buffer and marks the writer closed;
+// further Adds fail with ErrWriterClosed. Close is idempotent.
+func (w *Writer[T]) Close() error {
+	if w.closed {
+		return nil
+	}
+	err := w.Flush()
+	w.closed = true
+	return err
+}
+
+// Buffered returns the number of pairs waiting to be flushed.
+func (w *Writer[T]) Buffered() int { return w.buffered }
+
+// BatchSize returns the auto-flush threshold.
+func (w *Writer[T]) BatchSize() int { return w.batchSize }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/streamgen"
+)
+
+// batchTestStream returns a heavy-tailed workload long enough to drive a
+// small sketch through growth and many decrement rounds.
+func batchTestStream(t *testing.T, n int) []streamgen.Update {
+	t.Helper()
+	s, err := streamgen.ZipfStream(1.1, 1<<14, n, 1000, 0xBA7C4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestUpdateWeightedBatchByteIdentical is the batch path's core contract:
+// any split of the stream into batches produces the exact serialized
+// bytes of the per-item Update loop — same growth points, same decrement
+// timing, same PRNG draws.
+func TestUpdateWeightedBatchByteIdentical(t *testing.T) {
+	stream := batchTestStream(t, 200_000)
+	opts := Options{MaxCounters: 64, Seed: 0x5EED}
+
+	loop, err := NewWithOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range stream {
+		if err := loop.Update(u.Item, u.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := loop.Serialize()
+
+	for _, batchSize := range []int{1, 7, 64, 1024, len(stream)} {
+		batched, err := NewWithOptions(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := make([]int64, 0, batchSize)
+		weights := make([]int64, 0, batchSize)
+		for start := 0; start < len(stream); start += batchSize {
+			end := min(start+batchSize, len(stream))
+			items, weights = items[:0], weights[:0]
+			for _, u := range stream[start:end] {
+				items = append(items, u.Item)
+				weights = append(weights, u.Weight)
+			}
+			if err := batched.UpdateWeightedBatch(items, weights); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := batched.Serialize(); !bytes.Equal(got, want) {
+			t.Errorf("batchSize %d: serialized state differs from Update loop (%d vs %d bytes)",
+				batchSize, len(got), len(want))
+		}
+		if batched.DecrementCount() != loop.DecrementCount() {
+			t.Errorf("batchSize %d: %d decrements, loop did %d",
+				batchSize, batched.DecrementCount(), loop.DecrementCount())
+		}
+	}
+}
+
+// TestUpdateBatchUnitWeights pins the unit-weight batch against an
+// UpdateOne loop the same way.
+func TestUpdateBatchUnitWeights(t *testing.T) {
+	stream := batchTestStream(t, 100_000)
+	items := make([]int64, len(stream))
+	for i, u := range stream {
+		items[i] = u.Item
+	}
+	opts := Options{MaxCounters: 64, Seed: 0x5EED}
+
+	loop, err := NewWithOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range items {
+		loop.UpdateOne(item)
+	}
+	batched, err := NewWithOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched.UpdateBatch(items)
+	if !bytes.Equal(batched.Serialize(), loop.Serialize()) {
+		t.Error("UpdateBatch state differs from UpdateOne loop")
+	}
+	if got, want := batched.StreamWeight(), int64(len(items)); got != want {
+		t.Errorf("StreamWeight = %d, want %d", got, want)
+	}
+}
+
+// TestUpdateWeightedBatchValidation checks the all-or-nothing contract:
+// mismatched lengths and negative weights reject the batch before any
+// update lands, and zero weights are skipped.
+func TestUpdateWeightedBatchValidation(t *testing.T) {
+	s, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateWeightedBatch([]int64{1, 2}, []int64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := s.UpdateWeightedBatch([]int64{1, 2, 3}, []int64{5, -1, 5}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if !s.IsEmpty() {
+		t.Error("rejected batches left state behind")
+	}
+	if err := s.UpdateWeightedBatch([]int64{1, 2, 3}, []int64{5, 0, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StreamWeight(); got != 12 {
+		t.Errorf("StreamWeight = %d, want 12 (zero weight not skipped)", got)
+	}
+	if got := s.Estimate(2); got != 0 {
+		t.Errorf("Estimate(2) = %d after zero-weight update, want 0", got)
+	}
+}

@@ -144,6 +144,100 @@ func (m *Map) Adjust(key int64, delta int64) bool {
 	return true
 }
 
+// Pair is one weighted update for the bulk entry points, laid out so a
+// batch reads one cache line per update instead of one per parallel
+// array.
+type Pair struct {
+	Key   int64
+	Value int64
+}
+
+// AdjustPairs applies Adjust(p.Key, p.Value) for every pair in a single
+// tight loop — the bulk entry point behind the buffered writer's flush.
+// Pairs with Value 0 are skipped without inserting their key; the caller
+// must leave enough headroom that the table never fills, which the
+// sketches' NumActive <= Capacity contract guarantees. The probe body is
+// duplicated from Adjust rather than shared: the Go inliner refuses
+// functions with loops, and a per-pair call would cost what batching
+// saves.
+func (m *Map) AdjustPairs(pairs []Pair) {
+	for _, p := range pairs {
+		if p.Value == 0 {
+			continue
+		}
+		j := m.hash(p.Key) & m.mask
+		// d doubles as the found flag: 0 is unreachable as a probe
+		// distance (the overflow guard panics first).
+		d := uint16(1)
+		for m.states[j] != 0 {
+			if m.keys[j] == p.Key {
+				m.values[j] += p.Value
+				d = 0
+				break
+			}
+			j = (j + 1) & m.mask
+			d++
+			if d == 0 {
+				panic("hashmap: probe distance exceeds 16-bit state")
+			}
+		}
+		if d == 0 {
+			continue
+		}
+		if m.numActive+1 >= m.length {
+			panic("hashmap: table full")
+		}
+		m.keys[j] = p.Key
+		m.values[j] = p.Value
+		m.states[j] = d
+		m.numActive++
+	}
+}
+
+// AdjustBatch applies Adjust(keys[i], values[i]) for every i in a single
+// tight loop over the parallel arrays — the bulk-update entry point the
+// batched sketch ingestion path runs on. A nil values slice means all
+// deltas are 1; otherwise the slices must have equal length and values
+// of 0 are skipped without inserting their key. The caller must leave
+// enough headroom that the table never fills: as with Adjust, the
+// sketches' NumActive <= Capacity contract guarantees that.
+func (m *Map) AdjustBatch(keys, values []int64) {
+	for i, key := range keys {
+		delta := int64(1)
+		if values != nil {
+			if delta = values[i]; delta == 0 {
+				continue
+			}
+		}
+		j := m.hash(key) & m.mask
+		// d doubles as the found flag: 0 is unreachable as a probe
+		// distance (the overflow guard panics first).
+		d := uint16(1)
+		for m.states[j] != 0 {
+			if m.keys[j] == key {
+				m.values[j] += delta
+				d = 0
+				break
+			}
+			j = (j + 1) & m.mask
+			d++
+			if d == 0 {
+				panic("hashmap: probe distance exceeds 16-bit state")
+			}
+		}
+		if d == 0 {
+			continue
+		}
+		if m.numActive+1 >= m.length {
+			panic("hashmap: table full")
+		}
+		m.keys[j] = key
+		m.values[j] = delta
+		m.states[j] = d
+		m.numActive++
+	}
+}
+
 // Delete removes key from the table if present, compacting the probe run
 // so that subsequent lookups remain correct. It reports whether the key
 // was present.
@@ -221,10 +315,33 @@ func (m *Map) KeepOnlyPositiveCounts() {
 }
 
 // DecrementAndPurge subtracts dec from every counter and removes the
-// counters that become non-positive, in place.
+// counters that become non-positive, in place. It fuses
+// AdjustAllValuesBy(-dec) and KeepOnlyPositiveCounts into a single table
+// scan: at each occupied slot the counter either survives (> dec, so
+// decrement it) or is deleted before ever being decremented. Entries a
+// deletion shifts backward land at or after the scan position and are
+// processed there, so every counter is decremented or deleted exactly
+// once — the same scan-from-an-empty-slot argument KeepOnlyPositiveCounts
+// relies on.
 func (m *Map) DecrementAndPurge(dec int64) {
-	m.AdjustAllValuesBy(-dec)
-	m.KeepOnlyPositiveCounts()
+	if m.numActive == 0 {
+		return
+	}
+	start := 0
+	for m.states[start] != 0 {
+		start++ // an empty slot exists because load < 1 is enforced
+	}
+	lenMask := int(m.mask)
+	for off := 1; off <= m.length; off++ {
+		i := (start + off) & lenMask
+		for m.states[i] != 0 {
+			if m.values[i] > dec {
+				m.values[i] -= dec
+				break
+			}
+			m.deleteSlot(i)
+		}
+	}
 }
 
 // SampleValues fills buf with the values of uniformly random assigned

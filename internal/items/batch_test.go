@@ -1,0 +1,115 @@
+package items
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBatchEquivalenceUnderCapacity checks the batch path against an
+// Update loop where no decrement fires: counters must match exactly.
+// (Under decrement pressure the map-iteration sample makes the two runs
+// diverge by design; the deterministic core backend locks the
+// byte-identical contract.)
+func TestBatchEquivalenceUnderCapacity(t *testing.T) {
+	const distinct = 50
+	items := make([]string, 0, 1000)
+	weights := make([]int64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		items = append(items, fmt.Sprintf("item-%d", i%distinct))
+		weights = append(weights, int64(i%7)) // includes zero weights
+	}
+
+	loop, err := New[string](distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if err := loop.Update(items[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched, err := New[string](distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.UpdateWeightedBatch(items, weights); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := batched.StreamWeight(), loop.StreamWeight(); got != want {
+		t.Errorf("StreamWeight = %d, want %d", got, want)
+	}
+	if got, want := batched.NumActive(), loop.NumActive(); got != want {
+		t.Errorf("NumActive = %d, want %d", got, want)
+	}
+	for i := 0; i < distinct; i++ {
+		item := fmt.Sprintf("item-%d", i)
+		if got, want := batched.Estimate(item), loop.Estimate(item); got != want {
+			t.Errorf("Estimate(%s) = %d, want %d", item, got, want)
+		}
+	}
+}
+
+// TestBatchUnderPressure drives the batch path through decrement rounds
+// and checks the sketch's bracketing contract survives.
+func TestBatchUnderPressure(t *testing.T) {
+	const k = 16
+	s, err := New[int](k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := map[int]int64{}
+	items := make([]int, 0, 128)
+	weights := make([]int64, 0, 128)
+	for round := 0; round < 200; round++ {
+		items, weights = items[:0], weights[:0]
+		for i := 0; i < 128; i++ {
+			item := (round*31 + i*i) % 300
+			w := int64(1 + (round+i)%9)
+			items = append(items, item)
+			weights = append(weights, w)
+			exact[item] += w
+		}
+		if err := s.UpdateWeightedBatch(items, weights); err != nil {
+			t.Fatal(err)
+		}
+		if s.NumActive() > k {
+			t.Fatalf("round %d: %d active counters exceed budget %d", round, s.NumActive(), k)
+		}
+	}
+	var total int64
+	for item, f := range exact {
+		total += f
+		if lb, ub := s.LowerBound(item), s.UpperBound(item); lb > f || f > ub {
+			t.Errorf("item %d: bounds [%d, %d] do not bracket true %d", item, lb, ub, f)
+		}
+	}
+	if got := s.StreamWeight(); got != total {
+		t.Errorf("StreamWeight = %d, want %d", got, total)
+	}
+}
+
+// TestBatchValidationGeneric checks all-or-nothing batch validation and
+// the unit-weight batch.
+func TestBatchValidationGeneric(t *testing.T) {
+	s, err := New[string](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateWeightedBatch([]string{"a"}, []int64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := s.UpdateWeightedBatch([]string{"a", "b"}, []int64{1, -2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if !s.IsEmpty() {
+		t.Error("rejected batches left state behind")
+	}
+	s.UpdateBatch([]string{"a", "b", "a"})
+	if got := s.Estimate("a"); got != 2 {
+		t.Errorf(`Estimate("a") = %d, want 2`, got)
+	}
+	if got := s.StreamWeight(); got != 3 {
+		t.Errorf("StreamWeight = %d, want 3", got)
+	}
+}

@@ -97,6 +97,68 @@ func (s *Sketch[T]) Update(item T, weight int64) error {
 // UpdateOne processes a unit update.
 func (s *Sketch[T]) UpdateOne(item T) { _ = s.Update(item, 1) }
 
+// UpdateBatch processes a slice of unit-weight updates, equivalent to an
+// UpdateOne loop with the decrement check amortized across the batch.
+func (s *Sketch[T]) UpdateBatch(items []T) {
+	s.updateBatch(items, nil)
+}
+
+// UpdateWeightedBatch processes the weighted updates (items[i],
+// weights[i]) in order, equivalent to an Update loop with the decrement
+// check amortized across the batch. The slices must have equal length.
+// Unlike an Update loop, validation is all-or-nothing: a negative weight
+// anywhere in the batch rejects the whole batch before any update is
+// applied. Zero weights are skipped as in Update.
+func (s *Sketch[T]) UpdateWeightedBatch(items []T, weights []int64) error {
+	if len(items) != len(weights) {
+		return fmt.Errorf("items: batch length mismatch: %d items, %d weights", len(items), len(weights))
+	}
+	for _, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("items: negative weight %d in batch", w)
+		}
+	}
+	s.updateBatch(items, weights)
+	return nil
+}
+
+// updateBatch applies the batch in headroom-sized chunks: with
+// h = k - len(counters) free counters the decrement condition cannot
+// become true within the next h updates, so they run without per-item
+// checks and the decrement fires at exactly the per-item loop's points.
+// A nil weights slice means all-unit weights, assumed validated.
+func (s *Sketch[T]) updateBatch(items []T, weights []int64) {
+	i := 0
+	for i < len(items) {
+		chunk := s.k - len(s.counters)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if rem := len(items) - i; chunk > rem {
+			chunk = rem
+		}
+		if weights == nil {
+			for _, item := range items[i : i+chunk] {
+				s.streamN++
+				s.counters[item]++
+			}
+		} else {
+			for j, item := range items[i : i+chunk] {
+				w := weights[i+j]
+				if w == 0 {
+					continue
+				}
+				s.streamN += w
+				s.counters[item] += w
+			}
+		}
+		i += chunk
+		if len(s.counters) > s.k {
+			s.decrementCounters()
+		}
+	}
+}
+
 // decrementCounters samples counter values, decrements every counter by
 // the sample quantile, and deletes the non-positive ones. Go randomizes
 // map iteration order per range statement, so taking the first ℓ values

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/hashmap"
 	"repro/internal/xrand"
 )
 
@@ -109,11 +110,146 @@ func (sk *Sketch) shardFor(item int64) *shard {
 // NumShards returns the shard count.
 func (sk *Sketch) NumShards() int { return len(sk.shards) }
 
+// ShardIndex returns the index of the shard item routes to, for callers
+// that pre-partition batches (see UpdateShard).
+func (sk *Sketch) ShardIndex(item int64) int {
+	return int(xrand.Mix64(uint64(item)^sk.seed) & sk.mask)
+}
+
 // Update processes a weighted update; safe for concurrent use.
 func (sk *Sketch) Update(item int64, weight int64) error {
 	sh := sk.shardFor(item)
 	sh.mu.Lock()
 	err := sh.s.Update(item, weight)
+	sh.mu.Unlock()
+	return err
+}
+
+// UpdateBatch processes a slice of unit-weight updates; safe for
+// concurrent use. Items are partitioned by shard and each shard's slice
+// is applied under a single lock acquisition.
+func (sk *Sketch) UpdateBatch(items []int64) {
+	_ = sk.updateBatch(items, nil)
+}
+
+// UpdateWeightedBatch processes the weighted updates (items[i],
+// weights[i]); safe for concurrent use. Items are partitioned by shard
+// and each shard's slice is applied under a single lock acquisition, so
+// the per-update locking cost is amortized across the batch. Validation
+// is all-or-nothing: mismatched lengths or a negative weight anywhere
+// rejects the whole batch before any update is applied.
+func (sk *Sketch) UpdateWeightedBatch(items, weights []int64) error {
+	if len(items) != len(weights) {
+		return fmt.Errorf("sharded: batch length mismatch: %d items, %d weights", len(items), len(weights))
+	}
+	return sk.updateBatch(items, weights)
+}
+
+// updateBatch partitions the batch by shard with a counting sort and
+// applies each shard's run through the core batch path. A nil weights
+// slice means all-unit weights. Sign validation is fused into the
+// counting pass (no separate scan), still ahead of any lock or update,
+// so a rejected batch applies nothing to any shard.
+func (sk *Sketch) updateBatch(items, weights []int64) error {
+	if len(items) == 0 {
+		return nil
+	}
+	n := len(sk.shards)
+	if n == 1 {
+		sh := &sk.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if weights == nil {
+			sh.s.UpdateBatch(items)
+			return nil
+		}
+		return sh.s.UpdateWeightedBatch(items, weights)
+	}
+	idx := make([]int32, len(items))
+	counts := make([]int, n)
+	for i, item := range items {
+		if weights != nil && weights[i] < 0 {
+			return fmt.Errorf("sharded: negative weight %d in batch", weights[i])
+		}
+		j := sk.ShardIndex(item)
+		idx[i] = int32(j)
+		counts[j]++
+	}
+	// offsets[j] is where shard j's run starts in the reordered arrays.
+	offsets := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		offsets[j+1] = offsets[j] + counts[j]
+	}
+	next := append([]int(nil), offsets[:n]...)
+	pItems := make([]int64, len(items))
+	var pWeights []int64
+	if weights != nil {
+		pWeights = make([]int64, len(items))
+	}
+	for i, item := range items {
+		p := next[idx[i]]
+		next[idx[i]]++
+		pItems[p] = item
+		if weights != nil {
+			pWeights[p] = weights[i]
+		}
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := offsets[j], offsets[j+1]
+		if lo == hi {
+			continue
+		}
+		sh := &sk.shards[j]
+		sh.mu.Lock()
+		if weights == nil {
+			sh.s.UpdateBatch(pItems[lo:hi])
+		} else {
+			// Weights were validated above; the per-shard call cannot fail.
+			_ = sh.s.UpdateWeightedBatch(pItems[lo:hi], pWeights[lo:hi])
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// UpdateShard applies a pre-partitioned batch to shard idx under a single
+// lock acquisition — the flush half of a per-goroutine buffered writer
+// that groups updates with ShardIndex. Every item must route to idx, or
+// point queries for misrouted items will consult the wrong shard. A nil
+// weights slice means all-unit weights; otherwise the slices must have
+// equal length and non-negative weights (all-or-nothing validation, as
+// UpdateWeightedBatch).
+func (sk *Sketch) UpdateShard(idx int, items, weights []int64) error {
+	if idx < 0 || idx >= len(sk.shards) {
+		return fmt.Errorf("sharded: shard index %d outside [0, %d)", idx, len(sk.shards))
+	}
+	sh := &sk.shards[idx]
+	if weights == nil {
+		sh.mu.Lock()
+		sh.s.UpdateBatch(items)
+		sh.mu.Unlock()
+		return nil
+	}
+	// Length and sign validation happen inside the core batch call, which
+	// applies nothing on failure, so no partial batch can land.
+	sh.mu.Lock()
+	err := sh.s.UpdateWeightedBatch(items, weights)
+	sh.mu.Unlock()
+	return err
+}
+
+// UpdateShardPairs is UpdateShard over row-layout pairs — the flush path
+// of a per-goroutine buffered writer, which accumulates (item, weight)
+// side by side and hands the buffer over without re-marshaling. The same
+// routing contract applies: every pair's Key must route to idx per
+// ShardIndex.
+func (sk *Sketch) UpdateShardPairs(idx int, pairs []hashmap.Pair) error {
+	if idx < 0 || idx >= len(sk.shards) {
+		return fmt.Errorf("sharded: shard index %d outside [0, %d)", idx, len(sk.shards))
+	}
+	sh := &sk.shards[idx]
+	sh.mu.Lock()
+	err := sh.s.UpdatePairs(pairs)
 	sh.mu.Unlock()
 	return err
 }

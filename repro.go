@@ -16,6 +16,10 @@ type Concurrent[T comparable] = freq.Concurrent[T]
 // Signed is the turnstile (deletion-capable) two-sketch composition.
 type Signed[T comparable] = freq.Signed[T]
 
+// Writer is the per-goroutine buffered front-end for Concurrent — the
+// batched ingestion hot path.
+type Writer[T comparable] = freq.Writer[T]
+
 // Row is one frequent-item query result.
 type Row[T comparable] = freq.Row[T]
 
@@ -45,6 +49,9 @@ var (
 	ErrNegativeWeight  = freq.ErrNegativeWeight
 	ErrCorrupt         = freq.ErrCorrupt
 	ErrNoSerDe         = freq.ErrNoSerDe
+	ErrLengthMismatch  = freq.ErrLengthMismatch
+	ErrBadBatchSize    = freq.ErrBadBatchSize
+	ErrWriterClosed    = freq.ErrWriterClosed
 )
 
 // Construction options, re-exported.
@@ -55,6 +62,7 @@ var (
 	WithSeed       = freq.WithSeed
 	WithShards     = freq.WithShards
 	WithoutGrowth  = freq.WithoutGrowth
+	WithBatchSize  = freq.WithBatchSize
 )
 
 // New returns a sketch tracking up to k counters; see freq.New.
@@ -66,6 +74,11 @@ func New[T comparable](k int, opts ...Option) (*Sketch[T], error) {
 // freq.NewConcurrent.
 func NewConcurrent[T comparable](k int, opts ...Option) (*Concurrent[T], error) {
 	return freq.NewConcurrent[T](k, opts...)
+}
+
+// NewWriter returns a buffered writer feeding c; see freq.NewWriter.
+func NewWriter[T comparable](c *Concurrent[T], opts ...Option) (*Writer[T], error) {
+	return freq.NewWriter(c, opts...)
 }
 
 // NewSigned returns a turnstile-capable sketch pair; see freq.NewSigned.
