@@ -1,6 +1,10 @@
 // Command freq streams "item weight" records from a file (or stdin)
 // through a frequent-items summary and reports heavy hitters and point
-// queries — the end-user shape of the §1.2 problem statement.
+// queries — the end-user shape of the §1.2 problem statement. With
+// -cluster it skips local ingestion and runs the same queries against a
+// fleet of freqd servers instead, merging their summaries at the
+// coordinator (the §3 mergeability story): one query surface, local or
+// distributed.
 //
 // Usage:
 //
@@ -12,6 +16,7 @@
 //	genstream -kind trace -n 1000000 | freq -k 1024 -phi 0.01
 //	freq -k 4096 -algo smin -top 20 trace.bin
 //	freq -k 1024 -query 12345,9876 trace.txt
+//	freq -cluster host1:7070,host2:7070 -top 20
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"strings"
 
 	"repro/freq"
+	"repro/freq/server"
 	"repro/freq/stream"
 )
 
@@ -35,26 +41,55 @@ func main() {
 		noFP     = flag.Bool("nofp", false, "no-false-positives extraction (default: no false negatives)")
 		queries  = flag.String("query", "", "comma-separated item ids to point-query instead of listing heavy hitters")
 		dumpFile = flag.String("serialize", "", "also write the serialized sketch to this file")
+		cluster  = flag.String("cluster", "", "comma-separated freqd addresses: query the fleet's merged summary instead of ingesting locally (-k/-algo/-serialize and the stream file do not apply)")
 	)
 	flag.Parse()
 
-	sketch, err := newSketch(*k, *algo)
-	if err != nil {
-		fatal(err)
+	// src is the one read surface the reporting below runs against —
+	// identical for a locally-ingested sketch and a remote fleet.
+	var src freq.Queryable[int64]
+	if *cluster != "" {
+		// Cluster mode queries remote summaries: local-ingest flags would
+		// be silently dead, so reject them loudly.
+		if flag.Arg(0) != "" {
+			fatal(fmt.Errorf("-cluster queries remote servers; stream file %q would be ignored", flag.Arg(0)))
+		}
+		if *dumpFile != "" {
+			fatal(fmt.Errorf("-serialize is incompatible with -cluster (the summary lives on the servers; use their SNAP command)"))
+		}
+		cl, err := server.DialCluster[int64](strings.Split(*cluster, ",")...)
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.Refresh(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cluster of %d nodes: N=%d, err=%d\n",
+			cl.Nodes(), cl.StreamWeight(), cl.MaximumError())
+		src = cl
+	} else {
+		sketch, err := newSketch(*k, *algo)
+		if err != nil {
+			fatal(err)
+		}
+		updates, err := readStream(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		// Ingest through the batch path: one growth/decrement check per
+		// chunk instead of per update.
+		items, weights := stream.Columns(updates)
+		if err := sketch.UpdateWeightedBatch(items, weights); err != nil {
+			fatal(fmt.Errorf("ingest %d updates: %w", len(updates), err))
+		}
+		fmt.Println(sketch)
+		if *dumpFile != "" {
+			defer dump(sketch, *dumpFile)
+		}
+		src = sketch
 	}
 
-	updates, err := readStream(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	// Ingest through the batch path: one growth/decrement check per
-	// chunk instead of per update.
-	items, weights := stream.Columns(updates)
-	if err := sketch.UpdateWeightedBatch(items, weights); err != nil {
-		fatal(fmt.Errorf("ingest %d updates: %w", len(updates), err))
-	}
-
-	fmt.Println(sketch)
 	if *queries != "" {
 		for _, q := range strings.Split(*queries, ",") {
 			item, err := strconv.ParseInt(strings.TrimSpace(q), 10, 64)
@@ -62,41 +97,27 @@ func main() {
 				fatal(fmt.Errorf("bad query item %q", q))
 			}
 			fmt.Printf("item %d: estimate=%d bounds=[%d, %d]\n",
-				item, sketch.Estimate(item), sketch.LowerBound(item), sketch.UpperBound(item))
+				item, src.Estimate(item), src.LowerBound(item), src.UpperBound(item))
 		}
 	} else {
 		et := freq.NoFalseNegatives
 		if *noFP {
 			et = freq.NoFalsePositives
 		}
-		threshold := sketch.MaximumError()
+		threshold := src.MaximumError()
 		if *phi > 0 {
-			threshold = int64(*phi * float64(sketch.StreamWeight()))
+			threshold = int64(*phi * float64(src.StreamWeight()))
 		}
-		rows := sketch.FrequentItemsAboveThreshold(threshold, et)
-		if *top > 0 && len(rows) > *top {
-			rows = rows[:*top]
+		q := freq.From[int64](src).Where(threshold).WithErrorType(et)
+		if *top > 0 {
+			q = q.Limit(*top)
 		}
+		rows := q.Collect()
 		fmt.Printf("%d heavy hitters above threshold %d (%s):\n", len(rows), threshold, et)
 		for i, r := range rows {
 			fmt.Printf("%4d. item=%-12d est=%-12d lb=%-12d ub=%d\n",
 				i+1, r.Item, r.Estimate, r.LowerBound, r.UpperBound)
 		}
-	}
-
-	if *dumpFile != "" {
-		f, err := os.Create(*dumpFile)
-		if err != nil {
-			fatal(err)
-		}
-		n, err := sketch.WriteTo(f)
-		if err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("serialized %d bytes to %s\n", n, *dumpFile)
 	}
 }
 
@@ -116,6 +137,22 @@ func newSketch(k int, algo string) (*freq.Sketch[int64], error) {
 		}
 		return freq.New[int64](k, freq.WithQuantile(q))
 	}
+}
+
+// dump serializes the sketch to path.
+func dump(sketch *freq.Sketch[int64], path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := sketch.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serialized %d bytes to %s\n", n, path)
 }
 
 // readStream loads a text or binary stream file; "-" or "" reads text

@@ -104,7 +104,7 @@ func pushStream(addr string, updates []stream.Update, batchSize int) error {
 	if batchSize < 1 {
 		return fmt.Errorf("batch size %d must be positive", batchSize)
 	}
-	c, err := server.Dial(addr)
+	c, err := server.Dial[int64](addr)
 	if err != nil {
 		return err
 	}

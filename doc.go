@@ -12,11 +12,15 @@
 //
 //   - repro/freq — the generic facade: Sketch[T] (fast parallel-array
 //     backend for int64/uint64, map backend for any other comparable
-//     type), Concurrent[T] (sharded, goroutine-safe), Signed[T]
-//     (turnstile streams with deletions), functional-options
-//     construction, sentinel errors, and binary/streaming serialization.
+//     type), Concurrent[T] (sharded, goroutine-safe, with epoch-cached
+//     snapshot-isolated read views), Signed[T] (turnstile streams with
+//     deletions), the unified read layer (Queryable[T] and the
+//     iterator-based Query builder), functional-options construction,
+//     sentinel errors, and binary/streaming serialization.
 //   - repro/freq/stream — workload generation and stream file IO.
-//   - repro/freq/server — the summary as a line-protocol TCP service.
+//   - repro/freq/server — the summary as a line-protocol TCP service,
+//     plus the Cluster fan-out client that merges a fleet of servers
+//     into one queryable summary.
 //   - repro/freq/experiments — regenerates the paper's evaluation
 //     figures.
 //

@@ -1,22 +1,25 @@
-// Distributed: the §3 mergeability scenario — partition a stream over
-// parallel workers, summarize each partition independently, ship the
-// serialized summaries to a coordinator, and merge them with Algorithm 5
-// into a summary of the whole stream.
+// Distributed: the §3 mergeability scenario, end to end over the wire —
+// partition a stream across three freqd nodes, summarize each partition
+// independently, then answer global queries through server.Cluster: the
+// coordinator pulls each node's serialized summary concurrently (SNAP),
+// merges them with Algorithm 5, and serves the same freq.Queryable
+// interface a local sketch does. One query surface, local or fleet.
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"net"
 	"sync"
 
 	"repro/freq"
+	"repro/freq/server"
 	"repro/freq/stream"
 )
 
 const (
-	workers = 8
-	k       = 2048
+	nodes = 3
+	k     = 2048
 )
 
 func main() {
@@ -25,53 +28,60 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Each worker summarizes its shard. Sketches draw independent hash
-	// seeds, so the §3.2 shared-hash-function merge hazard never arises.
-	blobs := make([][]byte, workers)
+	// Boot three in-process freqd nodes on loopback ports. In production
+	// these are separate machines; the protocol is the same TCP line
+	// protocol either way.
+	addrs := make([]string, nodes)
+	servers := make([]*server.Server, nodes)
+	for i := range servers {
+		srv, err := server.New(server.Config{MaxCounters: k, Shards: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve(ln)
+		servers[i] = srv
+		addrs[i] = ln.Addr().String()
+	}
+
+	// Each worker ships its partition to its node in UB wire batches.
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < nodes; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sk, err := freq.New[int64](k)
+			c, err := server.Dial[int64](addrs[w])
 			if err != nil {
 				log.Fatal(err)
 			}
-			for i := w; i < len(updates); i += workers {
-				if err := sk.Update(updates[i].Item, updates[i].Weight); err != nil {
-					log.Fatal(err)
-				}
+			defer c.Close()
+			var items, weights []int64
+			for i := w; i < len(updates); i += nodes {
+				items = append(items, updates[i].Item)
+				weights = append(weights, updates[i].Weight)
 			}
-			var buf bytes.Buffer
-			if _, err := sk.WriteTo(&buf); err != nil {
+			if err := c.UpdateBatch(items, weights); err != nil {
 				log.Fatal(err)
 			}
-			blobs[w] = buf.Bytes()
 		}(w)
 	}
 	wg.Wait()
 
-	// Coordinator: deserialize and merge in arbitrary order. Merging is
-	// in place — no scratch table, no new summary (§3.2).
-	var merged *freq.Sketch[int64]
-	totalBytes := 0
-	for _, blob := range blobs {
-		totalBytes += len(blob)
-		sk, err := freq.New[int64](k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := sk.ReadFrom(bytes.NewReader(blob)); err != nil {
-			log.Fatal(err)
-		}
-		if merged == nil {
-			merged = sk
-		} else {
-			merged.Merge(sk)
-		}
+	// Coordinator: one fan-out client over the fleet. Refresh pulls and
+	// merges every node's summary; queries answer from the merged view.
+	cluster, err := server.DialCluster[int64](addrs...)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("merged %d summaries (%d bytes shipped total)\n", workers, totalBytes)
-	fmt.Println(merged)
+	defer cluster.Close()
+	if err := cluster.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged %d node summaries: N=%d, err=%d\n",
+		cluster.Nodes(), cluster.StreamWeight(), cluster.MaximumError())
 
 	// Compare against a single sketch over the unpartitioned stream and
 	// against ground truth.
@@ -88,24 +98,29 @@ func main() {
 		truth[u.Item] += u.Weight
 		truthN += u.Weight
 	}
-	maxErr := func(sk *freq.Sketch[int64]) int64 {
+	maxErr := func(q freq.Queryable[int64]) int64 {
 		var worst int64
 		for item, want := range truth {
-			if d := sk.Estimate(item) - want; d > worst {
+			if d := q.Estimate(item) - want; d > worst {
 				worst = d
-			} else if d := want - sk.Estimate(item); d > worst {
+			} else if d := want - q.Estimate(item); d > worst {
 				worst = d
 			}
 		}
 		return worst
 	}
-	fmt.Printf("\nmax error: merged=%d single=%d theorem-5 bound=%.0f\n",
-		maxErr(merged), maxErr(single), freq.TailBound(k, 0, truthN))
+	fmt.Printf("\nmax error: cluster=%d single=%d theorem-5 bound=%.0f\n",
+		maxErr(cluster), maxErr(single), freq.TailBound(k, 0, truthN))
 
-	fmt.Println("\ntop items, merged vs single-pass vs truth:")
-	fmt.Printf("%12s %12s %12s %12s\n", "item", "merged", "single", "true")
-	for _, row := range merged.TopK(8) {
+	// The same Query builder runs against the fleet and the local sketch.
+	fmt.Println("\ntop items, cluster fan-out vs single-pass vs truth:")
+	fmt.Printf("%12s %12s %12s %12s\n", "item", "cluster", "single", "true")
+	for _, row := range cluster.Query().Limit(8).Collect() {
 		fmt.Printf("%12d %12d %12d %12d\n",
 			row.Item, row.Estimate, single.Estimate(row.Item), truth[row.Item])
+	}
+
+	for _, srv := range servers {
+		srv.Close()
 	}
 }

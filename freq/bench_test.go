@@ -255,3 +255,93 @@ func BenchmarkFreqEstimate(b *testing.B) {
 	}
 	_ = sink
 }
+
+// BenchmarkQueryTopK measures the read path of the query layer on a
+// full sketch: the legacy eager wrapper vs the builder vs a streaming
+// (OrderNone) scan — the shape behind `freq -top N` and the TOPK wire
+// command.
+func BenchmarkQueryTopK(b *testing.B) {
+	stream := benchTrace(b)
+	s, err := New[int64](benchK, WithSeed(benchSeed), WithoutGrowth())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, u := range stream {
+		if err := s.Update(u.Item, u.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rows := s.TopK(10); len(rows) != 10 {
+				b.Fatal("short result")
+			}
+		}
+	})
+	b.Run("builder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rows := s.Query().Limit(10).Collect(); len(rows) != 10 {
+				b.Fatal("short result")
+			}
+		}
+	})
+	b.Run("stream-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for range s.Query().OrderBy(OrderNone).Rows() {
+				n++
+			}
+			if n == 0 {
+				b.Fatal("empty scan")
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentCachedView measures the epoch cache's effect on
+// repeated Concurrent reads: "cached" re-reads an unchanged sketch (the
+// merge is paid once, then amortized to zero), "invalidated" interleaves
+// a write before every read (every read pays the O(shards*k) re-merge —
+// the pre-cache behaviour).
+func BenchmarkConcurrentCachedView(b *testing.B) {
+	stream := benchTrace(b)
+	newLoaded := func(b *testing.B) *Concurrent[int64] {
+		c, err := NewConcurrent[int64](benchK, WithSeed(benchSeed), WithShards(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, u := range stream[:200_000] {
+			if err := c.Update(u.Item, u.Weight); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+	b.Run("cached", func(b *testing.B) {
+		c := newLoaded(b)
+		_ = c.TopK(10) // pay the first merge outside the loop
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rows := c.TopK(10); len(rows) != 10 {
+				b.Fatal("short result")
+			}
+		}
+	})
+	b.Run("invalidated", func(b *testing.B) {
+		c := newLoaded(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Update(int64(i), 1); err != nil {
+				b.Fatal(err)
+			}
+			if rows := c.TopK(10); len(rows) != 10 {
+				b.Fatal("short result")
+			}
+		}
+	})
+}

@@ -2,8 +2,9 @@ package freq
 
 import (
 	"hash/maphash"
-	"sort"
+	"iter"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/items"
@@ -14,9 +15,11 @@ import (
 // counter budget is spread over hash-partitioned shards (WithShards,
 // default 8, rounded up to a power of two), each summarizing its slice of
 // the stream under its own lock — the concurrency pattern the paper's §3
-// mergeability story enables. Point queries touch exactly one shard and
-// carry that shard's (smaller) error band rather than the sum of all of
-// them.
+// mergeability story enables. Point queries (Estimate, bounds) touch
+// exactly one shard and carry that shard's (smaller) error band; row
+// queries (All, FrequentItems*, TopK, Query) answer from the
+// epoch-cached merged View, so repeated reads with no interleaved writes
+// perform zero additional shard merges.
 //
 // Like Sketch, it compiles down to the parallel-array backend for int64
 // and uint64 items and falls back to the generic map-backed backend for
@@ -27,14 +30,24 @@ type Concurrent[T comparable] struct {
 	slow  []itemShard[T]
 	mask  uint64
 	hseed maphash.Seed
+
+	// Epoch-cached merged read view for the generic backend (the fast
+	// backend caches inside internal/sharded). Guarded by viewMu.
+	viewMu     sync.Mutex
+	view       *items.Sketch[T]
+	viewEpochs []uint64
+	viewMerges int64
 }
 
 type itemShard[T comparable] struct {
 	mu sync.Mutex
 	s  *items.Sketch[T]
+	// epoch counts mutations to this shard (bumped under mu, read
+	// atomically by the view freshness check).
+	epoch atomic.Uint64
 	// Pad the struct to a full 64-byte cache line (8 mutex + 8 pointer +
-	// 48) so neighbouring shard locks do not false-share.
-	_ [48]byte
+	// 8 epoch + 40) so neighbouring shard locks do not false-share.
+	_ [40]byte
 }
 
 // NewConcurrent returns a goroutine-safe sketch with counter budget k
@@ -93,6 +106,7 @@ func (c *Concurrent[T]) Update(item T, weight int64) error {
 	}
 	sh := c.shardFor(item)
 	sh.mu.Lock()
+	sh.epoch.Add(1)
 	err := sh.s.Update(item, weight)
 	sh.mu.Unlock()
 	return err
@@ -158,6 +172,7 @@ func (c *Concurrent[T]) slowBatch(items []T, weights []int64) {
 		}
 		sh := &c.slow[j]
 		sh.mu.Lock()
+		sh.epoch.Add(1)
 		if weights == nil {
 			sh.s.UpdateBatch(perItems[j])
 		} else {
@@ -238,37 +253,136 @@ func (c *Concurrent[T]) MaximumError() int64 {
 	return worst
 }
 
-// FrequentItems returns items qualifying against the worst per-shard
-// error band, ordered by descending estimate.
-func (c *Concurrent[T]) FrequentItems(et ErrorType) []Row[T] {
-	return c.FrequentItemsAboveThreshold(c.MaximumError(), et)
+// View returns the epoch-cached snapshot-isolated read view: a single
+// merged summary of all shards (Algorithm 5), rebuilt only when some
+// shard has been written since the last call — repeated reads with no
+// interleaved writes reuse the cache and perform zero additional shard
+// merges. The view is immutable, safe for any number of concurrent
+// readers, and keeps answering from its frozen state while the live
+// sketch moves on. Its bounds are the merged summary's single global
+// error band (the same answer a coordinator holding the merged snapshot
+// would give), in contrast to the tighter per-shard bands of the live
+// point queries.
+func (c *Concurrent[T]) View() (*View[T], error) {
+	if c.fast != nil {
+		v, err := c.fast.View()
+		if err != nil {
+			return nil, mapCoreErr(err)
+		}
+		return &View[T]{sk: &Sketch[T]{fast: v}}, nil
+	}
+	v, err := c.slowView()
+	if err != nil {
+		return nil, err
+	}
+	return &View[T]{sk: &Sketch[T]{slow: v}}, nil
 }
 
-// FrequentItemsAboveThreshold gathers qualifying rows from every shard.
-// Items are hash-partitioned, so the union over shards is exactly the
-// global answer under the chosen semantics.
-func (c *Concurrent[T]) FrequentItemsAboveThreshold(threshold int64, et ErrorType) []Row[T] {
-	if c.fast != nil {
-		return rowsFromCore[T](c.fast.FrequentItemsAboveThreshold(threshold, core.ErrorType(et)))
+// slowView is View for the generic backend: same epoch-cache protocol as
+// internal/sharded, over the map-backed per-shard sketches.
+func (c *Concurrent[T]) slowView() (*items.Sketch[T], error) {
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	if c.view != nil && c.slowViewFresh() {
+		return c.view, nil
 	}
-	var rows []Row[T]
+	total := 0
+	for i := range c.slow {
+		total += c.slow[i].s.MaxCounters()
+	}
+	out, err := items.NewWithConfig[T](total, c.slow[0].s.Quantile(), c.slow[0].s.SampleSize())
+	if err != nil {
+		return nil, err
+	}
+	if c.viewEpochs == nil {
+		c.viewEpochs = make([]uint64, len(c.slow))
+	}
 	for i := range c.slow {
 		sh := &c.slow[i]
 		sh.mu.Lock()
-		rows = append(rows, rowsFromItems(sh.s.FrequentItemsAboveThreshold(threshold, items.ErrorType(et)))...)
+		c.viewEpochs[i] = sh.epoch.Load()
+		out.Merge(sh.s)
 		sh.mu.Unlock()
+		c.viewMerges++
 	}
-	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Estimate > rows[j].Estimate })
-	return rows
+	c.view = out
+	return out, nil
 }
 
-// TopK returns up to k rows with the largest estimates.
-func (c *Concurrent[T]) TopK(k int) []Row[T] {
-	rows := c.FrequentItemsAboveThreshold(0, NoFalseNegatives)
-	if len(rows) > k {
-		rows = rows[:k]
+// slowViewFresh reports whether no shard changed since the cached view
+// was built. Caller holds viewMu.
+func (c *Concurrent[T]) slowViewFresh() bool {
+	for i := range c.slow {
+		if c.slow[i].epoch.Load() != c.viewEpochs[i] {
+			return false
+		}
 	}
-	return rows
+	return true
+}
+
+// ViewMerges returns the cumulative number of per-shard merges performed
+// building read views — a diagnostic for asserting the epoch cache
+// works: the count stays flat across repeated reads with no interleaved
+// writes.
+func (c *Concurrent[T]) ViewMerges() int64 {
+	if c.fast != nil {
+		return c.fast.ViewMerges()
+	}
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	return c.viewMerges
+}
+
+// All iterates every tracked row of the epoch-cached merged view as
+// (item, row) pairs, in unspecified order. Safe for concurrent use.
+func (c *Concurrent[T]) All() iter.Seq2[T, Row[T]] {
+	return func(yield func(T, Row[T]) bool) {
+		v, err := c.View()
+		if err != nil {
+			return
+		}
+		for item, r := range v.All() {
+			if !yield(item, r) {
+				return
+			}
+		}
+	}
+}
+
+// Query starts a composable query over the epoch-cached merged view.
+func (c *Concurrent[T]) Query() *Query[T] { return From[T](c) }
+
+// FrequentItems returns items qualifying against the merged view's error
+// band, ordered by descending estimate.
+func (c *Concurrent[T]) FrequentItems(et ErrorType) []Row[T] {
+	v, err := c.View()
+	if err != nil {
+		return nil
+	}
+	return v.FrequentItems(et)
+}
+
+// FrequentItemsAboveThreshold returns items qualifying against a caller
+// threshold, ordered by descending estimate (ties by item). It is a
+// compatibility wrapper over the epoch-cached View: rows carry the
+// merged summary's global error band, and repeated calls with no
+// interleaved writes re-merge nothing.
+func (c *Concurrent[T]) FrequentItemsAboveThreshold(threshold int64, et ErrorType) []Row[T] {
+	v, err := c.View()
+	if err != nil {
+		return nil
+	}
+	return v.FrequentItemsAboveThreshold(threshold, et)
+}
+
+// TopK returns up to k rows with the largest estimates (ties by item),
+// served from the epoch-cached View.
+func (c *Concurrent[T]) TopK(k int) []Row[T] {
+	v, err := c.View()
+	if err != nil {
+		return nil
+	}
+	return v.TopK(k)
 }
 
 // Snapshot merges all shards into a single fresh Sketch with the combined
@@ -314,7 +428,7 @@ func (c *Concurrent[T]) MarshalBinary() ([]byte, error) {
 	return snap.MarshalBinary()
 }
 
-// Reset clears every shard.
+// Reset clears every shard (and invalidates any cached read view).
 func (c *Concurrent[T]) Reset() {
 	if c.fast != nil {
 		c.fast.Reset()
@@ -323,6 +437,7 @@ func (c *Concurrent[T]) Reset() {
 	for i := range c.slow {
 		sh := &c.slow[i]
 		sh.mu.Lock()
+		sh.epoch.Add(1)
 		sh.s.Reset()
 		sh.mu.Unlock()
 	}

@@ -44,6 +44,50 @@ func ExampleSketch_TopK() {
 	// web 20
 }
 
+// ExampleSketch_Query composes a query with the iterator-based builder:
+// threshold filtering, deterministic ordering, and pagination — the
+// same builder runs against Sketch, Concurrent, Signed, and the wire
+// clients in freq/server.
+func ExampleSketch_Query() {
+	sk, err := freq.New[string](64)
+	if err != nil {
+		panic(err)
+	}
+	items := []string{"web", "api", "db", "cache", "api", "web"}
+	weights := []int64{10, 40, 5, 30, 40, 10}
+	if err := sk.UpdateWeightedBatch(items, weights); err != nil {
+		panic(err)
+	}
+	for item, row := range sk.Query().Where(15).Limit(2).All() {
+		fmt.Printf("%s %d\n", item, row.Estimate)
+	}
+	// Output:
+	// api 80
+	// cache 30
+}
+
+// ExampleConcurrent_View freezes a snapshot-isolated read view: the
+// view keeps answering from its state no matter what lands on the live
+// sketch, and repeated reads of an unchanged sketch reuse the cached
+// merged view for free.
+func ExampleConcurrent_View() {
+	c, err := freq.NewConcurrent[int64](1024, freq.WithShards(4))
+	if err != nil {
+		panic(err)
+	}
+	c.Update(7, 100)
+	v, err := c.View()
+	if err != nil {
+		panic(err)
+	}
+	c.Update(7, 50) // lands on the live sketch, not the frozen view
+	fmt.Println(v.Estimate(7))
+	fmt.Println(c.Estimate(7))
+	// Output:
+	// 100
+	// 150
+}
+
 // ExampleNewConcurrent shares one sketch between goroutines; every
 // Update takes only its own shard's lock.
 func ExampleNewConcurrent() {

@@ -33,6 +33,7 @@ package freq
 
 import (
 	"fmt"
+	"iter"
 	"reflect"
 	"unsafe"
 
@@ -317,6 +318,39 @@ func (s *Sketch[T]) Merge(other *Sketch[T]) *Sketch[T] {
 	return s
 }
 
+// All iterates every tracked row as (item, row) pairs, in unspecified
+// order, without materializing or sorting the result — the streaming
+// read primitive Query builds on. The sketch must not be mutated while
+// the iterator is live.
+func (s *Sketch[T]) All() iter.Seq2[T, Row[T]] {
+	return func(yield func(T, Row[T]) bool) {
+		if s.fast != nil {
+			for r := range s.fast.All() {
+				row := Row[T]{
+					Item:       fromInt64[T](r.Item),
+					Estimate:   r.Estimate,
+					LowerBound: r.LowerBound,
+					UpperBound: r.UpperBound,
+				}
+				if !yield(row.Item, row) {
+					return
+				}
+			}
+			return
+		}
+		for r := range s.slow.All() {
+			row := Row[T]{Item: r.Item, Estimate: r.Estimate, LowerBound: r.LowerBound, UpperBound: r.UpperBound}
+			if !yield(row.Item, row) {
+				return
+			}
+		}
+	}
+}
+
+// Query starts a composable query over the sketch: filters, ordering,
+// and pagination with iterator results (see Query and From).
+func (s *Sketch[T]) Query() *Query[T] { return From[T](s) }
+
 // FrequentItems returns items qualifying against the sketch's own error
 // band, ordered by descending estimate.
 func (s *Sketch[T]) FrequentItems(et ErrorType) []Row[T] {
@@ -326,21 +360,16 @@ func (s *Sketch[T]) FrequentItems(et ErrorType) []Row[T] {
 // FrequentItemsAboveThreshold returns items qualifying against a caller
 // threshold (φ·N for (φ, ε)-heavy hitters): under NoFalsePositives those
 // with LowerBound > threshold, under NoFalseNegatives those with
-// UpperBound > threshold. Rows are ordered by descending estimate.
+// UpperBound > threshold. Rows are ordered by descending estimate, ties
+// by item. It is a compatibility wrapper over Query.
 func (s *Sketch[T]) FrequentItemsAboveThreshold(threshold int64, et ErrorType) []Row[T] {
-	if s.fast != nil {
-		return rowsFromCore[T](s.fast.FrequentItemsAboveThreshold(threshold, core.ErrorType(et)))
-	}
-	return rowsFromItems(s.slow.FrequentItemsAboveThreshold(threshold, items.ErrorType(et)))
+	return s.Query().Where(threshold).WithErrorType(et).Collect()
 }
 
-// TopK returns up to k rows with the largest estimates.
+// TopK returns up to k rows with the largest estimates (ties by item).
+// It is a compatibility wrapper over Query.
 func (s *Sketch[T]) TopK(k int) []Row[T] {
-	rows := s.FrequentItemsAboveThreshold(0, NoFalseNegatives)
-	if len(rows) > k {
-		rows = rows[:k]
-	}
-	return rows
+	return s.Query().Limit(k).Collect()
 }
 
 // String summarizes the sketch state for humans.

@@ -1,0 +1,270 @@
+// Tests for the unified query layer: the Query builder's filtering,
+// ordering, and pagination semantics; deterministic tie ordering; and
+// the equivalence of the legacy eager methods with their builder
+// wrappers, on both backends.
+package freq_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/freq"
+)
+
+// queryFixture returns a sketch with a known exact state: items 0..9
+// with weights 100, 90, ..., 10 — big enough budget that nothing is
+// evicted and every estimate is exact.
+func queryFixture(t *testing.T) *freq.Sketch[int64] {
+	t.Helper()
+	sk, err := freq.New[int64](256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := sk.Update(i, (10-i)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sk
+}
+
+func itemsOf(rows []freq.Row[int64]) []int64 {
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r.Item
+	}
+	return out
+}
+
+func TestQueryWhereThresholdSemantics(t *testing.T) {
+	sk := queryFixture(t)
+	// Exact state: threshold 50 keeps items with weight > 50, i.e.
+	// weights 100..60 → items 0..4, under either semantics.
+	for _, et := range []freq.ErrorType{freq.NoFalseNegatives, freq.NoFalsePositives} {
+		rows := sk.Query().Where(50).WithErrorType(et).Collect()
+		if got, want := itemsOf(rows), []int64{0, 1, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: Where(50) = %v, want %v", et, got, want)
+		}
+	}
+	// Negative thresholds clamp to 0: all ten rows qualify.
+	if got := sk.Query().Where(-5).Count(); got != 10 {
+		t.Errorf("Where(-5) matched %d rows, want 10", got)
+	}
+}
+
+func TestQueryOrderLimitOffset(t *testing.T) {
+	sk := queryFixture(t)
+
+	top3 := sk.Query().Limit(3).Collect()
+	if got, want := itemsOf(top3), []int64{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Limit(3) = %v, want %v", got, want)
+	}
+
+	page2 := sk.Query().Offset(3).Limit(3).Collect()
+	if got, want := itemsOf(page2), []int64{3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Offset(3).Limit(3) = %v, want %v", got, want)
+	}
+
+	asc := sk.Query().OrderBy(freq.OrderEstimateAsc).Limit(2).Collect()
+	if got, want := itemsOf(asc), []int64{9, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OrderEstimateAsc.Limit(2) = %v, want %v", got, want)
+	}
+
+	byItem := sk.Query().OrderBy(freq.OrderItem).Collect()
+	if got, want := itemsOf(byItem), []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OrderItem = %v, want %v", got, want)
+	}
+
+	// Offset past the end is empty, not a panic.
+	if got := sk.Query().Offset(99).Count(); got != 0 {
+		t.Errorf("Offset(99) matched %d rows, want 0", got)
+	}
+}
+
+func TestQueryWhereFuncAndStreamPath(t *testing.T) {
+	sk := queryFixture(t)
+	even := func(r freq.Row[int64]) bool { return r.Item%2 == 0 }
+
+	ordered := sk.Query().WhereFunc(even).Collect()
+	if got, want := itemsOf(ordered), []int64{0, 2, 4, 6, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("WhereFunc(even) = %v, want %v", got, want)
+	}
+
+	// OrderNone streams without materializing; same row set, any order.
+	seen := map[int64]bool{}
+	n := 0
+	for item, row := range sk.Query().WhereFunc(even).OrderBy(freq.OrderNone).All() {
+		if item != row.Item {
+			t.Fatalf("All yielded key %d for row %v", item, row)
+		}
+		seen[item] = true
+		n++
+	}
+	if n != 5 || !seen[0] || !seen[8] {
+		t.Errorf("streamed rows = %v", seen)
+	}
+
+	// Limit bounds the streamed path too.
+	if got := sk.Query().OrderBy(freq.OrderNone).Limit(2).Count(); got != 2 {
+		t.Errorf("OrderNone.Limit(2) streamed %d rows, want 2", got)
+	}
+
+	// Early break stops the iterator cleanly.
+	n = 0
+	for range sk.Query().Rows() {
+		n++
+		if n == 4 {
+			break
+		}
+	}
+	if n != 4 {
+		t.Errorf("broke after %d rows", n)
+	}
+}
+
+// TestQueryTieOrderingDeterministic pins the tie-break contract: equal
+// estimates order by ascending item, identically on every run and on
+// both backends, so Limit cuts at a deterministic boundary.
+func TestQueryTieOrderingDeterministic(t *testing.T) {
+	t.Run("fast", func(t *testing.T) {
+		sk, err := freq.New[int64](256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(9); i >= 0; i-- { // insert high-to-low to fight insertion order
+			if err := sk.Update(i, 7); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := []int64{0, 1, 2, 3, 4}
+		for trial := 0; trial < 5; trial++ {
+			if got := itemsOf(sk.TopK(5)); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: TopK(5) = %v, want %v", trial, got, want)
+			}
+		}
+	})
+	t.Run("generic", func(t *testing.T) {
+		sk, err := freq.New[string](256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, item := range []string{"delta", "alpha", "echo", "charlie", "bravo"} {
+			if err := sk.Update(item, 7); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := []string{"alpha", "bravo", "charlie"}
+		for trial := 0; trial < 5; trial++ {
+			rows := sk.TopK(3)
+			got := make([]string, len(rows))
+			for i, r := range rows {
+				got[i] = r.Item
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: TopK(3) = %v, want %v (map order must not leak)", trial, got, want)
+			}
+		}
+	})
+	t.Run("custom-order-ties", func(t *testing.T) {
+		sk, err := freq.New[int64](256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 6; i++ {
+			if err := sk.Update(i, 7); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A comparator that distinguishes nothing still yields item order.
+		rows := sk.Query().OrderByFunc(func(a, b freq.Row[int64]) int { return 0 }).Collect()
+		if got, want := itemsOf(rows), []int64{0, 1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+			t.Errorf("constant comparator = %v, want item order %v", got, want)
+		}
+	})
+}
+
+// TestLegacyMethodsAreQueryWrappers pins that the eager compatibility
+// methods and the builder return byte-identical results.
+func TestLegacyMethodsAreQueryWrappers(t *testing.T) {
+	sk := queryFixture(t)
+	if got, want := sk.TopK(4), sk.Query().Limit(4).Collect(); !reflect.DeepEqual(got, want) {
+		t.Errorf("TopK = %v, builder = %v", got, want)
+	}
+	got := sk.FrequentItemsAboveThreshold(30, freq.NoFalsePositives)
+	want := sk.Query().Where(30).WithErrorType(freq.NoFalsePositives).Collect()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FrequentItemsAboveThreshold = %v, builder = %v", got, want)
+	}
+}
+
+// TestSignedQueryParity exercises the turnstile front-end's new batch
+// and query surface: batch ingest equals the loop, deletions subtract,
+// and the Queryable methods answer signed values.
+func TestSignedQueryParity(t *testing.T) {
+	loop, err := freq.NewSigned[int64](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := freq.NewSigned[int64](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []int64{1, 2, 3, 1, 2, 1, 4}
+	weights := []int64{10, 20, 30, -5, 0, 7, -40}
+	for i := range items {
+		loop.Update(items[i], weights[i])
+	}
+	if err := batched.UpdateWeightedBatch(items, weights); err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range []int64{1, 2, 3, 4, 99} {
+		if l, b := loop.Estimate(item), batched.Estimate(item); l != b {
+			t.Errorf("item %d: loop estimate %d, batch estimate %d", item, l, b)
+		}
+	}
+	if got, want := batched.Estimate(1), int64(12); got != want {
+		t.Errorf("Estimate(1) = %d, want %d", got, want)
+	}
+	if got, want := batched.NetWeight(), int64(10+20+30-5+7-40); got != want {
+		t.Errorf("NetWeight = %d, want %d", got, want)
+	}
+	if batched.StreamWeight() != batched.NetWeight() {
+		t.Error("StreamWeight != NetWeight")
+	}
+	if err := batched.UpdateWeightedBatch([]int64{1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// MinInt64's magnitude is unrepresentable: all-or-nothing rejection.
+	before := batched.Estimate(1)
+	if err := batched.UpdateWeightedBatch([]int64{1, 2}, []int64{5, math.MinInt64}); !errors.Is(err, freq.ErrNegativeWeight) {
+		t.Errorf("MinInt64 batch = %v, want ErrNegativeWeight", err)
+	}
+	if got := batched.Estimate(1); got != before {
+		t.Errorf("rejected batch applied updates: Estimate(1) %d -> %d", before, got)
+	}
+
+	// Unit-weight batch parity.
+	ub, err := freq.NewSigned[int64](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub.UpdateBatch([]int64{5, 5, 6})
+	if got := ub.Estimate(5); got != 2 {
+		t.Errorf("after UpdateBatch Estimate(5) = %d, want 2", got)
+	}
+
+	// Query over a Signed summary: top items by signed estimate.
+	rows := batched.TopK(2)
+	if len(rows) != 2 || rows[0].Item != 3 || rows[1].Item != 2 {
+		t.Errorf("Signed TopK = %v", rows)
+	}
+	// Item 4 went net negative (-40): it must not outrank positives, and
+	// a threshold query must exclude it.
+	for _, r := range batched.FrequentItemsAboveThreshold(0, freq.NoFalsePositives) {
+		if r.Item == 4 {
+			t.Error("net-negative item cleared a positive threshold")
+		}
+	}
+}

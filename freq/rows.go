@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/items"
 )
 
 // ErrorType selects heavy-hitter extraction semantics, mirroring the
@@ -54,32 +53,6 @@ type Row[T comparable] struct {
 
 func (r Row[T]) String() string {
 	return fmt.Sprintf("{item:%v est:%d lb:%d ub:%d}", r.Item, r.Estimate, r.LowerBound, r.UpperBound)
-}
-
-func rowsFromCore[T comparable](in []core.Row) []Row[T] {
-	out := make([]Row[T], len(in))
-	for i, r := range in {
-		out[i] = Row[T]{
-			Item:       fromInt64[T](r.Item),
-			Estimate:   r.Estimate,
-			LowerBound: r.LowerBound,
-			UpperBound: r.UpperBound,
-		}
-	}
-	return out
-}
-
-func rowsFromItems[T comparable](in []items.Row[T]) []Row[T] {
-	out := make([]Row[T], len(in))
-	for i, r := range in {
-		out[i] = Row[T]{
-			Item:       r.Item,
-			Estimate:   r.Estimate,
-			LowerBound: r.LowerBound,
-			UpperBound: r.UpperBound,
-		}
-	}
-	return out
 }
 
 // TailBound returns the a-priori §2.3.2 error guarantee for a k-counter

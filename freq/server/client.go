@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"iter"
 	"net"
 	"strconv"
 	"strings"
@@ -11,27 +12,44 @@ import (
 	"repro/freq"
 )
 
-// Client speaks the line protocol to a Server. It is a thin synchronous
+// Client speaks the line protocol to a Server. It is generic over the
+// item type: the wire carries decimal int64, and any 8-byte integer kind
+// (~int64 | ~uint64 — the freq fast path's domain) converts to and from
+// it losslessly, so a collector keyed by uint64 flow hashes and one
+// keyed by signed ids share one client. It is a thin synchronous
 // wrapper suitable for collectors and tests; it is not safe for
-// concurrent use (open one per goroutine — the server side is concurrent).
-type Client struct {
+// concurrent use (open one per goroutine — the server side is
+// concurrent).
+//
+// Client implements freq.Queryable[T], so the freq.Query builder runs
+// against a remote summary exactly as against a local sketch. The
+// interface-shaped methods (Estimate, bounds, MaximumError,
+// StreamWeight, All) cannot return transport errors in-band; the first
+// failure is recorded and exposed via Err, and subsequent calls return
+// zero values. Callers that need per-call errors use the explicit
+// methods (Query, TopK, FrequentItemsAboveThreshold, Stats, ...).
+type Client[T ~int64 | ~uint64] struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	err  error
 }
 
+// Queryable compile-time proof, mirroring the assertions in freq.
+var _ freq.Queryable[int64] = (*Client[int64])(nil)
+
 // Dial connects to a server at addr.
-func Dial(addr string) (*Client, error) {
+func Dial[T ~int64 | ~uint64](addr string) (*Client[T], error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return NewClient[T](conn), nil
 }
 
 // NewClient wraps an existing connection (e.g. net.Pipe in tests).
-func NewClient(conn net.Conn) *Client {
-	return &Client{
+func NewClient[T ~int64 | ~uint64](conn net.Conn) *Client[T] {
+	return &Client[T]{
 		conn: conn,
 		r:    bufio.NewReader(conn),
 		w:    bufio.NewWriter(conn),
@@ -41,14 +59,14 @@ func NewClient(conn net.Conn) *Client {
 // Close sends QUIT, waits for the server's BYE — which the server only
 // sends after flushing this connection's buffered updates into the
 // shared summary — and closes the connection.
-func (c *Client) Close() error {
+func (c *Client[T]) Close() error {
 	fmt.Fprintln(c.w, "QUIT")
 	c.w.Flush()
 	_, _ = c.r.ReadString('\n')
 	return c.conn.Close()
 }
 
-func (c *Client) roundTrip(format string, args ...any) (string, error) {
+func (c *Client[T]) roundTrip(format string, args ...any) (string, error) {
 	if _, err := fmt.Fprintf(c.w, format+"\n", args...); err != nil {
 		return "", err
 	}
@@ -67,8 +85,8 @@ func (c *Client) roundTrip(format string, args ...any) (string, error) {
 }
 
 // Update sends a weighted update.
-func (c *Client) Update(item, weight int64) error {
-	resp, err := c.roundTrip("U %d %d", item, weight)
+func (c *Client[T]) Update(item T, weight int64) error {
+	resp, err := c.roundTrip("U %d %d", int64(item), weight)
 	if err != nil {
 		return err
 	}
@@ -84,7 +102,7 @@ func (c *Client) Update(item, weight int64) error {
 // server's MaxWireBatch cap are chunked transparently. Each block is
 // all-or-nothing on the server: mismatched lengths here or a negative
 // weight there reject it with no updates from that block applied.
-func (c *Client) UpdateBatch(items, weights []int64) error {
+func (c *Client[T]) UpdateBatch(items []T, weights []int64) error {
 	if len(items) != len(weights) {
 		return fmt.Errorf("client: batch length mismatch: %d items, %d weights", len(items), len(weights))
 	}
@@ -98,7 +116,7 @@ func (c *Client) UpdateBatch(items, weights []int64) error {
 }
 
 // updateBlock ships one UB block of at most MaxWireBatch pairs.
-func (c *Client) updateBlock(items, weights []int64) error {
+func (c *Client[T]) updateBlock(items []T, weights []int64) error {
 	if len(items) == 0 {
 		return nil
 	}
@@ -107,7 +125,7 @@ func (c *Client) updateBlock(items, weights []int64) error {
 	}
 	buf := make([]byte, 0, 48)
 	for i := range items {
-		buf = strconv.AppendInt(buf[:0], items[i], 10)
+		buf = strconv.AppendInt(buf[:0], int64(items[i]), 10)
 		buf = append(buf, ' ')
 		buf = strconv.AppendInt(buf, weights[i], 10)
 		buf = append(buf, '\n')
@@ -133,9 +151,10 @@ func (c *Client) updateBlock(items, weights []int64) error {
 	return nil
 }
 
-// Query returns (estimate, lowerBound, upperBound) for item.
-func (c *Client) Query(item int64) (est, lb, ub int64, err error) {
-	resp, err := c.roundTrip("Q %d", item)
+// Query returns (estimate, lowerBound, upperBound) for item in one
+// round trip.
+func (c *Client[T]) Query(item T) (est, lb, ub int64, err error) {
+	resp, err := c.roundTrip("EST %d", int64(item))
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -146,30 +165,47 @@ func (c *Client) Query(item int64) (est, lb, ub int64, err error) {
 }
 
 // readMulti parses a MULTI block into rows.
-func (c *Client) readMulti(header string) ([]freq.Row[int64], error) {
+func (c *Client[T]) readMulti(header string) ([]freq.Row[T], error) {
 	var n int
 	if _, err := fmt.Sscanf(header, "MULTI %d", &n); err != nil {
 		return nil, fmt.Errorf("server: bad multi header %q", header)
 	}
-	rows := make([]freq.Row[int64], 0, n)
+	rows := make([]freq.Row[T], 0, n)
 	for i := 0; i < n; i++ {
 		line, err := c.r.ReadString('\n')
 		if err != nil {
 			return nil, err
 		}
-		var r freq.Row[int64]
+		var item int64
+		var r freq.Row[T]
 		if _, err := fmt.Sscanf(strings.TrimSpace(line), "ITEM %d %d %d %d",
-			&r.Item, &r.Estimate, &r.LowerBound, &r.UpperBound); err != nil {
+			&item, &r.Estimate, &r.LowerBound, &r.UpperBound); err != nil {
 			return nil, fmt.Errorf("server: bad row %q", line)
 		}
+		r.Item = T(item)
 		rows = append(rows, r)
 	}
 	return rows, nil
 }
 
-// Top returns the n largest items.
-func (c *Client) Top(n int) ([]freq.Row[int64], error) {
-	resp, err := c.roundTrip("TOP %d", n)
+// TopK returns the n largest items (server-side TOPK command, answered
+// from the server's epoch-cached merged view).
+func (c *Client[T]) TopK(n int) ([]freq.Row[T], error) {
+	resp, err := c.roundTrip("TOPK %d", n)
+	if err != nil {
+		return nil, err
+	}
+	return c.readMulti(resp)
+}
+
+// Top returns the n largest items. Deprecated name kept for existing
+// callers; identical to TopK.
+func (c *Client[T]) Top(n int) ([]freq.Row[T], error) { return c.TopK(n) }
+
+// FrequentItemsAboveThreshold returns items qualifying against an
+// absolute threshold under et (server-side FI command).
+func (c *Client[T]) FrequentItemsAboveThreshold(threshold int64, et freq.ErrorType) ([]freq.Row[T], error) {
+	resp, err := c.roundTrip("FI %d %d", int(et), threshold)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +213,7 @@ func (c *Client) Top(n int) ([]freq.Row[int64], error) {
 }
 
 // HeavyHitters returns items above phi (in [0,1]) of the stream weight.
-func (c *Client) HeavyHitters(phi float64) ([]freq.Row[int64], error) {
+func (c *Client[T]) HeavyHitters(phi float64) ([]freq.Row[T], error) {
 	resp, err := c.roundTrip("HH %d", int(phi*1000))
 	if err != nil {
 		return nil, err
@@ -186,7 +222,7 @@ func (c *Client) HeavyHitters(phi float64) ([]freq.Row[int64], error) {
 }
 
 // Stats returns the server-side stream weight and error band.
-func (c *Client) Stats() (n, maxErr int64, err error) {
+func (c *Client[T]) Stats() (n, maxErr int64, err error) {
 	resp, err := c.roundTrip("STATS")
 	if err != nil {
 		return 0, 0, err
@@ -199,9 +235,10 @@ func (c *Client) Stats() (n, maxErr int64, err error) {
 }
 
 // Snapshot fetches the serialized summary and decodes it into a sketch —
-// the §3 geographically-distributed pattern over the wire.
-func (c *Client) Snapshot() (*freq.Sketch[int64], error) {
-	resp, err := c.roundTrip("SNAPSHOT")
+// the §3 geographically-distributed pattern over the wire, and the unit
+// the Cluster fan-out merges.
+func (c *Client[T]) Snapshot() (*freq.Sketch[T], error) {
+	resp, err := c.roundTrip("SNAP")
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +250,7 @@ func (c *Client) Snapshot() (*freq.Sketch[int64], error) {
 	if _, err := io.ReadFull(c.r, blob); err != nil {
 		return nil, err
 	}
-	sk, err := freq.New[int64](64)
+	sk, err := freq.New[T](64)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +261,7 @@ func (c *Client) Snapshot() (*freq.Sketch[int64], error) {
 }
 
 // Reset clears the server-side summary.
-func (c *Client) Reset() error {
+func (c *Client[T]) Reset() error {
 	resp, err := c.roundTrip("RESET")
 	if err != nil {
 		return err
@@ -237,6 +274,72 @@ func (c *Client) Reset() error {
 
 // Raw sends a raw protocol line and returns the first response line
 // (diagnostics and protocol tests).
-func (c *Client) Raw(line string) (string, error) {
+func (c *Client[T]) Raw(line string) (string, error) {
 	return c.roundTrip("%s", line)
+}
+
+// Err returns the first transport or protocol error encountered by the
+// freq.Queryable-shaped methods, or nil. It does not reset.
+func (c *Client[T]) Err() error { return c.err }
+
+// fail records the first Queryable-path error.
+func (c *Client[T]) fail(err error) {
+	if c.err == nil && err != nil {
+		c.err = err
+	}
+}
+
+// Estimate returns the remote point estimate for item (one EST round
+// trip); 0 and a sticky Err on transport failure.
+func (c *Client[T]) Estimate(item T) int64 {
+	est, _, _, err := c.Query(item)
+	c.fail(err)
+	return est
+}
+
+// LowerBound returns the remote lower bound for item.
+func (c *Client[T]) LowerBound(item T) int64 {
+	_, lb, _, err := c.Query(item)
+	c.fail(err)
+	return lb
+}
+
+// UpperBound returns the remote upper bound for item.
+func (c *Client[T]) UpperBound(item T) int64 {
+	_, _, ub, err := c.Query(item)
+	c.fail(err)
+	return ub
+}
+
+// MaximumError returns the remote summary's error band (via STATS).
+func (c *Client[T]) MaximumError() int64 {
+	_, maxErr, err := c.Stats()
+	c.fail(err)
+	return maxErr
+}
+
+// StreamWeight returns the remote stream weight (via STATS).
+func (c *Client[T]) StreamWeight() int64 {
+	n, _, err := c.Stats()
+	c.fail(err)
+	return n
+}
+
+// All fetches every tracked row (FI with threshold 0, no false
+// negatives) and iterates the result — the remote leg of the
+// freq.Queryable contract. The fetch happens when iteration starts; a
+// transport failure yields nothing and sets Err.
+func (c *Client[T]) All() iter.Seq2[T, freq.Row[T]] {
+	return func(yield func(T, freq.Row[T]) bool) {
+		rows, err := c.FrequentItemsAboveThreshold(0, freq.NoFalseNegatives)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		for _, r := range rows {
+			if !yield(r.Item, r) {
+				return
+			}
+		}
+	}
 }

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/freq"
+)
+
+// Cluster is the distributed read path: a fan-out client over N freqd
+// instances that pulls each node's serialized summary concurrently
+// (SNAP), merges them at the coordinator with Algorithm 5 — the paper's
+// §3 mergeability result is exactly what makes the merged answer a valid
+// summary of the union of all nodes' streams — and serves the result
+// through the same freq.Queryable interface as a local sketch. The
+// goProbe-style promise: one query abstraction, local or fleet.
+//
+// Reads are snapshot-isolated against the cached merged view: Refresh
+// pulls fresh snapshots; every query between refreshes answers from the
+// same frozen merged summary (queries auto-refresh once if no view has
+// been fetched yet). Like Client, a Cluster is not safe for concurrent
+// use, though a Refresh internally fans out over all nodes in parallel.
+//
+// The interface-shaped methods cannot return transport errors in-band;
+// the first failure is recorded under Err and zero values are returned.
+// Callers that need per-call errors use Refresh + View.
+type Cluster[T ~int64 | ~uint64] struct {
+	clients []*Client[T]
+	view    *freq.Sketch[T]
+	err     error
+}
+
+// Queryable compile-time proof, mirroring the assertions in freq.
+var _ freq.Queryable[int64] = (*Cluster[int64])(nil)
+
+// NewCluster builds a cluster over already-dialed clients. The cluster
+// takes ownership: Close closes every client.
+func NewCluster[T ~int64 | ~uint64](clients ...*Client[T]) (*Cluster[T], error) {
+	if len(clients) == 0 {
+		return nil, errors.New("server: cluster needs at least one node")
+	}
+	return &Cluster[T]{clients: clients}, nil
+}
+
+// DialCluster connects to every addr and returns the fan-out client; on
+// any dial failure the already-open connections are closed.
+func DialCluster[T ~int64 | ~uint64](addrs ...string) (*Cluster[T], error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("server: cluster needs at least one node")
+	}
+	clients := make([]*Client[T], 0, len(addrs))
+	for _, addr := range addrs {
+		c, err := Dial[T](addr)
+		if err != nil {
+			for _, open := range clients {
+				open.Close()
+			}
+			return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+		}
+		clients = append(clients, c)
+	}
+	return NewCluster(clients...)
+}
+
+// Nodes returns the number of backing servers.
+func (c *Cluster[T]) Nodes() int { return len(c.clients) }
+
+// Close closes every node connection.
+func (c *Cluster[T]) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Refresh fans out a SNAP to every node concurrently, merges the
+// returned summaries into a fresh coordinator sketch with the combined
+// counter budget, and installs it as the read view. Each node's snapshot
+// is internally consistent; nodes are sampled at (possibly slightly)
+// different instants, the same semantics as a Concurrent snapshot taken
+// shard by shard.
+func (c *Cluster[T]) Refresh() error {
+	snaps := make([]*freq.Sketch[T], len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *Client[T]) {
+			defer wg.Done()
+			snaps[i], errs[i] = cl.Snapshot()
+		}(i, cl)
+	}
+	wg.Wait()
+	total := 0
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("server: cluster node %d: %w", i, err)
+		}
+		total += snaps[i].MaxCounters()
+	}
+	// The combined budget admits every node's counters without evicting,
+	// so merging adds no error beyond the nodes' own bands (Theorem 5).
+	merged, err := freq.New[T](total)
+	if err != nil {
+		return err
+	}
+	for _, snap := range snaps {
+		merged.Merge(snap)
+	}
+	c.view = merged
+	return nil
+}
+
+// View returns the current merged read view, refreshing once if none has
+// been fetched yet. The returned sketch is the cluster's cached view:
+// treat it as read-only and Refresh to advance it.
+func (c *Cluster[T]) View() (*freq.Sketch[T], error) {
+	if c.view == nil {
+		if err := c.Refresh(); err != nil {
+			return nil, err
+		}
+	}
+	return c.view, nil
+}
+
+// Err returns the first transport error recorded by the
+// freq.Queryable-shaped methods, or nil. It does not reset.
+func (c *Cluster[T]) Err() error { return c.err }
+
+// cached returns the view for the interface-shaped methods, recording
+// the error and returning nil on failure.
+func (c *Cluster[T]) cached() *freq.Sketch[T] {
+	v, err := c.View()
+	if err != nil {
+		if c.err == nil {
+			c.err = err
+		}
+		return nil
+	}
+	return v
+}
+
+// Estimate returns the merged point estimate for item across the fleet.
+func (c *Cluster[T]) Estimate(item T) int64 {
+	if v := c.cached(); v != nil {
+		return v.Estimate(item)
+	}
+	return 0
+}
+
+// LowerBound returns a certain lower bound on item's fleet-wide
+// frequency as of the current view.
+func (c *Cluster[T]) LowerBound(item T) int64 {
+	if v := c.cached(); v != nil {
+		return v.LowerBound(item)
+	}
+	return 0
+}
+
+// UpperBound returns a certain upper bound on item's fleet-wide
+// frequency as of the current view.
+func (c *Cluster[T]) UpperBound(item T) int64 {
+	if v := c.cached(); v != nil {
+		return v.UpperBound(item)
+	}
+	return 0
+}
+
+// MaximumError returns the merged view's error band.
+func (c *Cluster[T]) MaximumError() int64 {
+	if v := c.cached(); v != nil {
+		return v.MaximumError()
+	}
+	return 0
+}
+
+// StreamWeight returns the total weight across the fleet as of the
+// current view.
+func (c *Cluster[T]) StreamWeight() int64 {
+	if v := c.cached(); v != nil {
+		return v.StreamWeight()
+	}
+	return 0
+}
+
+// All iterates every tracked row of the merged view, in unspecified
+// order.
+func (c *Cluster[T]) All() iter.Seq2[T, freq.Row[T]] {
+	return func(yield func(T, freq.Row[T]) bool) {
+		v := c.cached()
+		if v == nil {
+			return
+		}
+		for item, r := range v.All() {
+			if !yield(item, r) {
+				return
+			}
+		}
+	}
+}
+
+// Query starts a composable query over the merged fleet view.
+func (c *Cluster[T]) Query() *freq.Query[T] { return freq.From[T](c) }
+
+// TopK returns up to k rows with the largest fleet-wide estimates.
+func (c *Cluster[T]) TopK(k int) ([]freq.Row[T], error) {
+	v, err := c.View()
+	if err != nil {
+		return nil, err
+	}
+	return v.TopK(k), nil
+}
+
+// FrequentItemsAboveThreshold returns fleet-wide items qualifying
+// against threshold under et, from the current view.
+func (c *Cluster[T]) FrequentItemsAboveThreshold(threshold int64, et freq.ErrorType) ([]freq.Row[T], error) {
+	v, err := c.View()
+	if err != nil {
+		return nil, err
+	}
+	return v.FrequentItemsAboveThreshold(threshold, et), nil
+}

@@ -29,11 +29,15 @@
 //
 //	U <item> <weight>     add weight to item          -> "OK"
 //	UB <count>            batched update block        -> "OK <count>"
-//	Q <item>              point query                 -> "EST <estimate> <lower> <upper>"
-//	TOP <n>               top n items                 -> MULTI block
+//	EST <item>            point query                 -> "EST <estimate> <lower> <upper>"
+//	Q <item>              alias of EST                -> "EST <estimate> <lower> <upper>"
+//	TOPK <k>              top k items                 -> MULTI block
+//	TOP <n>               alias of TOPK               -> MULTI block
+//	FI <et> <threshold>   items above a threshold     -> MULTI block
 //	HH <phi-millis>       items above phi/1000 * N    -> MULTI block
 //	STATS                 summary state               -> "STATS n=<N> err=<maxError> shards=<s>"
-//	SNAPSHOT              serialized summary          -> "SNAP <bytes>" then <bytes> of sketch wire format
+//	SNAP                  serialized summary          -> "SNAP <bytes>" then <bytes> of sketch wire format
+//	SNAPSHOT              alias of SNAP               -> "SNAP <bytes>" then blob
 //	RESET                 clear the summary           -> "OK"
 //	QUIT                  close the connection        -> "BYE"
 //
@@ -41,7 +45,28 @@
 //
 //	ITEM <item> <estimate> <lowerBound> <upperBound>
 //
-// ordered by descending estimate.
+// ordered by descending estimate, ties by ascending item (the query
+// layer's deterministic order).
+//
+// # Query commands
+//
+// EST, TOPK, FI, and SNAP are the read side of the unified query layer
+// (freq.Queryable): EST answers the three point values in one round
+// trip; TOPK and FI extract rows from the server's epoch-cached merged
+// view, so repeated reads against an unchanged summary re-merge
+// nothing. FI's <et> field selects the error-band semantics — 0 or NFP
+// for no-false-positives (LowerBound > threshold), 1 or NFN for
+// no-false-negatives (UpperBound > threshold); <threshold> is an
+// absolute weight (compute phi*N from STATS for relative queries, or
+// use HH). Row values reflect the merged summary's single global error
+// band, the same answer a coordinator holding the shipped snapshot
+// would give.
+//
+// SNAP transfers the full serialized summary and is the unit of the
+// distributed fan-out: server.Cluster issues SNAP to every node
+// concurrently, merges the summaries at the coordinator (the paper's
+// §3 mergeability), and serves the merged view through the same
+// queryable interface.
 //
 // UB <count> is the bulk ingest command: the next <count> lines each
 // carry one "<item> <weight>" pair, with 1 <= count <= 2^20. The block

@@ -254,9 +254,9 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		s.updates += int64(n)
 		s.statsMu.Unlock()
 		fmt.Fprintf(w, "OK %d\n", n)
-	case "Q":
+	case "Q", "EST":
 		if len(args) != 1 {
-			return false, errors.New("usage: Q <item>")
+			return false, fmt.Errorf("usage: %s <item>", cmd)
 		}
 		item, err := strconv.ParseInt(args[0], 10, 64)
 		if err != nil {
@@ -267,15 +267,28 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		s.statsMu.Unlock()
 		fmt.Fprintf(w, "EST %d %d %d\n",
 			s.sketch.Estimate(item), s.sketch.LowerBound(item), s.sketch.UpperBound(item))
-	case "TOP":
+	case "TOP", "TOPK":
 		if len(args) != 1 {
-			return false, errors.New("usage: TOP <n>")
+			return false, fmt.Errorf("usage: %s <n>", cmd)
 		}
 		n, err := strconv.Atoi(args[0])
 		if err != nil || n < 1 {
 			return false, errors.New("bad count")
 		}
 		writeRows(w, s.sketch.TopK(n))
+	case "FI":
+		if len(args) != 2 {
+			return false, errors.New("usage: FI <et> <threshold>")
+		}
+		et, err := parseErrorType(args[0])
+		if err != nil {
+			return false, err
+		}
+		threshold, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return false, errors.New("bad threshold")
+		}
+		writeRows(w, s.sketch.FrequentItemsAboveThreshold(threshold, et))
 	case "HH":
 		if len(args) != 1 {
 			return false, errors.New("usage: HH <phi-millis>")
@@ -289,7 +302,7 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 	case "STATS":
 		fmt.Fprintf(w, "STATS n=%d err=%d shards=%d\n",
 			s.sketch.StreamWeight(), s.sketch.MaximumError(), s.sketch.NumShards())
-	case "SNAPSHOT":
+	case "SNAPSHOT", "SNAP":
 		blob, err := s.sketch.MarshalBinary()
 		if err != nil {
 			return false, err
@@ -308,6 +321,18 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		return false, fmt.Errorf("unknown command %q", cmd)
 	}
 	return false, nil
+}
+
+// parseErrorType reads the FI semantics field: the numeric freq values
+// (0, 1) or the mnemonic names, case-insensitively.
+func parseErrorType(s string) (freq.ErrorType, error) {
+	switch strings.ToUpper(s) {
+	case "0", "NFP", "NOFALSEPOSITIVES":
+		return freq.NoFalsePositives, nil
+	case "1", "NFN", "NOFALSENEGATIVES":
+		return freq.NoFalseNegatives, nil
+	}
+	return 0, fmt.Errorf("bad error type %q (want 0/NFP or 1/NFN)", s)
 }
 
 func writeRows(w io.Writer, rows []freq.Row[int64]) {

@@ -40,9 +40,9 @@ func startServer(t *testing.T, cfg Config) *testServer {
 	return &testServer{Server: srv, addr: ln.Addr().String()}
 }
 
-func dial(t *testing.T, srv *testServer) *Client {
+func dial(t *testing.T, srv *testServer) *Client[int64] {
 	t.Helper()
-	c, err := Dial(srv.addr)
+	c, err := Dial[int64](srv.addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c, err := Dial(srv.addr)
+			c, err := Dial[int64](srv.addr)
 			if err != nil {
 				t.Error(err)
 				return
@@ -247,7 +247,7 @@ func TestServeAfterCloseRefuses(t *testing.T) {
 
 func TestQuit(t *testing.T) {
 	srv := startServer(t, Config{MaxCounters: 512, Shards: 2})
-	c, err := Dial(srv.addr)
+	c, err := Dial[int64](srv.addr)
 	if err != nil {
 		t.Fatal(err)
 	}

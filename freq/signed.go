@@ -1,6 +1,10 @@
 package freq
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+	"math"
+)
 
 // Signed handles streams with deletions via the strict-turnstile recipe
 // from the paper's §1.3 Note: one summary for the positive updates and
@@ -39,14 +43,70 @@ func NewSigned[T comparable](k int, opts ...Option) (*Signed[T], error) {
 	return &Signed[T]{pos: pos, neg: neg}, nil
 }
 
-// Update processes a signed weighted update; weight may be negative.
+// Update processes a signed weighted update; weight may be negative. A
+// weight of math.MinInt64, whose magnitude is unrepresentable, is
+// ignored (use UpdateWeightedBatch for an error-reporting path).
 func (t *Signed[T]) Update(item T, weight int64) {
+	if weight == math.MinInt64 {
+		return
+	}
 	switch {
 	case weight > 0:
 		_ = t.pos.Update(item, weight)
 	case weight < 0:
 		_ = t.neg.Update(item, -weight)
 	}
+}
+
+// UpdateOne processes a unit-weight insertion of item.
+func (t *Signed[T]) UpdateOne(item T) { _ = t.pos.Update(item, 1) }
+
+// UpdateBatch processes a slice of unit-weight insertions — batch parity
+// with Sketch and Concurrent: the growth/decrement check is amortized
+// across the batch on the positive summary.
+func (t *Signed[T]) UpdateBatch(items []T) {
+	t.pos.UpdateBatch(items)
+}
+
+// UpdateWeightedBatch processes the signed updates (items[i], weights[i])
+// for every i — the batched turnstile hot path. Weights may be negative
+// (deletions); the batch is partitioned by sign, insertions ride the
+// positive summary's batch path and deletion magnitudes the negative
+// one's, producing exactly the state of the equivalent Update loop (the
+// two summaries are independent, so per-side order is all that matters).
+// The slices must have equal length (ErrLengthMismatch), and a weight of
+// math.MinInt64 — whose magnitude is unrepresentable — rejects the batch
+// (ErrNegativeWeight) before any update is applied. Zero weights are
+// skipped.
+func (t *Signed[T]) UpdateWeightedBatch(items []T, weights []int64) error {
+	if len(items) != len(weights) {
+		return fmt.Errorf("%w: %d items, %d weights", ErrLengthMismatch, len(items), len(weights))
+	}
+	var (
+		posItems, negItems     []T
+		posWeights, negWeights []int64
+	)
+	for i, w := range weights {
+		switch {
+		case w > 0:
+			posItems = append(posItems, items[i])
+			posWeights = append(posWeights, w)
+		case w == math.MinInt64:
+			return fmt.Errorf("%w: magnitude of %d is unrepresentable", ErrNegativeWeight, w)
+		case w < 0:
+			negItems = append(negItems, items[i])
+			negWeights = append(negWeights, -w)
+		}
+	}
+	if len(posItems) > 0 {
+		// Weights on both sides are strictly positive by construction
+		// (MinInt64 was rejected above), so neither call can fail.
+		_ = t.pos.UpdateWeightedBatch(posItems, posWeights)
+	}
+	if len(negItems) > 0 {
+		_ = t.neg.UpdateWeightedBatch(negItems, negWeights)
+	}
+	return nil
 }
 
 // Estimate returns the difference of the two summaries' estimates. It
@@ -81,6 +141,56 @@ func (t *Signed[T]) GrossWeight() int64 {
 // NetWeight returns N = ΣΔ.
 func (t *Signed[T]) NetWeight() int64 {
 	return t.pos.StreamWeight() - t.neg.StreamWeight()
+}
+
+// StreamWeight returns the net stream weight N = ΣΔ — the quantity
+// (φ, ε)-heavy-hitter thresholds φ·N scale against. It is an alias of
+// NetWeight, satisfying the Queryable interface; the turnstile error
+// guarantee itself is proportional to GrossWeight.
+func (t *Signed[T]) StreamWeight() int64 { return t.NetWeight() }
+
+// All iterates the rows of every item tracked by the positive summary,
+// with signed estimates and bounds (the §1.3 differences). An item whose
+// insertions were evicted — or that only ever saw deletions — is not
+// yielded; such items cannot qualify as frequent. Order is unspecified.
+func (t *Signed[T]) All() iter.Seq2[T, Row[T]] {
+	return func(yield func(T, Row[T]) bool) {
+		for item, p := range t.pos.All() {
+			// The positive side's values are already in hand; only the
+			// negative side needs lookups.
+			r := Row[T]{
+				Item:       item,
+				Estimate:   p.Estimate - t.neg.Estimate(item),
+				LowerBound: p.LowerBound - t.neg.UpperBound(item),
+				UpperBound: p.UpperBound - t.neg.LowerBound(item),
+			}
+			if !yield(item, r) {
+				return
+			}
+		}
+	}
+}
+
+// Query starts a composable query over the signed summary.
+func (t *Signed[T]) Query() *Query[T] { return From[T](t) }
+
+// FrequentItems returns items qualifying against the summary's own error
+// band, ordered by descending estimate (ties by item).
+func (t *Signed[T]) FrequentItems(et ErrorType) []Row[T] {
+	return t.FrequentItemsAboveThreshold(t.MaximumError(), et)
+}
+
+// FrequentItemsAboveThreshold returns items qualifying against a caller
+// threshold under et, ordered by descending estimate (ties by item) —
+// query parity with the unsigned front-ends, via Query.
+func (t *Signed[T]) FrequentItemsAboveThreshold(threshold int64, et ErrorType) []Row[T] {
+	return t.Query().Where(threshold).WithErrorType(et).Collect()
+}
+
+// TopK returns up to k rows with the largest signed estimates (ties by
+// item).
+func (t *Signed[T]) TopK(k int) []Row[T] {
+	return t.Query().Limit(k).Collect()
 }
 
 // Merge folds other into t component-wise (Algorithm 5 on each side) and

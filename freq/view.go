@@ -1,0 +1,86 @@
+package freq
+
+import (
+	"fmt"
+	"iter"
+)
+
+// View is an immutable, snapshot-isolated read view over a Concurrent
+// sketch: a single merged summary (Algorithm 5) of all shards, cached by
+// write epoch — Concurrent.View returns the same underlying merged
+// sketch until some shard is written again, so repeated reads cost zero
+// additional shard merges. A View exposes only the read side of the
+// facade; it is safe for concurrent use by any number of readers and
+// keeps answering from its frozen state no matter what the live sketch
+// does.
+//
+// The view's bounds are the merged summary's: one global error band, the
+// same answer a coordinator holding the shipped-and-merged snapshot
+// would give (the paper's §3 distributed story, in-process).
+type View[T comparable] struct {
+	sk *Sketch[T]
+}
+
+// Estimate returns the point estimate for item in the frozen view.
+func (v *View[T]) Estimate(item T) int64 { return v.sk.Estimate(item) }
+
+// LowerBound returns a value certainly <= item's frequency at freeze time.
+func (v *View[T]) LowerBound(item T) int64 { return v.sk.LowerBound(item) }
+
+// UpperBound returns a value certainly >= item's frequency at freeze time.
+func (v *View[T]) UpperBound(item T) int64 { return v.sk.UpperBound(item) }
+
+// MaximumError returns the merged summary's error band.
+func (v *View[T]) MaximumError() int64 { return v.sk.MaximumError() }
+
+// StreamWeight returns the total weight the view accounts for.
+func (v *View[T]) StreamWeight() int64 { return v.sk.StreamWeight() }
+
+// NumActive returns the number of assigned counters in the view.
+func (v *View[T]) NumActive() int { return v.sk.NumActive() }
+
+// All iterates every tracked row, in unspecified order, without
+// materializing the result.
+func (v *View[T]) All() iter.Seq2[T, Row[T]] { return v.sk.All() }
+
+// Query starts a composable query over the view.
+func (v *View[T]) Query() *Query[T] { return From[T](v) }
+
+// FrequentItems returns items qualifying against the view's own error
+// band, ordered by descending estimate.
+func (v *View[T]) FrequentItems(et ErrorType) []Row[T] {
+	return v.FrequentItemsAboveThreshold(v.MaximumError(), et)
+}
+
+// FrequentItemsAboveThreshold returns items qualifying against a caller
+// threshold, ordered by descending estimate (ties by item).
+func (v *View[T]) FrequentItemsAboveThreshold(threshold int64, et ErrorType) []Row[T] {
+	return v.Query().Where(threshold).WithErrorType(et).Collect()
+}
+
+// TopK returns up to k rows with the largest estimates.
+func (v *View[T]) TopK(k int) []Row[T] {
+	return v.Query().Limit(k).Collect()
+}
+
+// Materialize returns an independent mutable copy of the view, for
+// callers that want to merge it onward or serialize it without holding
+// the shared cache entry.
+func (v *View[T]) Materialize() (*Sketch[T], error) {
+	blob, err := v.sk.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out, err := New[T](max(v.sk.MaxCounters(), 1))
+	if err != nil {
+		return nil, err
+	}
+	if err := out.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (v *View[T]) String() string {
+	return fmt.Sprintf("freq.View(%s)", v.sk)
+}

@@ -180,6 +180,7 @@ func (w *Writer[T]) flushShard(j int) error {
 		}
 		csh := &w.c.slow[j]
 		csh.mu.Lock()
+		csh.epoch.Add(1)
 		err = csh.s.UpdateWeightedBatch(items, weights)
 		csh.mu.Unlock()
 	}

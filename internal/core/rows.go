@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
 )
@@ -18,6 +19,23 @@ type Row struct {
 
 func (r Row) String() string {
 	return fmt.Sprintf("{item:%d est:%d lb:%d ub:%d}", r.Item, r.Estimate, r.LowerBound, r.UpperBound)
+}
+
+// All returns an iterator over every assigned counter's row, in table
+// order, without materializing or sorting the result — the streaming
+// read primitive the query layer filters and orders on top of. The
+// sketch must not be mutated while the iterator is live.
+func (s *Sketch) All() iter.Seq[Row] {
+	return func(yield func(Row) bool) {
+		s.hm.Range(func(key, value int64) bool {
+			return yield(Row{
+				Item:       key,
+				Estimate:   value + s.offset,
+				LowerBound: value,
+				UpperBound: value + s.offset,
+			})
+		})
+	}
 }
 
 // FrequentItems returns the assigned items that qualify as frequent under
@@ -41,13 +59,7 @@ func (s *Sketch) FrequentItemsAboveThreshold(threshold int64, errorType ErrorTyp
 		threshold = 0
 	}
 	rows := make([]Row, 0, 16)
-	s.hm.Range(func(key, value int64) bool {
-		r := Row{
-			Item:       key,
-			Estimate:   value + s.offset,
-			LowerBound: value,
-			UpperBound: value + s.offset,
-		}
+	for r := range s.All() {
 		switch errorType {
 		case NoFalsePositives:
 			if r.LowerBound > threshold {
@@ -58,8 +70,7 @@ func (s *Sketch) FrequentItemsAboveThreshold(threshold int64, errorType ErrorTyp
 				rows = append(rows, r)
 			}
 		}
-		return true
-	})
+	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Estimate != rows[j].Estimate {
 			return rows[i].Estimate > rows[j].Estimate

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/hashmap"
 	"repro/internal/xrand"
@@ -86,11 +87,22 @@ type Options struct {
 	DisableGrowth bool
 }
 
-// globalSeeder provides per-sketch seeds when Options.Seed is zero.
+// globalSeedState provides per-sketch seeds when Options.Seed is zero.
 // Sketches are not safe for concurrent use, but construction may race
-// between goroutines, so Seeds are drawn behind this tiny generator that
-// callers only hit once per sketch.
-var globalSeeder = xrand.NewSplitMix64(0x5eed5eed5eed5eed)
+// between goroutines (the distributed fan-out builds one sketch per
+// node concurrently), so the draw is a lock-free SplitMix64: an atomic
+// add of the golden-ratio increment followed by the Mix64 finalizer —
+// the same sequence a SplitMix64 seeded with the initial state emits.
+var globalSeedState atomic.Uint64
+
+func init() {
+	globalSeedState.Store(0x5eed5eed5eed5eed)
+}
+
+// nextGlobalSeed draws the next per-sketch seed; safe for concurrent use.
+func nextGlobalSeed() uint64 {
+	return xrand.Mix64(globalSeedState.Add(0x9e3779b97f4a7c15))
+}
 
 // Sketch is the weighted frequent-items summary. It is not safe for
 // concurrent use; wrap it in a mutex or keep one per goroutine and Merge.
@@ -152,7 +164,7 @@ func NewWithOptions(opts Options) (*Sketch, error) {
 	}
 	seed := opts.Seed
 	if seed == 0 {
-		seed = globalSeeder.Uint64()
+		seed = nextGlobalSeed()
 	}
 	lgCur := hashmap.MinLgLength
 	if opts.DisableGrowth {

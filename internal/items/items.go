@@ -14,6 +14,7 @@ package items
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 
 	"repro/internal/qselect"
@@ -256,6 +257,19 @@ type Row[T comparable] struct {
 	UpperBound int64
 }
 
+// All returns an iterator over every tracked counter's row, in map order
+// (randomized by the runtime), without materializing or sorting the
+// result. The sketch must not be mutated while the iterator is live.
+func (s *Sketch[T]) All() iter.Seq[Row[T]] {
+	return func(yield func(Row[T]) bool) {
+		for item, v := range s.counters {
+			if !yield(Row[T]{Item: item, Estimate: v + s.offset, LowerBound: v, UpperBound: v + s.offset}) {
+				return
+			}
+		}
+	}
+}
+
 // FrequentItems returns qualifying items against the summary's own error
 // band, ordered by descending estimate.
 func (s *Sketch[T]) FrequentItems(errorType ErrorType) []Row[T] {
@@ -269,8 +283,7 @@ func (s *Sketch[T]) FrequentItemsAboveThreshold(threshold int64, errorType Error
 		threshold = 0
 	}
 	rows := make([]Row[T], 0, 16)
-	for item, v := range s.counters {
-		r := Row[T]{Item: item, Estimate: v + s.offset, LowerBound: v, UpperBound: v + s.offset}
+	for r := range s.All() {
 		if (errorType == NoFalsePositives && r.LowerBound > threshold) ||
 			(errorType == NoFalseNegatives && r.UpperBound > threshold) {
 			rows = append(rows, r)

@@ -14,6 +14,7 @@ package sharded
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hashmap"
@@ -25,14 +26,28 @@ type Sketch struct {
 	shards []shard
 	mask   uint64
 	seed   uint64
+
+	// Epoch-cached merged read view (see View). viewMu guards the three
+	// fields below; it is never held while a shard lock is being waited
+	// on by a writer, so readers cannot stall the ingest path beyond the
+	// shard-at-a-time merge a snapshot already costs.
+	viewMu     sync.Mutex
+	view       *core.Sketch
+	viewEpochs []uint64
+	viewMerges int64
 }
 
 type shard struct {
 	mu sync.Mutex
 	s  *core.Sketch
+	// epoch counts mutations to this shard. It is incremented (atomically,
+	// under mu) by every write path and read without the lock by View's
+	// freshness check, so a cached merged view can be reused for free while
+	// no shard has changed.
+	epoch atomic.Uint64
 	// Pad the struct to a full 64-byte cache line (8 mutex + 8 pointer +
-	// 48) so neighbouring shard locks do not false-share.
-	_ [48]byte
+	// 8 epoch + 40) so neighbouring shard locks do not false-share.
+	_ [40]byte
 }
 
 // New returns a sketch with the given total counter budget spread over
@@ -121,6 +136,7 @@ func (sk *Sketch) Update(item int64, weight int64) error {
 	sh := sk.shardFor(item)
 	sh.mu.Lock()
 	err := sh.s.Update(item, weight)
+	sh.epoch.Add(1)
 	sh.mu.Unlock()
 	return err
 }
@@ -159,6 +175,7 @@ func (sk *Sketch) updateBatch(items, weights []int64) error {
 		sh := &sk.shards[0]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		sh.epoch.Add(1)
 		if weights == nil {
 			sh.s.UpdateBatch(items)
 			return nil
@@ -201,6 +218,7 @@ func (sk *Sketch) updateBatch(items, weights []int64) error {
 		}
 		sh := &sk.shards[j]
 		sh.mu.Lock()
+		sh.epoch.Add(1)
 		if weights == nil {
 			sh.s.UpdateBatch(pItems[lo:hi])
 		} else {
@@ -226,6 +244,7 @@ func (sk *Sketch) UpdateShard(idx int, items, weights []int64) error {
 	sh := &sk.shards[idx]
 	if weights == nil {
 		sh.mu.Lock()
+		sh.epoch.Add(1)
 		sh.s.UpdateBatch(items)
 		sh.mu.Unlock()
 		return nil
@@ -233,6 +252,7 @@ func (sk *Sketch) UpdateShard(idx int, items, weights []int64) error {
 	// Length and sign validation happen inside the core batch call, which
 	// applies nothing on failure, so no partial batch can land.
 	sh.mu.Lock()
+	sh.epoch.Add(1)
 	err := sh.s.UpdateWeightedBatch(items, weights)
 	sh.mu.Unlock()
 	return err
@@ -249,6 +269,7 @@ func (sk *Sketch) UpdateShardPairs(idx int, pairs []hashmap.Pair) error {
 	}
 	sh := &sk.shards[idx]
 	sh.mu.Lock()
+	sh.epoch.Add(1)
 	err := sh.s.UpdatePairs(pairs)
 	sh.mu.Unlock()
 	return err
@@ -379,7 +400,83 @@ func (sk *Sketch) Reset() {
 	for i := range sk.shards {
 		sh := &sk.shards[i]
 		sh.mu.Lock()
+		sh.epoch.Add(1)
 		sh.s.Reset()
 		sh.mu.Unlock()
 	}
+}
+
+// View returns the epoch-cached merged read view: a single core sketch
+// summarizing all shards (Algorithm 5), rebuilt only when some shard has
+// been written since the last call and returned as-is otherwise — so a
+// read-heavy workload pays the O(shards·k) merge once per write burst
+// instead of once per query. The returned sketch must be treated as
+// immutable: it is shared by every caller until the next rebuild, and its
+// read-only methods are safe for concurrent use. A view taken under
+// concurrent updates reflects each shard at a (possibly different)
+// consistent point, exactly like Snapshot.
+//
+// Unlike the per-shard union of FrequentItemsAboveThreshold, rows
+// extracted from the view carry the merged summary's global error band —
+// the same answer a coordinator holding the shipped-and-merged snapshot
+// would give.
+func (sk *Sketch) View() (*core.Sketch, error) {
+	sk.viewMu.Lock()
+	defer sk.viewMu.Unlock()
+	if sk.view != nil && sk.viewFresh() {
+		return sk.view, nil
+	}
+	total := 0
+	for i := range sk.shards {
+		total += sk.shards[i].s.MaxCounters()
+	}
+	q := sk.shards[0].s.Quantile()
+	if q == 0 {
+		q = core.QuantileMin
+	}
+	out, err := core.NewWithOptions(core.Options{
+		MaxCounters: total,
+		Quantile:    q,
+		SampleSize:  sk.shards[0].s.SampleSize(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sk.viewEpochs == nil {
+		sk.viewEpochs = make([]uint64, len(sk.shards))
+	}
+	for i := range sk.shards {
+		sh := &sk.shards[i]
+		sh.mu.Lock()
+		// The epoch is captured under the same lock hold as the merge, so
+		// it describes exactly the state folded into the view; a write
+		// landing after the unlock bumps the epoch and invalidates us.
+		sk.viewEpochs[i] = sh.epoch.Load()
+		out.Merge(sh.s)
+		sh.mu.Unlock()
+		sk.viewMerges++
+	}
+	sk.view = out
+	return out, nil
+}
+
+// viewFresh reports whether no shard has been written since the cached
+// view was built. Caller holds viewMu.
+func (sk *Sketch) viewFresh() bool {
+	for i := range sk.shards {
+		if sk.shards[i].epoch.Load() != sk.viewEpochs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ViewMerges returns the cumulative number of per-shard merge operations
+// performed building read views — a diagnostic for asserting that
+// repeated reads with no interleaved writes reuse the cache (the count
+// stays flat) rather than re-merging every shard per call.
+func (sk *Sketch) ViewMerges() int64 {
+	sk.viewMu.Lock()
+	defer sk.viewMu.Unlock()
+	return sk.viewMerges
 }

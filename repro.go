@@ -23,6 +23,27 @@ type Writer[T comparable] = freq.Writer[T]
 // Row is one frequent-item query result.
 type Row[T comparable] = freq.Row[T]
 
+// Queryable is the uniform read-side interface served by every
+// front-end, local or remote.
+type Queryable[T comparable] = freq.Queryable[T]
+
+// Query is the composable iterator-based read over any Queryable.
+type Query[T comparable] = freq.Query[T]
+
+// View is the immutable epoch-cached read view of a Concurrent sketch.
+type View[T comparable] = freq.View[T]
+
+// Order selects a Query's row ordering.
+type Order = freq.Order
+
+// Row orderings, re-exported.
+const (
+	OrderEstimateDesc = freq.OrderEstimateDesc
+	OrderEstimateAsc  = freq.OrderEstimateAsc
+	OrderItem         = freq.OrderItem
+	OrderNone         = freq.OrderNone
+)
+
 // ErrorType selects heavy-hitter extraction semantics.
 type ErrorType = freq.ErrorType
 
@@ -84,6 +105,11 @@ func NewWriter[T comparable](c *Concurrent[T], opts ...Option) (*Writer[T], erro
 // NewSigned returns a turnstile-capable sketch pair; see freq.NewSigned.
 func NewSigned[T comparable](k int, opts ...Option) (*Signed[T], error) {
 	return freq.NewSigned[T](k, opts...)
+}
+
+// From starts a composable query over any Queryable; see freq.From.
+func From[T comparable](src Queryable[T]) *Query[T] {
+	return freq.From[T](src)
 }
 
 // TailBound returns the a-priori §2.3.2 error guarantee; see
