@@ -1,0 +1,309 @@
+// Command benchfreq runs the repository's canonical performance kernels
+// — Update, UpdateBatch, Merge, Serialize/Deserialize, View, QueryTopK,
+// EstimateBatch — and emits the results as BENCH_core.json (the
+// machine-readable perf trajectory committed at the repo root) plus a
+// benchstat-compatible text file for regression comparisons in CI.
+//
+// For the kernels the bulk engine rewrote, the replay-based baselines
+// (core.MergeReplay, core.DeserializeReplay) run alongside, so one
+// invocation captures baseline and post-change numbers and the
+// merge/deserialize speedup ratios the PR acceptance tracks.
+//
+//	go run ./cmd/benchfreq -benchtime 1s -out BENCH_core.json -txt BENCH_core.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/freq"
+	"repro/internal/core"
+	"repro/internal/sharded"
+)
+
+// kernel is one named benchmark.
+type kernel struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// result is one kernel's measurement in the JSON trajectory.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoVersion          string             `json:"go_version"`
+	GOOS               string             `json:"goos"`
+	GOARCH             string             `json:"goarch"`
+	Benchtime          string             `json:"benchtime"`
+	GeneratedAt        string             `json:"generated_at"`
+	Results            []result           `json:"results"`
+	Speedups           map[string]float64 `json:"speedups_vs_replay"`
+	SerializeAllocsPer int64              `json:"serialize_allocs_per_op"`
+}
+
+const (
+	updateK    = 4096
+	mergeSrcK  = 1 << 16
+	mergeDstK  = 1 << 17
+	serialK    = 1 << 14
+	streamLen  = 1 << 19
+	batchChunk = 4096
+)
+
+// synthItem is a cheap deterministic item generator (splitmix-style
+// scramble of the index over a skewless domain; kernel costs here do not
+// depend on the weight distribution).
+func synthItem(i int64, domain int64) int64 {
+	x := uint64(i) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return int64(x % uint64(domain))
+}
+
+func mustSketch(opts core.Options) *core.Sketch {
+	s, err := core.NewWithOptions(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// builtSketch returns a sketch of budget k filled with n synthetic
+// updates over the given domain.
+func builtSketch(k int, n int64, domain int64, seed uint64) *core.Sketch {
+	s := mustSketch(core.Options{MaxCounters: k, Seed: seed, DisableGrowth: true})
+	for i := int64(0); i < n; i++ {
+		if err := s.Update(synthItem(i, domain), i%100+1); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// mergeSrc fills ~90% of a mergeSrcK budget with distinct keys — the
+// coordinator fan-in shape of the sharded View and the cluster Refresh.
+func mergeSrc() *core.Sketch {
+	s := mustSketch(core.Options{MaxCounters: mergeSrcK, Seed: 0xBE, DisableGrowth: true})
+	for i := int64(0); i < mergeSrcK*9/10; i++ {
+		if err := s.Update(i, i%100+1); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+func kernels() []kernel {
+	return []kernel{
+		{"Update", func(b *testing.B) {
+			s := mustSketch(core.Options{MaxCounters: updateK, Seed: 1, DisableGrowth: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Update(synthItem(int64(i)&(streamLen-1), 1<<16), 1)
+			}
+		}},
+		{"UpdateBatch", func(b *testing.B) {
+			s := mustSketch(core.Options{MaxCounters: updateK, Seed: 2, DisableGrowth: true})
+			items := make([]int64, batchChunk)
+			for i := range items {
+				items[i] = synthItem(int64(i), 1<<16)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(items) {
+				s.UpdateBatch(items)
+			}
+		}},
+		{"Merge", func(b *testing.B) {
+			src := mergeSrc()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dst := mustSketch(core.Options{MaxCounters: mergeDstK, Seed: 3, DisableGrowth: true})
+				b.StartTimer()
+				dst.Merge(src)
+			}
+		}},
+		{"MergeReplay", func(b *testing.B) {
+			src := mergeSrc()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dst := mustSketch(core.Options{MaxCounters: mergeDstK, Seed: 4, DisableGrowth: true})
+				b.StartTimer()
+				core.MergeReplay(dst, src)
+			}
+		}},
+		{"Serialize", func(b *testing.B) {
+			s := builtSketch(serialK, streamLen, 1<<18, 5)
+			buf := make([]byte, 0, s.SerializedSizeBytes())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = s.AppendTo(buf[:0])
+			}
+		}},
+		{"Deserialize", func(b *testing.B) {
+			blob := builtSketch(serialK, streamLen, 1<<18, 6).Serialize()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Deserialize(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"DeserializeReplay", func(b *testing.B) {
+			blob := builtSketch(serialK, streamLen, 1<<18, 7).Serialize()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DeserializeReplay(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"DeserializeInto", func(b *testing.B) {
+			blob := builtSketch(serialK, streamLen, 1<<18, 8).Serialize()
+			dst := new(core.Sketch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := core.DeserializeInto(dst, blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"View", func(b *testing.B) {
+			sk, err := sharded.New(16384, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := int64(0); i < 500_000; i++ {
+				_ = sk.Update(synthItem(i, 1<<14), i%23+1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				_ = sk.Update(int64(i), 1) // invalidate: every iteration pays a rebuild
+				b.StartTimer()
+				if _, err := sk.View(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"QueryTopK", func(b *testing.B) {
+			s, err := freq.New[int64](16384, freq.WithSeed(9))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := int64(0); i < 500_000; i++ {
+				_ = s.Update(synthItem(i, 1<<14), i%23+1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rows := s.TopK(64); len(rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		}},
+		{"EstimateBatch", func(b *testing.B) {
+			s := builtSketch(1<<17, streamLen, 1<<17, 10)
+			items := make([]int64, 1<<14)
+			for i := range items {
+				items[i] = synthItem(int64(i)*3, 1<<18)
+			}
+			dst := make([]int64, len(items))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = s.EstimateBatch(items, dst)
+			}
+		}},
+	}
+}
+
+func main() {
+	// testing.Init registers the test.* flags; without it the benchtime
+	// override below would silently no-op and every kernel would run at
+	// the 1s default.
+	testing.Init()
+	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per kernel")
+	out := flag.String("out", "BENCH_core.json", "JSON output path ('' to skip)")
+	txt := flag.String("txt", "BENCH_core.txt", "benchstat-compatible output path ('' to skip)")
+	flag.Parse()
+
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		if err := f.Value.Set(benchtime.String()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	rep := report{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Benchtime:   benchtime.String(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Speedups:    map[string]float64{},
+	}
+	nsPerOp := map[string]float64{}
+
+	var text []byte
+	text = append(text, fmt.Sprintf("goos: %s\ngoarch: %s\npkg: repro/cmd/benchfreq\n", runtime.GOOS, runtime.GOARCH)...)
+	for _, k := range kernels() {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			k.fn(b)
+		})
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		nsPerOp[k.name] = ns
+		rep.Results = append(rep.Results, result{
+			Name:        k.name,
+			Iterations:  res.N,
+			NsPerOp:     ns,
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		line := fmt.Sprintf("Benchmark%s \t%s\t%s\n", k.name, res.String(), res.MemString())
+		text = append(text, line...)
+		fmt.Fprintf(os.Stderr, "%s", line)
+		if k.name == "Serialize" {
+			rep.SerializeAllocsPer = res.AllocsPerOp()
+		}
+	}
+	if base, ok := nsPerOp["MergeReplay"]; ok && nsPerOp["Merge"] > 0 {
+		rep.Speedups["merge"] = base / nsPerOp["Merge"]
+	}
+	if base, ok := nsPerOp["DeserializeReplay"]; ok {
+		if nsPerOp["Deserialize"] > 0 {
+			rep.Speedups["deserialize"] = base / nsPerOp["Deserialize"]
+		}
+		if nsPerOp["DeserializeInto"] > 0 {
+			rep.Speedups["deserialize_into"] = base / nsPerOp["DeserializeInto"]
+		}
+	}
+	fmt.Fprintf(os.Stderr, "speedups vs replay: %+v\n", rep.Speedups)
+
+	if *txt != "" {
+		if err := os.WriteFile(*txt, text, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -195,6 +195,28 @@ func (c *Concurrent[T]) Estimate(item T) int64 {
 	return v
 }
 
+// EstimateBatch returns the point estimates for every item, writing
+// them to dst (reallocated only when too small) and returning it; safe
+// for concurrent use. On the fast path the batch is partitioned by
+// shard, each shard queried under one lock acquisition through the
+// pipelined batch-lookup kernel; each estimate reflects its own shard at
+// a consistent point and carries that shard's error band, exactly like
+// Estimate. The generic path falls back to per-item queries.
+func (c *Concurrent[T]) EstimateBatch(items []T, dst []int64) []int64 {
+	if c.fast != nil {
+		return c.fast.EstimateBatch(asInt64Slice(items), dst)
+	}
+	if cap(dst) < len(items) {
+		dst = make([]int64, len(items))
+	} else {
+		dst = dst[:len(items)]
+	}
+	for i, item := range items {
+		dst[i] = c.Estimate(item)
+	}
+	return dst
+}
+
 // LowerBound returns a certain lower bound on item's frequency.
 func (c *Concurrent[T]) LowerBound(item T) int64 {
 	if c.fast != nil {

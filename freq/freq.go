@@ -198,6 +198,26 @@ func (s *Sketch[T]) Estimate(item T) int64 {
 	return s.slow.Estimate(item)
 }
 
+// EstimateBatch returns the point estimates for every item, writing
+// them to dst (reallocated only when too small) and returning it — the
+// batch read path of the query layer. On the fast path the lookups run
+// the pipelined batch probe kernel, overlapping their cache misses; the
+// result slice has len(items) with dst[i] answering items[i].
+func (s *Sketch[T]) EstimateBatch(items []T, dst []int64) []int64 {
+	if s.fast != nil {
+		return s.fast.EstimateBatch(asInt64Slice(items), dst)
+	}
+	if cap(dst) < len(items) {
+		dst = make([]int64, len(items))
+	} else {
+		dst = dst[:len(items)]
+	}
+	for i, item := range items {
+		dst[i] = s.slow.Estimate(item)
+	}
+	return dst
+}
+
 // LowerBound returns a value certainly <= item's true frequency.
 func (s *Sketch[T]) LowerBound(item T) int64 {
 	if s.fast != nil {

@@ -56,7 +56,9 @@ func (s *Sketch[T]) itemsSerde() (items.SerDe[T], error) {
 	return nil, fmt.Errorf("%w: %T", ErrNoSerDe, zero)
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. On the fast path
+// the encoding runs through the alloc-free AppendTo kernel and allocates
+// exactly the returned slice.
 func (s *Sketch[T]) MarshalBinary() ([]byte, error) {
 	if s.fast != nil {
 		return s.fast.Serialize(), nil
@@ -68,16 +70,34 @@ func (s *Sketch[T]) MarshalBinary() ([]byte, error) {
 	return items.Serialize(s.slow, sd), nil
 }
 
+// AppendBinary implements encoding.BinaryAppender: it appends the
+// sketch's encoding to dst and returns the extended slice. On the fast
+// path a dst with capacity makes the call allocation-free — the wire
+// server's SNAP path reuses one buffer per connection this way. The
+// generic path builds the encoding and appends it (one transient
+// allocation).
+func (s *Sketch[T]) AppendBinary(dst []byte) ([]byte, error) {
+	if s.fast != nil {
+		return s.fast.AppendTo(dst), nil
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, blob...), nil
+}
+
 // UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
 // sketch's entire state — configuration included — with the decoded one.
-// An installed SerDe is kept.
+// An installed SerDe is kept. On the fast path the decode recycles the
+// receiver's standby table when shapes match, so a long-lived receiver
+// deserializes without allocating; any rejected input leaves the
+// previous state intact.
 func (s *Sketch[T]) UnmarshalBinary(data []byte) error {
 	if s.fast != nil {
-		fast, err := core.Deserialize(data)
-		if err != nil {
+		if err := core.DeserializeInto(s.fast, data); err != nil {
 			return fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
-		s.fast = fast
 		return nil
 	}
 	sd, err := s.itemsSerde()

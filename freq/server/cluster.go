@@ -105,7 +105,11 @@ func (c *Cluster[T]) Refresh() error {
 	}
 	// The combined budget admits every node's counters without evicting,
 	// so merging adds no error beyond the nodes' own bands (Theorem 5).
-	merged, err := freq.New[T](total)
+	// The coordinator is pre-sized (WithoutGrowth) so the fan-in rides the
+	// same bulk merge kernel as the sharded view: the first snapshot takes
+	// the found-check-free direct insert, the rest the chunked pipelined
+	// absorb, and no merge ever rehashes mid-build.
+	merged, err := freq.New[T](total, freq.WithoutGrowth())
 	if err != nil {
 		return err
 	}

@@ -66,7 +66,10 @@
 // distributed fan-out: server.Cluster issues SNAP to every node
 // concurrently, merges the summaries at the coordinator (the paper's
 // §3 mergeability), and serves the merged view through the same
-// queryable interface.
+// queryable interface. The blob is the server's epoch-cached merged
+// view, encoded with the alloc-free append kernel into a per-connection
+// buffer: a SNAP poll loop against an unchanged summary re-merges
+// nothing and allocates nothing after the first reply.
 //
 // UB <count> is the bulk ingest command: the next <count> lines each
 // carry one "<item> <weight>" pair, with 1 <= count <= 2^20. The block

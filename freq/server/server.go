@@ -144,6 +144,11 @@ type conn struct {
 	sc     *bufio.Scanner
 	w      *bufio.Writer
 	writer *freq.Writer[int64]
+	// snapBuf is the connection's reusable SNAP encoding buffer: the
+	// epoch-cached view serializes into it through the alloc-free
+	// AppendBinary kernel, so a poll loop of SNAP commands allocates
+	// nothing after the first.
+	snapBuf []byte
 }
 
 func (s *Server) handle(nc net.Conn) {
@@ -303,12 +308,19 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		fmt.Fprintf(w, "STATS n=%d err=%d shards=%d\n",
 			s.sketch.StreamWeight(), s.sketch.MaximumError(), s.sketch.NumShards())
 	case "SNAPSHOT", "SNAP":
-		blob, err := s.sketch.MarshalBinary()
+		// Serve from the epoch-cached merged view: repeated SNAPs with no
+		// interleaved writes re-merge nothing, and the encoding reuses the
+		// connection's buffer.
+		v, err := s.sketch.View()
 		if err != nil {
 			return false, err
 		}
-		fmt.Fprintf(w, "SNAP %d\n", len(blob))
-		if _, err := w.Write(blob); err != nil {
+		c.snapBuf, err = v.AppendBinary(c.snapBuf[:0])
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "SNAP %d\n", len(c.snapBuf))
+		if _, err := w.Write(c.snapBuf); err != nil {
 			return false, err
 		}
 	case "RESET":

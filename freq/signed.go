@@ -1,7 +1,9 @@
 package freq
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"iter"
 	"math"
 )
@@ -193,7 +195,8 @@ func (t *Signed[T]) TopK(k int) []Row[T] {
 	return t.Query().Limit(k).Collect()
 }
 
-// Merge folds other into t component-wise (Algorithm 5 on each side) and
+// Merge folds other into t component-wise (Algorithm 5 on each side,
+// each riding the same bulk merge kernel as unsigned sketches) and
 // returns t.
 func (t *Signed[T]) Merge(other *Signed[T]) *Signed[T] {
 	if other == nil || other == t {
@@ -202,6 +205,74 @@ func (t *Signed[T]) Merge(other *Signed[T]) *Signed[T] {
 	t.pos.Merge(other.pos)
 	t.neg.Merge(other.neg)
 	return t
+}
+
+// Serialization parity with Sketch: a Signed summary encodes as its two
+// sign summaries back to back (positive, then negative), each in the
+// ordinary self-delimiting sketch format, each through the same bulk
+// (de)serialization kernels — there is no signed-specific item replay.
+
+// WriteTo encodes both sign summaries to w, implementing io.WriterTo;
+// on the fast path the encoding buffers are pooled, so steady-state
+// calls allocate nothing.
+func (t *Signed[T]) WriteTo(w io.Writer) (int64, error) {
+	n1, err := t.pos.WriteTo(w)
+	if err != nil {
+		return n1, err
+	}
+	n2, err := t.neg.WriteTo(w)
+	return n1 + n2, err
+}
+
+// AppendBinary implements encoding.BinaryAppender: both sign summaries
+// appended to dst.
+func (t *Signed[T]) AppendBinary(dst []byte) ([]byte, error) {
+	dst, err := t.pos.AppendBinary(dst)
+	if err != nil {
+		return dst, err
+	}
+	return t.neg.AppendBinary(dst)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Signed[T]) MarshalBinary() ([]byte, error) {
+	return t.AppendBinary(nil)
+}
+
+// ReadFrom decodes one serialized Signed summary from r, consuming
+// exactly the two sketches' bytes and replacing the receiver's state.
+// All-or-nothing: on error the previous state is restored.
+func (t *Signed[T]) ReadFrom(r io.Reader) (int64, error) {
+	savedPos, savedNeg := *t.pos, *t.neg
+	n1, err := t.pos.ReadFrom(r)
+	if err != nil {
+		*t.pos = savedPos
+		return n1, err
+	}
+	n2, err := t.neg.ReadFrom(r)
+	if err != nil {
+		*t.pos, *t.neg = savedPos, savedNeg
+		return n1 + n2, err
+	}
+	return n1 + n2, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler: data must hold
+// exactly the two sign summaries (ErrCorrupt otherwise). All-or-nothing:
+// on error the previous state is kept. The decode is ReadFrom's (which
+// owns the rollback of a half-decoded pair); only the trailing-bytes
+// strictness is added here.
+func (t *Signed[T]) UnmarshalBinary(data []byte) error {
+	savedPos, savedNeg := *t.pos, *t.neg
+	r := bytes.NewReader(data)
+	if _, err := t.ReadFrom(r); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		*t.pos, *t.neg = savedPos, savedNeg
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	return nil
 }
 
 func (t *Signed[T]) String() string {

@@ -24,6 +24,23 @@ type View[T comparable] struct {
 // Estimate returns the point estimate for item in the frozen view.
 func (v *View[T]) Estimate(item T) int64 { return v.sk.Estimate(item) }
 
+// EstimateBatch returns the point estimates for every item at freeze
+// time, writing them to dst (reallocated only when too small) and
+// returning it. Safe for concurrent use like every view read: the batch
+// kernel keeps its scratch in a pool, never on the shared sketch.
+func (v *View[T]) EstimateBatch(items []T, dst []int64) []int64 {
+	return v.sk.EstimateBatch(items, dst)
+}
+
+// AppendBinary implements encoding.BinaryAppender over the frozen view:
+// it appends the view's encoding to dst and returns the extended slice,
+// allocation-free on the fast path when dst has capacity. The wire
+// server's SNAP command serializes views this way, one pooled buffer per
+// connection.
+func (v *View[T]) AppendBinary(dst []byte) ([]byte, error) {
+	return v.sk.AppendBinary(dst)
+}
+
 // LowerBound returns a value certainly <= item's frequency at freeze time.
 func (v *View[T]) LowerBound(item T) int64 { return v.sk.LowerBound(item) }
 

@@ -79,6 +79,83 @@ func FuzzSketchUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzSketchReadFrom covers the bulk deserialize path end to end: the
+// streaming decoder (pooled body buffer + direct-insert table load) and
+// the receiver-reuse decode of UnmarshalBinary, which must agree with
+// each other on every accepted input and reject with ErrCorrupt (or a
+// truncation error) otherwise. The reused receiver must survive any
+// rejection still usable.
+func FuzzSketchReadFrom(f *testing.F) {
+	seed, err := freq.New[int64](64, freq.WithSeed(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := int64(0); i < 2000; i++ {
+		_ = seed.Update(i%150, i%11+1)
+	}
+	blob, err := seed.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)-1])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x31, 0x53, 0x49, 0x46}, 20))
+
+	reused, err := freq.New[int64](16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := freq.New[int64](16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, streamErr := s.ReadFrom(bytes.NewReader(data))
+		if n > int64(len(data)) {
+			t.Fatalf("ReadFrom consumed %d of %d bytes", n, len(data))
+		}
+		inPlaceErr := reused.UnmarshalBinary(data)
+		if streamErr != nil {
+			// The reused receiver must stay usable whatever happened.
+			if err := reused.Update(7, 1); err != nil {
+				t.Fatalf("receiver unusable after rejection: %v", err)
+			}
+			return
+		}
+		// Accepted by the stream decoder: the exact same bytes must be
+		// accepted in place (ReadFrom consumed all of data iff the blob
+		// had no trailing bytes; UnmarshalBinary demands exactly one blob).
+		if n == int64(len(data)) {
+			if inPlaceErr != nil {
+				t.Fatalf("stream decode accepted, in-place decode rejected: %v", inPlaceErr)
+			}
+			if s.StreamWeight() != reused.StreamWeight() || s.NumActive() != reused.NumActive() ||
+				s.MaximumError() != reused.MaximumError() {
+				t.Fatal("stream and in-place decodes disagree")
+			}
+		}
+		if s.NumActive() > s.MaxCounters()+1 {
+			t.Fatalf("accepted sketch overfull: %d > %d", s.NumActive(), s.MaxCounters())
+		}
+		// Round trip through the alloc-free append path.
+		buf, err := s.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		again, err := freq.New[int64](16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := again.UnmarshalBinary(buf); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if again.StreamWeight() != s.StreamWeight() || again.NumActive() != s.NumActive() {
+			t.Fatal("round trip drifted")
+		}
+	})
+}
+
 // FuzzStringSketchUnmarshal covers the generic wire format with the
 // built-in string codec.
 func FuzzStringSketchUnmarshal(f *testing.F) {

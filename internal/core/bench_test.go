@@ -108,9 +108,9 @@ func BenchmarkFrequentItems(b *testing.B) {
 	}
 }
 
-func BenchmarkMergeReplay(b *testing.B) {
-	// Cost of Algorithm 5 replay per counter: merge a full small summary
-	// into a large one repeatedly.
+func BenchmarkMergeManySmallIntoLarge(b *testing.B) {
+	// Amortized Algorithm 5 cost per counter: merge a full small summary
+	// into a large one repeatedly (§3.2's many-small-into-one shape).
 	small, err := NewWithOptions(Options{MaxCounters: 96, Seed: 3, DisableGrowth: true})
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+)
+
+// Bulk-engine microbenchmarks: each kernel against the replay baseline
+// it replaced. cmd/benchfreq runs the same kernels into BENCH_core.json;
+// these stay here so `go test -bench` comparisons work package-locally.
+
+func benchPair(b *testing.B, k int) (*Sketch, *Sketch) {
+	b.Helper()
+	dst := buildDeterministic(b, Options{MaxCounters: k, Seed: 0xD1}, 1<<17, 11)
+	src := buildDeterministic(b, Options{MaxCounters: k, Seed: 0xD2}, 1<<17, 22)
+	return dst, src
+}
+
+func buildDeterministicB(b *testing.B, opts Options, n int, seed uint64) *Sketch {
+	return buildDeterministic(b, opts, n, seed)
+}
+
+// The headline merge shape is the coordinator fan-in the paper's §3
+// story (and the sharded View/Snapshot path) runs: fold a full summary
+// into a pre-sized coordinator with headroom, at a size whose tables
+// live in memory rather than L2 — the regime §2.3.3 declares the
+// bottleneck, and the one the hash-ahead pipelining targets. The
+// saturated shape — merging into a summary already at its budget, where
+// decrements dominate both implementations — is kept as a secondary
+// benchmark.
+
+const (
+	mergeSrcK   = 1 << 16 // 65536-counter source summary (§2.3.3: ~1.6MB)
+	mergeCoordK = 1 << 17 // pre-sized coordinator with headroom
+)
+
+func newCoordinator(b *testing.B, k int) *Sketch {
+	b.Helper()
+	d, err := NewWithOptions(Options{MaxCounters: k, Seed: 0xD3, DisableGrowth: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func benchMergeSrc(b *testing.B) *Sketch {
+	b.Helper()
+	// Distinct keys filling ~90% of the budget: the Zipf generator's
+	// domain is too small for summaries this size, and the merge kernels
+	// are insensitive to the weight distribution anyway.
+	s, err := NewWithOptions(Options{MaxCounters: mergeSrcK, Seed: 0xD2, DisableGrowth: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < mergeSrcK*9/10; i++ {
+		if err := s.Update(i, i%100+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkMergeBulk(b *testing.B) {
+	src := benchMergeSrc(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := newCoordinator(b, mergeCoordK)
+		b.StartTimer()
+		d.Merge(src)
+	}
+}
+
+func BenchmarkMergeReplay(b *testing.B) {
+	src := benchMergeSrc(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := newCoordinator(b, mergeCoordK)
+		b.StartTimer()
+		MergeReplay(d, src)
+	}
+}
+
+func BenchmarkMergeSaturatedBulk(b *testing.B) {
+	dst, src := benchPair(b, 4096)
+	base := dst.Serialize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := Deserialize(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		d.Merge(src)
+	}
+}
+
+func BenchmarkMergeSaturatedReplay(b *testing.B) {
+	dst, src := benchPair(b, 4096)
+	base := dst.Serialize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := Deserialize(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		MergeReplay(d, src)
+	}
+}
+
+func BenchmarkDeserializeBulk(b *testing.B) {
+	s := buildDeterministicB(b, Options{MaxCounters: 16384, Seed: 0xD4}, 1<<18, 33)
+	blob := s.Serialize()
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Deserialize(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeserializeReplay(b *testing.B) {
+	s := buildDeterministicB(b, Options{MaxCounters: 16384, Seed: 0xD5}, 1<<18, 44)
+	blob := s.Serialize()
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeserializeReplay(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeserializeInto(b *testing.B) {
+	s := buildDeterministicB(b, Options{MaxCounters: 16384, Seed: 0xD6}, 1<<18, 55)
+	blob := s.Serialize()
+	dst := new(Sketch)
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DeserializeInto(dst, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeAppendTo(b *testing.B) {
+	s := buildDeterministicB(b, Options{MaxCounters: 16384, Seed: 0xD7}, 1<<18, 66)
+	buf := make([]byte, 0, s.SerializedSizeBytes())
+	b.SetBytes(int64(s.SerializedSizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.AppendTo(buf[:0])
+	}
+}
+
+func BenchmarkEstimateBatchCold(b *testing.B) {
+	s := buildDeterministicB(b, Options{MaxCounters: 1 << 18, Seed: 0xD8, DisableGrowth: true}, 1<<19, 77)
+	items := make([]int64, 1<<14)
+	for i := range items {
+		items[i] = int64(i * 3)
+	}
+	dst := make([]int64, len(items))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = s.EstimateBatch(items, dst)
+	}
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/streamgen"
+)
+
+// buildDeterministic fills a sketch with a deterministic Zipf stream;
+// identical (opts, streamSeed) pairs produce byte-identical sketches, so
+// the bulk kernels can be compared against the replay baselines on two
+// indistinguishable clones.
+func buildDeterministic(t testing.TB, opts Options, n int, streamSeed uint64) *Sketch {
+	t.Helper()
+	if opts.Seed == 0 {
+		t.Fatal("buildDeterministic needs a pinned seed")
+	}
+	s, err := NewWithOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := streamgen.ZipfStream(1.05, 1<<12, n, 1000, streamSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range stream {
+		if err := s.Update(u.Item, u.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// mergePerItemReplay replays src into dst exactly as MergeInto does —
+// same sequential gather, same shuffle draws — but one update() call per
+// counter instead of the chunked bulk kernels. It is the reference the
+// byte-identity property compares against: any divergence means the
+// chunked absorb fired a growth or decrement at a different point than
+// the per-item loop would.
+func mergePerItemReplay(dst, src *Sketch) {
+	mergedN := dst.streamN + src.streamN
+	pairs := src.hm.AppendActive(nil)
+	dst.shuffleIfSharedSeed(src, pairs)
+	for _, p := range pairs {
+		dst.update(p.Key, p.Value)
+	}
+	dst.offset += src.offset
+	dst.streamN = mergedN
+}
+
+// TestMergeByteIdenticalToPerItemReplay is the bulk-engine property
+// test: Merge (gather + shuffle + chunked pipelined absorb) must leave
+// exactly the state a per-counter loop over the same shuffled sequence
+// leaves — serialized bytes, decrement count, table geometry, PRNG
+// state, and clean table invariants — across configurations that do and
+// do not fire growth and decrements mid-merge.
+func TestMergeByteIdenticalToPerItemReplay(t *testing.T) {
+	cases := []struct {
+		name     string
+		dst, src Options
+		n        int
+	}{
+		{"headroom", Options{MaxCounters: 1024, Seed: 11}, Options{MaxCounters: 256, Seed: 12}, 20_000},
+		{"growth-mid-merge", Options{MaxCounters: 2048, Seed: 13}, Options{MaxCounters: 1024, Seed: 14}, 30_000},
+		{"decrements-mid-merge", Options{MaxCounters: MinCounters, Seed: 15, DisableGrowth: true},
+			Options{MaxCounters: MinCounters, Seed: 16, DisableGrowth: true}, 5_000},
+		{"small-into-small", Options{MaxCounters: 48, Seed: 17}, Options{MaxCounters: 48, Seed: 18}, 8_000},
+		// Identical pinned seeds: the §3.2 shared-hash-function hazard, so
+		// the shuffle path runs on both sides of the comparison.
+		{"shared-seed", Options{MaxCounters: 256, Seed: 19}, Options{MaxCounters: 256, Seed: 19}, 10_000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bulkDst := buildDeterministic(t, tc.dst, tc.n, 101)
+			replayDst := buildDeterministic(t, tc.dst, tc.n, 101)
+			src := buildDeterministic(t, tc.src, tc.n, 202)
+
+			bulkDst.Merge(src)
+			mergePerItemReplay(replayDst, src)
+
+			if got, want := bulkDst.Serialize(), replayDst.Serialize(); !bytes.Equal(got, want) {
+				t.Fatal("bulk merge bytes differ from per-item replay")
+			}
+			if bulkDst.decrements != replayDst.decrements {
+				t.Fatalf("decrement count %d vs %d", bulkDst.decrements, replayDst.decrements)
+			}
+			if bulkDst.hm.LgLength() != replayDst.hm.LgLength() {
+				t.Fatalf("table size 2^%d vs 2^%d", bulkDst.hm.LgLength(), replayDst.hm.LgLength())
+			}
+			if err := bulkDst.hm.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// The PRNG must be in the same state too, or the next decrement
+			// would diverge: drive both one more decrement-heavy step.
+			for i := int64(0); i < 5_000; i++ {
+				bulkDst.UpdateOne(i * 7919)
+				replayDst.UpdateOne(i * 7919)
+			}
+			if got, want := bulkDst.Serialize(), replayDst.Serialize(); !bytes.Equal(got, want) {
+				t.Fatal("post-merge updates diverged: PRNG state differs")
+			}
+		})
+	}
+}
+
+// TestMergeMatchesLegacyReplay compares Merge against the pre-bulk
+// MergeReplay (strided visit order): when no decrement fires mid-merge
+// the two visit orders must produce the exact same summary — counters
+// sum item-wise — and the Theorem 5 accounting (N, offset) always
+// matches.
+func TestMergeMatchesLegacyReplay(t *testing.T) {
+	// Budgets exceed the stream domain (2^12), so neither build nor merge
+	// ever fires a decrement and the visit order cannot matter.
+	bulkDst := buildDeterministic(t, Options{MaxCounters: 8192, Seed: 81}, 20_000, 303)
+	legacyDst := buildDeterministic(t, Options{MaxCounters: 8192, Seed: 81}, 20_000, 303)
+	src := buildDeterministic(t, Options{MaxCounters: 8192, Seed: 82}, 20_000, 404)
+
+	bulkDst.Merge(src)
+	MergeReplay(legacyDst, src)
+	assertSameSummary(t, bulkDst, legacyDst)
+	if err := bulkDst.hm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeIntoChaining covers the exported direction: src.MergeInto(dst)
+// must equal dst.Merge(src).
+func TestMergeIntoChaining(t *testing.T) {
+	a := buildDeterministic(t, Options{MaxCounters: 128, Seed: 21}, 10_000, 1)
+	b := buildDeterministic(t, Options{MaxCounters: 128, Seed: 21}, 10_000, 1)
+	src := buildDeterministic(t, Options{MaxCounters: 128, Seed: 22}, 10_000, 2)
+	if got := src.MergeInto(a); got != a {
+		t.Fatal("MergeInto must return dst")
+	}
+	b.Merge(src)
+	if !bytes.Equal(a.Serialize(), b.Serialize()) {
+		t.Fatal("MergeInto differs from Merge")
+	}
+}
+
+// TestMergeDisjointMatchesMerge checks the shard fan-in kernel on its
+// contract domain (disjoint key sets): query answers identical to Merge,
+// invariants clean, and a valid summary even when the combined load
+// forces post-insert decrements.
+func TestMergeDisjointMatchesMerge(t *testing.T) {
+	build := func() (*Sketch, *Sketch) {
+		dst := mustNew(t, Options{MaxCounters: 512, Seed: 31})
+		src := mustNew(t, Options{MaxCounters: 512, Seed: 32})
+		for i := int64(0); i < 20_000; i++ {
+			_ = dst.Update(2*i, i%97+1)   // even items
+			_ = src.Update(2*i+1, i%89+1) // odd items
+		}
+		return dst, src
+	}
+	viaMerge, src := build()
+	viaMerge.Merge(src)
+	viaDisjoint, src2 := build()
+	viaDisjoint.MergeDisjoint(src2)
+
+	if viaDisjoint.StreamWeight() != viaMerge.StreamWeight() {
+		t.Fatalf("N %d vs %d", viaDisjoint.StreamWeight(), viaMerge.StreamWeight())
+	}
+	if viaDisjoint.MaximumError() != viaMerge.MaximumError() {
+		t.Fatalf("offset %d vs %d", viaDisjoint.MaximumError(), viaMerge.MaximumError())
+	}
+	for i := int64(0); i < 200; i++ {
+		if a, b := viaDisjoint.Estimate(i), viaMerge.Estimate(i); a != b {
+			t.Fatalf("item %d: %d vs %d", i, a, b)
+		}
+	}
+	if err := viaDisjoint.hm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overfull case: both sides at a tiny fixed budget, so the deferred
+	// decrement pass must fire and still leave a valid summary.
+	a := mustNew(t, Options{MaxCounters: MinCounters, Seed: 33, DisableGrowth: true})
+	b := mustNew(t, Options{MaxCounters: MinCounters, Seed: 34, DisableGrowth: true})
+	for i := int64(0); i < 3000; i++ {
+		_ = a.Update(2*i, 5)
+		_ = b.Update(2*i+1, 5)
+	}
+	wantN := a.StreamWeight() + b.StreamWeight()
+	a.MergeDisjoint(b)
+	if a.StreamWeight() != wantN {
+		t.Fatalf("overfull merge N %d, want %d", a.StreamWeight(), wantN)
+	}
+	if a.NumActive() > a.hm.Capacity() {
+		t.Fatalf("overfull merge left %d active > capacity %d", a.NumActive(), a.hm.Capacity())
+	}
+	if err := a.hm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertSameSummary asserts a and b are the same summary up to hash
+// seed: identical header state and an identical counter multiset, hence
+// byte-identical answers to every query. (Raw serialized bytes may
+// differ: each deserialization draws a fresh seed, so table — and pair —
+// order varies.)
+func assertSameSummary(t *testing.T, a, b *Sketch) {
+	t.Helper()
+	if a.StreamWeight() != b.StreamWeight() || a.MaximumError() != b.MaximumError() ||
+		a.NumActive() != b.NumActive() || a.Quantile() != b.Quantile() ||
+		a.SampleSize() != b.SampleSize() || a.MaxCounters() != b.MaxCounters() {
+		t.Fatal("summary headers differ")
+	}
+	pairs := func(s *Sketch) map[int64]int64 {
+		m := make(map[int64]int64, s.NumActive())
+		s.hm.Range(func(k, v int64) bool {
+			m[k] = v
+			return true
+		})
+		return m
+	}
+	pa, pb := pairs(a), pairs(b)
+	if len(pa) != len(pb) {
+		t.Fatalf("%d vs %d counters", len(pa), len(pb))
+	}
+	for k, v := range pa {
+		if pb[k] != v {
+			t.Fatalf("item %d: counter %d vs %d", k, v, pb[k])
+		}
+	}
+}
+
+// TestDeserializeMatchesReplay: the bulk decoder must rebuild exactly
+// the summary the per-pair replay decoder does, answering every query
+// byte-identically, with clean table invariants and the same table
+// geometry.
+func TestDeserializeMatchesReplay(t *testing.T) {
+	for _, opts := range []Options{
+		{MaxCounters: 128, Seed: 41},
+		{MaxCounters: 4096, Seed: 42},
+		{MaxCounters: 64, Seed: 43, Quantile: QuantileMin},
+	} {
+		s := buildDeterministic(t, opts, 40_000, 7)
+		blob := s.Serialize()
+
+		bulk, err := Deserialize(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := DeserializeReplay(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSummary(t, bulk, replay)
+		assertSameSummary(t, bulk, s)
+		if bulk.hm.LgLength() != replay.hm.LgLength() {
+			t.Fatalf("table size 2^%d vs 2^%d", bulk.hm.LgLength(), replay.hm.LgLength())
+		}
+		if err := bulk.hm.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		// Same bytes back out (content-wise, the header is position-fixed).
+		if !bytes.Equal(bulk.Serialize()[:headerBytes], blob[:headerBytes]) {
+			t.Fatal("round-tripped header drifted")
+		}
+	}
+}
+
+// TestDeserializeIntoReuse drives the alloc-free receiver path: loading
+// different blobs into one long-lived sketch, including shape changes
+// and error handling.
+func TestDeserializeIntoReuse(t *testing.T) {
+	small := buildDeterministic(t, Options{MaxCounters: 64, Seed: 51}, 5_000, 3)
+	big := buildDeterministic(t, Options{MaxCounters: 2048, Seed: 52}, 50_000, 4)
+
+	dst := mustNew(t, Options{MaxCounters: 64, Seed: 53})
+	for _, src := range []*Sketch{small, big, small, big, big} {
+		if err := DeserializeInto(dst, src.Serialize()); err != nil {
+			t.Fatal(err)
+		}
+		assertSameSummary(t, dst, src)
+		if err := dst.hm.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Steady state (same shape in, same shape out) allocates only the
+	// fresh-seed bookkeeping: nothing.
+	blob := big.Serialize()
+	if err := DeserializeInto(dst, blob); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := DeserializeInto(dst, blob); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A GC during the measurement may empty the scratch pool and charge a
+	// refill; averaging below one object per op is the steady-state-free
+	// assertion that stays robust to that.
+	if allocs >= 1 {
+		t.Errorf("steady-state DeserializeInto allocates %.1f objects/op, want 0", allocs)
+	}
+
+	// Errors before the load leave dst untouched.
+	before := dst.Serialize()
+	if err := DeserializeInto(dst, []byte("garbage")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if err := DeserializeInto(dst, blob[:len(blob)-5]); err == nil {
+		t.Fatal("accepted truncated blob")
+	}
+	if !bytes.Equal(dst.Serialize(), before) {
+		t.Fatal("failed DeserializeInto mutated dst")
+	}
+	// A duplicate payload is detected mid-load; all-or-nothing means dst
+	// is untouched (the partial load lands in the standby table only).
+	dup := append([]byte(nil), blob...)
+	copy(dup[len(dup)-16:len(dup)-8], dup[headerBytes:headerBytes+8])
+	if err := DeserializeInto(dst, dup); err == nil {
+		t.Fatal("accepted duplicate items")
+	}
+	if !bytes.Equal(dst.Serialize(), before) {
+		t.Fatal("duplicate-payload DeserializeInto mutated dst")
+	}
+	if err := dst.Update(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.hm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerializeAllocFree asserts the satellite acceptance: WriteTo and
+// AppendTo-into-capacity allocate nothing in the steady state, and
+// Serialize allocates exactly its result.
+func TestSerializeAllocFree(t *testing.T) {
+	s := buildDeterministic(t, Options{MaxCounters: 1024, Seed: 61}, 30_000, 5)
+
+	// Warm the pool once.
+	if _, err := s.WriteTo(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// >= 1 rather than > 0: a GC during the measurement may empty the
+	// buffer pool and charge one refill.
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.WriteTo(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs >= 1 {
+		t.Errorf("WriteTo allocates %.1f objects/op, want 0", allocs)
+	}
+
+	buf := make([]byte, 0, s.SerializedSizeBytes())
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendTo(buf[:0])
+	}); allocs > 0 {
+		t.Errorf("AppendTo into capacity allocates %.1f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = s.Serialize()
+	}); allocs > 1 {
+		t.Errorf("Serialize allocates %.1f objects/op, want exactly its result", allocs)
+	}
+	if !bytes.Equal(buf, s.Serialize()) {
+		t.Fatal("AppendTo and Serialize disagree")
+	}
+}
+
+// TestEstimateBatchMatchesEstimate checks the batch read kernel against
+// the scalar path over hits, misses, and offset-bearing sketches.
+func TestEstimateBatchMatchesEstimate(t *testing.T) {
+	for _, opts := range []Options{
+		{MaxCounters: 1024, Seed: 71},                             // no decrements: offset 0
+		{MaxCounters: MinCounters, Seed: 72, DisableGrowth: true}, // heavy decrements
+	} {
+		s := buildDeterministic(t, opts, 20_000, 6)
+		items := make([]int64, 0, 600)
+		for i := int64(0); i < 300; i++ {
+			items = append(items, i)           // mixed hits
+			items = append(items, 1_000_000+i) // misses
+		}
+		got := s.EstimateBatch(items, nil)
+		if len(got) != len(items) {
+			t.Fatalf("len %d, want %d", len(got), len(items))
+		}
+		for i, it := range items {
+			if want := s.Estimate(it); got[i] != want {
+				t.Fatalf("item %d: %d, want %d", it, got[i], want)
+			}
+		}
+		// dst reuse must not reallocate.
+		again := s.EstimateBatch(items, got)
+		if &again[0] != &got[0] {
+			t.Error("EstimateBatch reallocated a sufficient dst")
+		}
+	}
+}

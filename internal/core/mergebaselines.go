@@ -20,6 +20,28 @@ type kvPair struct {
 	value int64
 }
 
+// MergeReplay is the pre-bulk-engine Algorithm 5 merge, kept as the
+// baseline the bulk kernel is benchmarked and property-tested against:
+// every assigned counter of b is replayed into a through the
+// one-at-a-time update path — one cache-hostile strided table access,
+// one function call, one streamN add, and one budget check per counter.
+// Merge reaches the same summary (identical counters whenever no
+// decrement fires mid-merge, a valid Theorem 5 summary always) through
+// the gather/shuffle/absorb kernels instead.
+func MergeReplay(a, b *Sketch) *Sketch {
+	if b == nil || b == a || b.IsEmpty() {
+		return a
+	}
+	mergedN := a.streamN + b.streamN
+	b.hm.RangeShuffled(&a.rng, func(key, value int64) bool {
+		a.update(key, value)
+		return true
+	})
+	a.offset += b.offset
+	a.streamN = mergedN
+	return a
+}
+
 // addCounters pools the counters of a and b, summing values of items
 // present in both, and returns the pooled pairs (the "hash table of
 // capacity 2k" of §3.1) along with the summed offsets and stream weights.

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/hashmap"
+)
+
+// Scratch pools for the bulk engine. Merge, grow, deserialization, and
+// the batch query kernel all need transient gather buffers proportional
+// to the number of active counters; pooling them keeps every bulk
+// operation allocation-free in the steady state (asserted with
+// testing.AllocsPerRun in the serialization tests). The pools hand out
+// *[]T so a refill never re-allocates the slice header.
+
+// maxPooledBytes caps what a pool retains between operations (~1M
+// counters' worth). Larger buffers — a legitimately huge sketch, or a
+// wire header whose claimed counter count was never backed by a body —
+// are still served but dropped after use, so one oversized request
+// cannot pin hundreds of megabytes in a process-wide pool.
+const maxPooledBytes = 16 << 20
+
+// pairPool recycles the row-layout gather buffers of the bulk engine.
+var pairPool sync.Pool
+
+// getPairs returns a pooled buffer resized to n (contents undefined).
+func getPairs(n int) *[]hashmap.Pair {
+	p, _ := pairPool.Get().(*[]hashmap.Pair)
+	if p == nil {
+		p = new([]hashmap.Pair)
+	}
+	if cap(*p) < n {
+		*p = make([]hashmap.Pair, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putPairs(p *[]hashmap.Pair) {
+	if cap(*p)*16 > maxPooledBytes {
+		return
+	}
+	pairPool.Put(p)
+}
+
+// bytePool recycles the wire buffers of WriteTo and ReadFromCount.
+var bytePool sync.Pool
+
+func getBytes(n int) *[]byte {
+	p, _ := bytePool.Get().(*[]byte)
+	if p == nil {
+		p = new([]byte)
+	}
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBytes(p *[]byte) {
+	if cap(*p) > maxPooledBytes {
+		return
+	}
+	bytePool.Put(p)
+}
+
+// boolPool recycles the found-flag buffers of EstimateBatch. A pooled
+// buffer (rather than per-sketch scratch) keeps the batch read kernel
+// safe on shared immutable views.
+var boolPool sync.Pool
+
+func getBools(n int) *[]bool {
+	p, _ := boolPool.Get().(*[]bool)
+	if p == nil {
+		p = new([]bool)
+	}
+	if cap(*p) < n {
+		*p = make([]bool, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBools(p *[]bool) {
+	if cap(*p) > maxPooledBytes {
+		return
+	}
+	boolPool.Put(p)
+}

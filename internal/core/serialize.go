@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 
 	"repro/internal/hashmap"
+	"repro/internal/xrand"
 )
 
 // Serialization implements the geographically-distributed scenario of §3:
@@ -15,6 +17,13 @@ import (
 // a fixed little-endian header followed by the active (item, counter)
 // pairs; deserialized sketches answer every query identically to the
 // original and can keep absorbing updates and merges.
+//
+// Both directions run on the bulk engine: AppendTo encodes into a
+// caller-supplied buffer (WriteTo reuses a pooled one, so the steady
+// state allocates nothing), and the decoder gathers the payload into
+// pooled buffers and loads the table with one pipelined
+// InsertUniqueChecked instead of a probe per pair — the checked variant
+// rejects duplicate items inline, at one key compare per probed slot.
 
 const (
 	serialMagic   uint32 = 0x46495331 // "FIS1"
@@ -37,9 +46,11 @@ func (s *Sketch) SerializedSizeBytes() int {
 	return headerBytes + 16*s.NumActive()
 }
 
-// Serialize encodes the sketch to a new byte slice.
-func (s *Sketch) Serialize() []byte {
-	buf := make([]byte, 0, s.SerializedSizeBytes())
+// AppendTo appends the sketch's encoding to buf and returns the extended
+// slice, growing it at most once — the allocation-free serialization
+// primitive behind Serialize, WriteTo, and the wire server's SNAP path.
+func (s *Sketch) AppendTo(buf []byte) []byte {
+	buf = slices.Grow(buf, s.SerializedSizeBytes())
 	buf = binary.LittleEndian.AppendUint32(buf, serialMagic)
 	buf = append(buf, serialVersion)
 	var flags uint8
@@ -61,10 +72,73 @@ func (s *Sketch) Serialize() []byte {
 	return buf
 }
 
-// WriteTo encodes the sketch to w, implementing io.WriterTo.
+// Serialize encodes the sketch to a new byte slice.
+func (s *Sketch) Serialize() []byte {
+	return s.AppendTo(make([]byte, 0, s.SerializedSizeBytes()))
+}
+
+// WriteTo encodes the sketch to w, implementing io.WriterTo. The
+// encoding buffer is pooled: steady-state calls allocate nothing.
 func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
-	n, err := w.Write(s.Serialize())
+	bp := getBytes(0)
+	buf := s.AppendTo((*bp)[:0])
+	n, err := w.Write(buf)
+	*bp = buf
+	putBytes(bp)
 	return int64(n), err
+}
+
+// serialHeader is the decoded fixed-size header, validated field by
+// field before any payload work happens.
+type serialHeader struct {
+	flags      uint8
+	lgMax      int
+	sampleSize int
+	quantile   float64
+	streamN    int64
+	offset     int64
+	numActive  int
+}
+
+// parseHeader decodes and validates the first headerBytes of data, which
+// must be at least that long.
+func parseHeader(data []byte) (serialHeader, error) {
+	var h serialHeader
+	if binary.LittleEndian.Uint32(data[0:]) != serialMagic {
+		return h, ErrBadMagic
+	}
+	if data[4] != serialVersion {
+		return h, fmt.Errorf("%w: %d", ErrBadVersion, data[4])
+	}
+	h.flags = data[5]
+	h.lgMax = int(data[6])
+	h.sampleSize = int(binary.LittleEndian.Uint32(data[8:]))
+	h.quantile = math.Float64frombits(binary.LittleEndian.Uint64(data[12:]))
+	h.streamN = int64(binary.LittleEndian.Uint64(data[20:]))
+	h.offset = int64(binary.LittleEndian.Uint64(data[28:]))
+	h.numActive = int(binary.LittleEndian.Uint32(data[36:]))
+
+	if h.lgMax < hashmap.MinLgLength || h.lgMax > hashmap.MaxLgLength {
+		return h, fmt.Errorf("%w: lgMaxLength %d", ErrCorrupt, h.lgMax)
+	}
+	// The quantile check is phrased positively so NaN (which fails every
+	// comparison) is rejected rather than slipping through to panic in
+	// the first decrement's quantile selection.
+	if h.sampleSize < 1 || !(h.quantile >= 0 && h.quantile < 1) ||
+		h.streamN < 0 || h.offset < 0 || h.numActive < 0 {
+		return h, fmt.Errorf("%w: invalid header fields", ErrCorrupt)
+	}
+	if maxCounters := h.maxCounters(); h.numActive > maxCounters+1 {
+		return h, fmt.Errorf("%w: %d active counters exceed capacity %d", ErrCorrupt, h.numActive, maxCounters)
+	}
+	if h.flags&1 != 0 && (h.numActive != 0 || h.streamN != 0) {
+		return h, fmt.Errorf("%w: empty flag with non-empty payload", ErrCorrupt)
+	}
+	return h, nil
+}
+
+func (h serialHeader) maxCounters() int {
+	return int(float64(int(1)<<h.lgMax) * hashmap.LoadFactor)
 }
 
 // Deserialize reconstructs a sketch from bytes produced by Serialize. The
@@ -72,61 +146,133 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 // of independently deserialized sketches never share a hash function
 // (§3.2 note).
 func Deserialize(data []byte) (*Sketch, error) {
+	s := new(Sketch)
+	if err := DeserializeInto(s, data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DeserializeInto decodes one serialized sketch into dst, replacing
+// dst's entire state — configuration included — and recycling dst's
+// spare table and sample buffer when their shapes match, so a
+// long-lived receiver (a cluster coordinator refreshing node snapshots,
+// say) reaches a steady state that deserializes without allocating.
+// Like Deserialize it draws a fresh hash seed. All-or-nothing: on any
+// error, including corruption detected mid-payload, dst is untouched
+// (the decode loads a standby table and only swaps it in on success;
+// the replaced table is retained as the next decode's standby, so a
+// receiver holds up to two tables).
+func DeserializeInto(dst *Sketch, data []byte) error {
+	if len(data) < headerBytes {
+		return ErrCorrupt
+	}
+	h, err := parseHeader(data)
+	if err != nil {
+		return err
+	}
+	if len(data) != headerBytes+16*h.numActive {
+		return fmt.Errorf("%w: length %d, want %d", ErrCorrupt, len(data), headerBytes+16*h.numActive)
+	}
+	return loadBody(dst, h, data[headerBytes:])
+}
+
+// loadBody decodes the (item, counter) payload and installs header and
+// counters into dst. body must be exactly 16*h.numActive bytes.
+func loadBody(dst *Sketch, h serialHeader, body []byte) error {
+	n := h.numActive
+	pp := getPairs(n)
+	pairs := *pp
+	for i := 0; i < n; i++ {
+		key := int64(binary.LittleEndian.Uint64(body[16*i:]))
+		value := int64(binary.LittleEndian.Uint64(body[16*i+8:]))
+		if value <= 0 {
+			putPairs(pp)
+			return fmt.Errorf("%w: non-positive counter %d for item %d", ErrCorrupt, value, key)
+		}
+		pairs[i] = hashmap.Pair{Key: key, Value: value}
+	}
+
+	// Size the table exactly as the growth path would have: the smallest
+	// power of two whose load-factor capacity holds the counters, capped
+	// at the configured maximum (these are summary counters, not stream
+	// updates — no decrement may fire while loading state). The load goes
+	// into the spare (standby) table, never the live one, so a payload
+	// rejected mid-load leaves dst exactly as it was.
+	lg := min(max(lgLengthFor(n), hashmap.MinLgLength), h.lgMax)
+	seed := nextGlobalSeed()
+	hm := dst.spare
+	if hm != nil && hm.LgLength() == lg {
+		hm.Reset(seed)
+	} else {
+		var err error
+		hm, err = hashmap.New(lg, seed)
+		if err != nil {
+			// Unreachable: lg was validated against the hashmap limits.
+			panic(err)
+		}
+	}
+	key, ok := hm.InsertUniqueChecked(pairs)
+	putPairs(pp)
+	if !ok {
+		// Keep the partially loaded standby for the next attempt (it is
+		// Reset before reuse); dst itself is untouched.
+		dst.spare = hm
+		return fmt.Errorf("%w: duplicate item %d", ErrCorrupt, key)
+	}
+
+	dst.spare = dst.hm // may be nil for a zero-value receiver
+	dst.hm = hm
+	dst.lgMaxLength = h.lgMax
+	dst.lgStart = hashmap.MinLgLength
+	dst.offset = h.offset
+	dst.streamN = h.streamN
+	dst.decrements = 0
+	dst.quantile = h.quantile
+	dst.sampleSize = h.sampleSize
+	dst.seed = seed
+	dst.rng = xrand.NewSplitMix64(seed ^ 0xa0761d6478bd642f)
+	if cap(dst.sampleBuf) >= h.sampleSize {
+		dst.sampleBuf = dst.sampleBuf[:h.sampleSize]
+	} else {
+		dst.sampleBuf = make([]int64, h.sampleSize)
+	}
+	return nil
+}
+
+// DeserializeReplay is the pre-bulk-engine decoder, kept as the baseline
+// the bulk path is benchmarked and property-tested against: it re-probes
+// the table once per pair through Adjust. Deserialize loads the same
+// bytes into a byte-identical table (same size, same insertion order,
+// hence same placement) through one pipelined InsertUnique.
+func DeserializeReplay(data []byte) (*Sketch, error) {
 	if len(data) < headerBytes {
 		return nil, ErrCorrupt
 	}
-	if binary.LittleEndian.Uint32(data[0:]) != serialMagic {
-		return nil, ErrBadMagic
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
 	}
-	if data[4] != serialVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, data[4])
+	if len(data) != headerBytes+16*h.numActive {
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrCorrupt, len(data), headerBytes+16*h.numActive)
 	}
-	flags := data[5]
-	lgMax := int(data[6])
-	sampleSize := int(binary.LittleEndian.Uint32(data[8:]))
-	quantile := math.Float64frombits(binary.LittleEndian.Uint64(data[12:]))
-	streamN := int64(binary.LittleEndian.Uint64(data[20:]))
-	offset := int64(binary.LittleEndian.Uint64(data[28:]))
-	numActive := int(binary.LittleEndian.Uint32(data[36:]))
-
-	if lgMax < hashmap.MinLgLength || lgMax > hashmap.MaxLgLength {
-		return nil, fmt.Errorf("%w: lgMaxLength %d", ErrCorrupt, lgMax)
-	}
-	if sampleSize < 1 || quantile < 0 || quantile >= 1 ||
-		streamN < 0 || offset < 0 || numActive < 0 {
-		return nil, fmt.Errorf("%w: invalid header fields", ErrCorrupt)
-	}
-	maxCounters := int(float64(int(1)<<lgMax) * hashmap.LoadFactor)
-	if numActive > maxCounters+1 {
-		return nil, fmt.Errorf("%w: %d active counters exceed capacity %d", ErrCorrupt, numActive, maxCounters)
-	}
-	if len(data) != headerBytes+16*numActive {
-		return nil, fmt.Errorf("%w: length %d, want %d", ErrCorrupt, len(data), headerBytes+16*numActive)
-	}
-	if flags&1 != 0 && (numActive != 0 || streamN != 0) {
-		return nil, fmt.Errorf("%w: empty flag with non-empty payload", ErrCorrupt)
-	}
-
-	q := quantile
+	q := h.quantile
 	if q == 0 {
 		q = QuantileMin
 	}
 	s, err := NewWithOptions(Options{
-		MaxCounters: maxCounters,
+		MaxCounters: h.maxCounters(),
 		Quantile:    q,
-		SampleSize:  sampleSize,
+		SampleSize:  h.sampleSize,
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Size the table to hold the counters, then install them directly:
-	// these are summary counters, not stream updates, so they bypass the
-	// Update path (no decrement may fire while loading state).
-	for s.hm.Capacity() < numActive && s.hm.LgLength() < s.lgMaxLength {
+	for s.hm.Capacity() < h.numActive && s.hm.LgLength() < s.lgMaxLength {
 		s.grow()
 	}
 	p := headerBytes
-	for i := 0; i < numActive; i++ {
+	for i := 0; i < h.numActive; i++ {
 		key := int64(binary.LittleEndian.Uint64(data[p:]))
 		value := int64(binary.LittleEndian.Uint64(data[p+8:]))
 		p += 16
@@ -137,8 +283,8 @@ func Deserialize(data []byte) (*Sketch, error) {
 			return nil, fmt.Errorf("%w: duplicate item %d", ErrCorrupt, key)
 		}
 	}
-	s.streamN = streamN
-	s.offset = offset
+	s.streamN = h.streamN
+	s.offset = h.offset
 	return s, nil
 }
 
@@ -151,28 +297,34 @@ func ReadFrom(r io.Reader) (*Sketch, error) {
 }
 
 // ReadFromCount is ReadFrom reporting the bytes actually read (including
-// partial reads on error, per the io.ReaderFrom convention).
+// partial reads on error, per the io.ReaderFrom convention). The header
+// lives on the stack and the payload in a pooled buffer handed straight
+// to the bulk decoder — no header+body concatenation copy.
 func ReadFromCount(r io.Reader) (*Sketch, int64, error) {
 	var consumed int64
-	header := make([]byte, headerBytes)
-	n, err := io.ReadFull(r, header)
+	var header [headerBytes]byte
+	n, err := io.ReadFull(r, header[:])
 	consumed += int64(n)
 	if err != nil {
 		return nil, consumed, err
 	}
-	if binary.LittleEndian.Uint32(header[0:]) != serialMagic {
-		return nil, consumed, ErrBadMagic
+	h, err := parseHeader(header[:])
+	if err != nil {
+		return nil, consumed, err
 	}
-	numActive := int(binary.LittleEndian.Uint32(header[36:]))
-	if numActive < 0 || numActive > (1<<hashmap.MaxLgLength) {
-		return nil, consumed, ErrCorrupt
-	}
-	body := make([]byte, 16*numActive)
+	bp := getBytes(16 * h.numActive)
+	body := *bp
 	n, err = io.ReadFull(r, body)
 	consumed += int64(n)
 	if err != nil {
+		putBytes(bp)
 		return nil, consumed, err
 	}
-	s, err := Deserialize(append(header, body...))
-	return s, consumed, err
+	s := new(Sketch)
+	err = loadBody(s, h, body)
+	putBytes(bp)
+	if err != nil {
+		return nil, consumed, err
+	}
+	return s, consumed, nil
 }

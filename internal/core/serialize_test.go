@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"math"
 	"testing"
 
 	"repro/internal/streamgen"
@@ -177,6 +178,9 @@ func TestDeserializeCorrupt(t *testing.T) {
 		}),
 		"absurd numActive": mutate(func(b []byte) {
 			binary.LittleEndian.PutUint32(b[36:], 1<<30)
+		}),
+		"NaN quantile": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[12:], math.Float64bits(math.NaN()))
 		}),
 	}
 	for name, data := range cases {

@@ -107,7 +107,11 @@ func nextGlobalSeed() uint64 {
 // Sketch is the weighted frequent-items summary. It is not safe for
 // concurrent use; wrap it in a mutex or keep one per goroutine and Merge.
 type Sketch struct {
-	hm          *hashmap.Map
+	hm *hashmap.Map
+	// spare is the table retired by the last DeserializeInto, kept so the
+	// next decode of a same-shape blob can load into it and swap — the
+	// all-or-nothing, allocation-free receiver path (see loadBody).
+	spare       *hashmap.Map
 	lgMaxLength int
 	lgStart     int   // initial table size: MinLgLength, or lgMaxLength when growth is disabled
 	offset      int64 // sum of all decrement values c* (§2.3.1)

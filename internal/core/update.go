@@ -50,16 +50,27 @@ func (s *Sketch) update(item int64, weight int64) {
 // grow doubles the table, rehashing all counters. Growth happens at most
 // lgMax - lgMin times over a sketch's lifetime, so its amortized cost is
 // O(1) per update.
-func (s *Sketch) grow() {
-	bigger, err := hashmap.New(s.hm.LgLength()+1, s.seed)
+func (s *Sketch) grow() { s.growTo(s.hm.LgLength() + 1) }
+
+// growTo rebuilds the table at 2^lg slots through the bulk engine:
+// gather the active pairs in table order into pooled buffers, then
+// InsertUnique into the bigger table. The keys of a table are distinct
+// by construction and the bigger table has headroom by construction, so
+// the rehash skips the per-counter found-check probes — and because
+// InsertUnique claims the same cells an Adjust loop would, the layout is
+// identical to the Range+Adjust rehash it replaces.
+func (s *Sketch) growTo(lg int) {
+	bigger, err := hashmap.New(lg, s.seed)
 	if err != nil {
 		// Unreachable: lgMaxLength was validated against MaxLgLength.
 		panic(err)
 	}
-	s.hm.Range(func(key, value int64) bool {
-		bigger.Adjust(key, value)
-		return true
-	})
+	n := s.hm.NumActive()
+	pp := getPairs(n)
+	pairs := s.hm.AppendActive((*pp)[:0])
+	bigger.InsertUnique(pairs)
+	*pp = pairs
+	putPairs(pp)
 	s.hm = bigger
 }
 
@@ -99,6 +110,35 @@ func (s *Sketch) Estimate(item int64) int64 {
 		return v + s.offset
 	}
 	return 0
+}
+
+// EstimateBatch returns the §2.3.1 hybrid estimates for every item,
+// writing them to dst (reallocated only when too small) — the batch read
+// kernel of the query layer, running the pipelined GetBatch probe so a
+// batch of cold lookups overlaps its cache misses. dst[i] corresponds to
+// items[i]; the returned slice has len(items). Safe for concurrent use
+// on an immutable view (scratch comes from a pool, not the sketch).
+func (s *Sketch) EstimateBatch(items []int64, dst []int64) []int64 {
+	if cap(dst) < len(items) {
+		dst = make([]int64, len(items))
+	} else {
+		dst = dst[:len(items)]
+	}
+	if len(items) == 0 {
+		return dst
+	}
+	fp := getBools(len(items))
+	found := *fp
+	s.hm.GetBatch(items, dst, found)
+	if s.offset != 0 {
+		for i, ok := range found {
+			if ok {
+				dst[i] += s.offset
+			}
+		}
+	}
+	putBools(fp)
+	return dst
 }
 
 // LowerBound returns a value certainly <= the true frequency of item:

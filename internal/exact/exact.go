@@ -101,21 +101,70 @@ type Estimator interface {
 	Estimate(item int64) int64
 }
 
+// BatchEstimator is the batch read interface of the bulk engine
+// (core.Sketch, the freq facade, and the sharded sketch satisfy it).
+// The error metrics detect it and evaluate whole item sets through one
+// pipelined lookup pass instead of a point query per item.
+type BatchEstimator interface {
+	Estimator
+	EstimateBatch(items []int64, dst []int64) []int64
+}
+
+// errChunk bounds the scratch of a batched error evaluation.
+const errChunk = 4096
+
+// forEachAbsError calls fn with |f̂i − fi| for every distinct stream
+// item, using the batch read kernel when the summary provides one.
+func (c *Counter) forEachAbsError(e Estimator, fn func(d int64)) {
+	be, ok := e.(BatchEstimator)
+	if !ok {
+		for item, f := range c.freqs {
+			d := e.Estimate(item) - f
+			if d < 0 {
+				d = -d
+			}
+			fn(d)
+		}
+		return
+	}
+	items := make([]int64, 0, errChunk)
+	truths := make([]int64, 0, errChunk)
+	ests := make([]int64, errChunk)
+	flush := func() {
+		ests = be.EstimateBatch(items, ests)
+		for i, f := range truths {
+			d := ests[i] - f
+			if d < 0 {
+				d = -d
+			}
+			fn(d)
+		}
+		items = items[:0]
+		truths = truths[:0]
+	}
+	for item, f := range c.freqs {
+		items = append(items, item)
+		truths = append(truths, f)
+		if len(items) == errChunk {
+			flush()
+		}
+	}
+	if len(items) > 0 {
+		flush()
+	}
+}
+
 // MaxError returns max_i |f̂i − fi| over every distinct item in the
 // stream — the metric of Figures 2 and 3. Items never inserted into the
 // summary but present in the stream count via their (possibly zero)
 // estimates, exactly as a point-query user would experience.
 func (c *Counter) MaxError(e Estimator) int64 {
 	var worst int64
-	for item, f := range c.freqs {
-		d := e.Estimate(item) - f
-		if d < 0 {
-			d = -d
-		}
+	c.forEachAbsError(e, func(d int64) {
 		if d > worst {
 			worst = d
 		}
-	}
+	})
 	return worst
 }
 
@@ -125,13 +174,9 @@ func (c *Counter) MeanAbsError(e Estimator) float64 {
 		return 0
 	}
 	var sum float64
-	for item, f := range c.freqs {
-		d := e.Estimate(item) - f
-		if d < 0 {
-			d = -d
-		}
+	c.forEachAbsError(e, func(d int64) {
 		sum += float64(d)
-	}
+	})
 	return sum / float64(len(c.freqs))
 }
 

@@ -42,6 +42,12 @@ type Map struct {
 	keys      []int64
 	values    []int64
 	states    []uint16
+	// sink receives the XOR of the state cells the write kernels'
+	// hash-ahead stages touch, so the compiler cannot eliminate the
+	// warming loads. It lives on the Map — written only by mutating
+	// kernels, which the caller already serializes — rather than in a
+	// global, which concurrent shards would race on.
+	sink uint16
 }
 
 // New returns a table with 2^lgLength slots hashing with the given seed,
@@ -152,6 +158,15 @@ type Pair struct {
 	Value int64
 }
 
+// probeWindow is the depth of the hash-ahead stage of the bulk kernels:
+// while probing for key i, the home slot of key i+probeWindow is already
+// computed and its state cell touched. Successive probe sequences then
+// overlap in the memory system instead of serializing hash→miss→hash→miss
+// (§2.3.3's premise is that the table scan, i.e. memory, is the
+// bottleneck — the window keeps several misses in flight). Eight keeps the
+// ring in registers and is deep enough to cover a main-memory load.
+const probeWindow = 8
+
 // AdjustPairs applies Adjust(p.Key, p.Value) for every pair in a single
 // tight loop — the bulk entry point behind the buffered writer's flush.
 // Pairs with Value 0 are skipped without inserting their key; the caller
@@ -159,13 +174,31 @@ type Pair struct {
 // sketches' NumActive <= Capacity contract guarantees. The probe body is
 // duplicated from Adjust rather than shared: the Go inliner refuses
 // functions with loops, and a per-pair call would cost what batching
-// saves.
+// saves. The loop is software-pipelined with a probeWindow-deep
+// hash-ahead stage.
 func (m *Map) AdjustPairs(pairs []Pair) {
-	for _, p := range pairs {
+	n := len(pairs)
+	if n == 0 {
+		return
+	}
+	var homes [probeWindow]uint64
+	var warm uint16
+	for i := 0; i < n && i < probeWindow; i++ {
+		h := m.hash(pairs[i].Key) & m.mask
+		homes[i] = h
+		warm ^= m.states[h]
+	}
+	for i := 0; i < n; i++ {
+		j := homes[i&(probeWindow-1)]
+		if ahead := i + probeWindow; ahead < n {
+			h := m.hash(pairs[ahead].Key) & m.mask
+			homes[ahead&(probeWindow-1)] = h
+			warm ^= m.states[h]
+		}
+		p := pairs[i]
 		if p.Value == 0 {
 			continue
 		}
-		j := m.hash(p.Key) & m.mask
 		// d doubles as the found flag: 0 is unreachable as a probe
 		// distance (the overflow guard panics first).
 		d := uint16(1)
@@ -192,6 +225,7 @@ func (m *Map) AdjustPairs(pairs []Pair) {
 		m.states[j] = d
 		m.numActive++
 	}
+	m.sink = warm
 }
 
 // AdjustBatch applies Adjust(keys[i], values[i]) for every i in a single
@@ -200,16 +234,34 @@ func (m *Map) AdjustPairs(pairs []Pair) {
 // deltas are 1; otherwise the slices must have equal length and values
 // of 0 are skipped without inserting their key. The caller must leave
 // enough headroom that the table never fills: as with Adjust, the
-// sketches' NumActive <= Capacity contract guarantees that.
+// sketches' NumActive <= Capacity contract guarantees that. The loop is
+// software-pipelined with a probeWindow-deep hash-ahead stage.
 func (m *Map) AdjustBatch(keys, values []int64) {
-	for i, key := range keys {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	var homes [probeWindow]uint64
+	var warm uint16
+	for i := 0; i < n && i < probeWindow; i++ {
+		h := m.hash(keys[i]) & m.mask
+		homes[i] = h
+		warm ^= m.states[h]
+	}
+	for i := 0; i < n; i++ {
+		j := homes[i&(probeWindow-1)]
+		if ahead := i + probeWindow; ahead < n {
+			h := m.hash(keys[ahead]) & m.mask
+			homes[ahead&(probeWindow-1)] = h
+			warm ^= m.states[h]
+		}
+		key := keys[i]
 		delta := int64(1)
 		if values != nil {
 			if delta = values[i]; delta == 0 {
 				continue
 			}
 		}
-		j := m.hash(key) & m.mask
 		// d doubles as the found flag: 0 is unreachable as a probe
 		// distance (the overflow guard panics first).
 		d := uint16(1)
@@ -236,6 +288,174 @@ func (m *Map) AdjustBatch(keys, values []int64) {
 		m.states[j] = d
 		m.numActive++
 	}
+	m.sink = warm
+}
+
+// GetBatch looks up every key, writing the counter value (or 0) to
+// values[i] and, when found is non-nil, whether the key is assigned to
+// found[i] — the batch read kernel behind EstimateBatch in the query
+// layer. values (and found, if given) must be at least len(keys) long.
+// Like the bulk write kernels it runs a probeWindow-deep hash-ahead
+// stage, so a batch of cold lookups overlaps its cache misses instead of
+// paying them one at a time. Unlike them, GetBatch never writes to the
+// table or its scratch state (lookups cannot invalidate the prefetched
+// cells, so each preloaded state seeds its probe directly): it is safe
+// for concurrent readers of an immutable table, the shared-view read
+// path.
+func (m *Map) GetBatch(keys []int64, values []int64, found []bool) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	var homes [probeWindow]uint64
+	var ahead [probeWindow]uint16
+	for i := 0; i < n && i < probeWindow; i++ {
+		h := m.hash(keys[i]) & m.mask
+		homes[i] = h
+		ahead[i] = m.states[h]
+	}
+	for i := 0; i < n; i++ {
+		j := homes[i&(probeWindow-1)]
+		st := ahead[i&(probeWindow-1)]
+		if nxt := i + probeWindow; nxt < n {
+			h := m.hash(keys[nxt]) & m.mask
+			homes[nxt&(probeWindow-1)] = h
+			ahead[nxt&(probeWindow-1)] = m.states[h]
+		}
+		key := keys[i]
+		var v int64
+		ok := false
+		for st != 0 {
+			if m.keys[j] == key {
+				v = m.values[j]
+				ok = true
+				break
+			}
+			j = (j + 1) & m.mask
+			st = m.states[j]
+		}
+		values[i] = v
+		if found != nil {
+			found[i] = ok
+		}
+	}
+}
+
+// InsertUnique assigns p.Value to p.Key for every pair, exploiting two
+// caller guarantees the adjust kernels cannot assume: every key is
+// distinct from each other AND from every key already in the table, and
+// the table has headroom for all of them (InsertUnique panics up front
+// otherwise). The probe loop therefore never loads the keys array — it
+// scans only the dense 2-byte states array for an empty cell, with the
+// same hash-ahead stage as the adjust kernels — and the found-check
+// branch, the per-item fullness check, and the per-item numActive update
+// all disappear. This is the O(k) direct kernel that grow, bulk merge,
+// and bulk deserialize are built on; the row layout reads one cache line
+// per pair.
+//
+// Placement is identical to an Adjust loop over the same sequence (both
+// claim the first empty cell on the probe path), so callers that need
+// byte-identical tables to a replay-based path get them for free.
+// Violating the distinctness contract silently corrupts the table; use
+// InsertUniqueChecked for untrusted input.
+func (m *Map) InsertUnique(pairs []Pair) {
+	n := len(pairs)
+	if n == 0 {
+		return
+	}
+	if m.numActive+n >= m.length {
+		panic("hashmap: InsertUnique would fill the table")
+	}
+	var homes [probeWindow]uint64
+	var warm uint16
+	for i := 0; i < n && i < probeWindow; i++ {
+		h := m.hash(pairs[i].Key) & m.mask
+		homes[i] = h
+		warm ^= m.states[h]
+	}
+	for i := 0; i < n; i++ {
+		j := homes[i&(probeWindow-1)]
+		if ahead := i + probeWindow; ahead < n {
+			h := m.hash(pairs[ahead].Key) & m.mask
+			homes[ahead&(probeWindow-1)] = h
+			warm ^= m.states[h]
+		}
+		d := uint16(1)
+		for m.states[j] != 0 {
+			j = (j + 1) & m.mask
+			d++
+			if d == 0 {
+				panic("hashmap: probe distance exceeds 16-bit state")
+			}
+		}
+		m.keys[j] = pairs[i].Key
+		m.values[j] = pairs[i].Value
+		m.states[j] = d
+	}
+	m.numActive += n
+	m.sink = warm
+}
+
+// InsertUniqueChecked is InsertUnique for untrusted input: it keeps the
+// caller's distinctness claim honest by comparing keys along the probe
+// path, reporting the offending key instead of corrupting the table. On
+// clean input it costs one key compare per probed slot over InsertUnique
+// — cheap, since the probe path ends at the cell being written anyway —
+// and saves a separate FindDuplicate pass. On failure the pairs before
+// the duplicate remain inserted (numActive stays consistent); callers
+// are expected to Reset.
+func (m *Map) InsertUniqueChecked(pairs []Pair) (int64, bool) {
+	n := len(pairs)
+	if n == 0 {
+		return 0, true
+	}
+	if m.numActive+n >= m.length {
+		panic("hashmap: InsertUniqueChecked would fill the table")
+	}
+	var homes [probeWindow]uint64
+	var warm uint16
+	for i := 0; i < n && i < probeWindow; i++ {
+		h := m.hash(pairs[i].Key) & m.mask
+		homes[i] = h
+		warm ^= m.states[h]
+	}
+	for i := 0; i < n; i++ {
+		j := homes[i&(probeWindow-1)]
+		if ahead := i + probeWindow; ahead < n {
+			h := m.hash(pairs[ahead].Key) & m.mask
+			homes[ahead&(probeWindow-1)] = h
+			warm ^= m.states[h]
+		}
+		key := pairs[i].Key
+		d := uint16(1)
+		for m.states[j] != 0 {
+			if m.keys[j] == key {
+				m.numActive += i
+				m.sink = warm
+				return key, false
+			}
+			j = (j + 1) & m.mask
+			d++
+			if d == 0 {
+				panic("hashmap: probe distance exceeds 16-bit state")
+			}
+		}
+		m.keys[j] = key
+		m.values[j] = pairs[i].Value
+		m.states[j] = d
+	}
+	m.numActive += n
+	m.sink = warm
+	return 0, true
+}
+
+// Reset empties the table and installs a new hash seed, retaining the
+// allocated arrays — the reuse hook behind the alloc-free deserialization
+// path.
+func (m *Map) Reset(seed uint64) {
+	m.seed = seed
+	m.numActive = 0
+	clear(m.states)
 }
 
 // Delete removes key from the table if present, compacting the probe run
@@ -405,6 +625,20 @@ func (m *Map) RangeShuffled(rng *xrand.SplitMix64, fn func(key, value int64) boo
 		}
 		i += stride
 	}
+}
+
+// AppendActive appends every assigned (key, value) pair to dst in table
+// order and returns the extended slice — the gather half of the bulk
+// engine (grow, merge, and serialization feed InsertUnique from it
+// without a per-pair callback), emitting the row layout the bulk kernels
+// consume.
+func (m *Map) AppendActive(dst []Pair) []Pair {
+	for i, s := range m.states {
+		if s != 0 {
+			dst = append(dst, Pair{Key: m.keys[i], Value: m.values[i]})
+		}
+	}
+	return dst
 }
 
 // ActiveValues appends the values of all assigned counters to dst and

@@ -1,0 +1,151 @@
+package sharded
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fill drives a deterministic mixed workload into a sketch.
+func fill(t testing.TB, sk *Sketch, n int64) {
+	t.Helper()
+	for i := int64(0); i < n; i++ {
+		if err := sk.Update(i%5000, i%23+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// summariesEqual compares two merged summaries item-by-item.
+func summariesEqual(t *testing.T, a, b *core.Sketch) {
+	t.Helper()
+	if a.StreamWeight() != b.StreamWeight() || a.MaximumError() != b.MaximumError() ||
+		a.NumActive() != b.NumActive() {
+		t.Fatalf("summaries differ: N %d/%d err %d/%d active %d/%d",
+			a.StreamWeight(), b.StreamWeight(), a.MaximumError(), b.MaximumError(),
+			a.NumActive(), b.NumActive())
+	}
+	for i := int64(0); i < 5000; i++ {
+		if x, y := a.Estimate(i), b.Estimate(i); x != y {
+			t.Fatalf("item %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestParallelMergeMatchesSerial pins that the bounded-worker fan-in
+// produces exactly the summary the serial kernel does, whatever
+// GOMAXPROCS says — shard key sets are disjoint and the combined budget
+// admits everything, so worker partitioning cannot change the result.
+func TestParallelMergeMatchesSerial(t *testing.T) {
+	sk, err := New(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, sk, 100_000)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := sk.Snapshot()
+	runtime.GOMAXPROCS(4)
+	parallel, err2 := sk.Snapshot()
+	runtime.GOMAXPROCS(prev)
+	if err != nil || err2 != nil {
+		t.Fatal(err, err2)
+	}
+	summariesEqual(t, serial, parallel)
+
+	// The view path runs the same kernel and must keep its cache contract
+	// under the parallel build.
+	runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	v1, err := sk.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merges := sk.ViewMerges()
+	v2, err := sk.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 || sk.ViewMerges() != merges {
+		t.Fatal("parallel view rebuild broke the epoch cache")
+	}
+	summariesEqual(t, serial, v1)
+	if err := sk.Update(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v3, err := sk.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 == v1 {
+		t.Fatal("write did not invalidate the parallel-built view")
+	}
+}
+
+// TestShardedEstimateBatchMatchesScalar checks the partitioned batch
+// read against the scalar point query, mixed hits and misses.
+func TestShardedEstimateBatchMatchesScalar(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		sk, err := New(4096, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(t, sk, 50_000)
+		items := make([]int64, 0, 1200)
+		for i := int64(0); i < 600; i++ {
+			items = append(items, i, 1_000_000+i)
+		}
+		got := sk.EstimateBatch(items, nil)
+		if len(got) != len(items) {
+			t.Fatalf("len %d, want %d", len(got), len(items))
+		}
+		for i, item := range items {
+			if want := sk.Estimate(item); got[i] != want {
+				t.Fatalf("shards=%d item %d: %d, want %d", shards, item, got[i], want)
+			}
+		}
+		// dst reuse must not reallocate.
+		again := sk.EstimateBatch(items, got)
+		if &again[0] != &got[0] {
+			t.Error("EstimateBatch reallocated a sufficient dst")
+		}
+	}
+}
+
+func BenchmarkViewRebuild(b *testing.B) {
+	sk, err := New(16384, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fill(b, sk, 500_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Touch one shard so every iteration pays a full rebuild.
+		b.StopTimer()
+		_ = sk.Update(int64(i), 1)
+		b.StartTimer()
+		if _, err := sk.View(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedEstimateBatch(b *testing.B) {
+	sk, err := New(16384, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fill(b, sk, 500_000)
+	items := make([]int64, 4096)
+	for i := range items {
+		items[i] = int64(i)
+	}
+	dst := make([]int64, len(items))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = sk.EstimateBatch(items, dst)
+	}
+}

@@ -13,6 +13,7 @@ package sharded
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -361,38 +362,236 @@ func sortRows(rows []core.Row) {
 	}
 }
 
-// Snapshot merges all shards into a single fresh core sketch with the
-// combined counter budget and the shards' decrement policy and sample
-// size, via Algorithm 5. The result is independent of the sharded sketch
-// and safe to serialize or merge further. Shards are locked one at a
-// time, so a snapshot taken under concurrent updates reflects each shard
-// at a (possibly different) consistent point.
-func (sk *Sketch) Snapshot() (*core.Sketch, error) {
-	total := 0
-	for i := range sk.shards {
-		total += sk.shards[i].s.MaxCounters()
+// maxMergeWorkers bounds the fan-in parallelism of the view/snapshot
+// merge kernel; beyond a handful of workers the serial combine step and
+// memory bandwidth dominate.
+const maxMergeWorkers = 8
+
+// mergeWorkers picks the bounded worker count for a shard merge.
+func (sk *Sketch) mergeWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > len(sk.shards) {
+		w = len(sk.shards)
 	}
-	// All shards share a configuration; carry it over (a zero quantile is
-	// the getters' SMIN convention, which Options spells QuantileMin).
+	if w > maxMergeWorkers {
+		w = maxMergeWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// mergeOptions carries the shards' shared configuration over to a merged
+// summary with the given counter budget (a zero quantile is the getters'
+// SMIN convention, which Options spells QuantileMin). Growth stays
+// enabled: MergeDisjoint pre-grows to the actual counter count in one
+// step per merge, so a sparse sketch gets a small merged table instead
+// of one sized for the full configured budget.
+func (sk *Sketch) mergeOptions(budget int) core.Options {
 	q := sk.shards[0].s.Quantile()
 	if q == 0 {
 		q = core.QuantileMin
 	}
-	out, err := core.NewWithOptions(core.Options{
-		MaxCounters: total,
+	return core.Options{
+		MaxCounters: budget,
 		Quantile:    q,
 		SampleSize:  sk.shards[0].s.SampleSize(),
-	})
+	}
+}
+
+// buildMerged merges every shard into one core sketch — the merge
+// kernel shared by Snapshot and View. Items are hash-partitioned,
+// so shard key sets are disjoint and every counter rides the
+// found-check-free MergeDisjoint fast path; the combined budget admits
+// all counters, so no decrement fires and the result is exact over the
+// shards' states. With more than one worker the shards are folded into
+// per-worker partial summaries concurrently (bounded fan-in, each shard
+// locked only while it is being read) and the disjoint partials combined
+// serially at the end. When epochs is non-nil, each shard's epoch is
+// captured under the same lock hold as its merge, preserving the View
+// cache-freshness contract.
+func (sk *Sketch) buildMerged(epochs []uint64) (*core.Sketch, error) {
+	total := 0
+	for i := range sk.shards {
+		total += sk.shards[i].s.MaxCounters()
+	}
+	out, err := core.NewWithOptions(sk.mergeOptions(total))
 	if err != nil {
 		return nil, err
 	}
-	for i := range sk.shards {
-		sh := &sk.shards[i]
-		sh.mu.Lock()
-		out.Merge(sh.s)
-		sh.mu.Unlock()
+	workers := sk.mergeWorkers()
+	if workers <= 1 {
+		for i := range sk.shards {
+			sh := &sk.shards[i]
+			sh.mu.Lock()
+			if epochs != nil {
+				epochs[i] = sh.epoch.Load()
+			}
+			out.MergeDisjoint(sh.s)
+			sh.mu.Unlock()
+		}
+		return out, nil
+	}
+	partials := make([]*core.Sketch, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			budget := 0
+			for i := w; i < len(sk.shards); i += workers {
+				budget += sk.shards[i].s.MaxCounters()
+			}
+			p, err := core.NewWithOptions(sk.mergeOptions(budget))
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := w; i < len(sk.shards); i += workers {
+				sh := &sk.shards[i]
+				sh.mu.Lock()
+				if epochs != nil {
+					epochs[i] = sh.epoch.Load()
+				}
+				p.MergeDisjoint(sh.s)
+				sh.mu.Unlock()
+			}
+			partials[w] = p
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range partials {
+		out.MergeDisjoint(p)
 	}
 	return out, nil
+}
+
+// Snapshot merges all shards into a single fresh core sketch with the
+// combined counter budget and the shards' decrement policy and sample
+// size, via Algorithm 5 (the parallel disjoint bulk kernel of
+// buildMerged). The result is independent of the sharded sketch and safe
+// to serialize or merge further. Shards are locked one at a time, so a
+// snapshot taken under concurrent updates reflects each shard at a
+// (possibly different) consistent point.
+func (sk *Sketch) Snapshot() (*core.Sketch, error) {
+	return sk.buildMerged(nil)
+}
+
+// estScratch is the pooled partition scratch of EstimateBatch, so the
+// batch read path stays allocation-free in the steady state like the
+// rest of the bulk engine.
+type estScratch struct {
+	idx     []int32
+	offsets []int
+	pItems  []int64
+	pVals   []int64
+	pos     []int32
+}
+
+var estPool sync.Pool
+
+// maxEstScratchItems caps the batch size whose scratch is retained in
+// estPool between calls (~24 bytes per item across the four slices).
+const maxEstScratchItems = 1 << 20
+
+func getEstScratch(items, shards int) *estScratch {
+	s, _ := estPool.Get().(*estScratch)
+	if s == nil {
+		s = new(estScratch)
+	}
+	if cap(s.idx) < items {
+		s.idx = make([]int32, items)
+		s.pItems = make([]int64, items)
+		s.pVals = make([]int64, items)
+		s.pos = make([]int32, items)
+	}
+	s.idx = s.idx[:items]
+	s.pItems = s.pItems[:items]
+	s.pVals = s.pVals[:items]
+	s.pos = s.pos[:items]
+	if cap(s.offsets) < shards+1 {
+		s.offsets = make([]int, shards+1)
+	}
+	s.offsets = s.offsets[:shards+1]
+	return s
+}
+
+// EstimateBatch returns the point estimates for every item, writing them
+// to dst (reallocated only when too small) and returning it; safe for
+// concurrent use. The batch is partitioned by shard with the same
+// counting sort as the write path, each shard is queried under a single
+// lock acquisition through the pipelined batch-lookup kernel, and the
+// results are scattered back to the input order. Like the scalar point
+// queries, each estimate reflects its own shard at a consistent point
+// and carries that shard's error band.
+func (sk *Sketch) EstimateBatch(items []int64, dst []int64) []int64 {
+	if cap(dst) < len(items) {
+		dst = make([]int64, len(items))
+	} else {
+		dst = dst[:len(items)]
+	}
+	if len(items) == 0 {
+		return dst
+	}
+	n := len(sk.shards)
+	if n == 1 {
+		sh := &sk.shards[0]
+		sh.mu.Lock()
+		sh.s.EstimateBatch(items, dst)
+		sh.mu.Unlock()
+		return dst
+	}
+	sc := getEstScratch(len(items), n)
+	counts := sc.offsets[1:] // counting pass writes counts at offset j+1
+	clear(counts)
+	for i, item := range items {
+		j := sk.ShardIndex(item)
+		sc.idx[i] = int32(j)
+		counts[j]++
+	}
+	// Prefix-sum in place: offsets[j] becomes the start of shard j's run,
+	// and the placement pass below advances it to the end — which is the
+	// next shard's start, exactly what the query pass needs.
+	sc.offsets[0] = 0
+	for j := 1; j < n; j++ {
+		sc.offsets[j] += sc.offsets[j-1]
+	}
+	for i, item := range items {
+		j := sc.idx[i]
+		p := sc.offsets[j]
+		sc.offsets[j]++
+		sc.pItems[p] = item
+		sc.pos[p] = int32(i)
+	}
+	lo := 0
+	for j := 0; j < n; j++ {
+		hi := sc.offsets[j] // advanced to the end of shard j's run
+		if lo == hi {
+			lo = hi
+			continue
+		}
+		sh := &sk.shards[j]
+		sh.mu.Lock()
+		sh.s.EstimateBatch(sc.pItems[lo:hi], sc.pVals[lo:hi])
+		sh.mu.Unlock()
+		lo = hi
+	}
+	for p, i := range sc.pos {
+		dst[i] = sc.pVals[p]
+	}
+	// Retention cap, like the core pools: one enormous batch must not pin
+	// its scratch (~24 bytes/item) in the process-wide pool forever.
+	if cap(sc.idx) <= maxEstScratchItems {
+		estPool.Put(sc)
+	}
+	return dst
 }
 
 // Reset clears every shard.
@@ -409,12 +608,17 @@ func (sk *Sketch) Reset() {
 // View returns the epoch-cached merged read view: a single core sketch
 // summarizing all shards (Algorithm 5), rebuilt only when some shard has
 // been written since the last call and returned as-is otherwise — so a
-// read-heavy workload pays the O(shards·k) merge once per write burst
-// instead of once per query. The returned sketch must be treated as
-// immutable: it is shared by every caller until the next rebuild, and its
-// read-only methods are safe for concurrent use. A view taken under
-// concurrent updates reflects each shard at a (possibly different)
-// consistent point, exactly like Snapshot.
+// read-heavy workload pays the merge once per write burst instead of
+// once per query. Rebuilds run the parallel disjoint bulk kernel of
+// buildMerged: shards are folded into per-worker partials concurrently
+// (each shard's epoch captured under the same lock hold as its merge, so
+// it describes exactly the state folded into the view; a write landing
+// after the unlock bumps the epoch and invalidates the cache) and
+// combined at the end. The returned sketch must be treated as immutable:
+// it is shared by every caller until the next rebuild, and its read-only
+// methods are safe for concurrent use. A view taken under concurrent
+// updates reflects each shard at a (possibly different) consistent
+// point, exactly like Snapshot.
 //
 // Unlike the per-shard union of FrequentItemsAboveThreshold, rows
 // extracted from the view carry the merged summary's global error band —
@@ -426,36 +630,14 @@ func (sk *Sketch) View() (*core.Sketch, error) {
 	if sk.view != nil && sk.viewFresh() {
 		return sk.view, nil
 	}
-	total := 0
-	for i := range sk.shards {
-		total += sk.shards[i].s.MaxCounters()
-	}
-	q := sk.shards[0].s.Quantile()
-	if q == 0 {
-		q = core.QuantileMin
-	}
-	out, err := core.NewWithOptions(core.Options{
-		MaxCounters: total,
-		Quantile:    q,
-		SampleSize:  sk.shards[0].s.SampleSize(),
-	})
-	if err != nil {
-		return nil, err
-	}
 	if sk.viewEpochs == nil {
 		sk.viewEpochs = make([]uint64, len(sk.shards))
 	}
-	for i := range sk.shards {
-		sh := &sk.shards[i]
-		sh.mu.Lock()
-		// The epoch is captured under the same lock hold as the merge, so
-		// it describes exactly the state folded into the view; a write
-		// landing after the unlock bumps the epoch and invalidates us.
-		sk.viewEpochs[i] = sh.epoch.Load()
-		out.Merge(sh.s)
-		sh.mu.Unlock()
-		sk.viewMerges++
+	out, err := sk.buildMerged(sk.viewEpochs)
+	if err != nil {
+		return nil, err
 	}
+	sk.viewMerges += int64(len(sk.shards))
 	sk.view = out
 	return out, nil
 }
