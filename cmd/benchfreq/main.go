@@ -1,6 +1,7 @@
 // Command benchfreq runs the repository's canonical performance kernels
 // — Update, UpdateBatch, Merge, Serialize/Deserialize, View, QueryTopK,
-// EstimateBatch — and emits the results as BENCH_core.json (the
+// WindowedRotate, WindowedTopK, EstimateBatch — and emits the results
+// as BENCH_core.json (the
 // machine-readable perf trajectory committed at the repo root) plus a
 // benchstat-compatible text file for regression comparisons in CI.
 //
@@ -207,6 +208,55 @@ func kernels() []kernel {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if rows := s.TopK(64); len(rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		}},
+		{"WindowedRotate", func(b *testing.B) {
+			// Steady-state rotation of a warm 60-interval ring: the
+			// retired slot's table is recycled in place, so an op is one
+			// O(table) state clear and zero allocations.
+			wd, err := freq.NewWindowed[int64](updateK, 60, freq.WithSeed(11))
+			if err != nil {
+				b.Fatal(err)
+			}
+			items := make([]int64, batchChunk)
+			for i := range items {
+				items[i] = synthItem(int64(i), 1<<12)
+			}
+			for r := 0; r < 61; r++ { // wrap the ring so every slot is warm
+				wd.UpdateBatch(items)
+				wd.Rotate()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wd.Rotate()
+			}
+		}},
+		{"WindowedTopK", func(b *testing.B) {
+			// Worst-case windowed read: every op invalidates the epoch
+			// cache, so it pays the full 60-way bulk re-merge plus the
+			// top-k extraction (cached reads are ~QueryTopK).
+			wd, err := freq.NewWindowed[int64](updateK, 60, freq.WithSeed(12))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < 60; r++ {
+				for j := 0; j < 2048; j++ {
+					if err := wd.Update(synthItem(int64(r*2048+j), 1<<14), int64(j%100+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if r < 59 {
+					wd.Rotate()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				wd.UpdateOne(synthItem(int64(i), 1<<14))
+				b.StartTimer()
+				if rows := wd.TopK(64); len(rows) == 0 {
 					b.Fatal("no rows")
 				}
 			}

@@ -17,6 +17,16 @@
 //	freq -k 4096 -algo smin -top 20 trace.bin
 //	freq -k 1024 -query 12345,9876 trace.txt
 //	freq -cluster host1:7070,host2:7070 -top 20
+//
+// With -window the stream replays through a sliding window instead of
+// one all-time summary: every -rotate-every records close an interval
+// and rotate the ring, -rolling prints the rolling top-N at each
+// boundary, and the final report covers only the records still inside
+// the window (-win narrows it further). Against a fleet, -win scopes
+// the cluster queries to each node's last w live intervals:
+//
+//	freq -k 1024 -window 60 -rotate-every 10000 -rolling 5 trace.bin
+//	freq -cluster host1:7070,host2:7070 -win 5 -top 20
 package main
 
 import (
@@ -42,11 +52,20 @@ func main() {
 		queries  = flag.String("query", "", "comma-separated item ids to point-query instead of listing heavy hitters")
 		dumpFile = flag.String("serialize", "", "also write the serialized sketch to this file")
 		cluster  = flag.String("cluster", "", "comma-separated freqd addresses: query the fleet's merged summary instead of ingesting locally (-k/-algo/-serialize and the stream file do not apply)")
+		window   = flag.Int("window", 0, "replay the stream through a sliding window of this many intervals (0 = one all-time summary)")
+		rotEvery = flag.Int("rotate-every", 100000, "records per window interval (with -window)")
+		rolling  = flag.Int("rolling", 0, "print the rolling top-N at every rotation (with -window)")
+		win      = flag.Int("win", 0, "scope the final report to the last w intervals (local -window ring or -cluster nodes' windows; 0 = full window / all-time)")
 	)
 	flag.Parse()
 
+	if *win > 0 && *window == 0 && *cluster == "" {
+		fatal(fmt.Errorf("-win scopes a window: combine it with -window (local) or -cluster (fleet)"))
+	}
+
 	// src is the one read surface the reporting below runs against —
-	// identical for a locally-ingested sketch and a remote fleet.
+	// identical for a locally-ingested sketch, a windowed replay, and a
+	// remote fleet.
 	var src freq.Queryable[int64]
 	if *cluster != "" {
 		// Cluster mode queries remote summaries: local-ingest flags would
@@ -62,12 +81,23 @@ func main() {
 			fatal(err)
 		}
 		defer cl.Close()
-		if err := cl.Refresh(); err != nil {
-			fatal(err)
+		if *win > 0 {
+			// Window-scoped fan-out: merge every node's last w intervals.
+			if err := cl.RefreshWindow(*win); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("cluster of %d nodes (last %d intervals): N=%d, err=%d\n",
+				cl.Nodes(), *win, cl.StreamWeight(), cl.MaximumError())
+		} else {
+			if err := cl.Refresh(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("cluster of %d nodes: N=%d, err=%d\n",
+				cl.Nodes(), cl.StreamWeight(), cl.MaximumError())
 		}
-		fmt.Printf("cluster of %d nodes: N=%d, err=%d\n",
-			cl.Nodes(), cl.StreamWeight(), cl.MaximumError())
 		src = cl
+	} else if *window > 0 {
+		src = ingestWindowed(*k, *algo, *window, *rotEvery, *rolling, *win, *dumpFile, flag.Arg(0))
 	} else {
 		sketch, err := newSketch(*k, *algo)
 		if err != nil {
@@ -121,31 +151,93 @@ func main() {
 	}
 }
 
-func newSketch(k int, algo string) (*freq.Sketch[int64], error) {
+// algoOptions maps -algo onto construction options shared by the
+// all-time and windowed ingest paths.
+func algoOptions(algo string) ([]freq.Option, error) {
 	switch algo {
 	case "smed":
-		return freq.New[int64](k)
+		return nil, nil
 	case "smin":
-		return freq.New[int64](k, freq.WithSMIN())
+		return []freq.Option{freq.WithSMIN()}, nil
 	default:
 		q, err := strconv.ParseFloat(algo, 64)
 		if err != nil {
 			return nil, fmt.Errorf("unknown algo %q (want smed, smin, or a quantile)", algo)
 		}
 		if q == 0 {
-			return freq.New[int64](k, freq.WithSMIN())
+			return []freq.Option{freq.WithSMIN()}, nil
 		}
-		return freq.New[int64](k, freq.WithQuantile(q))
+		return []freq.Option{freq.WithQuantile(q)}, nil
 	}
 }
 
-// dump serializes the sketch to path.
-func dump(sketch *freq.Sketch[int64], path string) {
+func newSketch(k int, algo string) (*freq.Sketch[int64], error) {
+	opts, err := algoOptions(algo)
+	if err != nil {
+		return nil, err
+	}
+	return freq.New[int64](k, opts...)
+}
+
+// ingestWindowed replays the stream through a sliding window: every
+// rotEvery records close one interval and rotate the ring, so the
+// stream's tail ages the head out of scope exactly as wall-clock
+// rotation would in a live collector. Returns the read surface for the
+// final report: the full window, or its last win intervals.
+func ingestWindowed(k int, algo string, window, rotEvery, rolling, win int, dumpFile, path string) freq.Queryable[int64] {
+	if rotEvery < 1 {
+		fatal(fmt.Errorf("-rotate-every must be >= 1, got %d", rotEvery))
+	}
+	opts, err := algoOptions(algo)
+	if err != nil {
+		fatal(err)
+	}
+	wd, err := freq.NewWindowed[int64](k, window, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	updates, err := readStream(path)
+	if err != nil {
+		fatal(err)
+	}
+	items, weights := stream.Columns(updates)
+	interval := 0
+	for lo := 0; lo < len(items); lo += rotEvery {
+		hi := min(lo+rotEvery, len(items))
+		if err := wd.UpdateWeightedBatch(items[lo:hi], weights[lo:hi]); err != nil {
+			fatal(fmt.Errorf("ingest records %d..%d: %w", lo, hi, err))
+		}
+		interval++
+		if rolling > 0 {
+			fmt.Printf("interval %d (records %d..%d), rolling top %d:\n", interval, lo, hi, rolling)
+			for i, r := range wd.TopK(rolling) {
+				fmt.Printf("  %2d. item=%-12d est=%d\n", i+1, r.Item, r.Estimate)
+			}
+		}
+		if hi < len(items) {
+			wd.Rotate()
+		}
+	}
+	fmt.Println(wd)
+	if dumpFile != "" {
+		// The whole ring ships, intervals intact; decode with
+		// freq.Windowed.UnmarshalBinary.
+		defer dump(wd, dumpFile)
+	}
+	if win > 0 {
+		return wd.Last(win)
+	}
+	return wd
+}
+
+// dump serializes a summary (single sketch or whole windowed ring) to
+// path.
+func dump(src io.WriterTo, path string) {
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
-	n, err := sketch.WriteTo(f)
+	n, err := src.WriteTo(f)
 	if err != nil {
 		fatal(err)
 	}

@@ -3,13 +3,20 @@
 // stream weighted updates; operators query live estimates, heavy hitters,
 // and serialized snapshots (see freq/server for the protocol).
 //
+// With -window the daemon additionally maintains a sliding window of
+// per-interval sketches and rotates it on a wall-clock ticker
+// (-rotate-every); the WIN command then scopes queries to the last w
+// intervals — "top talkers over the last minute" with -window 60
+// -rotate-every 1s.
+//
 // Usage:
 //
 //	freqd -listen :7070 -k 24576 -shards 8
+//	freqd -listen :7070 -k 24576 -window 60 -rotate-every 1s
 //
 // Try it:
 //
-//	printf 'U 7 100\nU 7 50\nQ 7\nTOP 5\nSTATS\nQUIT\n' | nc localhost 7070
+//	printf 'U 7 100\nU 7 50\nQ 7\nTOP 5\nWIN 5 TOPK 5\nSTATS\nQUIT\n' | nc localhost 7070
 package main
 
 import (
@@ -19,19 +26,28 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/freq/server"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7070", "listen address")
-		k      = flag.Int("k", 24576, "total counter budget")
-		shards = flag.Int("shards", 8, "shard count for concurrent ingest")
+		listen      = flag.String("listen", "127.0.0.1:7070", "listen address")
+		k           = flag.Int("k", 24576, "total counter budget (per interval when -window is set)")
+		shards      = flag.Int("shards", 8, "shard count for concurrent ingest")
+		window      = flag.Int("window", 0, "sliding-window interval count (0 = all-time summary only)")
+		rotateEvery = flag.Duration("rotate-every", time.Second, "wall-clock width of one window interval (with -window)")
 	)
 	flag.Parse()
+	if *window < 0 {
+		fatal(fmt.Errorf("-window must be >= 0, got %d", *window))
+	}
+	if *window > 0 && *rotateEvery <= 0 {
+		fatal(fmt.Errorf("-rotate-every must be positive, got %s", rotateEvery))
+	}
 
-	srv, err := server.New(server.Config{MaxCounters: *k, Shards: *shards})
+	srv, err := server.New(server.Config{MaxCounters: *k, Shards: *shards, WindowIntervals: *window})
 	if err != nil {
 		fatal(err)
 	}
@@ -42,11 +58,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "freqd: listening on %s (k=%d, shards=%d, %d KB summary budget)\n",
 		ln.Addr(), *k, *shards, 24**k/1024)
 
+	// The rotation loop is the daemon's window driver: one ticker, one
+	// Rotate per interval boundary, stopped with the listener. Manual
+	// ROTATE commands compose with it (both advance the same ring).
+	stopRotating := func() {}
+	if *window > 0 {
+		fmt.Fprintf(os.Stderr, "freqd: sliding window of %d x %s intervals\n", *window, rotateEvery)
+		stopRotating = srv.Windowed().StartRotating(*rotateEvery)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "freqd: shutting down")
+		stopRotating()
 		srv.Close()
 	}()
 

@@ -35,6 +35,8 @@ var (
 	ErrLengthMismatch = errors.New("freq: batch items and weights lengths differ")
 	// ErrBadBatchSize rejects a non-positive Writer batch size.
 	ErrBadBatchSize = errors.New("freq: batch size must be positive")
+	// ErrBadIntervals rejects a non-positive windowed interval count.
+	ErrBadIntervals = errors.New("freq: interval count must be positive")
 	// ErrWriterClosed rejects adds to a Writer after Close.
 	ErrWriterClosed = errors.New("freq: writer is closed")
 )

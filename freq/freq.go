@@ -323,6 +323,17 @@ func (s *Sketch[T]) Reset() {
 	s.slow.Reset()
 }
 
+// clearInPlace empties the sketch without allocating: the fast path
+// recycles its table via core.Clear, the generic path clears its map in
+// place. It is the slot-recycling step of Windowed rotation.
+func (s *Sketch[T]) clearInPlace() {
+	if s.fast != nil {
+		s.fast.Clear()
+		return
+	}
+	s.slow.Reset()
+}
+
 // Merge folds other into s per Algorithm 5 — s then summarizes the
 // concatenation of both streams, with additive error bands (Theorem 5) —
 // and returns s for chaining. other is not modified.

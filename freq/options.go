@@ -116,6 +116,13 @@ func WithSampleSize(l int) Option {
 // default (0) draws an independent random seed per sketch, which also
 // keeps merging safe against the §3.2 shared-hash-function caveat. The
 // generic backend hashes through Go's runtime map and ignores the seed.
+//
+// Multi-sketch front-ends never let a pinned seed correlate their
+// internals: NewSigned derives a distinct seed per side (and asserts
+// the sides differ even on the zero-seed random path), and NewWindowed
+// derives a distinct seed per ring slot. Pinning the seed therefore
+// reproduces each composite exactly without ever giving two of its
+// member sketches identical probe behaviour.
 func WithSeed(seed uint64) Option {
 	return func(c *config) error {
 		c.seed = seed

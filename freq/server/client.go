@@ -242,9 +242,14 @@ func (c *Client[T]) Snapshot() (*freq.Sketch[T], error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.readSnapshot(resp)
+}
+
+// readSnapshot consumes a "SNAP <bytes>" header's blob and decodes it.
+func (c *Client[T]) readSnapshot(header string) (*freq.Sketch[T], error) {
 	var n int
-	if _, err := fmt.Sscanf(resp, "SNAP %d", &n); err != nil {
-		return nil, fmt.Errorf("server: bad snapshot header %q", resp)
+	if _, err := fmt.Sscanf(header, "SNAP %d", &n); err != nil {
+		return nil, fmt.Errorf("server: bad snapshot header %q", header)
 	}
 	blob := make([]byte, n)
 	if _, err := io.ReadFull(c.r, blob); err != nil {
@@ -258,6 +263,67 @@ func (c *Client[T]) Snapshot() (*freq.Sketch[T], error) {
 		return nil, err
 	}
 	return sk, nil
+}
+
+// Window-scoped pass-throughs: each maps onto the WIN command, scoping
+// the query to the merged view of the server's last w window intervals.
+// They error when the server runs without a window.
+
+// QueryWindow returns (estimate, lowerBound, upperBound) for item over
+// the last w intervals of the server's sliding window.
+func (c *Client[T]) QueryWindow(w int, item T) (est, lb, ub int64, err error) {
+	resp, err := c.roundTrip("WIN %d EST %d", w, int64(item))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := fmt.Sscanf(resp, "EST %d %d %d", &est, &lb, &ub); err != nil {
+		return 0, 0, 0, fmt.Errorf("server: bad response %q", resp)
+	}
+	return est, lb, ub, nil
+}
+
+// TopKWindow returns the n largest items over the last w intervals.
+func (c *Client[T]) TopKWindow(w, n int) ([]freq.Row[T], error) {
+	resp, err := c.roundTrip("WIN %d TOPK %d", w, n)
+	if err != nil {
+		return nil, err
+	}
+	return c.readMulti(resp)
+}
+
+// FrequentItemsAboveThresholdWindow returns items qualifying against an
+// absolute threshold under et over the last w intervals.
+func (c *Client[T]) FrequentItemsAboveThresholdWindow(w int, threshold int64, et freq.ErrorType) ([]freq.Row[T], error) {
+	resp, err := c.roundTrip("WIN %d FI %d %d", w, int(et), threshold)
+	if err != nil {
+		return nil, err
+	}
+	return c.readMulti(resp)
+}
+
+// SnapshotWindow fetches the serialized merged view of the last w
+// intervals and decodes it into an ordinary sketch — the blob is the
+// standard single-sketch wire format, so the result merges and queries
+// like any other snapshot (Cluster.RefreshWindow fans this out).
+func (c *Client[T]) SnapshotWindow(w int) (*freq.Sketch[T], error) {
+	resp, err := c.roundTrip("WIN %d SNAP", w)
+	if err != nil {
+		return nil, err
+	}
+	return c.readSnapshot(resp)
+}
+
+// Rotate advances the server's sliding window one interval and returns
+// the server's total rotation count.
+func (c *Client[T]) Rotate() (rotations int64, err error) {
+	resp, err := c.roundTrip("ROTATE")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fmt.Sscanf(resp, "OK %d", &rotations); err != nil {
+		return 0, fmt.Errorf("server: unexpected response %q", resp)
+	}
+	return rotations, nil
 }
 
 // Reset clears the server-side summary.

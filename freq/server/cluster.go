@@ -85,6 +85,25 @@ func (c *Cluster[T]) Close() error {
 // different instants, the same semantics as a Concurrent snapshot taken
 // shard by shard.
 func (c *Cluster[T]) Refresh() error {
+	return c.refresh(func(cl *Client[T]) (*freq.Sketch[T], error) {
+		return cl.Snapshot()
+	})
+}
+
+// RefreshWindow is Refresh scoped to each node's sliding window: it
+// fans out WIN <w> SNAP, so the installed view merges every node's last
+// w intervals — a fleet-wide rolling top-k. All subsequent Queryable
+// reads answer window-scoped until the next refresh of either kind. It
+// fails if any node runs without a window.
+func (c *Cluster[T]) RefreshWindow(w int) error {
+	return c.refresh(func(cl *Client[T]) (*freq.Sketch[T], error) {
+		return cl.SnapshotWindow(w)
+	})
+}
+
+// refresh pulls one snapshot per node concurrently via snap and
+// installs the merged coordinator sketch as the read view.
+func (c *Cluster[T]) refresh(snap func(*Client[T]) (*freq.Sketch[T], error)) error {
 	snaps := make([]*freq.Sketch[T], len(c.clients))
 	errs := make([]error, len(c.clients))
 	var wg sync.WaitGroup
@@ -92,7 +111,7 @@ func (c *Cluster[T]) Refresh() error {
 		wg.Add(1)
 		go func(i int, cl *Client[T]) {
 			defer wg.Done()
-			snaps[i], errs[i] = cl.Snapshot()
+			snaps[i], errs[i] = snap(cl)
 		}(i, cl)
 	}
 	wg.Wait()

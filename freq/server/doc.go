@@ -38,6 +38,8 @@
 //	STATS                 summary state               -> "STATS n=<N> err=<maxError> shards=<s>"
 //	SNAP                  serialized summary          -> "SNAP <bytes>" then <bytes> of sketch wire format
 //	SNAPSHOT              alias of SNAP               -> "SNAP <bytes>" then blob
+//	WIN <w> <cmd> ...     window-scoped query         -> the scoped command's ordinary reply
+//	ROTATE                advance the window          -> "OK <rotations>"
 //	RESET                 clear the summary           -> "OK"
 //	QUIT                  close the connection        -> "BYE"
 //
@@ -74,9 +76,34 @@
 // UB <count> is the bulk ingest command: the next <count> lines each
 // carry one "<item> <weight>" pair, with 1 <= count <= 2^20. The block
 // is all-or-nothing — a malformed line or a negative weight consumes
-// the whole block, applies none of it, and replies ERR. On success the
-// server applies the batch through the sketch's partitioned bulk path
-// and replies "OK <count>".
+// the whole block, applies none of it, and replies ERR. An out-of-range
+// (but parseable) count is likewise rejected only after the announced
+// pair lines are consumed, so a rejected block never desynchronizes the
+// reply stream. On success the server applies the batch through the
+// sketch's partitioned bulk path and replies "OK <count>".
+//
+// # Windowing
+//
+// A server started with a sliding window (Config.WindowIntervals,
+// freqd's -window flag) maintains a rotating ring of per-interval
+// sketches alongside the all-time summary; every update lands in both.
+// WIN scopes a read to the merged view of the last <w> window intervals
+// (w >= 1, clamped to the ring size):
+//
+//	WIN <w> EST <item>            windowed point query   -> "EST <estimate> <lower> <upper>"
+//	WIN <w> TOPK <k>              windowed top k         -> MULTI block
+//	WIN <w> FI <et> <threshold>   windowed threshold     -> MULTI block
+//	WIN <w> SNAP                  windowed snapshot      -> "SNAP <bytes>" then blob
+//
+// Q, TOP, and SNAPSHOT alias inside WIN exactly as they do at top
+// level. WIN SNAP's blob is the ordinary single-sketch wire format —
+// the merged last-w view — so the same client decode path (and the
+// Cluster fan-out, via RefreshWindow) consumes it. ROTATE advances the
+// ring one interval: the oldest interval's counters leave the window
+// and its sketch is recycled as the new head. freqd drives rotation
+// with a wall-clock ticker (-rotate-every); ROTATE composes with it for
+// tests and manual interval boundaries. On a server with no window
+// configured, WIN and ROTATE reply ERR.
 //
 // # Update visibility
 //

@@ -15,15 +15,26 @@ import (
 
 // Config parameterizes a Server.
 type Config struct {
-	// MaxCounters is the total counter budget (default 24576).
+	// MaxCounters is the total counter budget (default 24576). When a
+	// window is configured it is also the per-interval budget of the
+	// windowed summary.
 	MaxCounters int
 	// Shards is the concurrency fan-out (default 8).
 	Shards int
+	// WindowIntervals, when positive, additionally maintains a sliding
+	// window of that many intervals alongside the all-time summary:
+	// every update lands in both, the WIN command scopes queries to the
+	// last w intervals, and ROTATE (or Server.Rotate, driven by freqd's
+	// ticker) advances the window. Zero disables windowing.
+	WindowIntervals int
 }
 
 // Server owns the live summary and serves the line protocol.
 type Server struct {
 	sketch *freq.Concurrent[int64]
+	// win is the optional sliding-window twin of the summary; nil when
+	// Config.WindowIntervals is zero.
+	win *freq.ConcurrentWindowed[int64]
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -47,14 +58,41 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	srv := &Server{
 		sketch: sk,
 		conns:  map[net.Conn]struct{}{},
-	}, nil
+	}
+	if cfg.WindowIntervals > 0 {
+		win, err := freq.NewConcurrentWindowed[int64](cfg.MaxCounters, cfg.WindowIntervals)
+		if err != nil {
+			return nil, err
+		}
+		srv.win = win
+	}
+	return srv, nil
 }
 
 // Sketch exposes the underlying summary (for embedding and tests).
 func (s *Server) Sketch() *freq.Concurrent[int64] { return s.sketch }
+
+// Windowed exposes the optional sliding-window summary; nil when the
+// server was configured without one.
+func (s *Server) Windowed() *freq.ConcurrentWindowed[int64] { return s.win }
+
+// ErrNoWindow rejects window-scoped operations on a server configured
+// without a sliding window.
+var ErrNoWindow = errors.New("server: no window configured (set Config.WindowIntervals)")
+
+// Rotate advances the sliding window one interval — the hook a
+// rotation driver (freqd's wall-clock ticker, a test, an operator via
+// the ROTATE command) calls at each interval boundary.
+func (s *Server) Rotate() error {
+	if s.win == nil {
+		return ErrNoWindow
+	}
+	s.win.Rotate()
+	return nil
+}
 
 // Serve accepts connections on ln until Close is called. It returns
 // net.ErrClosed after a clean shutdown.
@@ -144,11 +182,43 @@ type conn struct {
 	sc     *bufio.Scanner
 	w      *bufio.Writer
 	writer *freq.Writer[int64]
+	// winItems/winWeights buffer this connection's single-U updates for
+	// the windowed twin, mirroring the Writer's batching for the
+	// all-time summary: without it every U would take the one
+	// process-wide window mutex, serializing all connections on exactly
+	// the per-update lock the Writer exists to avoid. Flushed together
+	// with the writer (threshold, any non-update command, connection
+	// end), so both summaries expose the same read-your-writes and
+	// at-most-one-batch-lag semantics.
+	winItems   []int64
+	winWeights []int64
 	// snapBuf is the connection's reusable SNAP encoding buffer: the
 	// epoch-cached view serializes into it through the alloc-free
 	// AppendBinary kernel, so a poll loop of SNAP commands allocates
 	// nothing after the first.
 	snapBuf []byte
+}
+
+// addWindowed buffers one windowed update, flushing at the writer's
+// default batch size.
+func (c *conn) addWindowed(item, weight int64) {
+	c.winItems = append(c.winItems, item)
+	c.winWeights = append(c.winWeights, weight)
+	if len(c.winItems) >= freq.DefaultBatchSize {
+		c.flushWindowed()
+	}
+}
+
+// flushWindowed applies the buffered windowed updates under one lock
+// acquisition. Weights were validated non-negative on ingest, so the
+// batch cannot fail.
+func (c *conn) flushWindowed() {
+	if len(c.winItems) == 0 {
+		return
+	}
+	_ = c.srv.win.UpdateWeightedBatch(c.winItems, c.winWeights)
+	c.winItems = c.winItems[:0]
+	c.winWeights = c.winWeights[:0]
 }
 
 func (s *Server) handle(nc net.Conn) {
@@ -159,6 +229,9 @@ func (s *Server) handle(nc net.Conn) {
 	}
 	defer writer.Close()
 	c := &conn{srv: s, sc: bufio.NewScanner(nc), w: bufio.NewWriter(nc), writer: writer}
+	if s.win != nil {
+		defer c.flushWindowed()
+	}
 	c.sc.Buffer(make([]byte, 64*1024), 64*1024)
 	for c.sc.Scan() {
 		line := strings.TrimSpace(c.sc.Text())
@@ -167,7 +240,10 @@ func (s *Server) handle(nc net.Conn) {
 		}
 		quit, err := c.dispatch(line)
 		if err != nil {
-			fmt.Fprintf(c.w, "ERR %s\n", err)
+			// An ERR reply is exactly one line; joined errors (errors.Join
+			// separates with '\n') must not smuggle extra lines into the
+			// reply stream.
+			fmt.Fprintf(c.w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", "; "))
 		}
 		if err := c.w.Flush(); err != nil {
 			return
@@ -192,6 +268,9 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		if err := c.writer.Flush(); err != nil {
 			return false, err
 		}
+		if s.win != nil {
+			c.flushWindowed()
+		}
 	}
 	switch cmd {
 	case "U":
@@ -206,16 +285,45 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		if err := c.writer.Add(item, weight); err != nil {
 			return false, err
 		}
+		if s.win != nil {
+			c.addWindowed(item, weight)
+		}
 		s.statsMu.Lock()
 		s.updates++
 		s.statsMu.Unlock()
 		fmt.Fprintln(w, "OK")
 	case "UB":
-		if len(args) != 1 {
+		if len(args) < 1 {
 			return false, errors.New("usage: UB <count>")
 		}
 		n, err := strconv.Atoi(args[0])
-		if err != nil || n < 1 || n > MaxWireBatch {
+		if err != nil {
+			// The announced batch length is unknowable; nothing can be
+			// drained. (A real client never sends this: the count is the
+			// one field it computes itself.)
+			return false, errors.New("usage: UB <count>")
+		}
+		if len(args) != 1 || n < 1 || n > MaxWireBatch {
+			if n > MaxWireBatch {
+				// The announced count exceeds the protocol cap, so the
+				// pair lines in flight cannot be consumed within bounded
+				// work (the count is a liar's number); reply once and drop
+				// the connection instead of reinterpreting the pairs as
+				// commands — the pre-fix behaviour, whose per-line ERR
+				// flood desynchronized the reply stream and could deadlock
+				// against a client that writes the whole batch first.
+				return true, fmt.Errorf("batch count must be 1..%d", MaxWireBatch)
+			}
+			// Invalid, but the count is known and within the cap — and the
+			// client has already committed that many pair lines to the
+			// wire. Consume them all before replying, keeping the
+			// connection synchronized and usable.
+			if !c.drainLines(n) {
+				return true, errors.New("connection closed mid-batch")
+			}
+			if len(args) != 1 {
+				return false, errors.New("usage: UB <count>")
+			}
 			return false, fmt.Errorf("batch count must be 1..%d", MaxWireBatch)
 		}
 		items := make([]int64, 0, n)
@@ -252,8 +360,15 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		if err := c.writer.Flush(); err != nil {
 			return false, err
 		}
+		if s.win != nil {
+			c.flushWindowed()
+		}
 		if err := s.sketch.UpdateWeightedBatch(items, weights); err != nil {
 			return false, err
+		}
+		if s.win != nil {
+			// Validated by the all-time batch above; cannot fail.
+			_ = s.win.UpdateWeightedBatch(items, weights)
 		}
 		s.statsMu.Lock()
 		s.updates += int64(n)
@@ -323,14 +438,113 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		if _, err := w.Write(c.snapBuf); err != nil {
 			return false, err
 		}
+	case "WIN":
+		return c.dispatchWindow(args)
+	case "ROTATE":
+		if s.win == nil {
+			return false, ErrNoWindow
+		}
+		s.win.Rotate()
+		fmt.Fprintf(w, "OK %d\n", s.win.Rotations())
 	case "RESET":
+		// Both summaries clear together: a reset server must not keep
+		// answering window-scoped queries from pre-reset data.
 		s.sketch.Reset()
+		if s.win != nil {
+			s.win.Reset()
+		}
 		fmt.Fprintln(w, "OK")
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
 		return true, nil
 	default:
 		return false, fmt.Errorf("unknown command %q", cmd)
+	}
+	return false, nil
+}
+
+// drainLines consumes up to n protocol lines without interpreting or
+// answering them — the resynchronization step after a rejected batch
+// whose pair lines are already in flight. It reports whether the
+// connection stayed alive.
+func (c *conn) drainLines(n int) bool {
+	for i := 0; i < n; i++ {
+		if !c.sc.Scan() {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatchWindow executes one WIN-scoped query: the read commands
+// (EST/Q, TOPK/TOP, FI, SNAP/SNAPSHOT) against the merged view of the
+// last w intervals of the sliding window, with replies shaped exactly
+// like their all-time counterparts.
+func (c *conn) dispatchWindow(args []string) (quit bool, err error) {
+	s := c.srv
+	w := c.w
+	if s.win == nil {
+		return false, ErrNoWindow
+	}
+	if len(args) < 2 {
+		return false, errors.New("usage: WIN <w> <EST|TOPK|FI|SNAP> ...")
+	}
+	width, err := strconv.Atoi(args[0])
+	if err != nil || width < 1 {
+		return false, errors.New("bad window width")
+	}
+	sub := strings.ToUpper(args[1])
+	rest := args[2:]
+	switch sub {
+	case "Q", "EST":
+		if len(rest) != 1 {
+			return false, fmt.Errorf("usage: WIN <w> %s <item>", sub)
+		}
+		item, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return false, errors.New("bad integer")
+		}
+		s.statsMu.Lock()
+		s.queries++
+		s.statsMu.Unlock()
+		est, lb, ub := s.win.EstimateLast(width, item)
+		fmt.Fprintf(w, "EST %d %d %d\n", est, lb, ub)
+	case "TOP", "TOPK":
+		if len(rest) != 1 {
+			return false, fmt.Errorf("usage: WIN <w> %s <n>", sub)
+		}
+		n, err := strconv.Atoi(rest[0])
+		if err != nil || n < 1 {
+			return false, errors.New("bad count")
+		}
+		writeRows(w, s.win.TopKLast(width, n))
+	case "FI":
+		if len(rest) != 2 {
+			return false, errors.New("usage: WIN <w> FI <et> <threshold>")
+		}
+		et, err := parseErrorType(rest[0])
+		if err != nil {
+			return false, err
+		}
+		threshold, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return false, errors.New("bad threshold")
+		}
+		writeRows(w, s.win.FrequentItemsAboveThresholdLast(width, threshold, et))
+	case "SNAPSHOT", "SNAP":
+		// A window-scoped snapshot is the merged view of the last w
+		// intervals in the ordinary single-sketch wire format — the
+		// same blob shape as SNAP, so the client decode path is shared.
+		c.snapBuf, err = s.win.AppendBinaryLast(width, c.snapBuf[:0])
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "SNAP %d\n", len(c.snapBuf))
+		if _, err := w.Write(c.snapBuf); err != nil {
+			return false, err
+		}
+	default:
+		return false, fmt.Errorf("unknown window command %q", sub)
 	}
 	return false, nil
 }

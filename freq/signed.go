@@ -22,9 +22,13 @@ type Signed[T comparable] struct {
 }
 
 // NewSigned returns a turnstile-capable pair of sketches, each with
-// counter budget k and the given options. A pinned seed (WithSeed) is
-// automatically varied between the two sides so their probe behaviour
-// never correlates.
+// counter budget k and the given options. The two sides are guaranteed
+// distinct hash seeds on every path — a pinned seed (WithSeed) is
+// varied deterministically between them, and the default random-seed
+// path re-derives the negative side in the (astronomically unlikely)
+// event its independent draw collides with the positive side's — so
+// the sides' probe behaviour never correlates and estimate differences
+// never see systematically paired evictions.
 func NewSigned[T comparable](k int, opts ...Option) (*Signed[T], error) {
 	cfg, err := resolve(k, opts)
 	if err != nil {
@@ -36,11 +40,21 @@ func NewSigned[T comparable](k int, opts ...Option) (*Signed[T], error) {
 	}
 	negCfg := cfg
 	if cfg.seed != 0 {
-		negCfg.seed = cfg.seed ^ 0x9e3779b97f4a7c15
+		negCfg.seed = deriveSeed(cfg.seed, 1)
 	}
 	neg, err := newFromConfig[T](negCfg)
 	if err != nil {
 		return nil, err
+	}
+	// Assert the sides really landed on distinct seeds — covering the
+	// zero-seed edge, where both drew independently — and re-derive the
+	// negative side until they differ (deriveSeed varies with i, so the
+	// loop terminates; in practice it never runs).
+	for i := uint64(1); pos.fast != nil && neg.fast != nil && pos.fast.Seed() == neg.fast.Seed(); i++ {
+		negCfg.seed = deriveSeed(pos.fast.Seed(), i)
+		if neg, err = newFromConfig[T](negCfg); err != nil {
+			return nil, err
+		}
 	}
 	return &Signed[T]{pos: pos, neg: neg}, nil
 }

@@ -1,0 +1,51 @@
+// Regression tests for the Signed pinned-seed edge: the two sides of
+// the turnstile pair must land on distinct hash seeds on every
+// construction path — pinned seeds are derived apart deterministically,
+// and the zero-seed (random) path is asserted distinct rather than
+// merely probably so.
+package freq
+
+import "testing"
+
+func signedSeeds[T comparable](t *testing.T, sg *Signed[T]) (pos, neg uint64) {
+	t.Helper()
+	if sg.pos.fast == nil || sg.neg.fast == nil {
+		t.Fatal("seed assertions only apply to the fast backend")
+	}
+	return sg.pos.fast.Seed(), sg.neg.fast.Seed()
+}
+
+func TestSignedZeroSeedSidesDistinct(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		sg, err := NewSigned[int64](64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos, neg := signedSeeds(t, sg)
+		if pos == neg {
+			t.Fatalf("iteration %d: zero-seed path gave both sides seed %#x", i, pos)
+		}
+	}
+}
+
+func TestSignedPinnedSeedSidesDistinctAndReproducible(t *testing.T) {
+	a, err := NewSigned[int64](64, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aPos, aNeg := signedSeeds(t, a)
+	if aPos == aNeg {
+		t.Fatalf("pinned seed gave both sides seed %#x", aPos)
+	}
+	if aPos != 7 {
+		t.Fatalf("positive side seed %#x, want the pinned 7", aPos)
+	}
+	b, err := NewSigned[int64](64, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bPos, bNeg := signedSeeds(t, b)
+	if aPos != bPos || aNeg != bNeg {
+		t.Fatal("pinned-seed construction is not reproducible")
+	}
+}

@@ -1,0 +1,695 @@
+package freq
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"iter"
+	"sync"
+	"time"
+)
+
+// Windowed is the sliding-window heavy-hitters summary: a ring of
+// per-interval sketches answering "which items carried the most weight
+// over the last N intervals?" — the first question a traffic monitor
+// asks, and the time-binned rotation workload of systems like goProbe.
+// Writes land in the head interval through the ordinary batched hot
+// path; Rotate retires the oldest interval and recycles its sketch
+// in place as the new head (core slot recycling — after the ring is
+// warm a rotation allocates nothing); reads answer from a merged view
+// of the last w intervals, cached by write epoch so repeated queries
+// with no interleaved writes or rotations re-merge nothing.
+//
+//	wd, _ := freq.NewWindowed[uint64](4096, 60) // 60 intervals of 4096 counters
+//	go every(time.Second, wd.Rotate)            // caller-driven rotation
+//	wd.Update(srcIP, packetBytes)
+//	top := wd.TopK(10)                          // over the whole window
+//	recent := wd.Last(5).TopK(10)               // over the last 5 intervals
+//
+// Windowed implements Queryable over the full window, so Query, TopK,
+// and FrequentItems* work unchanged; Last scopes any of them to a
+// suffix of the window. The merged view carries the sum of the covered
+// intervals' error bands (Theorem 5); while every covered interval
+// stays within its own budget the view adds no error of its own, and a
+// width-1 view reproduces its interval's sketch answers exactly.
+//
+// A Windowed is not safe for concurrent use — rotation and writes
+// mutate shared state. ConcurrentWindowed is the goroutine-safe
+// wrapper with an optional wall-clock rotation driver.
+type Windowed[T comparable] struct {
+	slots []*Sketch[T] // ring; slots[head] is the current interval
+	head  int
+	k     int // per-interval counter budget (as constructed/decoded)
+
+	// epoch counts mutations (writes and rotations); the merged-view
+	// cache is fresh exactly when its epoch matches.
+	epoch     uint64
+	rotations int64
+
+	// view is the reusable merged read sketch (budget = sum of slot
+	// budgets, so window merges never evict); cleared in place and
+	// rebuilt when a query needs a width/epoch the cache doesn't hold.
+	view       *Sketch[T]
+	viewEpoch  uint64
+	viewWidth  int
+	viewOK     bool
+	viewMerges int64
+
+	serde SerDe[T]
+}
+
+// Compile-time proof that the windowed front-ends serve the same query
+// surface as everything else.
+var (
+	_ Queryable[int64]  = (*Windowed[int64])(nil)
+	_ Queryable[string] = (*Windowed[string])(nil)
+	_ Queryable[int64]  = (*ConcurrentWindowed[int64])(nil)
+)
+
+// NewWindowed returns a sliding window of `intervals` ring slots, each
+// a sketch with counter budget k configured by opts (the usual
+// construction options apply per interval). The window covers the
+// current interval plus the intervals-1 before it; the caller drives
+// interval boundaries via Rotate. A pinned seed (WithSeed) is varied
+// per slot so the intervals' probe behaviour never correlates; the
+// merged view is pre-built here, so rotation and steady-state
+// re-merges allocate nothing.
+func NewWindowed[T comparable](k, intervals int, opts ...Option) (*Windowed[T], error) {
+	if intervals < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadIntervals, intervals)
+	}
+	cfg, err := resolve(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	wd := &Windowed[T]{slots: make([]*Sketch[T], intervals), k: cfg.k}
+	for i := range wd.slots {
+		slotCfg := cfg
+		if cfg.seed != 0 {
+			slotCfg.seed = deriveSeed(cfg.seed, uint64(i)+1)
+		}
+		s, err := newFromConfig[T](slotCfg)
+		if err != nil {
+			return nil, err
+		}
+		wd.slots[i] = s
+	}
+	viewCfg := cfg
+	viewCfg.k = cfg.k * intervals
+	if cfg.seed != 0 {
+		viewCfg.seed = deriveSeed(cfg.seed, uint64(intervals)+1)
+	}
+	if wd.view, err = newFromConfig[T](viewCfg); err != nil {
+		return nil, err
+	}
+	return wd, nil
+}
+
+// deriveSeed decorrelates a pinned seed across ring slots (SplitMix64
+// finalizer over seed + i·golden ratio): deterministic for
+// reproducibility, never zero (zero would re-randomize downstream), and
+// distinct per slot.
+func deriveSeed(seed, i uint64) uint64 {
+	x := seed + i*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	return x
+}
+
+// SetSerDe installs the item codec used when marshaling a ring over a
+// type without a built-in codec, and returns wd for chaining.
+func (wd *Windowed[T]) SetSerDe(sd SerDe[T]) *Windowed[T] {
+	wd.serde = sd
+	for _, s := range wd.slots {
+		s.SetSerDe(sd)
+	}
+	wd.view.SetSerDe(sd)
+	return wd
+}
+
+// Intervals returns the ring size N: the number of intervals the window
+// covers, including the current one.
+func (wd *Windowed[T]) Intervals() int { return len(wd.slots) }
+
+// IntervalCounters returns the per-interval counter budget k.
+func (wd *Windowed[T]) IntervalCounters() int { return wd.k }
+
+// Rotations returns how many times the window has advanced.
+func (wd *Windowed[T]) Rotations() int64 { return wd.rotations }
+
+// head slot accessor, shared by the write paths.
+func (wd *Windowed[T]) headSlot() *Sketch[T] { return wd.slots[wd.head] }
+
+// Rotate advances the window one interval: the oldest interval falls
+// out of scope and its sketch is recycled in place as the new (empty)
+// head — O(table) state clearing, no allocation once the ring is warm.
+// Callers define what an interval is by when they call Rotate (a
+// wall-clock ticker, a record count, a file boundary).
+func (wd *Windowed[T]) Rotate() {
+	wd.head = (wd.head + 1) % len(wd.slots)
+	wd.slots[wd.head].clearInPlace()
+	wd.rotations++
+	wd.epoch++
+	wd.viewOK = false
+}
+
+// Reset empties every interval of the window in place (the same
+// alloc-free slot recycling as rotation) and rewinds the rotation
+// count, returning the ring to its freshly constructed state.
+func (wd *Windowed[T]) Reset() {
+	for _, s := range wd.slots {
+		s.clearInPlace()
+	}
+	wd.head = 0
+	wd.rotations = 0
+	wd.epoch++
+	wd.viewOK = false
+}
+
+// Update adds weight to item's frequency in the current interval. Zero
+// weights are no-ops; negative weights return ErrNegativeWeight.
+func (wd *Windowed[T]) Update(item T, weight int64) error {
+	if err := wd.headSlot().Update(item, weight); err != nil {
+		return err
+	}
+	wd.epoch++
+	return nil
+}
+
+// UpdateOne adds a unit-weight occurrence of item to the current
+// interval.
+func (wd *Windowed[T]) UpdateOne(item T) {
+	wd.headSlot().UpdateOne(item)
+	wd.epoch++
+}
+
+// UpdateBatch adds a unit-weight occurrence of every item to the
+// current interval through the batched hot path.
+func (wd *Windowed[T]) UpdateBatch(items []T) {
+	wd.headSlot().UpdateBatch(items)
+	wd.epoch++
+}
+
+// UpdateWeightedBatch adds weights[i] to items[i]'s frequency in the
+// current interval — the batched ingest path, with the facade's
+// all-or-nothing validation (ErrLengthMismatch, ErrNegativeWeight).
+func (wd *Windowed[T]) UpdateWeightedBatch(items []T, weights []int64) error {
+	if err := wd.headSlot().UpdateWeightedBatch(items, weights); err != nil {
+		return err
+	}
+	wd.epoch++
+	return nil
+}
+
+// merged returns the cached merged sketch over the last width intervals
+// (clamped to [1, N]), rebuilding it only when the cache holds a
+// different width or a write or rotation landed since it was built. A
+// rebuild clears the reusable view sketch in place and folds the
+// covered slots in newest-first via the bulk merge kernels; the view's
+// combined budget admits every covered counter, so the merge itself
+// never evicts.
+func (wd *Windowed[T]) merged(width int) *Sketch[T] {
+	n := len(wd.slots)
+	if width < 1 {
+		width = 1
+	}
+	if width > n {
+		width = n
+	}
+	if wd.viewOK && wd.viewEpoch == wd.epoch && wd.viewWidth == width {
+		return wd.view
+	}
+	wd.view.clearInPlace()
+	for i := 0; i < width; i++ {
+		wd.view.Merge(wd.slots[(wd.head-i+n)%n])
+		wd.viewMerges++
+	}
+	wd.viewEpoch, wd.viewWidth, wd.viewOK = wd.epoch, width, true
+	return wd.view
+}
+
+// ViewMerges returns the cumulative number of per-interval merges
+// performed building read views — the diagnostic for asserting the
+// epoch cache works: flat across repeated reads with no interleaved
+// writes or rotations.
+func (wd *Windowed[T]) ViewMerges() int64 { return wd.viewMerges }
+
+// Last returns a read view scoped to the last w intervals (w clamped to
+// [1, N]): a Queryable façade over the merged suffix, so Query, TopK,
+// and FrequentItems* run window-scoped. The view aliases the window's
+// single cached merge sketch — unlike a Concurrent view it is NOT an
+// independent snapshot: it is valid only until the next write, Rotate,
+// or any read at a different width (including the full-window Queryable
+// methods), each of which rebuilds the shared cache in place. Consume a
+// Last view immediately, or Materialize it to keep it. A width-1 view
+// reproduces the current interval's sketch answers exactly.
+func (wd *Windowed[T]) Last(w int) *View[T] {
+	return &View[T]{sk: wd.merged(w)}
+}
+
+// Estimate returns the point estimate for item over the full window.
+func (wd *Windowed[T]) Estimate(item T) int64 {
+	return wd.merged(len(wd.slots)).Estimate(item)
+}
+
+// LowerBound returns a value certainly <= item's frequency within the
+// window.
+func (wd *Windowed[T]) LowerBound(item T) int64 {
+	return wd.merged(len(wd.slots)).LowerBound(item)
+}
+
+// UpperBound returns a value certainly >= item's frequency within the
+// window.
+func (wd *Windowed[T]) UpperBound(item T) int64 {
+	return wd.merged(len(wd.slots)).UpperBound(item)
+}
+
+// MaximumError returns the merged window's error band: the sum of the
+// covered intervals' bands (Theorem 5); zero while every interval stays
+// within its own budget.
+func (wd *Windowed[T]) MaximumError() int64 {
+	return wd.merged(len(wd.slots)).MaximumError()
+}
+
+// StreamWeight returns the total weight inside the window — weight
+// rotated out of scope no longer counts.
+func (wd *Windowed[T]) StreamWeight() int64 {
+	return wd.merged(len(wd.slots)).StreamWeight()
+}
+
+// NumActive returns the number of assigned counters in the merged
+// window view.
+func (wd *Windowed[T]) NumActive() int {
+	return wd.merged(len(wd.slots)).NumActive()
+}
+
+// All iterates every tracked row of the full-window merged view as
+// (item, row) pairs, in unspecified order. The window must not be
+// mutated while the iterator is live.
+func (wd *Windowed[T]) All() iter.Seq2[T, Row[T]] {
+	return wd.merged(len(wd.slots)).All()
+}
+
+// Query starts a composable query over the full window; use Last(w) to
+// scope it to a suffix.
+func (wd *Windowed[T]) Query() *Query[T] { return From[T](wd) }
+
+// FrequentItems returns items qualifying against the window's own error
+// band, ordered by descending estimate.
+func (wd *Windowed[T]) FrequentItems(et ErrorType) []Row[T] {
+	return wd.merged(len(wd.slots)).FrequentItems(et)
+}
+
+// FrequentItemsAboveThreshold returns items in the window qualifying
+// against a caller threshold under et, ordered by descending estimate
+// (ties by item).
+func (wd *Windowed[T]) FrequentItemsAboveThreshold(threshold int64, et ErrorType) []Row[T] {
+	return wd.merged(len(wd.slots)).FrequentItemsAboveThreshold(threshold, et)
+}
+
+// TopK returns up to k rows with the largest estimates over the full
+// window (ties by item).
+func (wd *Windowed[T]) TopK(k int) []Row[T] {
+	return wd.merged(len(wd.slots)).TopK(k)
+}
+
+func (wd *Windowed[T]) String() string {
+	return fmt.Sprintf("freq.Windowed(intervals=%d, k=%d, head=%d, rotations=%d): N=%d",
+		len(wd.slots), wd.k, wd.head, wd.rotations, wd.StreamWeight())
+}
+
+// Ring serialization: the whole window ships as one blob — a fixed
+// magic, the ring geometry, then every slot's ordinary self-delimiting
+// sketch encoding in slot order. Decoding is all-or-nothing and may
+// reshape the receiver (the ring geometry comes from the blob, exactly
+// as Sketch.UnmarshalBinary adopts the encoded configuration).
+
+// windowedMagic brands a serialized ring; the trailing digit is the
+// format version.
+const windowedMagic = "FWR1"
+
+// AppendBinary implements encoding.BinaryAppender: the ring's encoding
+// is appended to dst and the extended slice returned.
+func (wd *Windowed[T]) AppendBinary(dst []byte) ([]byte, error) {
+	dst = append(dst, windowedMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(wd.slots)))
+	dst = binary.AppendUvarint(dst, uint64(wd.head))
+	dst = binary.AppendUvarint(dst, uint64(wd.rotations))
+	var err error
+	for _, s := range wd.slots {
+		if dst, err = s.AppendBinary(dst); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler over the whole
+// ring.
+func (wd *Windowed[T]) MarshalBinary() ([]byte, error) {
+	return wd.AppendBinary(nil)
+}
+
+// WriteTo encodes the whole ring to w, implementing io.WriterTo.
+func (wd *Windowed[T]) WriteTo(w io.Writer) (int64, error) {
+	blob, err := wd.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(blob)
+	return int64(n), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's entire ring — geometry included — with the decoded one.
+// All-or-nothing: any rejected input leaves the previous state intact.
+// An installed SerDe is kept and used for the decode.
+func (wd *Windowed[T]) UnmarshalBinary(data []byte) error {
+	if len(data) < len(windowedMagic) || string(data[:len(windowedMagic)]) != windowedMagic {
+		return fmt.Errorf("%w: missing windowed ring magic", ErrCorrupt)
+	}
+	r := bytes.NewReader(data[len(windowedMagic):])
+	intervals, err := binary.ReadUvarint(r)
+	if err != nil || intervals < 1 {
+		return fmt.Errorf("%w: bad interval count", ErrCorrupt)
+	}
+	head, err := binary.ReadUvarint(r)
+	if err != nil || head >= intervals {
+		return fmt.Errorf("%w: head %d outside ring of %d", ErrCorrupt, head, intervals)
+	}
+	rotations, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("%w: bad rotation count", ErrCorrupt)
+	}
+	// Guard the slot allocation against a hostile count before any
+	// decode work: each slot must contribute at least one byte.
+	if intervals > uint64(r.Len())+1 {
+		return fmt.Errorf("%w: %d intervals in %d bytes", ErrCorrupt, intervals, r.Len())
+	}
+	slots := make([]*Sketch[T], intervals)
+	maxK := 1
+	for i := range slots {
+		s, err := New[T](1)
+		if err != nil {
+			return err
+		}
+		if wd.serde != nil {
+			s.SetSerDe(wd.serde)
+		}
+		if _, err := s.ReadFrom(r); err != nil {
+			return fmt.Errorf("%w: slot %d: %v", ErrCorrupt, i, err)
+		}
+		slots[i] = s
+		maxK = max(maxK, s.MaxCounters())
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	total := 0
+	for _, s := range slots {
+		total += s.MaxCounters()
+	}
+	view, err := New[T](total)
+	if err != nil {
+		return err
+	}
+	if wd.serde != nil {
+		view.SetSerDe(wd.serde)
+	}
+	wd.slots = slots
+	wd.head = int(head)
+	wd.k = maxK
+	wd.rotations = int64(rotations)
+	wd.view = view
+	wd.viewOK = false
+	wd.epoch++
+	return nil
+}
+
+// ConcurrentWindowed is the goroutine-safe sliding-window summary: a
+// Windowed ring behind one mutex, safe for any number of writers,
+// readers, and one rotation driver (StartRotating attaches a wall-clock
+// ticker; Rotate remains available for manual or test-driven
+// boundaries). Row reads (TopK, FrequentItems*, the Last variants)
+// compute their result under the lock and return it, so the slices are
+// safe to keep; All holds the lock for the whole iteration — do not
+// write to the window from inside the loop.
+type ConcurrentWindowed[T comparable] struct {
+	mu sync.Mutex
+	wd *Windowed[T]
+}
+
+// NewConcurrentWindowed returns a goroutine-safe sliding window of
+// `intervals` slots with per-interval budget k; see NewWindowed.
+func NewConcurrentWindowed[T comparable](k, intervals int, opts ...Option) (*ConcurrentWindowed[T], error) {
+	wd, err := NewWindowed[T](k, intervals, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentWindowed[T]{wd: wd}, nil
+}
+
+// Intervals returns the ring size N.
+func (c *ConcurrentWindowed[T]) Intervals() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.Intervals()
+}
+
+// Rotations returns how many times the window has advanced.
+func (c *ConcurrentWindowed[T]) Rotations() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.Rotations()
+}
+
+// Rotate advances the window one interval; safe for concurrent use.
+func (c *ConcurrentWindowed[T]) Rotate() {
+	c.mu.Lock()
+	c.wd.Rotate()
+	c.mu.Unlock()
+}
+
+// Reset empties every interval and rewinds the rotation count; safe for
+// concurrent use.
+func (c *ConcurrentWindowed[T]) Reset() {
+	c.mu.Lock()
+	c.wd.Reset()
+	c.mu.Unlock()
+}
+
+// StartRotating attaches a wall-clock rotation driver: a background
+// ticker calls Rotate every interval until the returned stop function
+// is called (idempotent). With it, a 60-interval window rotated every
+// second is a rolling top-k over the last minute:
+//
+//	cw, _ := freq.NewConcurrentWindowed[uint64](4096, 60)
+//	stop := cw.StartRotating(time.Second)
+//	defer stop()
+func (c *ConcurrentWindowed[T]) StartRotating(interval time.Duration) (stop func()) {
+	t := time.NewTicker(interval)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-t.C:
+				c.Rotate()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.Stop()
+			close(done)
+		})
+	}
+}
+
+// Update adds weight to item's frequency in the current interval; safe
+// for concurrent use.
+func (c *ConcurrentWindowed[T]) Update(item T, weight int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.Update(item, weight)
+}
+
+// UpdateOne adds a unit-weight occurrence of item to the current
+// interval; safe for concurrent use.
+func (c *ConcurrentWindowed[T]) UpdateOne(item T) {
+	c.mu.Lock()
+	c.wd.UpdateOne(item)
+	c.mu.Unlock()
+}
+
+// UpdateBatch adds a unit-weight occurrence of every item to the
+// current interval under one lock acquisition.
+func (c *ConcurrentWindowed[T]) UpdateBatch(items []T) {
+	c.mu.Lock()
+	c.wd.UpdateBatch(items)
+	c.mu.Unlock()
+}
+
+// UpdateWeightedBatch adds weights[i] to items[i]'s frequency in the
+// current interval under one lock acquisition, with the facade's
+// all-or-nothing validation.
+func (c *ConcurrentWindowed[T]) UpdateWeightedBatch(items []T, weights []int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.UpdateWeightedBatch(items, weights)
+}
+
+// Estimate returns the point estimate for item over the full window.
+func (c *ConcurrentWindowed[T]) Estimate(item T) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.Estimate(item)
+}
+
+// EstimateLast returns the point estimate and certain bounds for item
+// over the last w intervals, read under one lock hold so the three
+// values describe the same window state.
+func (c *ConcurrentWindowed[T]) EstimateLast(w int, item T) (est, lb, ub int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.wd.merged(w)
+	return v.Estimate(item), v.LowerBound(item), v.UpperBound(item)
+}
+
+// LowerBound returns a value certainly <= item's frequency within the
+// window.
+func (c *ConcurrentWindowed[T]) LowerBound(item T) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.LowerBound(item)
+}
+
+// UpperBound returns a value certainly >= item's frequency within the
+// window.
+func (c *ConcurrentWindowed[T]) UpperBound(item T) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.UpperBound(item)
+}
+
+// MaximumError returns the merged window's error band.
+func (c *ConcurrentWindowed[T]) MaximumError() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.MaximumError()
+}
+
+// StreamWeight returns the total weight inside the window.
+func (c *ConcurrentWindowed[T]) StreamWeight() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.StreamWeight()
+}
+
+// ViewMerges returns the cumulative per-interval merge count of the
+// epoch-cached view (diagnostics).
+func (c *ConcurrentWindowed[T]) ViewMerges() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.ViewMerges()
+}
+
+// All iterates every tracked row of the full-window view. The window's
+// lock is held for the whole iteration: other goroutines' writes wait,
+// and writing to the window from inside the loop deadlocks.
+func (c *ConcurrentWindowed[T]) All() iter.Seq2[T, Row[T]] {
+	return func(yield func(T, Row[T]) bool) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for item, r := range c.wd.All() {
+			if !yield(item, r) {
+				return
+			}
+		}
+	}
+}
+
+// Query starts a composable query over the full window.
+func (c *ConcurrentWindowed[T]) Query() *Query[T] { return From[T](c) }
+
+// FrequentItems returns items qualifying against the window's own error
+// band, ordered by descending estimate.
+func (c *ConcurrentWindowed[T]) FrequentItems(et ErrorType) []Row[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.FrequentItems(et)
+}
+
+// FrequentItemsAboveThreshold returns items in the window qualifying
+// against a caller threshold under et.
+func (c *ConcurrentWindowed[T]) FrequentItemsAboveThreshold(threshold int64, et ErrorType) []Row[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.FrequentItemsAboveThreshold(threshold, et)
+}
+
+// FrequentItemsAboveThresholdLast is FrequentItemsAboveThreshold scoped
+// to the last w intervals.
+func (c *ConcurrentWindowed[T]) FrequentItemsAboveThresholdLast(w int, threshold int64, et ErrorType) []Row[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.merged(w).FrequentItemsAboveThreshold(threshold, et)
+}
+
+// TopK returns up to k rows with the largest estimates over the full
+// window.
+func (c *ConcurrentWindowed[T]) TopK(k int) []Row[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.TopK(k)
+}
+
+// TopKLast returns up to k rows with the largest estimates over the
+// last w intervals.
+func (c *ConcurrentWindowed[T]) TopKLast(w, k int) []Row[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.merged(w).TopK(k)
+}
+
+// AppendBinaryLast appends the serialized merged view of the last w
+// intervals to dst — a plain single-sketch encoding, decodable with
+// Sketch.UnmarshalBinary (the wire server's window-scoped SNAP path).
+func (c *ConcurrentWindowed[T]) AppendBinaryLast(w int, dst []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.merged(w).AppendBinary(dst)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler over the whole
+// ring; decode with Windowed.UnmarshalBinary or
+// ConcurrentWindowed.UnmarshalBinary.
+func (c *ConcurrentWindowed[T]) MarshalBinary() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.MarshalBinary()
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// ring with the decoded one (all-or-nothing).
+func (c *ConcurrentWindowed[T]) UnmarshalBinary(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.UnmarshalBinary(data)
+}
+
+func (c *ConcurrentWindowed[T]) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("freq.ConcurrentWindowed(intervals=%d, k=%d, head=%d, rotations=%d): N=%d",
+		len(c.wd.slots), c.wd.k, c.wd.head, c.wd.rotations, c.wd.StreamWeight())
+}

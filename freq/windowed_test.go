@@ -1,0 +1,502 @@
+// Windowed ring tests: rotation/expiry semantics, the window-scoped ==
+// fresh-sketch property, alloc-free rotation, epoch-cached views, ring
+// serialization, and the concurrent wrapper (including the race test the
+// CI -race run exercises).
+package freq
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectRows returns every row of q ordered by descending estimate
+// (ties by item) — the deterministic full listing used for equality
+// checks.
+func collectRows[T comparable](q Queryable[T]) []Row[T] {
+	return From[T](q).Collect()
+}
+
+func TestWindowedConstruction(t *testing.T) {
+	if _, err := NewWindowed[int64](64, 0); !errors.Is(err, ErrBadIntervals) {
+		t.Fatalf("intervals=0: got %v, want ErrBadIntervals", err)
+	}
+	if _, err := NewWindowed[int64](64, -3); !errors.Is(err, ErrBadIntervals) {
+		t.Fatalf("intervals=-3: got %v, want ErrBadIntervals", err)
+	}
+	if _, err := NewWindowed[int64](0, 4); !errors.Is(err, ErrTooFewCounters) {
+		t.Fatalf("k=0: got %v, want ErrTooFewCounters", err)
+	}
+	wd, err := NewWindowed[int64](128, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.Intervals() != 6 || wd.IntervalCounters() != 128 || wd.Rotations() != 0 {
+		t.Fatalf("accessors: got (%d, %d, %d)", wd.Intervals(), wd.IntervalCounters(), wd.Rotations())
+	}
+}
+
+func TestWindowedPinnedSeedDistinctPerSlot(t *testing.T) {
+	wd, err := NewWindowed[int64](64, 8, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for i, s := range wd.slots {
+		seen[s.fast.Seed()]++
+		if s.fast.Seed() == 0 {
+			t.Fatalf("slot %d: zero derived seed", i)
+		}
+	}
+	if len(seen) != len(wd.slots) {
+		t.Fatalf("pinned seed shared between slots: %d distinct of %d", len(seen), len(wd.slots))
+	}
+	// Reproducibility: the same pinned seed derives the same slot seeds.
+	wd2, err := NewWindowed[int64](64, 8, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wd.slots {
+		if wd.slots[i].fast.Seed() != wd2.slots[i].fast.Seed() {
+			t.Fatalf("slot %d: pinned seeds not reproducible", i)
+		}
+	}
+}
+
+func TestWindowedExpiry(t *testing.T) {
+	const n = 4
+	wd, err := NewWindowed[int64](64, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Update(7, 100); err != nil {
+		t.Fatal(err)
+	}
+	// The item stays in scope for the n-1 rotations after its interval.
+	for r := 0; r < n-1; r++ {
+		wd.Rotate()
+		if got := wd.Estimate(7); got != 100 {
+			t.Fatalf("after %d rotations: estimate=%d, want 100", r+1, got)
+		}
+	}
+	// The n-th rotation recycles its slot: fully out of scope.
+	wd.Rotate()
+	if got := wd.Estimate(7); got != 0 {
+		t.Fatalf("after %d rotations: estimate=%d, want 0", n, got)
+	}
+	if got := wd.StreamWeight(); got != 0 {
+		t.Fatalf("expired weight still counted: N=%d", got)
+	}
+	if got := wd.Rotations(); got != n {
+		t.Fatalf("rotations=%d, want %d", got, n)
+	}
+}
+
+func TestWindowedWriteValidation(t *testing.T) {
+	wd, err := NewWindowed[int64](64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Update(1, -5); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("negative weight: got %v", err)
+	}
+	if err := wd.UpdateWeightedBatch([]int64{1, 2}, []int64{1}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("length mismatch: got %v", err)
+	}
+	if err := wd.UpdateWeightedBatch([]int64{1, 2}, []int64{1, -1}); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("negative batch weight: got %v", err)
+	}
+	if got := wd.StreamWeight(); got != 0 {
+		t.Fatalf("rejected updates leaked weight: N=%d", got)
+	}
+}
+
+// TestWindowedScopedEqualsFreshProperty is the acceptance property: a
+// window-scoped query over the last w intervals returns byte-identical
+// rows to a fresh sketch fed exactly those intervals' updates. The
+// streams keep every interval within its budget, so neither side ever
+// decrements and the comparison is exact (estimates, bounds, and
+// ordering all included).
+func TestWindowedScopedEqualsFreshProperty(t *testing.T) {
+	const (
+		k         = 256
+		intervals = 4
+		rounds    = 11 // ~3 full wraps of the ring
+	)
+	rng := rand.New(rand.NewSource(0x57a7))
+	wd, err := NewWindowed[int64](k, intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// history[r] holds interval r's stream (items and weights).
+	type stream struct {
+		items   []int64
+		weights []int64
+	}
+	var history []stream
+
+	check := func() {
+		live := len(history) // intervals seen so far, newest last
+		for w := 1; w <= intervals; w++ {
+			fresh, err := New[int64](k * intervals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := max(0, live-w); i < live; i++ {
+				if err := fresh.UpdateWeightedBatch(history[i].items, history[i].weights); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := collectRows[int64](wd.Last(w))
+			want := collectRows[int64](fresh)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d width %d: scoped rows diverge from fresh sketch\n got %v\nwant %v",
+					live, w, got, want)
+			}
+		}
+		// The Queryable surface of the ring itself answers as the
+		// full-width view.
+		if got, want := collectRows[int64](wd), collectRows[int64](wd.Last(intervals)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("full-window rows != Last(%d) rows", intervals)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		if r > 0 {
+			wd.Rotate()
+			if len(history) == intervals {
+				history = history[1:] // the oldest interval left the window
+			}
+		}
+		// One interval's traffic: ~40 distinct items, some repeating, in
+		// randomized order — well inside the per-interval budget.
+		var st stream
+		for j := 0; j < 60; j++ {
+			item := int64(r*1000 + rng.Intn(40))
+			st.items = append(st.items, item)
+			st.weights = append(st.weights, int64(rng.Intn(500)+1))
+		}
+		if err := wd.UpdateWeightedBatch(st.items, st.weights); err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, st)
+		check()
+	}
+}
+
+// TestWindowedTopKMatchesFresh pins the acceptance criterion's exact
+// shape: a window-scoped TopK over the last N intervals is
+// byte-identical to a fresh sketch fed the same intervals' stream.
+func TestWindowedTopKMatchesFresh(t *testing.T) {
+	const k, intervals = 128, 3
+	wd, _ := NewWindowed[uint64](k, intervals)
+	fresh, _ := New[uint64](k * intervals)
+	// Interval 0 ages out; intervals 1..3 stay in scope.
+	stale := []uint64{9, 9, 9, 8}
+	wd.UpdateBatch(stale)
+	for iv := 1; iv <= intervals; iv++ {
+		wd.Rotate()
+		var items []uint64
+		var weights []int64
+		for j := 0; j < 30; j++ {
+			items = append(items, uint64(iv*100+j%17))
+			weights = append(weights, int64(iv*j+1))
+		}
+		if err := wd.UpdateWeightedBatch(items, weights); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.UpdateWeightedBatch(items, weights); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := wd.Last(intervals).TopK(25)
+	want := fresh.TopK(25)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("windowed TopK diverges from fresh sketch\n got %v\nwant %v", got, want)
+	}
+	if wd.Estimate(9) != 0 {
+		t.Fatal("expired interval leaked into the window")
+	}
+}
+
+func TestWindowedRotateNoAllocsAfterWarmup(t *testing.T) {
+	const k, intervals = 512, 8
+	wd, err := NewWindowed[uint64](k, intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the ring: every slot sees traffic (growing its table), the
+	// window wraps fully, and a query builds the merged view once.
+	items := make([]uint64, 256)
+	for i := range items {
+		items[i] = uint64(i * 31)
+	}
+	for r := 0; r < 2*intervals; r++ {
+		wd.UpdateBatch(items)
+		wd.Rotate()
+	}
+	_ = wd.TopK(4)
+	if allocs := testing.AllocsPerRun(100, wd.Rotate); allocs != 0 {
+		t.Fatalf("Rotate allocates after warm-up: %v allocs/op", allocs)
+	}
+}
+
+func TestWindowedViewCache(t *testing.T) {
+	wd, err := NewWindowed[int64](64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.UpdateOne(1)
+	_ = wd.TopK(2)
+	base := wd.ViewMerges()
+	_ = wd.TopK(2)
+	_ = wd.Estimate(1)
+	_ = collectRows[int64](wd)
+	if got := wd.ViewMerges(); got != base {
+		t.Fatalf("repeated full-window reads re-merged: %d -> %d", base, got)
+	}
+	wd.UpdateOne(2)
+	_ = wd.TopK(2)
+	if got := wd.ViewMerges(); got == base {
+		t.Fatal("write did not invalidate the cached view")
+	}
+	base = wd.ViewMerges()
+	wd.Rotate()
+	_ = wd.TopK(2)
+	if got := wd.ViewMerges(); got == base {
+		t.Fatal("rotation did not invalidate the cached view")
+	}
+	// Width-scoped reads share the cache per width.
+	_ = wd.Last(2).TopK(2)
+	base = wd.ViewMerges()
+	_ = wd.Last(2).TopK(2)
+	if got := wd.ViewMerges(); got != base {
+		t.Fatalf("repeated Last(2) reads re-merged: %d -> %d", base, got)
+	}
+}
+
+func TestWindowedSerializeRoundTrip(t *testing.T) {
+	wd, err := NewWindowed[int64](64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ {
+		for j := int64(0); j < 20; j++ {
+			if err := wd.Update(int64(r)*100+j, j+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r < 4 {
+			wd.Rotate()
+		}
+	}
+	blob, err := wd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode into a differently-shaped receiver: geometry comes from the
+	// blob.
+	got, err := NewWindowed[int64](6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Intervals() != wd.Intervals() || got.Rotations() != wd.Rotations() {
+		t.Fatalf("geometry: got (%d, %d), want (%d, %d)",
+			got.Intervals(), got.Rotations(), wd.Intervals(), wd.Rotations())
+	}
+	for w := 1; w <= wd.Intervals(); w++ {
+		a, b := collectRows[int64](got.Last(w)), collectRows[int64](wd.Last(w))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("width %d rows diverge after round trip", w)
+		}
+	}
+	// The decoded ring keeps rotating and ingesting.
+	got.Rotate()
+	wd.Rotate()
+	got.UpdateOne(424242)
+	wd.UpdateOne(424242)
+	if !reflect.DeepEqual(collectRows[int64](got), collectRows[int64](wd)) {
+		t.Fatal("rings diverge after post-decode writes")
+	}
+}
+
+func TestWindowedUnmarshalRejectsCorrupt(t *testing.T) {
+	wd, _ := NewWindowed[int64](64, 2)
+	wd.UpdateOne(1)
+	before := collectRows[int64](wd)
+	blob, err := wd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": append([]byte("XXXX"), blob[4:]...),
+		"truncated": blob[:len(blob)-3],
+		"trailing":  append(append([]byte{}, blob...), 0xFF),
+	}
+	for name, data := range cases {
+		if err := wd.UnmarshalBinary(data); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: got %v, want ErrCorrupt", name, err)
+		}
+		if got := collectRows[int64](wd); !reflect.DeepEqual(got, before) {
+			t.Fatalf("%s: rejected decode mutated the receiver", name)
+		}
+	}
+}
+
+// TestWindowedGenericBackend exercises the map-backed fallback: the ring
+// works for any comparable item type, with the same expiry semantics.
+func TestWindowedGenericBackend(t *testing.T) {
+	wd, err := NewWindowed[string](64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Update("alpha", 10); err != nil {
+		t.Fatal(err)
+	}
+	wd.Rotate()
+	if err := wd.Update("beta", 5); err != nil {
+		t.Fatal(err)
+	}
+	if wd.Estimate("alpha") != 10 || wd.Estimate("beta") != 5 {
+		t.Fatal("window estimates wrong on generic backend")
+	}
+	rows := wd.TopK(2)
+	if len(rows) != 2 || rows[0].Item != "alpha" {
+		t.Fatalf("TopK: %v", rows)
+	}
+	wd.Rotate()
+	if wd.Estimate("alpha") != 0 {
+		t.Fatal("expired item survived rotation on generic backend")
+	}
+	if wd.Estimate("beta") != 5 {
+		t.Fatal("in-scope item lost on generic backend")
+	}
+}
+
+func TestConcurrentWindowedBasics(t *testing.T) {
+	cw, err := NewConcurrentWindowed[int64](128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Update(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	cw.UpdateOne(1)
+	if err := cw.UpdateWeightedBatch([]int64{2, 3}, []int64{7, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cw.Estimate(1); got != 11 {
+		t.Fatalf("estimate=%d, want 11", got)
+	}
+	est, lb, ub := cw.EstimateLast(1, 2)
+	if est != 7 || lb != 7 || ub != 7 {
+		t.Fatalf("EstimateLast: (%d, %d, %d)", est, lb, ub)
+	}
+	if rows := cw.TopKLast(3, 2); len(rows) != 2 || rows[0].Item != 1 {
+		t.Fatalf("TopKLast: %v", rows)
+	}
+	cw.Rotate()
+	cw.Rotate()
+	cw.Rotate()
+	if got := cw.StreamWeight(); got != 0 {
+		t.Fatalf("expired weight still counted: N=%d", got)
+	}
+	if got := cw.Rotations(); got != 3 {
+		t.Fatalf("rotations=%d", got)
+	}
+	blob, err := cw.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWindowedRace is the rotation-under-load race test:
+// writers, batch writers, point and row readers, and a rotation driver
+// all hammering one window. Run with -race (CI does for ./freq/...).
+func TestConcurrentWindowedRace(t *testing.T) {
+	cw, err := NewConcurrentWindowed[uint64](256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(150 * time.Millisecond)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := make([]uint64, 64)
+			for i := 0; time.Now().Before(stopAt); i++ {
+				if i%2 == 0 {
+					_ = cw.Update(uint64(g*1000+i%50), int64(i%7+1))
+				} else {
+					for j := range batch {
+						batch[j] = uint64(g*1000 + (i+j)%50)
+					}
+					cw.UpdateBatch(batch)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(stopAt) {
+			cw.Rotate()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stopAt); i++ {
+				switch i % 4 {
+				case 0:
+					_ = cw.Estimate(uint64(i % 100))
+				case 1:
+					_ = cw.TopKLast(1+i%4, 5)
+				case 2:
+					_ = cw.FrequentItemsAboveThresholdLast(1+i%4, 10, NoFalseNegatives)
+				case 3:
+					n := 0
+					for range cw.All() {
+						n++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentWindowedTicker(t *testing.T) {
+	cw, err := NewConcurrentWindowed[int64](64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := cw.StartRotating(2 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for cw.Rotations() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never rotated the window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	after := cw.Rotations()
+	time.Sleep(10 * time.Millisecond)
+	if got := cw.Rotations(); got != after {
+		t.Fatalf("window kept rotating after stop: %d -> %d", after, got)
+	}
+}

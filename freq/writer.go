@@ -1,6 +1,8 @@
 package freq
 
 import (
+	"errors"
+	"fmt"
 	"hash/maphash"
 	"unsafe"
 
@@ -151,16 +153,24 @@ func (w *Writer[T]) AddOne(item T) error { return w.Add(item, 1) }
 // Flush applies every buffered pair to the sketch, one lock acquisition
 // per shard with pending updates, and empties the buffer. Buffers are
 // retained, so a steady-state writer allocates nothing.
+//
+// Flush attempts every shard even when one fails: a shard's error never
+// leaves later shards silently buffered. The returned error joins every
+// failed shard's error (errors.Join — match individual causes with
+// errors.Is/As), and exactly the failed shards keep their buffers
+// intact, so a caller may repair the cause and Flush again to retry
+// only what was not applied; Buffered reports what is still pending.
 func (w *Writer[T]) Flush() error {
 	if w.buffered == 0 {
 		return nil
 	}
+	var errs []error
 	for j := range w.shards {
 		if err := w.flushShard(j); err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("freq: flush shard %d: %w", j, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // flushShard applies one shard's pending pairs under a single lock

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hashmap"
 	"repro/internal/qselect"
+	"repro/internal/xrand"
 )
 
 // UpdateOne processes a unit-weight update, as in the classic unweighted
@@ -196,6 +197,31 @@ func (s *Sketch) Reset() {
 	s.streamN = 0
 	s.decrements = 0
 }
+
+// Clear empties the sketch in place: every counter is dropped, the
+// offset, stream weight, and decrement diagnostics return to zero, and
+// the sampling PRNG rewinds to its construction state — but the table
+// allocation, including any growth it accumulated, is retained. Unlike
+// Reset, Clear never allocates; it is the slot-recycling primitive
+// behind ring rotation (a retired interval's sketch becomes the next
+// head without a new table) and alloc-free shard resets. The only
+// observable difference from a fresh sketch is the growth schedule: a
+// cleared sketch skips the rehashes a fresh one would pay on its way
+// back up to the retained size, which never changes counter values.
+func (s *Sketch) Clear() {
+	s.hm.Reset(s.seed)
+	s.offset = 0
+	s.streamN = 0
+	s.decrements = 0
+	s.rng = xrand.NewSplitMix64(s.seed ^ 0xa0761d6478bd642f)
+}
+
+// Seed returns the sketch's effective hash seed: the pinned
+// Options.Seed, or the per-sketch random draw when none was pinned.
+// Two sketches with distinct seeds place items independently, the
+// property the §3.2 merge note and the Signed per-side decorrelation
+// rely on.
+func (s *Sketch) Seed() uint64 { return s.seed }
 
 // SizeBytes returns the current in-memory footprint of the counter arrays:
 // 18 bytes per slot (8 key + 8 value + 2 state), the §2.3.3 accounting that

@@ -594,13 +594,18 @@ func (sk *Sketch) EstimateBatch(items []int64, dst []int64) []int64 {
 	return dst
 }
 
-// Reset clears every shard.
+// Reset clears every shard in place through the slot-recycling Clear:
+// counters and accounting drop to zero while each shard's table
+// allocation (including growth) is retained, so a reset allocates
+// nothing and the next write burst skips the ramp-up rehashes. Memory
+// therefore stays at the high-water mark rather than shrinking to the
+// initial table.
 func (sk *Sketch) Reset() {
 	for i := range sk.shards {
 		sh := &sk.shards[i]
 		sh.mu.Lock()
 		sh.epoch.Add(1)
-		sh.s.Reset()
+		sh.s.Clear()
 		sh.mu.Unlock()
 	}
 }

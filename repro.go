@@ -20,6 +20,13 @@ type Signed[T comparable] = freq.Signed[T]
 // batched ingestion hot path.
 type Writer[T comparable] = freq.Writer[T]
 
+// Windowed is the sliding-window heavy-hitters summary: a rotating ring
+// of per-interval sketches.
+type Windowed[T comparable] = freq.Windowed[T]
+
+// ConcurrentWindowed is the goroutine-safe sliding-window summary.
+type ConcurrentWindowed[T comparable] = freq.ConcurrentWindowed[T]
+
 // Row is one frequent-item query result.
 type Row[T comparable] = freq.Row[T]
 
@@ -73,6 +80,7 @@ var (
 	ErrLengthMismatch  = freq.ErrLengthMismatch
 	ErrBadBatchSize    = freq.ErrBadBatchSize
 	ErrWriterClosed    = freq.ErrWriterClosed
+	ErrBadIntervals    = freq.ErrBadIntervals
 )
 
 // Construction options, re-exported.
@@ -105,6 +113,18 @@ func NewWriter[T comparable](c *Concurrent[T], opts ...Option) (*Writer[T], erro
 // NewSigned returns a turnstile-capable sketch pair; see freq.NewSigned.
 func NewSigned[T comparable](k int, opts ...Option) (*Signed[T], error) {
 	return freq.NewSigned[T](k, opts...)
+}
+
+// NewWindowed returns a sliding window of per-interval sketches; see
+// freq.NewWindowed.
+func NewWindowed[T comparable](k, intervals int, opts ...Option) (*Windowed[T], error) {
+	return freq.NewWindowed[T](k, intervals, opts...)
+}
+
+// NewConcurrentWindowed returns a goroutine-safe sliding window; see
+// freq.NewConcurrentWindowed.
+func NewConcurrentWindowed[T comparable](k, intervals int, opts ...Option) (*ConcurrentWindowed[T], error) {
+	return freq.NewConcurrentWindowed[T](k, intervals, opts...)
 }
 
 // From starts a composable query over any Queryable; see freq.From.
