@@ -1,6 +1,7 @@
 // Command benchfreq runs the repository's canonical performance kernels
 // — Update, UpdateBatch, Merge, Serialize/Deserialize, View, QueryTopK,
-// WindowedRotate, WindowedTopK, EstimateBatch — and emits the results
+// WindowedRotate, WindowedTopK, StoreAppend, StoreQueryRange,
+// EstimateBatch — and emits the results
 // as BENCH_core.json (the
 // machine-readable perf trajectory committed at the repo root) plus a
 // benchstat-compatible text file for regression comparisons in CI.
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"repro/freq"
+	"repro/freq/store"
 	"repro/internal/core"
 	"repro/internal/sharded"
 )
@@ -258,6 +260,87 @@ func kernels() []kernel {
 				b.StartTimer()
 				if rows := wd.TopK(64); len(rows) == 0 {
 					b.Fatal("no rows")
+				}
+			}
+		}},
+		{"StoreAppend", func(b *testing.B) {
+			// Steady-state durable-store append: one retired slot encoded
+			// (alloc-free AppendBinary), LZ-compressed into the store's
+			// reused buffer, and written into the open partition. The
+			// partition roll and manifest commit happen once, before the
+			// timer; the per-op path allocates nothing.
+			dir, err := os.MkdirTemp("", "benchfreq-store")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := store.Open[int64](dir, store.WithPartitionDuration(24*time.Hour))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			sk, err := freq.New[int64](512, freq.WithSeed(13))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := int64(0); i < 2000; i++ {
+				_ = sk.Update(synthItem(i, 256), i%100+1)
+			}
+			v := freq.NewView(sk)
+			base := time.Unix(1_700_000_000, 0)
+			if err := st.AppendSlot(v, base, base.Add(time.Millisecond)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := base.Add(time.Duration(i+1) * time.Millisecond)
+				if err := st.AppendSlot(v, start, start.Add(time.Millisecond)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"StoreQueryRange", func(b *testing.B) {
+			// Steady-state historical range query: 240 persisted slots
+			// across 4 partitions decode through pooled scratch sketches
+			// (DeserializeInto table recycling) on the worker pool and fold
+			// into a reused accumulator (QueryInto + Clear). After the
+			// first query warms the pools, an op allocates nothing.
+			dir, err := os.MkdirTemp("", "benchfreq-store")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := store.Open[int64](dir, store.WithPartitionDuration(time.Minute))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			sk, err := freq.New[int64](512, freq.WithSeed(14))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := int64(0); i < 2000; i++ {
+				_ = sk.Update(synthItem(i, 256), i%100+1)
+			}
+			v := freq.NewView(sk)
+			base := time.Unix(1_700_000_000, 0)
+			const slots = 240
+			for s := 0; s < slots; s++ {
+				start := base.Add(time.Duration(s) * time.Second)
+				if err := st.AppendSlot(v, start, start.Add(time.Second)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			from, to := base, base.Add(slots*time.Second)
+			acc, err := st.QueryInto(nil, from, to) // warm pools and accumulator
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc, err = st.QueryInto(acc, from, to)
+				if err != nil {
+					b.Fatal(err)
 				}
 			}
 		}},

@@ -9,10 +9,20 @@
 // intervals — "top talkers over the last minute" with -window 60
 // -rotate-every 1s.
 //
+// With -store-dir the window becomes durable: every retired interval is
+// appended to a time-partitioned on-disk store (see freq/store), the
+// RANGE command serves historical queries over it, and -retention /
+// -retention-bytes bound its footprint. On SIGINT/SIGTERM the daemon
+// flushes the live head interval to the store before exiting, so a
+// restart loses nothing but the partial interval in flight at the kill
+// — and not even that.
+//
 // Usage:
 //
 //	freqd -listen :7070 -k 24576 -shards 8
 //	freqd -listen :7070 -k 24576 -window 60 -rotate-every 1s
+//	freqd -listen :7070 -window 60 -rotate-every 1m \
+//	      -store-dir /var/lib/freqd -store-partition 1h -retention 720h
 //
 // Try it:
 //
@@ -29,6 +39,7 @@ import (
 	"time"
 
 	"repro/freq/server"
+	"repro/freq/store"
 )
 
 func main() {
@@ -38,6 +49,13 @@ func main() {
 		shards      = flag.Int("shards", 8, "shard count for concurrent ingest")
 		window      = flag.Int("window", 0, "sliding-window interval count (0 = all-time summary only)")
 		rotateEvery = flag.Duration("rotate-every", time.Second, "wall-clock width of one window interval (with -window)")
+
+		storeDir    = flag.String("store-dir", "", "directory for the durable slot store (empty = no durability)")
+		storePart   = flag.Duration("store-partition", time.Hour, "wall-clock width of one store partition file")
+		storeCodec  = flag.String("store-codec", "lz", "store block compression: lz or none")
+		storeSync   = flag.Bool("store-sync", false, "fsync each appended slot before acknowledging the rotation")
+		retention   = flag.Duration("retention", 0, "drop stored history older than this (0 = keep forever)")
+		retainBytes = flag.Int64("retention-bytes", 0, "drop oldest stored history beyond this many bytes (0 = no budget)")
 	)
 	flag.Parse()
 	if *window < 0 {
@@ -46,8 +64,35 @@ func main() {
 	if *window > 0 && *rotateEvery <= 0 {
 		fatal(fmt.Errorf("-rotate-every must be positive, got %s", rotateEvery))
 	}
+	if *storeDir != "" && *window == 0 {
+		fatal(fmt.Errorf("-store-dir requires -window: the store persists rotated window intervals"))
+	}
 
-	srv, err := server.New(server.Config{MaxCounters: *k, Shards: *shards, WindowIntervals: *window})
+	// Open the durable store first: it backs both the window's rotation
+	// sink and the server's RANGE commands.
+	var st *store.Store[int64]
+	if *storeDir != "" {
+		codec, err := store.CodecByName(*storeCodec)
+		if err != nil {
+			fatal(err)
+		}
+		st, err = store.Open[int64](*storeDir,
+			store.WithPartitionDuration(*storePart),
+			store.WithCodec(codec),
+			store.WithRetentionAge(*retention),
+			store.WithRetentionBytes(*retainBytes),
+			store.WithSync(*storeSync),
+		)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := server.Config{MaxCounters: *k, Shards: *shards, WindowIntervals: *window}
+	if st != nil {
+		cfg.Store = st
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,12 +103,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "freqd: listening on %s (k=%d, shards=%d, %d KB summary budget)\n",
 		ln.Addr(), *k, *shards, 24**k/1024)
 
-	// The rotation loop is the daemon's window driver: one ticker, one
-	// Rotate per interval boundary, stopped with the listener. Manual
-	// ROTATE commands compose with it (both advance the same ring).
+	// The rotation loop is the daemon's window driver: one wall-clock-
+	// aligned timer, one Rotate per interval boundary, stopped with the
+	// listener. Manual ROTATE commands compose with it (both advance the
+	// same ring).
 	stopRotating := func() {}
 	if *window > 0 {
 		fmt.Fprintf(os.Stderr, "freqd: sliding window of %d x %s intervals\n", *window, rotateEvery)
+		if st != nil {
+			s := st.Stats()
+			fmt.Fprintf(os.Stderr, "freqd: durable store at %s (%d partitions, %d blocks, %d bytes)\n",
+				*storeDir, s.Partitions, s.Blocks, s.Bytes)
+			srv.Windowed().SetRotationSink(st, time.Now())
+		}
 		stopRotating = srv.Windowed().StartRotating(*rotateEvery)
 	}
 
@@ -80,6 +132,19 @@ func main() {
 		// Closed listeners surface wrapped errors; a clean shutdown ends here.
 		if ne, ok := err.(*net.OpError); !ok || ne.Err.Error() != "use of closed network connection" {
 			fatal(err)
+		}
+	}
+
+	// Graceful drain: every handler has returned (srv.Close waited), so
+	// the window holds its final state. Flush the live head interval into
+	// the store and close it — the restart picks up a complete history.
+	if st != nil {
+		srv.Windowed().RotateAt(time.Now())
+		if err := srv.Windowed().SinkErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "freqd: store append failed:", err)
+		}
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "freqd: store close failed:", err)
 		}
 	}
 	updates, queries := srv.Counters()

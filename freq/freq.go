@@ -323,6 +323,14 @@ func (s *Sketch[T]) Reset() {
 	s.slow.Reset()
 }
 
+// Clear empties the sketch in place without allocating: the fast path
+// recycles its table (growth it accumulated is retained) via core.Clear,
+// the generic path clears its map in place. Unlike Reset, a cleared
+// sketch keeps its full-size table, so refilling it to the same
+// occupancy — the store's pooled range-query accumulator, a recycled
+// window slot — allocates nothing.
+func (s *Sketch[T]) Clear() { s.clearInPlace() }
+
 // clearInPlace empties the sketch without allocating: the fast path
 // recycles its table via core.Clear, the generic path clears its map in
 // place. It is the slot-recycling step of Windowed rotation.

@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/freq"
 )
@@ -307,6 +308,56 @@ func (c *Client[T]) FrequentItemsAboveThresholdWindow(w int, threshold int64, et
 // like any other snapshot (Cluster.RefreshWindow fans this out).
 func (c *Client[T]) SnapshotWindow(w int) (*freq.Sketch[T], error) {
 	resp, err := c.roundTrip("WIN %d SNAP", w)
+	if err != nil {
+		return nil, err
+	}
+	return c.readSnapshot(resp)
+}
+
+// Range-scoped pass-throughs: each maps onto the RANGE command, scoping
+// the query to the merged summary of every window slot the server's
+// durable store persisted over [from, to). Bounds travel as unix
+// seconds. They error when the server runs without a store.
+
+// QueryRange returns (estimate, lowerBound, upperBound) for item over
+// the stored history covering [from, to).
+func (c *Client[T]) QueryRange(from, to time.Time, item T) (est, lb, ub int64, err error) {
+	resp, err := c.roundTrip("RANGE %d %d EST %d", from.Unix(), to.Unix(), int64(item))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := fmt.Sscanf(resp, "EST %d %d %d", &est, &lb, &ub); err != nil {
+		return 0, 0, 0, fmt.Errorf("server: bad response %q", resp)
+	}
+	return est, lb, ub, nil
+}
+
+// TopKRange returns the n largest items over the stored history
+// covering [from, to).
+func (c *Client[T]) TopKRange(from, to time.Time, n int) ([]freq.Row[T], error) {
+	resp, err := c.roundTrip("RANGE %d %d TOPK %d", from.Unix(), to.Unix(), n)
+	if err != nil {
+		return nil, err
+	}
+	return c.readMulti(resp)
+}
+
+// FrequentItemsAboveThresholdRange returns items qualifying against an
+// absolute threshold under et over the stored history covering
+// [from, to).
+func (c *Client[T]) FrequentItemsAboveThresholdRange(from, to time.Time, threshold int64, et freq.ErrorType) ([]freq.Row[T], error) {
+	resp, err := c.roundTrip("RANGE %d %d FI %d %d", from.Unix(), to.Unix(), int(et), threshold)
+	if err != nil {
+		return nil, err
+	}
+	return c.readMulti(resp)
+}
+
+// SnapshotRange fetches the serialized merged summary of the stored
+// history covering [from, to) — the standard single-sketch wire format,
+// decoded like any other snapshot.
+func (c *Client[T]) SnapshotRange(from, to time.Time) (*freq.Sketch[T], error) {
+	resp, err := c.roundTrip("RANGE %d %d SNAP", from.Unix(), to.Unix())
 	if err != nil {
 		return nil, err
 	}

@@ -39,6 +39,7 @@
 //	SNAP                  serialized summary          -> "SNAP <bytes>" then <bytes> of sketch wire format
 //	SNAPSHOT              alias of SNAP               -> "SNAP <bytes>" then blob
 //	WIN <w> <cmd> ...     window-scoped query         -> the scoped command's ordinary reply
+//	RANGE <f> <t> <cmd> .. historical range query      -> the scoped command's ordinary reply
 //	ROTATE                advance the window          -> "OK <rotations>"
 //	RESET                 clear the summary           -> "OK"
 //	QUIT                  close the connection        -> "BYE"
@@ -104,6 +105,31 @@
 // with a wall-clock ticker (-rotate-every); ROTATE composes with it for
 // tests and manual interval boundaries. On a server with no window
 // configured, WIN and ROTATE reply ERR.
+//
+// # Historical ranges
+//
+// A server wired to a durable store (Config.Store, freqd's -store-dir
+// flag) also answers over intervals that have already left the window:
+// every rotation hands the retired interval to the store, and RANGE
+// merges the persisted slots overlapping [<from>, <to>) back into one
+// summary, scoping the same read commands WIN scopes:
+//
+//	RANGE <from> <to> EST <item>            historical point query  -> "EST <estimate> <lower> <upper>"
+//	RANGE <from> <to> TOPK <k>              historical top k        -> MULTI block
+//	RANGE <from> <to> FI <et> <threshold>   historical threshold    -> MULTI block
+//	RANGE <from> <to> SNAP                  historical snapshot     -> "SNAP <bytes>" then blob
+//
+// <from> and <to> are each either decimal unix seconds or an RFC 3339
+// timestamp ("2026-01-02T15:04:05Z"); <to> must be strictly after
+// <from>. The range is half-open and selects whole persisted slots by
+// overlap, so answers are exact at slot boundaries and conservative
+// (slot-granular) inside them. Q, TOP, and SNAPSHOT alias inside RANGE
+// exactly as they do at top level, and RANGE SNAP's blob is the
+// ordinary single-sketch wire format. The merged accumulator is
+// recycled per connection, so a polling loop over a stable range
+// allocates nothing after the first reply. The live head interval is
+// not visible to RANGE until it rotates. On a server with no store
+// configured, RANGE replies ERR.
 //
 // # Update visibility
 //

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/freq"
 )
@@ -27,6 +28,18 @@ type Config struct {
 	// last w intervals, and ROTATE (or Server.Rotate, driven by freqd's
 	// ticker) advances the window. Zero disables windowing.
 	WindowIntervals int
+	// Store, when set, backs the RANGE command family with a durable
+	// history of retired window slots (typically a *store.Store[int64]
+	// installed as the window's rotation sink). Nil disables RANGE.
+	Store RangeStore
+}
+
+// RangeStore is the historical query surface the RANGE commands serve
+// from: merge every persisted slot overlapping [from, to) into dst
+// (cleared and reused when large enough, else replaced) and return the
+// accumulator. *store.Store[int64] satisfies it.
+type RangeStore interface {
+	QueryInto(dst *freq.Sketch[int64], from, to time.Time) (*freq.Sketch[int64], error)
 }
 
 // Server owns the live summary and serves the line protocol.
@@ -35,6 +48,8 @@ type Server struct {
 	// win is the optional sliding-window twin of the summary; nil when
 	// Config.WindowIntervals is zero.
 	win *freq.ConcurrentWindowed[int64]
+	// store is the optional durable history behind RANGE; nil disables it.
+	store RangeStore
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -60,6 +75,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	srv := &Server{
 		sketch: sk,
+		store:  cfg.Store,
 		conns:  map[net.Conn]struct{}{},
 	}
 	if cfg.WindowIntervals > 0 {
@@ -82,6 +98,10 @@ func (s *Server) Windowed() *freq.ConcurrentWindowed[int64] { return s.win }
 // ErrNoWindow rejects window-scoped operations on a server configured
 // without a sliding window.
 var ErrNoWindow = errors.New("server: no window configured (set Config.WindowIntervals)")
+
+// ErrNoStore rejects RANGE commands on a server configured without a
+// durable store.
+var ErrNoStore = errors.New("server: no store configured (set Config.Store)")
 
 // Rotate advances the sliding window one interval — the hook a
 // rotation driver (freqd's wall-clock ticker, a test, an operator via
@@ -197,6 +217,10 @@ type conn struct {
 	// AppendBinary kernel, so a poll loop of SNAP commands allocates
 	// nothing after the first.
 	snapBuf []byte
+	// rangeSk is the connection's reusable RANGE accumulator: the store
+	// clears and refills it in place (QueryInto), so a poll loop over a
+	// stable range allocates nothing after the first query.
+	rangeSk *freq.Sketch[int64]
 }
 
 // addWindowed buffers one windowed update, flushing at the writer's
@@ -440,6 +464,8 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		}
 	case "WIN":
 		return c.dispatchWindow(args)
+	case "RANGE":
+		return c.dispatchRange(args)
 	case "ROTATE":
 		if s.win == nil {
 			return false, ErrNoWindow
@@ -547,6 +573,108 @@ func (c *conn) dispatchWindow(args []string) (quit bool, err error) {
 		return false, fmt.Errorf("unknown window command %q", sub)
 	}
 	return false, nil
+}
+
+// dispatchRange executes one RANGE-scoped query: the read commands
+// (EST/Q, TOPK/TOP, FI, SNAP/SNAPSHOT) against the merged summary of
+// every persisted window slot overlapping [from, to), with replies
+// shaped exactly like their all-time and WIN counterparts. The merge
+// reuses the connection's accumulator, so polling a stable range costs
+// no allocation.
+func (c *conn) dispatchRange(args []string) (quit bool, err error) {
+	s := c.srv
+	w := c.w
+	if s.store == nil {
+		return false, ErrNoStore
+	}
+	if len(args) < 3 {
+		return false, errors.New("usage: RANGE <from> <to> <EST|TOPK|FI|SNAP> ...")
+	}
+	from, err := parseTime(args[0])
+	if err != nil {
+		return false, fmt.Errorf("bad from: %w", err)
+	}
+	to, err := parseTime(args[1])
+	if err != nil {
+		return false, fmt.Errorf("bad to: %w", err)
+	}
+	if !to.After(from) {
+		return false, errors.New("empty range: to must be after from")
+	}
+	sk, err := s.store.QueryInto(c.rangeSk, from, to)
+	if sk != nil {
+		c.rangeSk = sk
+	}
+	if err != nil {
+		return false, err
+	}
+	v := freq.NewView(sk)
+	sub := strings.ToUpper(args[2])
+	rest := args[3:]
+	switch sub {
+	case "Q", "EST":
+		if len(rest) != 1 {
+			return false, fmt.Errorf("usage: RANGE <from> <to> %s <item>", sub)
+		}
+		item, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return false, errors.New("bad integer")
+		}
+		s.statsMu.Lock()
+		s.queries++
+		s.statsMu.Unlock()
+		fmt.Fprintf(w, "EST %d %d %d\n", v.Estimate(item), v.LowerBound(item), v.UpperBound(item))
+	case "TOP", "TOPK":
+		if len(rest) != 1 {
+			return false, fmt.Errorf("usage: RANGE <from> <to> %s <n>", sub)
+		}
+		n, err := strconv.Atoi(rest[0])
+		if err != nil || n < 1 {
+			return false, errors.New("bad count")
+		}
+		writeRows(w, v.TopK(n))
+	case "FI":
+		if len(rest) != 2 {
+			return false, errors.New("usage: RANGE <from> <to> FI <et> <threshold>")
+		}
+		et, err := parseErrorType(rest[0])
+		if err != nil {
+			return false, err
+		}
+		threshold, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return false, errors.New("bad threshold")
+		}
+		writeRows(w, v.FrequentItemsAboveThreshold(threshold, et))
+	case "SNAPSHOT", "SNAP":
+		// A range snapshot is the merged historical summary in the
+		// ordinary single-sketch wire format — the same blob shape as
+		// SNAP and WIN SNAP, so the client decode path is shared.
+		c.snapBuf, err = v.AppendBinary(c.snapBuf[:0])
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "SNAP %d\n", len(c.snapBuf))
+		if _, err := w.Write(c.snapBuf); err != nil {
+			return false, err
+		}
+	default:
+		return false, fmt.Errorf("unknown range command %q", sub)
+	}
+	return false, nil
+}
+
+// parseTime reads a RANGE bound: integer unix seconds or an RFC 3339
+// timestamp ("2026-08-08T12:00:00Z").
+func parseTime(s string) (time.Time, error) {
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(secs, 0), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, errors.New("want unix seconds or RFC3339")
+	}
+	return t, nil
 }
 
 // parseErrorType reads the FI semantics field: the numeric freq values

@@ -1,0 +1,159 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// lzRoundTrip encodes src with a fresh LZ codec and decodes it back.
+func lzRoundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	c := NewLZ()
+	enc := c.Encode(nil, src)
+	dec, err := c.Decode(nil, enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(dec))
+	}
+}
+
+func TestLZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abcabcabcabcabcabc"),
+		bytes.Repeat([]byte{0}, 10_000),
+		bytes.Repeat([]byte("0123456789abcdef"), 512),
+	}
+	// Sketch-like payload: little-endian counters with high zero bytes.
+	sketchy := make([]byte, 8*1024)
+	for i := 0; i < len(sketchy); i += 8 {
+		sketchy[i] = byte(rng.Intn(256))
+		sketchy[i+1] = byte(rng.Intn(4))
+	}
+	cases = append(cases, sketchy)
+	// Incompressible noise.
+	noise := make([]byte, 4096)
+	rng.Read(noise)
+	cases = append(cases, noise)
+	// Random run-structured data.
+	for trial := 0; trial < 50; trial++ {
+		var b []byte
+		for len(b) < 2000 {
+			if rng.Intn(2) == 0 {
+				b = append(b, bytes.Repeat([]byte{byte(rng.Intn(4))}, rng.Intn(200)+1)...)
+			} else {
+				chunk := make([]byte, rng.Intn(50)+1)
+				rng.Read(chunk)
+				b = append(b, chunk...)
+			}
+		}
+		cases = append(cases, b)
+	}
+	for i, src := range cases {
+		t.Logf("case %d: %d bytes", i, len(src))
+		lzRoundTrip(t, src)
+	}
+}
+
+// TestLZCompresses pins that the codec actually wins on the payloads it
+// exists for.
+func TestLZCompresses(t *testing.T) {
+	src := bytes.Repeat([]byte{1, 2, 3, 4, 0, 0, 0, 0}, 1024)
+	enc := NewLZ().Encode(nil, src)
+	if len(enc) >= len(src)/2 {
+		t.Fatalf("repetitive payload barely compressed: %d -> %d", len(src), len(enc))
+	}
+}
+
+// TestLZEncoderReuse checks that one encoder instance stays correct
+// across blocks of different sizes (stale hash-table entries from a
+// larger earlier block must be validated, not trusted).
+func TestLZEncoderReuse(t *testing.T) {
+	c := NewLZ()
+	rng := rand.New(rand.NewSource(2))
+	big := make([]byte, 64*1024)
+	rng.Read(big)
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(len(big)) + 1
+		src := big[:n]
+		enc := c.Encode(nil, src)
+		dec, err := c.Decode(nil, enc)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("trial %d: mismatch at size %d", trial, n)
+		}
+	}
+}
+
+// TestLZDecodeRejectsCorrupt feeds the decoder hostile token streams;
+// every one must error, never panic, never read out of bounds.
+func TestLZDecodeRejectsCorrupt(t *testing.T) {
+	var lz LZ
+	bad := [][]byte{
+		{0x05},                  // literal run of 6 with no bytes
+		{0x7f, 1, 2, 3},         // literal run of 128 overruns
+		{0x80},                  // match token with no offset
+		{0x80, 1},               // match token with half an offset
+		{0x80, 0, 0},            // offset 0
+		{0x80, 5, 0},            // offset 5 with nothing decoded
+		{0x00, 'x', 0x80, 2, 0}, // offset 2 with 1 byte decoded
+		{0x00, 'x', 0xff, 0, 1}, // offset 256 with 1 byte decoded
+	}
+	for i, src := range bad {
+		if _, err := lz.Decode(nil, src); err == nil {
+			t.Fatalf("case %d: corrupt stream decoded without error", i)
+		}
+	}
+	// A valid overlapping match (RLE case) must still work.
+	dec, err := lz.Decode(nil, []byte{0x00, 'x', 0x80 + (8 - lzMinMatch), 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dec) != "xxxxxxxxx" {
+		t.Fatalf("overlap copy: got %q", dec)
+	}
+}
+
+// TestLZDecodeAppends checks the appending contract: decoded output
+// lands after existing dst bytes and offsets are relative to this
+// stream only.
+func TestLZDecodeAppends(t *testing.T) {
+	var lz LZ
+	prefix := []byte("prefix")
+	// Stream: literal 'a', then a match reaching back 1 — legal within
+	// the stream. A match reaching back 2 would escape into prefix and
+	// must fail.
+	dec, err := lz.Decode(prefix, []byte{0x00, 'a', 0x80, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dec) != "prefixaaaaa" {
+		t.Fatalf("append decode: got %q", dec)
+	}
+	if _, err := lz.Decode([]byte("prefix"), []byte{0x00, 'a', 0x80, 2, 0}); err == nil {
+		t.Fatal("match escaping into pre-existing dst bytes must be rejected")
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	for name, wantID := range map[string]uint8{"none": 0, "raw": 0, "": 0, "lz": 1} {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if c.ID() != wantID {
+			t.Fatalf("%q: id %d, want %d", name, c.ID(), wantID)
+		}
+	}
+	if _, err := CodecByName("zstd"); err == nil {
+		t.Fatal("unknown codec name accepted")
+	}
+}

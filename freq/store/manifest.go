@@ -1,0 +1,121 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The manifest is the directory's membership record: which partition
+// files are live. It is authoritative for membership only — block-level
+// truth is always rebuilt by scanning the files themselves, so a crash
+// between an append and anything else loses nothing. The commit
+// protocol keeps every crash window safe:
+//
+//   - a new partition is added to the manifest BEFORE its file is
+//     created (a manifest entry with no file is tolerated at open);
+//   - compaction renames its output into place, then commits a manifest
+//     swapping inputs for output, then deletes the inputs (an output
+//     not yet in the manifest is janitored away, inputs still in the
+//     manifest still serve);
+//   - retention removes entries from the manifest first, then deletes
+//     the files.
+//
+// At open, files in the directory that the manifest does not reference
+// are leftovers of one of those windows and are removed (the janitor).
+// A missing manifest — first open, or a directory assembled by hand —
+// adopts every scannable partition file instead.
+
+const (
+	manifestName    = "MANIFEST.json"
+	manifestVersion = 1
+)
+
+// manifestFile is one partition's manifest entry. Bounds and sizes are
+// informational (rebuilt by scan); Name is the membership fact.
+type manifestFile struct {
+	Name   string `json:"name"`
+	From   int64  `json:"from_unix_nano"`
+	To     int64  `json:"to_unix_nano"`
+	Blocks int    `json:"blocks"`
+	Bytes  int64  `json:"bytes"`
+}
+
+type manifest struct {
+	Version int            `json:"version"`
+	Codec   string         `json:"codec"`
+	Files   []manifestFile `json:"files"`
+}
+
+// readManifest loads the directory's manifest; ok is false when none
+// exists (adopt-by-scan mode).
+func readManifest(dir string) (manifest, bool, error) {
+	var m manifest
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return m, false, nil
+	}
+	if err != nil {
+		return m, false, err
+	}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return m, false, fmt.Errorf("store: corrupt %s: %w", manifestName, err)
+	}
+	if m.Version != manifestVersion {
+		return m, false, fmt.Errorf("store: unsupported manifest version %d", m.Version)
+	}
+	return m, true, nil
+}
+
+// writeManifest commits the manifest atomically (tmp + rename) and, when
+// sync is set, forces it to stable storage.
+func writeManifest(dir string, m manifest, sync bool) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestName))
+}
+
+// janitor removes partition files and temporaries the manifest does not
+// reference — the leftovers of interrupted rolls, compactions, and
+// retention passes. It only ever runs when a manifest exists, so a
+// hand-assembled directory is never cleaned out from under the user.
+func janitor(dir string, live map[string]bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || live[name] || name == manifestName {
+			continue
+		}
+		if strings.HasSuffix(name, partSuffix) || strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

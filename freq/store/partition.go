@@ -1,0 +1,281 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// On-disk partition format. A partition file is a fixed header followed
+// by self-delimiting, CRC-guarded blocks appended over time; each block
+// is one retired window slot (or one compacted fold of many) in the
+// ordinary sketch wire format, run through a per-block codec.
+//
+//	header (40 bytes, little-endian):
+//	  0..4   magic "FPS1" (trailing digit = format version)
+//	  4      version (1)
+//	  5      store codec id at creation (informational; blocks carry their own)
+//	  6..8   reserved
+//	  8..12  k, the per-slot counter budget hint (uint32)
+//	  12..16 reserved
+//	  16..24 store seed (uint64; 0 = per-slot random seeds)
+//	  24..32 partition start, unix nanoseconds (int64)
+//	  32..40 partition span, nanoseconds (int64)
+//
+//	block (33-byte header + payload):
+//	  0..8   slot start, unix nanoseconds (int64)
+//	  8..16  slot end, unix nanoseconds (int64, > start)
+//	  16..20 slot counter budget k (uint32)
+//	  20..24 raw (decoded) payload length (uint32)
+//	  24..28 encoded payload length (uint32)
+//	  28..32 CRC-32C (Castagnoli) of the encoded payload
+//	  32     codec id of this block
+//
+// Blocks carry no count in the header, so appends never rewrite earlier
+// bytes: recovery walks blocks until the file ends, and a torn tail
+// (crash mid-append) fails its length or CRC check and is truncated
+// away — everything before it stays readable.
+
+const (
+	partMagic   = "FPS1"
+	partVersion = 1
+
+	partHeaderLen  = 40
+	blockHeaderLen = 33
+
+	// maxBlockLen bounds both payload lengths a block header may claim,
+	// so a corrupt header cannot force an absurd allocation.
+	maxBlockLen = 1 << 30
+
+	partSuffix = ".fps"
+)
+
+// castagnoli is the CRC table shared by append and scan.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// blockRef is the in-memory index entry for one block: where its
+// payload lives and what it covers. The index is rebuilt by scanning at
+// open and extended in memory on append — it is never persisted, so it
+// cannot go stale.
+type blockRef struct {
+	off      int64 // payload offset within the file
+	from, to int64 // covered range, unix nanoseconds, half-open [from, to)
+	k        uint32
+	rawLen   uint32
+	encLen   uint32
+	crc      uint32
+	codec    uint8
+}
+
+// partition is one open partition file plus its block index.
+type partition struct {
+	name     string
+	f        *os.File
+	partFrom int64 // bucket start from the header
+	span     int64
+	from, to int64 // actual coverage: min block from, max block to
+	blocks   []blockRef
+	bytes    int64 // valid length: header + intact blocks
+}
+
+// overlaps reports whether any part of [from, to) may lie in p.
+func (p *partition) overlaps(from, to int64) bool {
+	return len(p.blocks) > 0 && p.from < to && p.to > from
+}
+
+// partFileName encodes a partition's identity into its file name:
+// bucket start (unix nanos, two's-complement hex so negatives sort too)
+// and a monotone sequence number distinguishing generations.
+func partFileName(partFrom int64, seq uint64) string {
+	return fmt.Sprintf("part-%016x-%08x%s", uint64(partFrom), seq, partSuffix)
+}
+
+// parsePartFileName inverts partFileName; ok is false for foreign files.
+func parsePartFileName(name string) (partFrom int64, seq uint64, ok bool) {
+	var u uint64
+	if _, err := fmt.Sscanf(name, "part-%016x-%08x.fps", &u, &seq); err != nil {
+		return 0, 0, false
+	}
+	if name != partFileName(int64(u), seq) {
+		return 0, 0, false
+	}
+	return int64(u), seq, true
+}
+
+// writePartHeader appends a fresh partition header to buf.
+func writePartHeader(buf []byte, codecID uint8, k uint32, seed uint64, partFrom, span int64) []byte {
+	buf = append(buf, partMagic...)
+	buf = append(buf, partVersion, codecID, 0, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, k)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(partFrom))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(span))
+	return buf
+}
+
+// putBlockHeader encodes a block header into hdr (blockHeaderLen bytes).
+func putBlockHeader(hdr []byte, b blockRef) {
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(b.from))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(b.to))
+	binary.LittleEndian.PutUint32(hdr[16:], b.k)
+	binary.LittleEndian.PutUint32(hdr[20:], b.rawLen)
+	binary.LittleEndian.PutUint32(hdr[24:], b.encLen)
+	binary.LittleEndian.PutUint32(hdr[28:], b.crc)
+	hdr[32] = b.codec
+}
+
+// parseBlockHeader decodes and sanity-checks one block header. The
+// payload CRC is verified at read time, not here.
+func parseBlockHeader(hdr []byte) (blockRef, error) {
+	var b blockRef
+	b.from = int64(binary.LittleEndian.Uint64(hdr[0:]))
+	b.to = int64(binary.LittleEndian.Uint64(hdr[8:]))
+	b.k = binary.LittleEndian.Uint32(hdr[16:])
+	b.rawLen = binary.LittleEndian.Uint32(hdr[20:])
+	b.encLen = binary.LittleEndian.Uint32(hdr[24:])
+	b.crc = binary.LittleEndian.Uint32(hdr[28:])
+	b.codec = hdr[32]
+	if b.to <= b.from {
+		return b, fmt.Errorf("store: block bounds inverted")
+	}
+	if b.rawLen > maxBlockLen || b.encLen > maxBlockLen || b.encLen == 0 {
+		return b, fmt.Errorf("store: block length out of range")
+	}
+	return b, nil
+}
+
+// openPartition opens an existing partition file and rebuilds its block
+// index by walking the blocks. A structurally invalid header fails the
+// open (the caller decides whether to skip the file); a torn or corrupt
+// tail block truncates the index there — the durable prefix survives.
+func openPartition(dir, name string) (*partition, error) {
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	p, err := scanPartition(f, name)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// scanPartition validates the header and walks the block sequence of f.
+func scanPartition(f *os.File, name string) (*partition, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	var hdr [partHeaderLen]byte
+	if size < partHeaderLen {
+		return nil, fmt.Errorf("store: %s: short partition header", name)
+	}
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if string(hdr[:4]) != partMagic {
+		return nil, fmt.Errorf("store: %s: bad partition magic", name)
+	}
+	if hdr[4] != partVersion {
+		return nil, fmt.Errorf("store: %s: unsupported partition version %d", name, hdr[4])
+	}
+	p := &partition{
+		name:     name,
+		f:        f,
+		partFrom: int64(binary.LittleEndian.Uint64(hdr[24:])),
+		span:     int64(binary.LittleEndian.Uint64(hdr[32:])),
+		bytes:    partHeaderLen,
+	}
+	var bh [blockHeaderLen]byte
+	var payload []byte
+	off := int64(partHeaderLen)
+	for off+blockHeaderLen <= size {
+		if _, err := f.ReadAt(bh[:], off); err != nil {
+			break
+		}
+		b, err := parseBlockHeader(bh[:])
+		if err != nil {
+			break
+		}
+		if off+blockHeaderLen+int64(b.encLen) > size {
+			break // torn tail: the payload never fully landed
+		}
+		if cap(payload) < int(b.encLen) {
+			payload = make([]byte, b.encLen)
+		}
+		payload = payload[:b.encLen]
+		if _, err := f.ReadAt(payload, off+blockHeaderLen); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != b.crc {
+			break // torn or bit-rotted tail
+		}
+		b.off = off + blockHeaderLen
+		p.addBlock(b)
+		off += blockHeaderLen + int64(b.encLen)
+		p.bytes = off
+	}
+	// Drop any torn tail so appends resume at the end of the intact
+	// prefix and a later scan never re-parses stale bytes.
+	if p.bytes < size {
+		if err := f.Truncate(p.bytes); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// addBlock extends the in-memory index and the coverage bounds.
+func (p *partition) addBlock(b blockRef) {
+	if len(p.blocks) == 0 {
+		p.from, p.to = b.from, b.to
+	} else {
+		p.from = min(p.from, b.from)
+		p.to = max(p.to, b.to)
+	}
+	p.blocks = append(p.blocks, b)
+}
+
+// appendBlock writes one block (header + payload) at the end of the
+// valid prefix and extends the index. sync forces the bytes to stable
+// storage before the block is considered appended.
+func (p *partition) appendBlock(b blockRef, payload []byte, sync bool) error {
+	var hdr [blockHeaderLen]byte
+	putBlockHeader(hdr[:], b)
+	if _, err := p.f.WriteAt(hdr[:], p.bytes); err != nil {
+		return err
+	}
+	if _, err := p.f.WriteAt(payload, p.bytes+blockHeaderLen); err != nil {
+		return err
+	}
+	if sync {
+		if err := p.f.Sync(); err != nil {
+			return err
+		}
+	}
+	b.off = p.bytes + blockHeaderLen
+	p.addBlock(b)
+	p.bytes += blockHeaderLen + int64(len(payload))
+	return nil
+}
+
+// readPayload reads one block's encoded payload into buf (grown as
+// needed) and verifies its CRC.
+func (p *partition) readPayload(b blockRef, buf []byte) ([]byte, error) {
+	if cap(buf) < int(b.encLen) {
+		buf = make([]byte, b.encLen)
+	}
+	buf = buf[:b.encLen]
+	if _, err := p.f.ReadAt(buf, b.off); err != nil {
+		return buf, fmt.Errorf("store: %s: read block: %w", p.name, err)
+	}
+	if crc32.Checksum(buf, castagnoli) != b.crc {
+		return buf, fmt.Errorf("store: %s: block CRC mismatch", p.name)
+	}
+	return buf, nil
+}

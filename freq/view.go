@@ -21,6 +21,13 @@ type View[T comparable] struct {
 	sk *Sketch[T]
 }
 
+// NewView wraps a sketch in its read-only view facade — the adapter
+// that lets another package (freq/store's range queries, say) hand out
+// a merged result through the same Queryable surface every other
+// front-end serves. The caller must not mutate s while the view is in
+// use; the view answers from whatever state s holds at each call.
+func NewView[T comparable](s *Sketch[T]) *View[T] { return &View[T]{sk: s} }
+
 // Estimate returns the point estimate for item in the frozen view.
 func (v *View[T]) Estimate(item T) int64 { return v.sk.Estimate(item) }
 
@@ -49,6 +56,10 @@ func (v *View[T]) UpperBound(item T) int64 { return v.sk.UpperBound(item) }
 
 // MaximumError returns the merged summary's error band.
 func (v *View[T]) MaximumError() int64 { return v.sk.MaximumError() }
+
+// MaxCounters returns the viewed sketch's counter budget k — the sizing
+// hint a rotation sink records alongside each persisted slot.
+func (v *View[T]) MaxCounters() int { return v.sk.MaxCounters() }
 
 // StreamWeight returns the total weight the view accounts for.
 func (v *View[T]) StreamWeight() int64 { return v.sk.StreamWeight() }

@@ -56,7 +56,27 @@ type Windowed[T comparable] struct {
 	viewOK     bool
 	viewMerges int64
 
+	// sink, when set, receives each retiring head slot at rotation —
+	// the durable-store hook: the slot's contents are persisted before
+	// the ring recycles its table. headStart is the wall-clock start of
+	// the current head interval; sinkErr records the most recent sink
+	// failure (rotation never blocks on a failing sink).
+	sink      RotationSink[T]
+	headStart time.Time
+	sinkErr   error
+
 	serde SerDe[T]
+}
+
+// RotationSink receives retired window intervals at rotation, before
+// their sketches are recycled as the new head — the hand-off between
+// the in-memory ring and a durable history (freq/store's Store
+// implements it). The view aliases the live slot and is valid only for
+// the duration of the call; implementations that keep the data must
+// serialize it (View.AppendBinary) before returning. Returning an
+// error never aborts the rotation; the window records it (SinkErr).
+type RotationSink[T comparable] interface {
+	AppendSlot(v *View[T], start, end time.Time) error
 }
 
 // Compile-time proof that the windowed front-ends serve the same query
@@ -151,14 +171,61 @@ func (wd *Windowed[T]) headSlot() *Sketch[T] { return wd.slots[wd.head] }
 // out of scope and its sketch is recycled in place as the new (empty)
 // head — O(table) state clearing, no allocation once the ring is warm.
 // Callers define what an interval is by when they call Rotate (a
-// wall-clock ticker, a record count, a file boundary).
+// wall-clock ticker, a record count, a file boundary). With a rotation
+// sink installed, Rotate stamps the boundary with time.Now(); use
+// RotateAt to supply the boundary time explicitly (the aligned driver
+// and deterministic tests do).
 func (wd *Windowed[T]) Rotate() {
+	if wd.sink != nil {
+		wd.RotateAt(time.Now())
+		return
+	}
+	wd.advance()
+}
+
+// RotateAt is Rotate with an explicit interval-boundary timestamp: the
+// interval that just ended covers [start, end), where start was the
+// previous boundary (or the headStart given to SetRotationSink). When a
+// rotation sink is installed and the finished interval is non-empty,
+// the slot is handed to the sink before the ring advances — so the
+// just-completed interval is durable the moment the window moves on,
+// and a crash loses at most the current partial interval. A sink error
+// is recorded (SinkErr) and the rotation proceeds regardless: the
+// window's liveness never depends on the sink's health.
+func (wd *Windowed[T]) RotateAt(end time.Time) {
+	if wd.sink != nil {
+		if h := wd.headSlot(); !h.IsEmpty() {
+			if err := wd.sink.AppendSlot(&View[T]{sk: h}, wd.headStart, end); err != nil {
+				wd.sinkErr = err
+			}
+		}
+		wd.headStart = end
+	}
+	wd.advance()
+}
+
+// advance is the ring mechanics shared by Rotate and RotateAt.
+func (wd *Windowed[T]) advance() {
 	wd.head = (wd.head + 1) % len(wd.slots)
 	wd.slots[wd.head].clearInPlace()
 	wd.rotations++
 	wd.epoch++
 	wd.viewOK = false
 }
+
+// SetRotationSink installs (or with nil removes) the rotation sink and
+// marks headStart as the wall-clock start of the current head interval,
+// then returns wd for chaining. Install the sink before the first write
+// of the interval it should cover; slots already rotated out are gone.
+func (wd *Windowed[T]) SetRotationSink(sink RotationSink[T], headStart time.Time) *Windowed[T] {
+	wd.sink = sink
+	wd.headStart = headStart
+	return wd
+}
+
+// SinkErr returns the most recent rotation-sink failure, or nil. Sink
+// errors never abort rotations; this is where they surface.
+func (wd *Windowed[T]) SinkErr() error { return wd.sinkErr }
 
 // Reset empties every interval of the window in place (the same
 // alloc-free slot recycling as rotation) and rewinds the rotation
@@ -477,6 +544,32 @@ func (c *ConcurrentWindowed[T]) Rotate() {
 	c.mu.Unlock()
 }
 
+// RotateAt advances the window one interval with an explicit boundary
+// timestamp (see Windowed.RotateAt); safe for concurrent use.
+func (c *ConcurrentWindowed[T]) RotateAt(end time.Time) {
+	c.mu.Lock()
+	c.wd.RotateAt(end)
+	c.mu.Unlock()
+}
+
+// SetRotationSink installs the rotation sink on the underlying window
+// (see Windowed.SetRotationSink); safe for concurrent use. The sink is
+// invoked with the window lock held, so it must not call back into the
+// window.
+func (c *ConcurrentWindowed[T]) SetRotationSink(sink RotationSink[T], headStart time.Time) *ConcurrentWindowed[T] {
+	c.mu.Lock()
+	c.wd.SetRotationSink(sink, headStart)
+	c.mu.Unlock()
+	return c
+}
+
+// SinkErr returns the most recent rotation-sink failure, or nil.
+func (c *ConcurrentWindowed[T]) SinkErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd.SinkErr()
+}
+
 // Reset empties every interval and rewinds the rotation count; safe for
 // concurrent use.
 func (c *ConcurrentWindowed[T]) Reset() {
@@ -486,21 +579,48 @@ func (c *ConcurrentWindowed[T]) Reset() {
 }
 
 // StartRotating attaches a wall-clock rotation driver: a background
-// ticker calls Rotate every interval until the returned stop function
-// is called (idempotent). With it, a 60-interval window rotated every
-// second is a rolling top-k over the last minute:
+// timer calls RotateAt at every interval boundary until the returned
+// stop function is called. stop is idempotent and synchronous — it
+// blocks until the driver has exited, so once it returns no further
+// rotation (and no further rotation-sink append) will occur. With it, a
+// 60-interval window rotated every second is a rolling top-k over the
+// last minute:
 //
 //	cw, _ := freq.NewConcurrentWindowed[uint64](4096, 60)
 //	stop := cw.StartRotating(time.Second)
 //	defer stop()
+//
+// Rotations are aligned to wall-clock multiples of interval (the first
+// fires at the next boundary after now, not one interval after process
+// start), and each boundary is re-derived from the schedule rather
+// than a free-running ticker — so interval boundaries, and with a
+// rotation sink the persisted partitions' time bounds, are stable and
+// reproducible across restarts. If the process stalls past one or more
+// boundaries (a laptop sleep, a long GC pause), the driver catches up
+// with one rotation per missed boundary, which is exactly the empty
+// intervals wall-clock time says the window should contain.
 func (c *ConcurrentWindowed[T]) StartRotating(interval time.Duration) (stop func()) {
-	t := time.NewTicker(interval)
+	if interval <= 0 {
+		panic("freq: non-positive rotation interval")
+	}
 	done := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
+		next := nextBoundary(time.Now(), interval)
+		timer := time.NewTimer(time.Until(next))
+		defer timer.Stop()
 		for {
 			select {
-			case <-t.C:
-				c.Rotate()
+			case <-timer.C:
+				select {
+				case <-done:
+					return
+				default:
+				}
+				c.RotateAt(next)
+				next = next.Add(interval)
+				timer.Reset(time.Until(next))
 			case <-done:
 				return
 			}
@@ -509,10 +629,23 @@ func (c *ConcurrentWindowed[T]) StartRotating(interval time.Duration) (stop func
 	var once sync.Once
 	return func() {
 		once.Do(func() {
-			t.Stop()
 			close(done)
+			<-exited
 		})
 	}
+}
+
+// nextBoundary returns the first wall-clock multiple of interval
+// strictly after now — the alignment rule of StartRotating. Boundaries
+// are multiples of interval since the Unix epoch (time.Truncate), so
+// two processes rotating at the same interval produce identical
+// partition bounds no matter when each started.
+func nextBoundary(now time.Time, interval time.Duration) time.Time {
+	b := now.Truncate(interval)
+	if !b.After(now) {
+		b = b.Add(interval)
+	}
+	return b
 }
 
 // Update adds weight to item's frequency in the current interval; safe

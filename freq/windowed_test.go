@@ -500,3 +500,162 @@ func TestConcurrentWindowedTicker(t *testing.T) {
 		t.Fatalf("window kept rotating after stop: %d -> %d", after, got)
 	}
 }
+
+// recordingSink captures each retired slot's bounds and content summary
+// — the test double for the durable store.
+type recordingSink struct {
+	bounds  [][2]time.Time
+	weights []int64
+	est7    []int64
+	err     error
+}
+
+func (r *recordingSink) AppendSlot(v *View[int64], start, end time.Time) error {
+	r.bounds = append(r.bounds, [2]time.Time{start, end})
+	r.weights = append(r.weights, v.StreamWeight())
+	r.est7 = append(r.est7, v.Estimate(7))
+	return r.err
+}
+
+func TestRotationSink(t *testing.T) {
+	wd, err := NewWindowed[int64](64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	sink := &recordingSink{}
+	wd.SetRotationSink(sink, base)
+
+	// Interval 1: some weight on item 7.
+	wd.UpdateOne(7)
+	wd.UpdateOne(7)
+	wd.UpdateOne(9)
+	wd.RotateAt(base.Add(time.Second))
+	// Interval 2: empty — must NOT reach the sink.
+	wd.RotateAt(base.Add(2 * time.Second))
+	// Interval 3: different weight.
+	if err := wd.Update(7, 5); err != nil {
+		t.Fatal(err)
+	}
+	wd.RotateAt(base.Add(3 * time.Second))
+
+	if err := wd.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.bounds) != 2 {
+		t.Fatalf("sink saw %d slots, want 2 (empty interval skipped)", len(sink.bounds))
+	}
+	want := [][2]time.Time{
+		{base, base.Add(time.Second)},
+		// The empty interval advanced headStart, so the third interval
+		// starts at its own boundary, not at the first's end.
+		{base.Add(2 * time.Second), base.Add(3 * time.Second)},
+	}
+	for i, b := range sink.bounds {
+		if !b[0].Equal(want[i][0]) || !b[1].Equal(want[i][1]) {
+			t.Fatalf("slot %d bounds: got [%v, %v), want [%v, %v)", i, b[0], b[1], want[i][0], want[i][1])
+		}
+	}
+	if sink.weights[0] != 3 || sink.est7[0] != 2 {
+		t.Fatalf("slot 0 content: weight=%d est7=%d", sink.weights[0], sink.est7[0])
+	}
+	if sink.weights[1] != 5 || sink.est7[1] != 5 {
+		t.Fatalf("slot 1 content: weight=%d est7=%d", sink.weights[1], sink.est7[1])
+	}
+	// The ring advanced on every RotateAt, sink or not.
+	if wd.Rotations() != 3 {
+		t.Fatalf("rotations: got %d, want 3", wd.Rotations())
+	}
+}
+
+func TestRotationSinkError(t *testing.T) {
+	wd, err := NewWindowed[int64](64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	boom := errors.New("disk full")
+	wd.SetRotationSink(&recordingSink{err: boom}, base)
+	wd.UpdateOne(1)
+	wd.RotateAt(base.Add(time.Second))
+	// The failure surfaces via SinkErr but never aborts the rotation.
+	if !errors.Is(wd.SinkErr(), boom) {
+		t.Fatalf("SinkErr: got %v, want %v", wd.SinkErr(), boom)
+	}
+	if wd.Rotations() != 1 {
+		t.Fatalf("rotation aborted on sink error: %d rotations", wd.Rotations())
+	}
+	// Plain Rotate with a sink installed stamps real wall-clock bounds
+	// (it routes through RotateAt).
+	ok := &recordingSink{}
+	wd.SetRotationSink(ok, time.Now())
+	wd.UpdateOne(2)
+	wd.Rotate()
+	if len(ok.bounds) != 1 {
+		t.Fatalf("Rotate with sink: saw %d slots, want 1", len(ok.bounds))
+	}
+	if !ok.bounds[0][1].After(ok.bounds[0][0]) {
+		t.Fatalf("Rotate stamped an empty interval: %v", ok.bounds[0])
+	}
+}
+
+func TestConcurrentWindowedRotationSink(t *testing.T) {
+	cw, err := NewConcurrentWindowed[int64](64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	sink := &recordingSink{}
+	cw.SetRotationSink(sink, base)
+	cw.UpdateOne(7)
+	cw.RotateAt(base.Add(time.Second))
+	if err := cw.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.bounds) != 1 || sink.weights[0] != 1 {
+		t.Fatalf("concurrent sink: %d slots, weights %v", len(sink.bounds), sink.weights)
+	}
+}
+
+// TestNextBoundary pins the wall-clock alignment rule StartRotating
+// schedules by: the next boundary is strictly in the future and lies on
+// a multiple of the interval.
+func TestNextBoundary(t *testing.T) {
+	interval := 10 * time.Second
+	cases := []struct{ now, want time.Time }{
+		{time.Unix(100, 0), time.Unix(110, 0)},           // exactly on a boundary -> next one
+		{time.Unix(100, 1), time.Unix(110, 0)},           // just past a boundary
+		{time.Unix(109, 999_999_999), time.Unix(110, 0)}, // just before
+	}
+	for _, c := range cases {
+		if got := nextBoundary(c.now, interval); !got.Equal(c.want) {
+			t.Fatalf("nextBoundary(%v, %v) = %v, want %v", c.now, interval, got, c.want)
+		}
+	}
+	// Property: for any now, the result is in (now, now+interval] and
+	// aligned.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		now := time.Unix(rng.Int63n(2_000_000_000), rng.Int63n(1_000_000_000))
+		b := nextBoundary(now, interval)
+		if !b.After(now) || b.Sub(now) > interval {
+			t.Fatalf("nextBoundary(%v) = %v out of (now, now+interval]", now, b)
+		}
+		if !b.Truncate(interval).Equal(b) {
+			t.Fatalf("nextBoundary(%v) = %v not aligned", now, b)
+		}
+	}
+}
+
+func TestStartRotatingRejectsBadInterval(t *testing.T) {
+	cw, err := NewConcurrentWindowed[int64](64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StartRotating(0) did not panic")
+		}
+	}()
+	cw.StartRotating(0)
+}

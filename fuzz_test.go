@@ -8,9 +8,13 @@ package repro_test
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/freq"
+	"repro/freq/store"
 	"repro/freq/stream"
 )
 
@@ -253,6 +257,82 @@ func FuzzReadBinary(f *testing.F) {
 		again, err := stream.ReadBinary(&out)
 		if err != nil || len(again) != len(updates) {
 			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzStorePartitionDecode covers the durable store's untrusted-bytes
+// surface: arbitrary bytes posing as a partition file must never panic
+// the scanner, and whatever blocks survive the scan must decode (LZ
+// tokens included) and merge without panicking. The raw LZ decoder is
+// fuzzed on the same input.
+func FuzzStorePartitionDecode(f *testing.F) {
+	// Seed with a real two-slot partition so the fuzzer starts from a
+	// structurally valid file and mutates inward.
+	seedDir := f.TempDir()
+	st, err := store.Open[int64](seedDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	for s := 0; s < 2; s++ {
+		sk, err := freq.New[int64](256)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := int64(0); i < 200; i++ {
+			_ = sk.Update(i%40, i%7+1)
+		}
+		from := base.Add(time.Duration(s) * time.Second)
+		if err := st.AppendSlot(freq.NewView(sk), from, from.Add(time.Second)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	parts, err := filepath.Glob(filepath.Join(seedDir, "part-*.fps"))
+	if err != nil || len(parts) != 1 {
+		f.Fatalf("seed partition: %v (err %v)", parts, err)
+	}
+	seed, err := os.ReadFile(parts[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedName := filepath.Base(parts[0])
+	if err := st.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Add([]byte("FPS1"))
+	f.Add(make([]byte, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The raw LZ decoder on arbitrary bytes: error or success, never
+		// a panic, never unbounded output relative to input.
+		if dec, err := store.NewLZ().Decode(nil, data); err == nil && len(data) > 0 {
+			// Max expansion is lzMaxMatch bytes per 3-byte token.
+			if len(dec) > 131*len(data) {
+				t.Fatalf("lz decode expanded %d bytes to %d", len(data), len(dec))
+			}
+		}
+
+		// The partition scanner + query path on the same bytes posing as
+		// a partition file (named so the scan adopts it).
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, seedName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Open[int64](dir)
+		if err != nil {
+			return // structurally rejected: fine
+		}
+		v, err := st.Query(base.Add(-time.Hour), base.Add(time.Hour))
+		if err == nil {
+			_ = v.StreamWeight()
+			_ = v.TopK(5)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("close after fuzzed open: %v", err)
 		}
 	})
 }
