@@ -1,7 +1,8 @@
 // Command benchfreq runs the repository's canonical performance kernels
 // — Update, UpdateBatch, Merge, Serialize/Deserialize, View, QueryTopK,
 // WindowedRotate, WindowedTopK, StoreAppend, StoreQueryRange,
-// EstimateBatch — and emits the results
+// EstimateBatch, and the daemon-side network ingest pair
+// ServerIngestText64/ServerIngestBinary64 — and emits the results
 // as BENCH_core.json (the
 // machine-readable perf trajectory committed at the repo root) plus a
 // benchstat-compatible text file for regression comparisons in CI.
@@ -9,21 +10,34 @@
 // For the kernels the bulk engine rewrote, the replay-based baselines
 // (core.MergeReplay, core.DeserializeReplay) run alongside, so one
 // invocation captures baseline and post-change numbers and the
-// merge/deserialize speedup ratios the PR acceptance tracks.
+// merge/deserialize speedup ratios the PR acceptance tracks. The ingest
+// pair likewise runs text and binary framing against the same live
+// server, producing the server_ingest_binary speedup ratio.
 //
 //	go run ./cmd/benchfreq -benchtime 1s -out BENCH_core.json -txt BENCH_core.txt
+//
+// With -loadgen it instead runs as a standalone load generator: a fleet
+// of concurrent client connections streaming batches at a freqd-style
+// server (an in-process one when -addr is empty), reporting daemon-side
+// items/sec:
+//
+//	go run ./cmd/benchfreq -loadgen -conns 256 -duration 5s -wire binary
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/freq"
+	"repro/freq/server"
 	"repro/freq/store"
 	"repro/internal/core"
 	"repro/internal/sharded"
@@ -344,6 +358,12 @@ func kernels() []kernel {
 				}
 			}
 		}},
+		{"ServerIngestText64", func(b *testing.B) {
+			benchServerIngest(b, 64, false)
+		}},
+		{"ServerIngestBinary64", func(b *testing.B) {
+			benchServerIngest(b, 64, true)
+		}},
 		{"EstimateBatch", func(b *testing.B) {
 			s := builtSketch(1<<17, streamLen, 1<<17, 10)
 			items := make([]int64, 1<<14)
@@ -359,6 +379,163 @@ func kernels() []kernel {
 	}
 }
 
+// benchServerIngest measures daemon-side ingest through the wire
+// protocol: conns concurrent clients stream batchChunk-item batches at
+// a live in-process TCP server until b.N items have landed, over text
+// UB blocks or binary pairs frames. ns/op is ns per ingested item,
+// end to end (client encode + kernel + server decode + apply).
+func benchServerIngest(b *testing.B, conns int, bin bool) {
+	srv, err := server.New(server.Config{MaxCounters: updateK, Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	items := make([]int64, batchChunk)
+	weights := make([]int64, batchChunk)
+	for i := range items {
+		items[i] = synthItem(int64(i), 1<<16)
+		weights[i] = int64(i%100 + 1)
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	errCh := make(chan error, conns)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var opts []server.ClientOption
+			if bin {
+				opts = append(opts, server.WithBinary())
+			}
+			c, err := server.Dial[int64](ln.Addr().String(), opts...)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			if bin != c.Binary() {
+				errCh <- fmt.Errorf("negotiated framing binary=%v, want %v", c.Binary(), bin)
+				return
+			}
+			for {
+				left := remaining.Add(-batchChunk) + batchChunk
+				if left <= 0 {
+					return
+				}
+				chunk := min(int64(batchChunk), left)
+				if err := c.UpdateBatch(items[:chunk], weights[:chunk]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errCh:
+		b.Fatal(err)
+	default:
+	}
+}
+
+// runLoadgen drives a fleet of concurrent client connections at a
+// server for a fixed duration and reports daemon-side items/sec. With
+// an empty addr it boots an in-process server, so the rate comes from
+// the server's own update counter; against a remote daemon it reports
+// the client-side count (a lower bound on what the daemon saw).
+func runLoadgen(addr string, conns int, dur time.Duration, batch int, wire string) error {
+	var srv *server.Server
+	if addr == "" {
+		var err error
+		srv, err = server.New(server.Config{MaxCounters: updateK, Shards: 8})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		addr = ln.Addr().String()
+	}
+
+	var opts []server.ClientOption
+	switch wire {
+	case "binary", "auto":
+		opts = append(opts, server.WithBinary())
+	case "text":
+	default:
+		return fmt.Errorf("bad -wire %q (want binary, text, or auto)", wire)
+	}
+
+	items := make([]int64, batch)
+	weights := make([]int64, batch)
+	for i := range items {
+		items[i] = synthItem(int64(i), 1<<16)
+		weights[i] = 1
+	}
+	var sent atomic.Int64
+	var binConns atomic.Int64
+	errCh := make(chan error, conns)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := server.Dial[int64](addr, opts...)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			if wire == "binary" && !c.Binary() {
+				errCh <- fmt.Errorf("server declined binary framing")
+				return
+			}
+			if c.Binary() {
+				binConns.Add(1)
+			}
+			for time.Now().Before(deadline) {
+				if err := c.UpdateBatch(items, weights); err != nil {
+					errCh <- err
+					return
+				}
+				sent.Add(int64(batch))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	n := sent.Load()
+	side := "client"
+	if srv != nil {
+		// Daemon-side truth: what the server actually applied.
+		n, _ = srv.Counters()
+		side = "daemon"
+	}
+	fmt.Printf("loadgen: conns=%d (binary=%d) wire=%s batch=%d duration=%s %s-side items=%d rate=%.0f items/sec\n",
+		conns, binConns.Load(), wire, batch, elapsed.Round(time.Millisecond), side, n, float64(n)/elapsed.Seconds())
+	return nil
+}
+
 func main() {
 	// testing.Init registers the test.* flags; without it the benchtime
 	// override below would silently no-op and every kernel would run at
@@ -367,7 +544,21 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per kernel")
 	out := flag.String("out", "BENCH_core.json", "JSON output path ('' to skip)")
 	txt := flag.String("txt", "BENCH_core.txt", "benchstat-compatible output path ('' to skip)")
+	loadgen := flag.Bool("loadgen", false, "run as a load generator instead of the kernel suite")
+	addr := flag.String("addr", "", "loadgen: server address (empty boots an in-process server)")
+	conns := flag.Int("conns", 256, "loadgen: concurrent client connections")
+	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
+	batch := flag.Int("batch", batchChunk, "loadgen: items per batch")
+	wire := flag.String("wire", "binary", "loadgen: framing (binary, text, or auto)")
 	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(*addr, *conns, *duration, *batch, *wire); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if f := flag.Lookup("test.benchtime"); f != nil {
 		if err := f.Value.Set(benchtime.String()); err != nil {
@@ -419,6 +610,12 @@ func main() {
 		if nsPerOp["DeserializeInto"] > 0 {
 			rep.Speedups["deserialize_into"] = base / nsPerOp["DeserializeInto"]
 		}
+	}
+	// Daemon ingest throughput ratio: binary pairs frames vs text UB
+	// blocks at the same connection fan-out (items/sec ratio is the
+	// inverse of the ns/item ratio).
+	if base, ok := nsPerOp["ServerIngestText64"]; ok && nsPerOp["ServerIngestBinary64"] > 0 {
+		rep.Speedups["server_ingest_binary"] = base / nsPerOp["ServerIngestBinary64"]
 	}
 	fmt.Fprintf(os.Stderr, "speedups vs replay: %+v\n", rep.Speedups)
 

@@ -1,7 +1,10 @@
 // Command freqd runs the frequent-items summary as a network service: a
 // line-protocol TCP daemon over the concurrent sharded sketch. Collectors
 // stream weighted updates; operators query live estimates, heavy hitters,
-// and serialized snapshots (see freq/server for the protocol).
+// and serialized snapshots (see freq/server for the protocol). High-rate
+// collectors negotiate the length-prefixed binary framing ("HELLO BIN 1")
+// for zero-copy batch ingest; the text protocol stays available on every
+// connection for debugging and netcat sessions.
 //
 // With -window the daemon additionally maintains a sliding window of
 // per-interval sketches and rotates it on a wall-clock ticker

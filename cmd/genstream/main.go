@@ -9,8 +9,11 @@
 //	genstream -kind adversarial -k 1024 -n 100000
 //	genstream -kind trace -n 1000000 -push localhost:7077
 //
-// With -push, the workload is streamed into a running freqd server over
-// the batched UB wire command instead of written to a file.
+// With -push, the workload is streamed into a running freqd server in
+// wire batches instead of written to a file. -wire picks the framing:
+// auto (the default) negotiates the binary pairs-frame protocol and
+// falls back to text UB blocks against servers that predate it; binary
+// requires the upgrade; text skips negotiation.
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0xCA1DA, "generator seed")
 		push      = flag.String("push", "", "stream the workload to a freqd server at this address instead of writing it")
 		batch     = flag.Int("batch", 8192, "updates per wire batch when pushing")
+		wire      = flag.String("wire", "auto", "push framing: auto (negotiate binary, fall back to text), binary, or text")
 	)
 	flag.Parse()
 
@@ -63,7 +67,7 @@ func main() {
 	}
 
 	if *push != "" {
-		if err := pushStream(*push, updates, *batch); err != nil {
+		if err := pushStream(*push, updates, *batch, *wire); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "genstream: pushed %d updates (N=%d) to %s\n",
@@ -98,17 +102,27 @@ func main() {
 	fmt.Fprintf(os.Stderr, "genstream: wrote %d updates (N=%d)\n", len(updates), stream.TotalWeight(updates))
 }
 
-// pushStream ships the workload to a freqd server in UB wire batches —
-// one round trip per batchSize updates.
-func pushStream(addr string, updates []stream.Update, batchSize int) error {
+// pushStream ships the workload to a freqd server in wire batches (one
+// round trip per batchSize updates): binary pairs frames when the
+// server speaks them, text UB blocks otherwise, per the wire policy.
+func pushStream(addr string, updates []stream.Update, batchSize int, wire string) error {
 	if batchSize < 1 {
 		return fmt.Errorf("batch size %d must be positive", batchSize)
 	}
-	c, err := server.Dial[int64](addr)
+	var opts []server.ClientOption
+	if wire == "auto" || wire == "binary" {
+		opts = append(opts, server.WithBinary())
+	} else if wire != "text" {
+		return fmt.Errorf("bad -wire %q (want auto, binary, or text)", wire)
+	}
+	c, err := server.Dial[int64](addr, opts...)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+	if wire == "binary" && !c.Binary() {
+		return fmt.Errorf("server at %s declined binary framing (use -wire auto for fallback)", addr)
+	}
 	items, weights := stream.Columns(updates)
 	for lo := 0; lo < len(items); lo += batchSize {
 		hi := min(lo+batchSize, len(items))

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unsafe"
+
+	"repro/freq"
+)
+
+// Binary framing v1 — negotiated by "HELLO BIN 1" on a text connection.
+// Every frame is a 5-byte header followed by a payload:
+//
+//	[1 byte opcode][4 bytes payload length, little-endian][payload]
+//
+// Client→server opcodes carry ingest blocks (opPairs) and single text
+// command lines (opCmd); every server reply is an opReply frame whose
+// payload is exactly the bytes the text protocol would have written for
+// the same command — so the two framings are byte-identical at the
+// reply level, which is what the conformance suite asserts.
+const (
+	// binaryVersion is the framing version HELLO negotiates; a version
+	// bump means the frame layout changed incompatibly.
+	binaryVersion = 1
+	// frameHeader is the fixed frame prefix: opcode + payload length.
+	frameHeader = 5
+	// opPairs is a block of pairSize-byte little-endian (item, weight)
+	// updates — the zero-copy ingest hot path. Reply: "OK <count>".
+	opPairs = 0x01
+	// opCmd is one text command line (no trailing newline needed); the
+	// reply is whatever the text protocol answers, framed whole. UB is
+	// rejected here — its pair lines belong to the text framing; binary
+	// ingest uses opPairs.
+	opCmd = 0x02
+	// opReply frames every server→client response.
+	opReply = 0x81
+	// pairSize is one (item, weight) update: two little-endian int64s.
+	pairSize = 16
+)
+
+// MaxFrameBytes caps a frame payload, the binary analogue of
+// MaxWireBatch: a pairs frame may carry at most MaxWireBatch updates.
+// A header announcing more is a liar's number — the server replies ERR
+// once and drops the connection, mirroring the text protocol's
+// oversized-UB handling.
+const MaxFrameBytes = MaxWireBatch * pairSize
+
+// hostLittleEndian reports whether the host shares the wire's byte
+// order, in which case a received pairs payload reinterprets in place
+// as []freq.Pair[int64] with no decoding at all.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// binaryLoop serves the connection after a HELLO BIN upgrade. It owns
+// the read stream from the first frame header onward; it returns when
+// the connection is done (EOF, error, QUIT, or a frame violation that
+// cannot be resynchronized).
+func (c *conn) binaryLoop() {
+	for {
+		if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
+			return
+		}
+		op := c.hdr[0]
+		n := binary.LittleEndian.Uint32(c.hdr[1:])
+		if n > MaxFrameBytes {
+			// The announced length exceeds the cap; per the UB precedent
+			// this is unrecoverable by policy: reply once, drop.
+			c.errFrame(fmt.Sprintf("frame length %d exceeds cap %d", n, MaxFrameBytes))
+			c.nw.Flush()
+			return
+		}
+		quit := false
+		switch op {
+		case opPairs:
+			if n%pairSize != 0 {
+				// The length is trustworthy (≤ cap) even though the payload
+				// is malformed: discard it whole and keep the stream
+				// synchronized, like the text UB drain.
+				if _, err := c.r.Discard(int(n)); err != nil {
+					return
+				}
+				c.errFrame(fmt.Sprintf("pairs frame length %d is not a multiple of %d", n, pairSize))
+				break
+			}
+			pairs := c.framePayload(int(n) / pairSize)
+			if len(pairs) > 0 {
+				buf := unsafe.Slice((*byte)(unsafe.Pointer(&pairs[0])), n)
+				if _, err := io.ReadFull(c.r, buf); err != nil {
+					return
+				}
+				if !hostLittleEndian {
+					decodePairsInPlace(buf, pairs)
+				}
+			}
+			if err := c.ingestPairs(pairs); err != nil {
+				// All-or-nothing: AddPairs validated before buffering, so
+				// the sketch is untouched and the connection stays usable.
+				c.errFrame(err.Error())
+				break
+			}
+			c.okFrame(len(pairs))
+		case opCmd:
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(c.r, payload); err != nil {
+				return
+			}
+			quit = c.execCmd(payload)
+		default:
+			if _, err := c.r.Discard(int(n)); err != nil {
+				return
+			}
+			c.errFrame(fmt.Sprintf("unknown opcode 0x%02x", op))
+		}
+		if err := c.nw.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// framePayload returns the connection's reusable pairs buffer sized to
+// npairs. Allocating it as pairs rather than bytes guarantees the
+// 8-byte alignment the zero-copy reinterpretation needs.
+func (c *conn) framePayload(npairs int) []freq.Pair[int64] {
+	if cap(c.pairBuf) < npairs {
+		c.pairBuf = make([]freq.Pair[int64], npairs)
+	}
+	return c.pairBuf[:npairs]
+}
+
+// decodePairsInPlace converts a little-endian wire payload into native
+// pairs on big-endian hosts; buf aliases pairs' memory, so each field
+// is loaded as wire bytes before its native store clobbers it.
+func decodePairsInPlace(buf []byte, pairs []freq.Pair[int64]) {
+	for i := range pairs {
+		off := i * pairSize
+		item := int64(binary.LittleEndian.Uint64(buf[off:]))
+		weight := int64(binary.LittleEndian.Uint64(buf[off+8:]))
+		pairs[i] = freq.Pair[int64]{Item: item, Weight: weight}
+	}
+}
+
+// ingestPairs applies one decoded pairs frame: all-or-nothing into the
+// per-shard writer buffers (one partition pass), mirrored into the
+// windowed twin's batch buffer when one is configured.
+func (c *conn) ingestPairs(pairs []freq.Pair[int64]) error {
+	if err := c.writer.AddPairs(pairs); err != nil {
+		return err
+	}
+	s := c.srv
+	if s.win != nil {
+		for i := range pairs {
+			if pairs[i].Weight != 0 {
+				c.addWindowed(pairs[i].Item, pairs[i].Weight)
+			}
+		}
+	}
+	s.statsMu.Lock()
+	s.updates += int64(len(pairs))
+	s.statsMu.Unlock()
+	return nil
+}
+
+// okFrame writes the pairs-frame acknowledgement — "OK <n>", exactly
+// the text UB reply — without fmt, keeping the ingest loop alloc-free.
+func (c *conn) okFrame(n int) {
+	c.okBuf = append(c.okBuf[:0], 'O', 'K', ' ')
+	c.okBuf = strconv.AppendInt(c.okBuf, int64(n), 10)
+	c.okBuf = append(c.okBuf, '\n')
+	c.writeFrame(opReply, c.okBuf)
+}
+
+// errFrame writes a sanitized one-line ERR reply frame.
+func (c *conn) errFrame(msg string) {
+	c.replyBuf.Reset()
+	c.replyBuf.WriteString("ERR ")
+	c.replyBuf.WriteString(strings.ReplaceAll(msg, "\n", "; "))
+	c.replyBuf.WriteByte('\n')
+	c.writeFrame(opReply, c.replyBuf.Bytes())
+}
+
+// writeFrame emits one frame into the connection's buffered writer; the
+// caller flushes.
+func (c *conn) writeFrame(op byte, payload []byte) {
+	c.hdr[0] = op
+	binary.LittleEndian.PutUint32(c.hdr[1:], uint32(len(payload)))
+	c.nw.Write(c.hdr[:])
+	c.nw.Write(payload)
+}
+
+// execCmd runs one framed text command line through the ordinary
+// dispatcher, capturing its reply so it can be framed whole. The reply
+// payload is byte-for-byte what the text framing would have written.
+func (c *conn) execCmd(payload []byte) (quit bool) {
+	line := strings.TrimSpace(string(payload))
+	c.replyBuf.Reset()
+	if c.bw == nil {
+		c.bw = bufio.NewWriter(&c.replyBuf)
+	} else {
+		c.bw.Reset(&c.replyBuf)
+	}
+	c.w = c.bw
+	var err error
+	switch {
+	case line == "":
+		err = errors.New("empty command frame")
+	case strings.ContainsRune(line, '\n'):
+		err = errors.New("command frame must be a single line")
+	case strings.EqualFold(strings.Fields(line)[0], "UB"):
+		// UB's pair lines belong to the text framing; over binary the
+		// pairs opcode is the batch path.
+		err = errors.New("UB is text-framing only; send a pairs frame (opcode 0x01)")
+	default:
+		quit, err = c.dispatch(line)
+	}
+	if err != nil {
+		fmt.Fprintf(c.bw, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", "; "))
+	}
+	c.bw.Flush()
+	c.w = c.nw
+	c.writeFrame(opReply, c.replyBuf.Bytes())
+	return quit
+}

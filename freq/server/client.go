@@ -2,6 +2,8 @@ package server
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"iter"
@@ -34,21 +36,57 @@ type Client[T ~int64 | ~uint64] struct {
 	r    *bufio.Reader
 	w    *bufio.Writer
 	err  error
+	// bin is set by a successful Negotiate: requests travel as opCmd and
+	// opPairs frames and replies arrive as opReply frames whose payload
+	// is byte-for-byte the text protocol's reply.
+	bin bool
+	// frame is the unconsumed tail of the current reply frame's payload;
+	// readLine and readBlob drain it before fetching the next frame.
+	frame []byte
+	// cmdBuf is the reusable request encoding buffer (command lines and
+	// pairs payloads alike).
+	cmdBuf []byte
+}
+
+// ClientOption configures Dial.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct{ binary bool }
+
+// WithBinary makes Dial negotiate the binary framing after connecting.
+// Negotiation is best-effort: a server that answers HELLO with ERR (an
+// older build, or a newer framing version) leaves the client in text
+// mode and Dial still succeeds — Binary reports which framing won.
+func WithBinary() ClientOption {
+	return func(c *clientConfig) { c.binary = true }
 }
 
 // Queryable compile-time proof, mirroring the assertions in freq.
 var _ freq.Queryable[int64] = (*Client[int64])(nil)
 
 // Dial connects to a server at addr.
-func Dial[T ~int64 | ~uint64](addr string) (*Client[T], error) {
+func Dial[T ~int64 | ~uint64](addr string, opts ...ClientOption) (*Client[T], error) {
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient[T](conn), nil
+	c := NewClient[T](conn)
+	if cfg.binary {
+		if _, err := c.Negotiate(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
-// NewClient wraps an existing connection (e.g. net.Pipe in tests).
+// NewClient wraps an existing connection (e.g. net.Pipe in tests). The
+// client starts in text framing; call Negotiate to attempt the binary
+// upgrade.
 func NewClient[T ~int64 | ~uint64](conn net.Conn) *Client[T] {
 	return &Client[T]{
 		conn: conn,
@@ -57,24 +95,149 @@ func NewClient[T ~int64 | ~uint64](conn net.Conn) *Client[T] {
 	}
 }
 
+// Negotiate sends HELLO BIN and upgrades the connection to the binary
+// framing if the server agrees. It returns (true, nil) on upgrade and
+// (false, nil) when the server declines with a text ERR — an older
+// server that has never heard of HELLO answers exactly that way and the
+// line stream stays synchronized, so the client simply keeps talking
+// text. Only transport failures return an error. Negotiate is a no-op
+// on an already-binary connection.
+func (c *Client[T]) Negotiate() (bool, error) {
+	if c.bin {
+		return true, nil
+	}
+	if _, err := fmt.Fprintf(c.w, "HELLO BIN %d\n", binaryVersion); err != nil {
+		return false, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return false, nil
+	}
+	if line != fmt.Sprintf("HELLO BIN %d", binaryVersion) {
+		return false, fmt.Errorf("server: unexpected HELLO response %q", line)
+	}
+	c.bin = true
+	return true, nil
+}
+
+// Binary reports whether the connection negotiated the binary framing.
+func (c *Client[T]) Binary() bool { return c.bin }
+
+// writeFrame ships one framed request and flushes it.
+func (c *Client[T]) writeFrame(op byte, payload []byte) error {
+	var hdr [frameHeader]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// readFrame fetches the next reply frame's payload into c.frame.
+func (c *Client[T]) readFrame() error {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return err
+	}
+	if hdr[0] != opReply {
+		return fmt.Errorf("client: unexpected frame opcode 0x%02x", hdr[0])
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxFrameBytes {
+		return fmt.Errorf("client: reply frame length %d exceeds cap %d", n, MaxFrameBytes)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return err
+	}
+	c.frame = buf
+	return nil
+}
+
+// readLine returns the next reply line including its trailing newline —
+// straight off the stream in text framing, sliced out of the current
+// reply frame in binary framing.
+func (c *Client[T]) readLine() (string, error) {
+	if !c.bin {
+		return c.r.ReadString('\n')
+	}
+	if len(c.frame) == 0 {
+		if err := c.readFrame(); err != nil {
+			return "", err
+		}
+	}
+	if i := bytes.IndexByte(c.frame, '\n'); i >= 0 {
+		line := string(c.frame[:i+1])
+		c.frame = c.frame[i+1:]
+		return line, nil
+	}
+	line := string(c.frame)
+	c.frame = nil
+	return line, nil
+}
+
+// readBlobInto fills blob with reply payload bytes — the body of a SNAP
+// response, which in binary framing rides in the same frame as its
+// header line.
+func (c *Client[T]) readBlobInto(blob []byte) error {
+	if !c.bin {
+		_, err := io.ReadFull(c.r, blob)
+		return err
+	}
+	for len(blob) > 0 {
+		if len(c.frame) == 0 {
+			if err := c.readFrame(); err != nil {
+				return err
+			}
+		}
+		n := copy(blob, c.frame)
+		c.frame = c.frame[n:]
+		blob = blob[n:]
+	}
+	return nil
+}
+
 // Close sends QUIT, waits for the server's BYE — which the server only
 // sends after flushing this connection's buffered updates into the
 // shared summary — and closes the connection.
 func (c *Client[T]) Close() error {
-	fmt.Fprintln(c.w, "QUIT")
-	c.w.Flush()
-	_, _ = c.r.ReadString('\n')
+	if c.bin {
+		_ = c.writeFrame(opCmd, []byte("QUIT"))
+		_, _ = c.readLine()
+	} else {
+		fmt.Fprintln(c.w, "QUIT")
+		c.w.Flush()
+		_, _ = c.r.ReadString('\n')
+	}
 	return c.conn.Close()
 }
 
 func (c *Client[T]) roundTrip(format string, args ...any) (string, error) {
-	if _, err := fmt.Fprintf(c.w, format+"\n", args...); err != nil {
-		return "", err
+	if c.bin {
+		c.cmdBuf = fmt.Appendf(c.cmdBuf[:0], format, args...)
+		if err := c.writeFrame(opCmd, c.cmdBuf); err != nil {
+			return "", err
+		}
+	} else {
+		if _, err := fmt.Fprintf(c.w, format+"\n", args...); err != nil {
+			return "", err
+		}
+		if err := c.w.Flush(); err != nil {
+			return "", err
+		}
 	}
-	if err := c.w.Flush(); err != nil {
-		return "", err
-	}
-	line, err := c.r.ReadString('\n')
+	line, err := c.readLine()
 	if err != nil {
 		return "", err
 	}
@@ -116,10 +279,14 @@ func (c *Client[T]) UpdateBatch(items []T, weights []int64) error {
 	return nil
 }
 
-// updateBlock ships one UB block of at most MaxWireBatch pairs.
+// updateBlock ships one block of at most MaxWireBatch pairs — a UB
+// block in text framing, one opPairs frame in binary framing.
 func (c *Client[T]) updateBlock(items []T, weights []int64) error {
 	if len(items) == 0 {
 		return nil
+	}
+	if c.bin {
+		return c.updateBlockBinary(items, weights)
 	}
 	if _, err := fmt.Fprintf(c.w, "UB %d\n", len(items)); err != nil {
 		return err
@@ -138,6 +305,38 @@ func (c *Client[T]) updateBlock(items []T, weights []int64) error {
 		return err
 	}
 	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return fmt.Errorf("server: %s", line[4:])
+	}
+	var n int
+	if _, err := fmt.Sscanf(line, "OK %d", &n); err != nil || n != len(items) {
+		return fmt.Errorf("server: unexpected batch response %q", line)
+	}
+	return nil
+}
+
+// updateBlockBinary encodes one pairs frame — pairSize bytes per
+// update, little-endian item then weight — and waits for the same
+// "OK <n>" the text block gets. The encoding buffer is reused, so a
+// steady stream of equal-size blocks allocates nothing.
+func (c *Client[T]) updateBlockBinary(items []T, weights []int64) error {
+	need := len(items) * pairSize
+	if cap(c.cmdBuf) < need {
+		c.cmdBuf = make([]byte, need)
+	}
+	buf := c.cmdBuf[:need]
+	for i := range items {
+		binary.LittleEndian.PutUint64(buf[i*pairSize:], uint64(int64(items[i])))
+		binary.LittleEndian.PutUint64(buf[i*pairSize+8:], uint64(weights[i]))
+	}
+	if err := c.writeFrame(opPairs, buf); err != nil {
+		return err
+	}
+	line, err := c.readLine()
 	if err != nil {
 		return err
 	}
@@ -173,7 +372,7 @@ func (c *Client[T]) readMulti(header string) ([]freq.Row[T], error) {
 	}
 	rows := make([]freq.Row[T], 0, n)
 	for i := 0; i < n; i++ {
-		line, err := c.r.ReadString('\n')
+		line, err := c.readLine()
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +452,7 @@ func (c *Client[T]) readSnapshot(header string) (*freq.Sketch[T], error) {
 		return nil, fmt.Errorf("server: bad snapshot header %q", header)
 	}
 	blob := make([]byte, n)
-	if _, err := io.ReadFull(c.r, blob); err != nil {
+	if err := c.readBlobInto(blob); err != nil {
 		return nil, err
 	}
 	sk, err := freq.New[T](64)

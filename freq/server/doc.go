@@ -9,12 +9,18 @@
 //
 // # Framing
 //
-// The protocol is line-oriented UTF-8: one request per '\n'-terminated
-// line, fields separated by any run of spaces or tabs, at most 64 KiB
-// per line. Command words are case-insensitive; items and weights are
-// decimal int64. Blank lines are ignored. The only non-line payload is
-// the SNAPSHOT reply, which carries a binary blob of exactly the
-// announced length immediately after its header line.
+// Every connection starts in the text framing below. A client may send
+// "HELLO BIN 1" to negotiate the length-prefixed binary framing (see
+// "Binary framing"), which carries the same commands and byte-identical
+// replies at a fraction of the per-item cost; the text protocol remains
+// the debugging surface ("printf | nc" keeps working forever).
+//
+// The text protocol is line-oriented UTF-8: one request per
+// '\n'-terminated line, fields separated by any run of spaces or tabs,
+// at most 64 KiB per line. Command words are case-insensitive; items
+// and weights are decimal int64. Blank lines are ignored. The only
+// non-line payload is the SNAPSHOT reply, which carries a binary blob
+// of exactly the announced length immediately after its header line.
 //
 // Every request receives exactly one reply (a single line, a MULTI
 // block, or a SNAP header plus blob) in request order, so clients may
@@ -42,6 +48,7 @@
 //	RANGE <f> <t> <cmd> .. historical range query      -> the scoped command's ordinary reply
 //	ROTATE                advance the window          -> "OK <rotations>"
 //	RESET                 clear the summary           -> "OK"
+//	HELLO <proto> <ver>   negotiate framing           -> "HELLO <proto> <ver>" or ERR
 //	QUIT                  close the connection        -> "BYE"
 //
 // A MULTI block is a header line "MULTI <k>" followed by k lines
@@ -142,6 +149,56 @@
 // "BYE" therefore also acknowledges the flush. Readers on other
 // connections may lag a connection's unflushed tail by at most one batch
 // (freq.DefaultBatchSize pairs).
+//
+// # Binary framing
+//
+// "HELLO BIN 1" upgrades a connection to binary framing v1 — the bulk
+// ingest path for high-rate collectors, where a frame of fixed-width
+// pairs decodes into the sketch's partitioned bulk path with zero
+// copies. Negotiation happens in text, so it composes with servers of
+// any age:
+//
+//	client                         server
+//	  | -- "HELLO BIN 1\n" ------->  |
+//	  | <------ "HELLO BIN 1\n" --   |   upgrade: both sides binary now
+//	  | <- "ERR unknown command.." - |   old server: stay text, no desync
+//	  | <- "ERR unsupported ..." --- |   version skew: stay text, no desync
+//
+// The reply is the last text line either side sends on an upgraded
+// connection; every subsequent byte in both directions is framed as
+//
+//	+--------+--------------------------------+----------------------+
+//	| opcode | payload length (uint32 LE)     | payload              |
+//	| 1 byte | 4 bytes                        | <length> bytes       |
+//	+--------+--------------------------------+----------------------+
+//
+// with three opcodes:
+//
+//	0x01 PAIRS  client->server  bulk update block: length/16 pairs,
+//	                            each [item int64 LE][weight int64 LE].
+//	                            Reply: "OK <count>", as for UB.
+//	0x02 CMD    client->server  one text command line (no newline
+//	                            needed); any command except UB.
+//	0x81 REPLY  server->client  every reply: the payload is exactly the
+//	                            bytes the text framing would have sent
+//	                            for the same command, including MULTI
+//	                            blocks and SNAP header+blob.
+//
+// A PAIRS block follows UB's rules: all-or-nothing validation, at most
+// 2^20 pairs per frame (MaxFrameBytes caps the payload at 16 MiB), zero
+// weights are no-ops, a negative weight rejects the whole frame with
+// ERR and applies nothing. A misaligned PAIRS length or an unknown
+// opcode is answered with an ERR frame and the payload is discarded —
+// the length prefix keeps the stream synchronized, so the connection
+// stays usable. A length exceeding MaxFrameBytes is answered once and
+// the connection dropped, mirroring the text protocol's oversized-UB
+// policy. UB itself is rejected over CMD frames (its pair lines belong
+// to the text framing); HELLO inside a CMD frame cannot downgrade an
+// upgraded connection.
+//
+// Because replies are byte-identical across framings, the two protocols
+// are one protocol under two encodings; the cross-framing conformance
+// suite holds them to that.
 //
 // # Errors
 //

@@ -1,0 +1,83 @@
+// FuzzBinaryFrameDecode throws arbitrary bytes at a freshly-negotiated
+// binary connection: truncated frames, hostile lengths, version skew,
+// opcode garbage. The invariants are (1) the handler never panics and
+// always terminates once the peer hangs up, and (2) the server itself
+// stays fully usable afterward — a poisoned connection must never
+// poison the shared summary.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+func FuzzBinaryFrameDecode(f *testing.F) {
+	// A valid pairs frame.
+	f.Add(pairsFrame([]int64{7, 8}, []int64{100, 50}))
+	// Truncated pairs frame: header promises more than arrives.
+	f.Add([]byte{opPairs, 32, 0, 0, 0, 1, 2, 3})
+	// Hostile length: 4 GiB-ish announcement.
+	f.Add([]byte{opPairs, 0xff, 0xff, 0xff, 0xff})
+	// Exactly the cap plus one.
+	hostile := []byte{opPairs, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(hostile[1:], MaxFrameBytes+1)
+	f.Add(hostile)
+	// Unknown opcodes, empty frames, reply opcode from a client.
+	f.Add([]byte{0x00, 0, 0, 0, 0})
+	f.Add([]byte{opReply, 4, 0, 0, 0, 'O', 'K', ' ', '1'})
+	// A command frame, and one smuggling a newline / a UB.
+	f.Add([]byte{opCmd, 6, 0, 0, 0, 'E', 'S', 'T', ' ', '4', '2'})
+	f.Add([]byte{opCmd, 9, 0, 0, 0, 'E', 'S', 'T', '\n', 'T', 'O', 'P', 'K', '1'})
+	f.Add([]byte{opCmd, 4, 0, 0, 0, 'U', 'B', ' ', '2'})
+	// Version skew attempt re-negotiated mid-binary.
+	f.Add([]byte{opCmd, 11, 0, 0, 0, 'H', 'E', 'L', 'L', 'O', ' ', 'B', 'I', 'N', ' ', '2'})
+	// Bare header, no payload at all.
+	f.Add([]byte{opPairs, 16, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv, err := New(Config{MaxCounters: 256, Shards: 2, WindowIntervals: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, serverEnd := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.handle(serverEnd)
+		}()
+		// net.Pipe is synchronous: drain replies so the handler's writes
+		// never block against our writes.
+		go io.Copy(io.Discard, client)
+		io.WriteString(client, "HELLO BIN 1\n")
+		client.Write(data)
+		client.Close()
+		<-done
+
+		// The server must remain usable after the hostile connection.
+		c2, s2 := net.Pipe()
+		h2 := make(chan struct{})
+		go func() {
+			defer close(h2)
+			srv.handle(s2)
+		}()
+		r := bufio.NewReader(c2)
+		io.WriteString(c2, "U 1 1\nEST 1\nQUIT\n")
+		var lines []string
+		for i := 0; i < 3; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("server unusable after fuzz connection: %v (got %q)", err, lines)
+			}
+			lines = append(lines, strings.TrimSpace(line))
+		}
+		if lines[0] != "OK" || !strings.HasPrefix(lines[1], "EST ") || lines[2] != "BYE" {
+			t.Fatalf("server misbehaving after fuzz connection: %q", lines)
+		}
+		c2.Close()
+		<-h2
+	})
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -32,6 +33,12 @@ type Config struct {
 	// history of retired window slots (typically a *store.Store[int64]
 	// installed as the window's rotation sink). Nil disables RANGE.
 	Store RangeStore
+	// Seed, when nonzero, pins the sketch hash seeds: two servers built
+	// with the same Seed and geometry hold byte-identical summary state
+	// after identical update streams, so their SNAP encodings compare
+	// equal — the property the cross-framing conformance suite asserts.
+	// Zero (the default) draws independent random seeds per server.
+	Seed uint64
 }
 
 // RangeStore is the historical query surface the RANGE commands serve
@@ -69,7 +76,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = 8
 	}
-	sk, err := freq.NewConcurrent[int64](cfg.MaxCounters, freq.WithShards(cfg.Shards))
+	opts := []freq.Option{freq.WithShards(cfg.Shards)}
+	if cfg.Seed != 0 {
+		opts = append(opts, freq.WithSeed(cfg.Seed))
+	}
+	sk, err := freq.NewConcurrent[int64](cfg.MaxCounters, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +90,13 @@ func New(cfg Config) (*Server, error) {
 		conns:  map[net.Conn]struct{}{},
 	}
 	if cfg.WindowIntervals > 0 {
-		win, err := freq.NewConcurrentWindowed[int64](cfg.MaxCounters, cfg.WindowIntervals)
+		var wopts []freq.Option
+		if cfg.Seed != 0 {
+			// Vary the pinned seed so the window ring never correlates
+			// with the all-time summary's shards.
+			wopts = append(wopts, freq.WithSeed(cfg.Seed^0x77696e646f777331))
+		}
+		win, err := freq.NewConcurrentWindowed[int64](cfg.MaxCounters, cfg.WindowIntervals, wopts...)
 		if err != nil {
 			return nil, err
 		}
@@ -198,10 +215,21 @@ const MaxWireBatch = 1 << 20
 // goroutine per connection makes the writer's single-goroutine contract
 // hold by construction).
 type conn struct {
-	srv    *Server
-	sc     *bufio.Scanner
+	srv *Server
+	// r replaces the line scanner so the connection can switch framings:
+	// after a HELLO BIN upgrade the same buffered reader hands out binary
+	// frames with nothing lost between the framing boundary.
+	r *bufio.Reader
+	// nw is the buffered writer over the real connection. w is where
+	// dispatch writes command replies: identical to nw in text framing,
+	// redirected into replyBuf in binary framing so each reply is framed
+	// whole (see binaryLoop).
+	nw     *bufio.Writer
 	w      *bufio.Writer
 	writer *freq.Writer[int64]
+	// bin is set by a successful HELLO BIN negotiation; the text loop
+	// hands the connection to binaryLoop when it sees it.
+	bin bool
 	// winItems/winWeights buffer this connection's single-U updates for
 	// the windowed twin, mirroring the Writer's batching for the
 	// all-time summary: without it every U would take the one
@@ -221,6 +249,40 @@ type conn struct {
 	// clears and refills it in place (QueryInto), so a poll loop over a
 	// stable range allocates nothing after the first query.
 	rangeSk *freq.Sketch[int64]
+	// Binary-framing state (see binary.go): pairBuf is the reusable
+	// frame payload buffer, allocated as pairs so the little-endian wire
+	// layout reinterprets in place with correct alignment; replyBuf and
+	// bw capture a command's reply so it can be framed whole; okBuf
+	// renders the hot-path "OK <n>" acknowledgements without fmt.
+	pairBuf  []freq.Pair[int64]
+	replyBuf bytes.Buffer
+	bw       *bufio.Writer
+	okBuf    []byte
+	// hdr is the frame-header scratch shared by the read and write
+	// sides (never live at once): a local array would escape through
+	// the io interfaces and cost one heap allocation per frame.
+	hdr [frameHeader]byte
+}
+
+// errLineTooLong drops connections whose current line exceeds the
+// 64 KiB framing limit; there is no way to resynchronize mid-line.
+var errLineTooLong = errors.New("server: line exceeds 64 KiB limit")
+
+// readLine returns the next '\n'-terminated line (delimiter stripped,
+// final unterminated line included), or an error when the connection is
+// done or a line overflows the read buffer.
+func (c *conn) readLine() (string, error) {
+	b, err := c.r.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return "", errLineTooLong
+		}
+		if err == io.EOF && len(b) > 0 {
+			return string(b), nil
+		}
+		return "", err
+	}
+	return string(b[:len(b)-1]), nil
 }
 
 // addWindowed buffers one windowed update, flushing at the writer's
@@ -252,13 +314,17 @@ func (s *Server) handle(nc net.Conn) {
 		return // unreachable: no options are passed
 	}
 	defer writer.Close()
-	c := &conn{srv: s, sc: bufio.NewScanner(nc), w: bufio.NewWriter(nc), writer: writer}
+	nw := bufio.NewWriter(nc)
+	c := &conn{srv: s, r: bufio.NewReaderSize(nc, 64*1024), nw: nw, w: nw, writer: writer}
 	if s.win != nil {
 		defer c.flushWindowed()
 	}
-	c.sc.Buffer(make([]byte, 64*1024), 64*1024)
-	for c.sc.Scan() {
-		line := strings.TrimSpace(c.sc.Text())
+	for {
+		line, rerr := c.readLine()
+		if rerr != nil {
+			return
+		}
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
@@ -269,10 +335,16 @@ func (s *Server) handle(nc net.Conn) {
 			// reply stream.
 			fmt.Fprintf(c.w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", "; "))
 		}
-		if err := c.w.Flush(); err != nil {
+		if err := c.nw.Flush(); err != nil {
 			return
 		}
 		if quit {
+			return
+		}
+		if c.bin {
+			// A successful HELLO BIN was just acknowledged in text; every
+			// byte from here on is binary-framed.
+			c.binaryLoop()
 			return
 		}
 	}
@@ -356,10 +428,11 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		for i := 0; i < n; i++ {
 			// Consume the whole block even past a bad line, so one
 			// malformed pair does not desynchronize the protocol.
-			if !c.sc.Scan() {
+			pairLine, rerr := c.readLine()
+			if rerr != nil {
 				return true, errors.New("connection closed mid-batch")
 			}
-			f := strings.Fields(c.sc.Text())
+			f := strings.Fields(pairLine)
 			if parseErr != nil {
 				continue
 			}
@@ -480,6 +553,31 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 			s.win.Reset()
 		}
 		fmt.Fprintln(w, "OK")
+	case "HELLO":
+		// Framing negotiation. "HELLO BIN 1" upgrades the connection to
+		// the length-prefixed binary framing (acknowledged in text — the
+		// switch happens after this reply flushes); "HELLO TEXT 1"
+		// explicitly confirms the default. Anything else is a sanitized
+		// one-line ERR and the connection stays in text framing, fully
+		// synchronized: HELLO is a single line, so there is nothing in
+		// flight to drain.
+		if len(args) != 2 {
+			return false, errors.New("usage: HELLO <BIN|TEXT> <version>")
+		}
+		proto := strings.ToUpper(args[0])
+		ver, verr := strconv.Atoi(args[1])
+		if verr != nil {
+			return false, errors.New("usage: HELLO <BIN|TEXT> <version>")
+		}
+		switch {
+		case proto == "BIN" && ver == binaryVersion:
+			c.bin = true
+			fmt.Fprintf(w, "HELLO BIN %d\n", binaryVersion)
+		case proto == "TEXT" && ver == 1:
+			fmt.Fprintln(w, "HELLO TEXT 1")
+		default:
+			return false, fmt.Errorf("unsupported protocol %s %d (want BIN %d or TEXT 1)", proto, ver, binaryVersion)
+		}
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
 		return true, nil
@@ -495,7 +593,7 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 // connection stayed alive.
 func (c *conn) drainLines(n int) bool {
 	for i := 0; i < n; i++ {
-		if !c.sc.Scan() {
+		if _, err := c.readLine(); err != nil {
 			return false
 		}
 	}

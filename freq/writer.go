@@ -58,6 +58,17 @@ type pair[T comparable] struct {
 	weight int64
 }
 
+// Pair is one (item, weight) update in the row layout the bulk paths
+// share with the wire protocol's binary ingest frames: the item followed
+// by its int64 weight, side by side. For 8-byte integer item types this
+// is exactly the 16-byte little-endian block a binary wire frame
+// carries, so a received frame reinterprets as a []Pair[int64] and feeds
+// Writer.AddPairs without any per-pair decoding.
+type Pair[T comparable] struct {
+	Item   T
+	Weight int64
+}
+
 // asPairSlice reinterprets a whole []pair[T] as []hashmap.Pair without
 // copying. Called only on the fast path, where T is an 8-byte integer
 // kind, so the layouts match exactly.
@@ -136,6 +147,66 @@ func (w *Writer[T]) Add(item T, weight int64) error {
 	sh.pairs[sh.n] = pair[T]{item, weight}
 	sh.n++
 	w.buffered++
+	if w.buffered >= w.batchSize {
+		return w.Flush()
+	}
+	return nil
+}
+
+// AddPairs buffers a whole batch of weighted updates — the frame-decode
+// hot path of the binary wire protocol, where a received pair block is
+// partitioned into the per-shard buffers in one pass. Validation is
+// all-or-nothing and happens before anything is buffered: a negative
+// weight anywhere rejects the entire batch with ErrNegativeWeight and
+// buffers none of it. Zero-weight pairs are skipped as no-ops. Shards
+// that fill mid-batch flush themselves, and the writer flushes as usual
+// once BatchSize pairs are pending, so callers may hand over slices that
+// alias transient network buffers: every pair is copied out before
+// AddPairs returns.
+func (w *Writer[T]) AddPairs(pairs []Pair[T]) error {
+	if w.closed {
+		return ErrWriterClosed
+	}
+	for i := range pairs {
+		if pairs[i].Weight < 0 {
+			return ErrNegativeWeight
+		}
+	}
+	if w.fast != nil {
+		for i := range pairs {
+			p := pairs[i]
+			if p.Weight == 0 {
+				continue
+			}
+			j := w.fast.ShardIndex(asInt64(p.Item))
+			sh := &w.shards[j]
+			if sh.n == len(sh.pairs) {
+				if err := w.flushShard(j); err != nil {
+					return err
+				}
+			}
+			sh.pairs[sh.n] = pair[T]{p.Item, p.Weight}
+			sh.n++
+			w.buffered++
+		}
+	} else {
+		for i := range pairs {
+			p := pairs[i]
+			if p.Weight == 0 {
+				continue
+			}
+			j := w.slowShardIndex(p.Item)
+			sh := &w.shards[j]
+			if sh.n == len(sh.pairs) {
+				if err := w.flushShard(j); err != nil {
+					return err
+				}
+			}
+			sh.pairs[sh.n] = pair[T]{p.Item, p.Weight}
+			sh.n++
+			w.buffered++
+		}
+	}
 	if w.buffered >= w.batchSize {
 		return w.Flush()
 	}

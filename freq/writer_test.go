@@ -145,3 +145,79 @@ func TestWriterCloseReportsFlushFailure(t *testing.T) {
 		t.Fatalf("post-Close Add: got %v", err)
 	}
 }
+
+// addPairsParity drives AddPairs and the per-item Add loop over the
+// same stream on twin sketches and asserts identical results, then
+// checks the all-or-nothing rejection and closed-writer surfaces. The
+// backend is picked by the item type: int64 takes the fast sharded
+// path, string the generic map-backed one.
+func addPairsParity[T comparable](t *testing.T, mkItem func(i int) T) {
+	t.Helper()
+	mk := func() (*Concurrent[T], *Writer[T]) {
+		c, err := NewConcurrent[T](1024, WithShards(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWriter(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, w
+	}
+	pairs := make([]Pair[T], 0, 3000)
+	for i := 0; i < 3000; i++ {
+		// Includes zero weights, which AddPairs must skip as no-ops.
+		pairs = append(pairs, Pair[T]{Item: mkItem(i % 37), Weight: int64(i % 5)})
+	}
+
+	cBatch, wBatch := mk()
+	if err := wBatch.AddPairs(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := wBatch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cLoop, wLoop := mk()
+	for _, p := range pairs {
+		if err := wLoop.Add(p.Item, p.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wLoop.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cBatch.StreamWeight(), cLoop.StreamWeight(); got != want {
+		t.Fatalf("stream weight: AddPairs %d, Add loop %d", got, want)
+	}
+	for i := 0; i < 37; i++ {
+		item := mkItem(i)
+		if got, want := cBatch.Estimate(item), cLoop.Estimate(item); got != want {
+			t.Fatalf("item %v: AddPairs estimate %d, Add loop %d", item, got, want)
+		}
+	}
+
+	// All-or-nothing rejection: a poisoned pair buffers nothing.
+	_, wBad := mk()
+	err := wBad.AddPairs([]Pair[T]{{Item: mkItem(1), Weight: 5}, {Item: mkItem(2), Weight: -1}})
+	if !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("AddPairs with negative weight: %v, want ErrNegativeWeight", err)
+	}
+	if n := wBad.Buffered(); n != 0 {
+		t.Fatalf("%d pairs buffered after rejected batch, want 0", n)
+	}
+
+	// Closed writer refuses batches.
+	_, wClosed := mk()
+	wClosed.Close()
+	if err := wClosed.AddPairs(pairs[:1]); !errors.Is(err, ErrWriterClosed) {
+		t.Fatalf("AddPairs after Close: %v, want ErrWriterClosed", err)
+	}
+}
+
+func TestWriterAddPairsFast(t *testing.T) {
+	addPairsParity(t, func(i int) int64 { return int64(i) })
+}
+
+func TestWriterAddPairsGeneric(t *testing.T) {
+	addPairsParity(t, func(i int) string { return strings.Repeat("x", 1+i%3) + string(rune('a'+i%26)) })
+}

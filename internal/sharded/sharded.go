@@ -27,6 +27,13 @@ type Sketch struct {
 	shards []shard
 	mask   uint64
 	seed   uint64
+	// mergeSeed seeds the merged view/snapshot sketches when the shards
+	// were built with a pinned seed: two sketches constructed with the
+	// same seed then fed the same stream produce byte-identical snapshot
+	// encodings — the reproducibility contract the wire protocol's
+	// cross-framing conformance suite asserts. Zero (the unpinned case)
+	// keeps the per-sketch random draw.
+	mergeSeed uint64
 
 	// Epoch-cached merged read view (see View). viewMu guards the three
 	// fields below; it is never held while a shard lock is being waited
@@ -90,13 +97,18 @@ func NewWithOptions(numShards int, opts core.Options) (*Sketch, error) {
 	}
 	n := NumShardsFor(numShards)
 	routeSeed := uint64(0x5a4d5bfe1c0ffee5)
+	mergeSeed := uint64(0)
 	if opts.Seed != 0 {
 		routeSeed = xrand.Mix64(opts.Seed ^ 0xc0ffee5a4d5bfe1c)
+		if mergeSeed = xrand.Mix64(opts.Seed ^ 0x51ed270b9f602a4d); mergeSeed == 0 {
+			mergeSeed = 1
+		}
 	}
 	sk := &Sketch{
-		shards: make([]shard, n),
-		mask:   uint64(n - 1),
-		seed:   routeSeed,
+		shards:    make([]shard, n),
+		mask:      uint64(n - 1),
+		seed:      routeSeed,
+		mergeSeed: mergeSeed,
 	}
 	for i := range sk.shards {
 		shardOpts := opts
@@ -387,16 +399,26 @@ func (sk *Sketch) mergeWorkers() int {
 // SMIN convention, which Options spells QuantileMin). Growth stays
 // enabled: MergeDisjoint pre-grows to the actual counter count in one
 // step per merge, so a sparse sketch gets a small merged table instead
-// of one sized for the full configured budget.
-func (sk *Sketch) mergeOptions(budget int) core.Options {
+// of one sized for the full configured budget. Under a pinned seed the
+// merged sketch's own hash seed is derived deterministically (distinct
+// per salt, so worker partials and the combined output never share a
+// hash function); unpinned sketches keep the random per-sketch draw.
+func (sk *Sketch) mergeOptions(budget int, salt uint64) core.Options {
 	q := sk.shards[0].s.Quantile()
 	if q == 0 {
 		q = core.QuantileMin
+	}
+	seed := uint64(0)
+	if sk.mergeSeed != 0 {
+		if seed = xrand.Mix64(sk.mergeSeed + (salt+1)*0x9e3779b97f4a7c15); seed == 0 {
+			seed = 1
+		}
 	}
 	return core.Options{
 		MaxCounters: budget,
 		Quantile:    q,
 		SampleSize:  sk.shards[0].s.SampleSize(),
+		Seed:        seed,
 	}
 }
 
@@ -416,7 +438,7 @@ func (sk *Sketch) buildMerged(epochs []uint64) (*core.Sketch, error) {
 	for i := range sk.shards {
 		total += sk.shards[i].s.MaxCounters()
 	}
-	out, err := core.NewWithOptions(sk.mergeOptions(total))
+	out, err := core.NewWithOptions(sk.mergeOptions(total, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -444,7 +466,7 @@ func (sk *Sketch) buildMerged(epochs []uint64) (*core.Sketch, error) {
 			for i := w; i < len(sk.shards); i += workers {
 				budget += sk.shards[i].s.MaxCounters()
 			}
-			p, err := core.NewWithOptions(sk.mergeOptions(budget))
+			p, err := core.NewWithOptions(sk.mergeOptions(budget, uint64(w)+1))
 			if err != nil {
 				errs[w] = err
 				return
