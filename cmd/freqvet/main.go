@@ -1,0 +1,43 @@
+// Command freqvet runs the repo's custom static-analysis suite — the
+// machine-checked form of the invariants every hot path depends on —
+// alongside an in-house curated set of stock-vet-style analyzers.
+//
+//	go run ./cmd/freqvet ./...
+//
+// exits 0 only when the tree is clean; any finding (or an unexplained
+// //freqvet:ignore) is an error, which is how CI gates on it. See
+// docs/ARCHITECTURE.md ("Static invariants") for each analyzer's
+// contract and annotation syntax.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/passes/copylocks"
+	"repro/internal/analysis/passes/epochlock"
+	"repro/internal/analysis/passes/loopclosure"
+	"repro/internal/analysis/passes/nilness"
+	"repro/internal/analysis/passes/noalloc"
+	"repro/internal/analysis/passes/shadow"
+	"repro/internal/analysis/passes/unsafeallow"
+	"repro/internal/analysis/passes/wirereply"
+)
+
+// suite is freqvet's analyzer set: the four invariant checkers first,
+// then the stock-style general passes.
+var suite = []*analysis.Analyzer{
+	noalloc.Analyzer,
+	epochlock.Analyzer,
+	unsafeallow.Analyzer,
+	wirereply.Analyzer,
+	copylocks.Analyzer,
+	loopclosure.Analyzer,
+	shadow.Analyzer,
+	nilness.Analyzer,
+}
+
+func main() {
+	os.Exit(driver.Main(os.Stdout, os.Args[1:], suite))
+}

@@ -1,0 +1,63 @@
+// Package analysis is the repo's in-house static-analysis framework: a
+// stdlib-only mirror of the golang.org/x/tools/go/analysis API shape,
+// built so the freqvet analyzers (see the passes subdirectory and
+// cmd/freqvet) can machine-check the invariants every hot path depends
+// on — zero-alloc kernels, epoch-bump-under-lock discipline, confined
+// unsafe, single-line sanitized wire replies — without pulling a module
+// dependency the build environment may not have.
+//
+// An Analyzer inspects one type-checked package at a time through a
+// Pass and reports Diagnostics. The driver subpackage loads packages
+// (via `go list -export`) and runs analyzer suites; the analysistest
+// subpackage runs an analyzer over source fixtures with `// want`
+// expectations, mirroring x/tools' analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//freqvet:ignore <name>` suppression comments.
+	Name string
+	// Doc is the one-paragraph description `freqvet -help` prints.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one analyzer run and the driver: the
+// type-checked syntax of a single package plus the Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// PkgPath is the import path as the go tool reports it (for the
+	// root module's packages, e.g. "repro/internal/sharded").
+	PkgPath string
+	// Pkg is the package's type information.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression records.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}

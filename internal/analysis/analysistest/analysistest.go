@@ -1,0 +1,235 @@
+// Package analysistest runs a freqvet analyzer over source fixtures
+// and checks its diagnostics against `// want` expectations embedded in
+// the fixture — the stdlib-only mirror of x/tools' analysistest.
+//
+// Fixtures live under <caller>/testdata/src/<pkg>/ and are ordinary Go
+// files outside the module. A line that should be flagged carries a
+// trailing comment of quoted regular expressions:
+//
+//	fmt.Println(x) // want `noalloc` `fmt`
+//
+// Every expectation must be matched by a diagnostic on its line and
+// every diagnostic must be claimed by an expectation, so fixtures pin
+// both the flagged and the clean cases.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// Run analyzes each fixture package (a directory under
+// testdata/src, named by its slash-separated path, which also becomes
+// the package's import path) and reports expectation mismatches as
+// test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(strings.ReplaceAll(pkg, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(testdata, "src", filepath.FromSlash(pkg)), pkg, a)
+		})
+	}
+}
+
+// TestData returns the caller's testdata directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			t.Fatalf("parse: %v", perr)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: stdImporter(t, fset, files)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := driver.Analyze(fset, files, pkgPath, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	want := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, ok := parseWant(t, c.Text)
+				if !ok {
+					continue
+				}
+				k := key{name, fset.Position(c.Pos()).Line}
+				want[k] = append(want[k], res...)
+			}
+		}
+	}
+
+	keys := map[key]bool{}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	sorted := make([]key, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].file != sorted[j].file {
+			return sorted[i].file < sorted[j].file
+		}
+		return sorted[i].line < sorted[j].line
+	})
+	for _, k := range sorted {
+		msgs, res := got[k], want[k]
+		claimed := make([]bool, len(msgs))
+		for _, re := range res {
+			found := false
+			for i, m := range msgs {
+				if !claimed[i] && re.MatchString(m) {
+					claimed[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got %q", k.file, k.line, re, msgs)
+			}
+		}
+		for i, m := range msgs {
+			if !claimed[i] {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want ...` comment.
+func parseWant(t *testing.T, text string) ([]*regexp.Regexp, bool) {
+	t.Helper()
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, false
+	}
+	var out []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			t.Errorf("malformed want comment: %q", text)
+			return nil, false
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			t.Errorf("unterminated quote in want comment: %q", text)
+			return nil, false
+		}
+		re, err := regexp.Compile(rest[1 : 1+end])
+		if err != nil {
+			t.Errorf("bad regexp in want comment: %v", err)
+			return nil, false
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	return out, true
+}
+
+// stdImporter builds an importer for the fixture's (stdlib-only)
+// imports from `go list -export` build-cache data.
+func stdImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	seen := map[string]bool{}
+	var paths []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != "unsafe" && !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(paths) > 0 {
+		cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-export", "-json"}, paths...)...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("go list for fixture imports: %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct {
+				ImportPath string
+				Export     string
+			}
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("go list decode: %v", err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return driver.NewExportImporter(fset, exports)
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The freqvet annotation language. Annotations are ordinary comments
+// carrying machine-checked contracts; they are deliberately tiny:
+//
+//	//freq:noalloc
+//	    On a function: the body must stay free of heap-escaping
+//	    constructs (checked by the noalloc pass). On a package doc
+//	    comment: applies to every function in the package.
+//
+//	//freq:locked(mu)
+//	    On a function or method: the caller must hold the named mutex
+//	    (a field of the receiver) at every call site. The epochlock
+//	    pass verifies call sites and exempts the body's own guarded
+//	    accesses.
+//
+//	//freq:guardedBy(mu)
+//	    On a struct field: every access to the field must happen with
+//	    the sibling mutex field held.
+//
+//	//freq:epoch(epoch, M1 M2 ...)
+//	    On a struct field (alongside guardedBy): calling one of the
+//	    listed mutating methods through the field additionally requires
+//	    the sibling epoch counter to have been bumped (epoch.Add(1))
+//	    inside the same locked region, before the mutation.
+//
+//	//freq:sanitizer
+//	    On a function: its string result is wire-safe (single line).
+//	    The wirereply pass requires error text flowing into ERR replies
+//	    to pass through such a function.
+//
+//	//freqvet:ignore <analyzer> <reason>
+//	    On the offending line or the line directly above: waives one
+//	    analyzer's findings for that line. The reason is mandatory —
+//	    every waiver is a reviewed diff.
+
+// Directive is one parsed //freq: annotation.
+type Directive struct {
+	// Name is the directive kind: "noalloc", "locked", "guardedBy",
+	// "epoch", "sanitizer".
+	Name string
+	// Args are the comma-separated arguments inside the parentheses,
+	// trimmed; nil when the directive has no argument list.
+	Args []string
+	Pos  token.Pos
+}
+
+const directivePrefix = "//freq:"
+
+// parseDirective parses one comment line as a directive, or reports ok
+// false when the comment is not a //freq: annotation.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	body := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+	d := Directive{Pos: c.Pos()}
+	if i := strings.IndexByte(body, '('); i >= 0 {
+		j := strings.LastIndexByte(body, ')')
+		if j < i {
+			return Directive{}, false
+		}
+		d.Name = strings.TrimSpace(body[:i])
+		for _, a := range strings.Split(body[i+1:j], ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				d.Args = append(d.Args, a)
+			}
+		}
+	} else {
+		d.Name = strings.TrimSpace(body)
+	}
+	return d, d.Name != ""
+}
+
+// Directives parses every //freq: annotation in a comment group.
+func Directives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FuncDirective returns the named directive from a function's doc
+// comment, or ok false.
+func FuncDirective(fd *ast.FuncDecl, name string) (Directive, bool) {
+	for _, d := range Directives(fd.Doc) {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FieldDirective returns the named directive from a struct field's doc
+// or trailing comment, or ok false.
+func FieldDirective(f *ast.Field, name string) (Directive, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		for _, d := range Directives(cg) {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// PackageHasDirective reports whether any file-level package doc
+// comment in the pass carries the named directive (e.g. a package-wide
+// //freq:noalloc).
+func PackageHasDirective(files []*ast.File, name string) bool {
+	for _, f := range files {
+		for _, d := range Directives(f.Doc) {
+			if d.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//freqvet:ignore"
+
+// Suppression is one parsed //freqvet:ignore waiver.
+type Suppression struct {
+	// Analyzer is the waived analyzer's name, or "*" for all.
+	Analyzer string
+	// Reason is the mandatory free-text justification.
+	Reason string
+	Pos    token.Pos
+}
+
+// ParseSuppressions collects every //freqvet:ignore comment in a file.
+// A waiver without a reason is returned with Reason "" so the driver
+// can reject it: an unexplained suppression is itself a finding.
+func ParseSuppressions(f *ast.File) []Suppression {
+	var out []Suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			out = append(out, Suppression{
+				Analyzer: name,
+				Reason:   strings.TrimSpace(reason),
+				Pos:      c.Pos(),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package driver loads type-checked packages and runs freqvet analyzer
+// suites over them — the stdlib-only counterpart of x/tools'
+// multichecker. Packages are enumerated and resolved by the go tool
+// itself (`go list -deps -export -json`), so the driver sees exactly
+// the files and dependency graph a build would, and imports are
+// satisfied from compiler export data rather than re-typechecking the
+// world from source.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Diag is one rendered diagnostic.
+type Diag struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// load runs go list in dir and returns the full dependency closure with
+// export data, targets first marked via DepOnly.
+func load(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies imports from `go list -export` build-cache
+// files, with the mandatory special case for the virtual unsafe package.
+type exportImporter struct {
+	gc      types.Importer
+	exports map[string]string
+}
+
+// NewExportImporter builds a caching importer over a map of import path
+// to `go list -export` build-cache file (shared with analysistest).
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return newExportImporter(fset, exports)
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	imp := &exportImporter{exports: exports}
+	imp.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return imp
+}
+
+func (imp *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return imp.gc.Import(path)
+}
+
+// Run loads the packages matching patterns (resolved relative to dir)
+// and applies every analyzer to each, returning the surviving
+// diagnostics sorted by position. Suppressed findings are dropped;
+// a //freqvet:ignore with no reason is converted into a finding of its
+// own, so waivers stay justified.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	pkgs, err := load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var diags []Diag
+	for _, p := range pkgs {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		ds, err := runPackage(fset, imp, p, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// runPackage parses, type-checks, and analyzes one package.
+func runPackage(fset *token.FileSet, imp types.Importer, p *listPackage, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return Analyze(fset, files, p.ImportPath, pkg, info, analyzers)
+}
+
+// Analyze runs the analyzers over already-type-checked syntax and
+// applies the suppression filter — shared by Run and analysistest.
+func Analyze(fset *token.FileSet, files []*ast.File, pkgPath string, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	// suppressed maps file:line -> analyzer names waived there (the
+	// waiver's own line covers both that line and the one below it, so
+	// a comment can sit on the offending line or directly above).
+	suppressed := map[string]map[string]bool{}
+	var diags []Diag
+	for _, f := range files {
+		for _, s := range analysis.ParseSuppressions(f) {
+			pos := fset.Position(s.Pos)
+			if s.Analyzer == "" || s.Reason == "" {
+				diags = append(diags, Diag{
+					Position: pos,
+					Analyzer: "freqvet",
+					Message:  "freqvet:ignore needs an analyzer name and a reason: //freqvet:ignore <analyzer> <why>",
+				})
+				continue
+			}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				key := fmt.Sprintf("%s:%d", pos.Filename, line)
+				if suppressed[key] == nil {
+					suppressed[key] = map[string]bool{}
+				}
+				suppressed[key][s.Analyzer] = true
+			}
+		}
+	}
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			PkgPath:   pkgPath,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if s := suppressed[key]; s != nil && (s[name] || s["*"]) {
+				return
+			}
+			diags = append(diags, Diag{Position: pos, Analyzer: name, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %v", pkgPath, name, err)
+		}
+	}
+	return diags, nil
+}
+
+// Main is the shared command entry point: run the suite over the
+// argument patterns (default ./...) and exit nonzero on any finding.
+func Main(out io.Writer, args []string, analyzers []*analysis.Analyzer) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if len(patterns) == 1 && (patterns[0] == "-help" || patterns[0] == "--help") {
+		fmt.Fprintf(out, "usage: freqvet [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n\n")
+			fmt.Fprintf(out, "  %-12s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	diags, err := Run(dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

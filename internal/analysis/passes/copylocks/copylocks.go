@@ -1,0 +1,169 @@
+// Package copylocks is the repo's stdlib-only take on vet's copylocks:
+// values of types that must not be copied (anything containing a
+// pointer-receiver Lock method — sync.Mutex, RWMutex, WaitGroup via
+// noCopy, the sharded backends' shard structs) are flagged when passed,
+// returned, ranged over, or assigned by value.
+package copylocks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "lock-bearing values (sync.Mutex and friends, recursively) must not be copied",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, memo: map[types.Type]bool{}}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				c.checkFuncType(n.Recv, n.Type)
+			case *ast.FuncLit:
+				c.checkFuncType(nil, n.Type)
+			case *ast.RangeStmt:
+				c.checkRange(n)
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.CallExpr:
+				c.checkCall(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	memo map[types.Type]bool
+}
+
+func (c *checker) checkFuncType(recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := c.pass.TypesInfo.Types[field.Type].Type
+			if t != nil && c.containsLock(t) {
+				c.pass.Reportf(field.Type.Pos(), "%s passes lock by value: %s contains a mutex (use a pointer)", what, t)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+func (c *checker) checkRange(r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	t := c.pass.TypesInfo.Types[r.Value].Type
+	if t == nil {
+		if id, ok := r.Value.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				t = obj.Type()
+			}
+		}
+	}
+	if t != nil && c.containsLock(t) {
+		c.pass.Reportf(r.Value.Pos(), "range copies lock by value: %s contains a mutex (range over indices or pointers)", t)
+	}
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !isExistingLocation(rhs) {
+			continue
+		}
+		t := c.pass.TypesInfo.Types[rhs].Type
+		if t != nil && c.containsLock(t) {
+			c.pass.Reportf(as.Lhs[i].Pos(), "assignment copies lock by value: %s contains a mutex", t)
+		}
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversions of lock values are still copies, but flagged at the assignment
+	}
+	for _, arg := range call.Args {
+		if tv, ok := c.pass.TypesInfo.Types[arg]; ok && tv.IsType() {
+			continue // type argument (new(T), make(T, ...)), not a value
+		}
+		if !isExistingLocation(arg) {
+			continue
+		}
+		t := c.pass.TypesInfo.Types[arg].Type
+		if t != nil && c.containsLock(t) {
+			c.pass.Reportf(arg.Pos(), "call copies lock by value: argument type %s contains a mutex", t)
+		}
+	}
+}
+
+// isExistingLocation reports whether e denotes an addressable value
+// that already lives somewhere (copying it duplicates lock state);
+// fresh values (composite literals, calls) are initializations.
+func isExistingLocation(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return isExistingLocation(e.X)
+	}
+	return false
+}
+
+// containsLock reports whether t (recursively through structs, arrays,
+// and embedded fields) contains a type with a pointer-receiver Lock
+// method — the must-not-copy signal sync's noCopy convention relies on.
+func (c *checker) containsLock(t types.Type) bool {
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // cut recursion on cyclic types
+	v := c.computeContainsLock(t)
+	c.memo[t] = v
+	return v
+}
+
+func (c *checker) computeContainsLock(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if m.Name() != "Lock" {
+				continue
+			}
+			sig := m.Type().(*types.Signature)
+			if sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+				if _, ok := sig.Recv().Type().(*types.Pointer); ok {
+					return true
+				}
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.containsLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return c.containsLock(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+// Fixture for the copylocks analyzer: one flagged and one clean case
+// per copy shape.
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func sink(any) {}
+
+// Flagged: a value receiver copies the mutex on every call.
+func (s S) ValueMethod() int { return s.n } // want `receiver passes lock by value: a\.S contains a mutex \(use a pointer\)`
+
+// Flagged: a value parameter.
+func Param(s S) { _ = s.n } // want `parameter passes lock by value: a\.S contains a mutex`
+
+// Flagged: a value result.
+func Result() (s S) { return } // want `result passes lock by value: a\.S contains a mutex`
+
+// Flagged: dereferencing duplicates live lock state.
+func Deref(p *S) {
+	v := *p // want `assignment copies lock by value: a\.S contains a mutex`
+	_ = v.n
+}
+
+// Flagged: ranging by value copies every element.
+func Range(xs []S) int {
+	n := 0
+	for _, s := range xs { // want `range copies lock by value: a\.S contains a mutex \(range over indices or pointers\)`
+		n += s.n
+	}
+	return n
+}
+
+// Flagged: passing the value into a call copies it.
+func Call(p *S) {
+	sink(*p) // want `call copies lock by value: argument type a\.S contains a mutex`
+}
+
+// Clean mirrors.
+
+func PtrParam(p *S) { _ = p.n }
+
+func Fresh() *S {
+	s := S{} // composite literal: initialization, not a copy
+	return &s
+}
+
+func ViaNew() *S {
+	return new(S) // S here is a type argument, not a value
+}
+
+func ByIndex(xs []S) int {
+	n := 0
+	for i := range xs {
+		n += xs[i].n
+	}
+	return n
+}
+
+func ByAddress(p *S) {
+	sink(p)
+}

@@ -1,0 +1,12 @@
+package epochlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/epochlock"
+)
+
+func TestEpochlock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), epochlock.Analyzer, "a")
+}

@@ -1,0 +1,94 @@
+// Package loopclosure is the post-Go-1.22 remnant of vet's loopclosure:
+// per-iteration loop variables made the classic capture bug impossible,
+// but capturing a variable that is declared BEFORE the loop and
+// reassigned INSIDE it from a `go` or `defer` function literal is still
+// the same race — every iteration's goroutine observes the variable's
+// final (or a torn) value.
+package loopclosure
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "loopclosure",
+	Doc:  "go/defer closures in a loop must not capture variables the loop body reassigns",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var loopPos int
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body, loopPos = n.Body, int(n.Pos())
+			case *ast.RangeStmt:
+				body, loopPos = n.Body, int(n.Pos())
+			default:
+				return true
+			}
+			checkLoop(pass, body, loopPos)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLoop(pass *analysis.Pass, body *ast.BlockStmt, loopPos int) {
+	info := pass.TypesInfo
+	// reassigned: objects declared before the loop that the body writes.
+	reassigned := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && int(obj.Pos()) < loopPos {
+						reassigned[obj] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && int(obj.Pos()) < loopPos {
+					reassigned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(reassigned) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		var fl *ast.FuncLit
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			fl, _ = n.Call.Fun.(*ast.FuncLit)
+		case *ast.DeferStmt:
+			fl, _ = n.Call.Fun.(*ast.FuncLit)
+		default:
+			return true
+		}
+		if fl == nil {
+			return true
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := info.Uses[id]; obj != nil && reassigned[obj] {
+				pass.Reportf(id.Pos(),
+					"go/defer closure captures %s, which the enclosing loop reassigns: the closure may observe another iteration's value", id.Name)
+			}
+			return true
+		})
+		return true
+	})
+}

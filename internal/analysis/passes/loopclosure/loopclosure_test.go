@@ -1,0 +1,12 @@
+package loopclosure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/loopclosure"
+)
+
+func TestLoopclosure(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), loopclosure.Analyzer, "a")
+}

@@ -1,0 +1,61 @@
+// Fixture for the loopclosure analyzer: post-1.22 loop variables are
+// safe, but pre-loop variables reassigned inside the loop are not.
+package a
+
+// Flagged: last is declared before the loop and reassigned inside it;
+// every goroutine may observe another iteration's value.
+func GoLeak(xs []int) {
+	var last int
+	for _, x := range xs {
+		last = x
+		go func() {
+			_ = last // want `go/defer closure captures last, which the enclosing loop reassigns`
+		}()
+	}
+}
+
+// Flagged: defer has the same lifetime problem.
+func DeferLeak(xs []int) {
+	var cur int
+	for _, x := range xs {
+		cur = x
+		defer func() {
+			_ = cur // want `go/defer closure captures cur, which the enclosing loop reassigns`
+		}()
+	}
+}
+
+// Flagged: ++ is a reassignment too.
+func IncLeak(n int) {
+	count := 0
+	for i := 0; i < n; i++ {
+		count++
+		go func() {
+			_ = count // want `go/defer closure captures count, which the enclosing loop reassigns`
+		}()
+	}
+}
+
+// Clean: since Go 1.22 the loop variable is per-iteration.
+func PerIteration(xs []int) {
+	for _, x := range xs {
+		go func() { _ = x }()
+	}
+}
+
+// Clean: captured but never reassigned by the loop body.
+func ReadOnly(xs []int) {
+	base := 10
+	for range xs {
+		go func() { _ = base }()
+	}
+}
+
+// Clean: the classic fix — pass the value as an argument.
+func ByArgument(xs []int) {
+	var last int
+	for _, x := range xs {
+		last = x
+		go func(v int) { _ = v }(last)
+	}
+}

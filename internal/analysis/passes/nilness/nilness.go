@@ -1,0 +1,157 @@
+// Package nilness is a basic, syntax-directed slice of vet's
+// SSA-powered nilness analyzer: inside a branch whose condition proves
+// an expression nil (`if x == nil { ... }` and the else-arm of
+// `if x != nil`), any dereference-like use of that expression — method
+// call, field access, index, call, or explicit * — before it is
+// reassigned is a guaranteed nil dereference.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "uses of a value inside the branch that proved it nil",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			bin, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			var expr ast.Expr
+			switch {
+			case isNil(pass, bin.Y):
+				expr = bin.X
+			case isNil(pass, bin.X):
+				expr = bin.Y
+			default:
+				return true
+			}
+			if !nilable(pass, expr) {
+				return true
+			}
+			switch bin.Op {
+			case token.EQL: // if x == nil { <nil here> }
+				checkBranch(pass, expr, ifs.Body)
+			case token.NEQ: // if x != nil { } else { <nil here> }
+				if blk, ok := ifs.Else.(*ast.BlockStmt); ok {
+					checkBranch(pass, expr, blk)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// nilable: pointer, slice, func, interface — the kinds whose deref-like
+// uses panic when nil. Maps are excluded (reads are legal) and channels
+// block rather than panic.
+func nilable(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// checkBranch scans the known-nil branch in source order, stopping at
+// the first reassignment of the expression.
+func checkBranch(pass *analysis.Pass, expr ast.Expr, body *ast.BlockStmt) {
+	name := types.ExprString(expr)
+	reassignedAt := token.Pos(-1)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if types.ExprString(lhs) == name && (reassignedAt < 0 || as.Pos() < reassignedAt) {
+					reassignedAt = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	report := func(pos token.Pos, what string) {
+		if reassignedAt >= 0 && pos > reassignedAt {
+			return
+		}
+		pass.Reportf(pos, "%s of %s, which the enclosing condition proves is nil", what, name)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later; the proof may no longer hold
+		case *ast.SelectorExpr:
+			if types.ExprString(n.X) == name && !isInterfaceOrSliceSelector(pass, n) {
+				report(n.Pos(), "field or method access")
+			}
+		case *ast.StarExpr:
+			if types.ExprString(n.X) == name {
+				report(n.Pos(), "dereference")
+			}
+		case *ast.IndexExpr:
+			if types.ExprString(n.X) == name && isSliceExpr(pass, n.X) {
+				report(n.Pos(), "index")
+			}
+		case *ast.CallExpr:
+			if types.ExprString(n.Fun) == name {
+				report(n.Pos(), "call")
+			}
+		}
+		return true
+	})
+}
+
+// isInterfaceOrSliceSelector exempts selector uses that don't
+// dereference: calling any method on a nil interface panics too, but a
+// method with a pointer receiver on a nil *T is legal if the method
+// handles nil — flag only the unambiguous struct-pointer field access
+// and interface method calls.
+func isInterfaceOrSliceSelector(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	if s.Kind() == types.MethodVal {
+		// Methods may be nil-tolerant by contract on pointer receivers;
+		// interface method calls on nil are certain panics.
+		if _, isIface := s.Recv().Underlying().(*types.Interface); !isIface {
+			return true
+		}
+	}
+	return false
+}
+
+func isSliceExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Slice)
+	return ok
+}

@@ -1,0 +1,87 @@
+// Fixture for the nilness analyzer: uses of a value inside the branch
+// that proved it nil.
+package a
+
+type T struct{ n int }
+
+// Clean by contract: pointer-receiver methods may be nil-tolerant.
+func (p *T) Len() int {
+	if p == nil {
+		return 0
+	}
+	return p.n
+}
+
+// Flagged: field access on a proven-nil pointer.
+func Field(p *T) int {
+	if p == nil {
+		return p.n // want `field or method access of p, which the enclosing condition proves is nil`
+	}
+	return 0
+}
+
+// Flagged: explicit dereference.
+func Deref(p *T) T {
+	if p == nil {
+		return *p // want `dereference of p, which the enclosing condition proves is nil`
+	}
+	return *p
+}
+
+// Flagged: the else-arm of != nil is a proven-nil region too.
+func ElseArm(p *T) int {
+	if p != nil {
+		return p.n
+	} else {
+		return p.n // want `field or method access of p, which the enclosing condition proves is nil`
+	}
+}
+
+// Flagged: indexing a proven-nil slice.
+func Index(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `index of xs, which the enclosing condition proves is nil`
+	}
+	return xs[0]
+}
+
+// Flagged: calling a proven-nil func value.
+func CallNil(f func() int) int {
+	if f == nil {
+		return f() // want `call of f, which the enclosing condition proves is nil`
+	}
+	return f()
+}
+
+// Flagged: an interface method call on a proven-nil interface panics.
+func Iface(err error) string {
+	if err == nil {
+		return err.Error() // want `field or method access of err, which the enclosing condition proves is nil`
+	}
+	return ""
+}
+
+// Clean: reassigned before use — the proof no longer holds.
+func Reassign(p *T) int {
+	if p == nil {
+		p = &T{}
+		return p.n
+	}
+	return p.n
+}
+
+// Clean: a nil-tolerant pointer-receiver method call.
+func Tolerant(p *T) int {
+	if p == nil {
+		return p.Len()
+	}
+	return p.n
+}
+
+// Clean: the usual error idiom uses the value in the non-nil arm.
+func Usual(err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return "ok"
+}

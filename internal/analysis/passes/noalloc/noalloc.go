@@ -1,0 +1,405 @@
+// Package noalloc checks that functions annotated //freq:noalloc stay
+// free of the heap-escaping constructs that silently break a zero-alloc
+// hot path: fmt calls, interface boxing of non-pointer values,
+// closures capturing loop variables, appends to locally-created
+// unsized slices, and string<->[]byte conversions.
+//
+// The annotation is a contract, not a heuristic: the functions carrying
+// it are the benchmarked 0 allocs/op kernels (hashmap bulk engine, core
+// bulk paths, the server's binary ingest loop, the store query path),
+// and the pass turns "someone added an fmt.Errorf to the decode loop"
+// from a benchstat regression three PRs later into a CI failure now.
+// Cold error paths inside an annotated function carry an explicit
+// //freqvet:ignore waiver, so every deliberate allocation is visible.
+package noalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "//freq:noalloc functions must avoid fmt, interface boxing, loop-var closures, unsized appends, and string<->[]byte conversions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkgWide := analysis.PackageHasDirective(pass.Files, "noalloc")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			_, annotated := analysis.FuncDirective(fd, "noalloc")
+			if !annotated && !pkgWide {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+// check walks one annotated function body.
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, info: pass.TypesInfo, fn: fd}
+	c.locals = localSliceOrigins(pass.TypesInfo, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			c.pushLoop(n.Init, nil)
+		case *ast.RangeStmt:
+			c.pushLoop(nil, n)
+		case *ast.FuncLit:
+			c.checkFuncLit(n)
+			// Keep walking inside: the literal's own statements obey the
+			// same contract (it runs on the hot path too).
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		}
+		return true
+	})
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	fn     *ast.FuncDecl
+	locals map[types.Object]sliceOrigin
+	// loopVars accumulates every loop-declared variable object seen so
+	// far in this body; a FuncLit referencing one is a capture.
+	loopVars map[types.Object]bool
+}
+
+func (c *checker) pushLoop(init ast.Stmt, rng *ast.RangeStmt) {
+	if c.loopVars == nil {
+		c.loopVars = map[types.Object]bool{}
+	}
+	addDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := c.info.Defs[id]; obj != nil {
+				c.loopVars[obj] = true
+			}
+		}
+	}
+	if rng != nil {
+		addDef(rng.Key)
+		addDef(rng.Value)
+		return
+	}
+	if as, ok := init.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			addDef(lhs)
+		}
+	}
+}
+
+// checkFuncLit flags closures that capture a loop variable: the capture
+// forces the variable (and often the closure header) to the heap.
+func (c *checker) checkFuncLit(fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.info.Uses[id]; obj != nil && c.loopVars[obj] {
+				// Declared by a loop outside this literal?
+				if obj.Pos() < fl.Pos() {
+					c.pass.Reportf(id.Pos(), "closure captures loop variable %s in //freq:noalloc function %s", id.Name, c.fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Type conversions: string<->[]byte, and conversions to interface.
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			to := tv.Type
+			from := c.info.Types[call.Args[0]].Type
+			if isString(to) && isByteSlice(from) || isByteSlice(to) && isString(from) {
+				c.pass.Reportf(call.Pos(), "string<->[]byte conversion allocates in //freq:noalloc function %s", c.fn.Name.Name)
+			} else {
+				c.boxCheck(call.Args[0], to, "conversion")
+			}
+		}
+		return
+	}
+
+	// fmt.* calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := c.info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.pass.Reportf(call.Pos(), "call to fmt.%s allocates in //freq:noalloc function %s", sel.Sel.Name, c.fn.Name.Name)
+				return
+			}
+		}
+	}
+
+	// Builtin append without a provable pre-size.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+
+	// Interface boxing at call boundaries.
+	sig, ok := c.info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			c.boxCheck(arg, pt, "argument")
+		}
+	}
+}
+
+// checkAppend flags appends whose destination is a locally-created
+// slice with no explicit capacity — the per-call growth-allocation
+// pattern. Reslices (buf[:0]), parameters, fields, and package-level
+// buffers are the caller-managed amortized idiom and stay quiet.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	switch dst := call.Args[0].(type) {
+	case *ast.SliceExpr:
+		return
+	case *ast.Ident:
+		obj := c.info.Uses[dst]
+		origin, tracked := c.locals[obj]
+		if tracked && origin == originUnsized {
+			c.pass.Reportf(call.Pos(), "append to unsized local slice %s in //freq:noalloc function %s (make it with explicit capacity or reuse a buffer)", dst.Name, c.fn.Name.Name)
+		}
+	}
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := c.info.Types[lhs].Type
+		if lt == nil {
+			continue
+		}
+		c.boxCheck(as.Rhs[i], lt, "assignment")
+	}
+}
+
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	results := c.fn.Type.Results
+	if results == nil || len(ret.Results) == 0 {
+		return
+	}
+	// Map result expressions to declared result types positionally;
+	// a mismatch in count (multi-value call) is skipped.
+	var resTypes []types.Type
+	for _, field := range results.List {
+		t := c.info.Types[field.Type].Type
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			resTypes = append(resTypes, t)
+		}
+	}
+	if len(ret.Results) != len(resTypes) {
+		return
+	}
+	for i, r := range ret.Results {
+		c.boxCheck(r, resTypes[i], "return")
+	}
+}
+
+func (c *checker) checkCompositeLit(cl *ast.CompositeLit) {
+	t := c.info.Types[cl].Type
+	if t == nil {
+		return
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	case *types.Map:
+		elem = u.Elem()
+	default:
+		return
+	}
+	for _, e := range cl.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		c.boxCheck(e, elem, "composite literal element")
+	}
+}
+
+// boxCheck reports when a concrete non-pointer-shaped value flows into
+// an interface-typed slot: the conversion heap-allocates the value.
+func (c *checker) boxCheck(expr ast.Expr, to types.Type, what string) {
+	if to == nil || !types.IsInterface(to) {
+		return
+	}
+	tv, ok := c.info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	from := tv.Type
+	if types.IsInterface(from) {
+		return
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(from) {
+		return
+	}
+	c.pass.Reportf(expr.Pos(), "%s boxes %s into %s (heap allocation) in //freq:noalloc function %s", what, from, to, c.fn.Name.Name)
+}
+
+// pointerShaped reports whether storing a value of t in an interface
+// needs no allocation (the value is a single pointer word).
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+type sliceOrigin int
+
+const (
+	// originUnsized marks a local slice created without capacity:
+	// var s []T, s := []T{...}, make([]T, n).
+	originUnsized sliceOrigin = iota
+	// originSized marks 3-arg make, reslices, and call results — growth
+	// is either pre-paid or the caller's business.
+	originSized
+)
+
+// localSliceOrigins classifies every locally-declared slice variable in
+// the function by how it was (last) created.
+func localSliceOrigins(info *types.Info, fd *ast.FuncDecl) map[types.Object]sliceOrigin {
+	origins := map[types.Object]sliceOrigin{}
+	classify := func(rhs ast.Expr) sliceOrigin {
+		switch r := rhs.(type) {
+		case *ast.CallExpr:
+			if id, ok := r.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+					if len(r.Args) >= 3 {
+						return originSized
+					}
+					return originUnsized
+				}
+			}
+			return originSized // a call result: sizing is the callee's contract
+		case *ast.CompositeLit:
+			return originUnsized
+		case *ast.SliceExpr:
+			return originSized
+		}
+		return originSized
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+					continue
+				}
+				// append(x, ...) reassigned to x keeps x's origin.
+				if call, ok := n.Rhs[i].(*ast.CallExpr); ok {
+					if fid, ok := call.Fun.(*ast.Ident); ok {
+						if b, ok := info.Uses[fid].(*types.Builtin); ok && b.Name() == "append" {
+							continue
+						}
+					}
+				}
+				origins[obj] = classify(n.Rhs[i])
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+						continue
+					}
+					if len(vs.Values) > i {
+						origins[obj] = classify(vs.Values[i])
+					} else {
+						origins[obj] = originUnsized // var s []T
+					}
+				}
+			}
+		}
+		return true
+	})
+	return origins
+}

@@ -1,0 +1,87 @@
+// Fixture for the noalloc analyzer: one flagged and one clean case per
+// escape class the checker knows about.
+package a
+
+import "fmt"
+
+//freq:noalloc
+func FmtCall(x int) {
+	fmt.Println(x) // want `call to fmt\.Println allocates`
+}
+
+//freq:noalloc
+func StrConv(b []byte) string {
+	return string(b) // want `string<->\[\]byte conversion allocates`
+}
+
+//freq:noalloc
+func BytesConv(s string) []byte {
+	return []byte(s) // want `string<->\[\]byte conversion allocates`
+}
+
+//freq:noalloc
+func UnsizedAppend(n int) []int {
+	var s []int
+	for i := 0; i < n; i++ {
+		s = append(s, i) // want `append to unsized local slice s`
+	}
+	return s
+}
+
+//freq:noalloc
+func AssignBox(x int) {
+	var v any
+	v = x // want `boxes int into`
+	_ = v
+}
+
+//freq:noalloc
+func ReturnBox(x int) any {
+	return x // want `boxes int into`
+}
+
+//freq:noalloc
+func Capture(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			_ = i // want `closure captures loop variable i`
+		}()
+	}
+}
+
+// Clean mirrors: the same shapes the hot paths actually use.
+
+//freq:noalloc
+func PresizedAppend(n int) []int {
+	s := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+//freq:noalloc
+func AppendToParam(dst []int, x int) []int {
+	return append(dst, x) // amortized caller-owned buffer: quiet
+}
+
+//freq:noalloc
+func PointerNoBox(p *int) any {
+	return p // pointer-shaped: interface conversion does not allocate
+}
+
+//freq:noalloc
+func NoCapture(n int) {
+	go func() { _ = n }() // parameter capture, not a loop variable
+}
+
+//freq:noalloc
+func Waived() {
+	//freqvet:ignore noalloc fixture for the waiver mechanism itself
+	fmt.Println()
+}
+
+// Unannotated functions may allocate freely.
+func Unannotated(x int) string {
+	return fmt.Sprintf("%d", x)
+}

@@ -1,0 +1,167 @@
+// Package shadow is the repo's conservative take on vet's shadow
+// analyzer: an inner `:=` that redeclares a variable from an outer
+// scope of the same function is flagged only when the outer variable is
+// still used after the inner scope ends — the case where a reader (or
+// the author) plausibly believed the inner assignment stuck.
+//
+// Two idioms are exempt on top of that heuristic, because both are
+// deliberate shadows and pervasive in this codebase:
+//
+//   - function and function-literal parameters (the pre-1.22
+//     `go func(i int) { ... }(i)` capture-avoidance pattern);
+//   - declarations in the init clause of if/for/switch
+//     (`if err := f(); err != nil { ... }`), whose scope is exactly the
+//     statement and whose value is consumed by its own condition.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "inner := redeclaring an outer variable that is still used after the inner scope ends",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	exempt := exemptDecls(pass)
+	// usesAfter[obj] is the last position obj is read at.
+	lastUse := map[types.Object]token.Pos{}
+	for id, obj := range info.Uses {
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			if id.Pos() > lastUse[obj] {
+				lastUse[obj] = id.Pos()
+			}
+		}
+	}
+	for id, obj := range info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pass.Pkg.Scope() {
+			continue
+		}
+		if exempt[obj] {
+			continue
+		}
+		// Ignore the explicit re-binding idiom `x := x`.
+		if isSelfShadow(pass, id) {
+			continue
+		}
+		// Look for a same-named variable in an enclosing scope of the
+		// same function (stop at package scope).
+		outerScope := inner.Parent()
+		if outerScope == nil {
+			continue
+		}
+		_, outerObj := outerScope.LookupParent(v.Name(), v.Pos())
+		outer, ok := outerObj.(*types.Var)
+		if !ok || outer.IsField() || outer == v {
+			continue
+		}
+		if outer.Parent() == pass.Pkg.Scope() || outer.Parent() == types.Universe {
+			continue // package-level and universe shadowing is pervasive and benign here
+		}
+		// Both must be in the same function: the outer variable's scope
+		// must contain the inner declaration.
+		if !outer.Parent().Contains(v.Pos()) {
+			continue
+		}
+		// Flag only if the outer variable is used after the inner scope
+		// ends — otherwise the shadow cannot be misread.
+		if lastUse[outer] > inner.End() {
+			pass.Reportf(id.Pos(),
+				"declaration of %q shadows a variable at an outer scope that is used again after this scope ends", v.Name())
+		}
+	}
+	return nil
+}
+
+// exemptDecls collects the objects declared by the two deliberate-shadow
+// idioms: parameters/results/receivers, and := in an if/for/switch init
+// clause.
+func exemptDecls(pass *analysis.Pass) map[types.Object]bool {
+	info := pass.TypesInfo
+	exempt := map[types.Object]bool{}
+	markFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					exempt[obj] = true
+				}
+			}
+		}
+	}
+	markInit := func(stmt ast.Stmt) {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					exempt[obj] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				markFields(n.Recv)
+				markFields(n.Type.Params)
+				markFields(n.Type.Results)
+			case *ast.FuncLit:
+				markFields(n.Type.Params)
+				markFields(n.Type.Results)
+			case *ast.IfStmt:
+				markInit(n.Init)
+			case *ast.ForStmt:
+				markInit(n.Init)
+			case *ast.SwitchStmt:
+				markInit(n.Init)
+			case *ast.TypeSwitchStmt:
+				markInit(n.Init)
+			}
+			return true
+		})
+	}
+	return exempt
+}
+
+// isSelfShadow reports the `x := x` / `x, y := x, f()` re-binding idiom.
+func isSelfShadow(pass *analysis.Pass, id *ast.Ident) bool {
+	for _, f := range pass.Files {
+		if f.Pos() <= id.Pos() && id.Pos() < f.End() {
+			found := false
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || as.Tok != token.DEFINE || found {
+					return !found
+				}
+				for i, lhs := range as.Lhs {
+					if lhs == ast.Expr(id) && i < len(as.Rhs) {
+						if rid, ok := as.Rhs[i].(*ast.Ident); ok && rid.Name == id.Name {
+							found = true
+						}
+					}
+				}
+				return !found
+			})
+			return found
+		}
+	}
+	return false
+}

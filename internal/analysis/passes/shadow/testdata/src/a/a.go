@@ -1,0 +1,51 @@
+// Fixture for the shadow analyzer: block-level shadows of a variable
+// still used afterwards are flagged; the two deliberate-shadow idioms
+// are not.
+package a
+
+// Flagged: the inner := looks like it updates total, but the return
+// reads the outer one.
+func Sum(xs []int) int {
+	total := 0
+	if len(xs) > 0 {
+		total := xs[0] // want `declaration of "total" shadows a variable at an outer scope that is used again after this scope ends`
+		_ = total
+	}
+	return total
+}
+
+// Clean: if-init declarations scope exactly to the statement.
+func Lookup(m map[string]int) int {
+	v := -1
+	if v, ok := m["k"]; ok {
+		return v
+	}
+	return v
+}
+
+// Clean: function-literal parameters are the deliberate
+// capture-avoidance shadow.
+func Spawn(w int) int {
+	go func(w int) { _ = w }(w)
+	return w
+}
+
+// Clean: the explicit x := x re-binding idiom.
+func Rebind(x int) int {
+	{
+		x := x
+		_ = x
+	}
+	return x
+}
+
+// Clean: the outer variable is never read after the inner scope, so the
+// shadow cannot be misread.
+func NoUseAfter(xs []int) {
+	total := 0
+	_ = total
+	if len(xs) > 0 {
+		total := xs[0]
+		_ = total
+	}
+}

@@ -1,0 +1,9 @@
+// Fixture: an unsafe import in a file the allowlist has never heard of.
+package bad
+
+import "unsafe" // want `unsafe import outside the allowlist: add "bad/bad\.go" with a reviewed justification`
+
+func PointerWidth() uintptr {
+	var p *int
+	return unsafe.Sizeof(p)
+}

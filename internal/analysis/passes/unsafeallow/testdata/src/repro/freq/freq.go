@@ -1,0 +1,10 @@
+// Clean mirror: this fixture's package path and file name collide with
+// the real allowlist entry "repro/freq/freq.go", so the identical
+// unsafe import is sanctioned here.
+package freq
+
+import "unsafe"
+
+func AsInt64(x uint64) int64 {
+	return *(*int64)(unsafe.Pointer(&x))
+}

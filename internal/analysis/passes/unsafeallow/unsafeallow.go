@@ -1,0 +1,35 @@
+// Package unsafeallow rejects `import "unsafe"` outside the reviewed
+// allowlist in internal/analysis/unsafe_allow.go. The tree keeps its
+// unsafe confined to a handful of vetted bit-cast sites; any new one
+// must be a visible diff to the allowlist, not a quiet import.
+package unsafeallow
+
+import (
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafeallow",
+	Doc:  "unsafe imports are allowed only in allowlisted files (internal/analysis/unsafe_allow.go)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != "unsafe" {
+				continue
+			}
+			base := filepath.Base(pass.Fset.Position(imp.Pos()).Filename)
+			key := pass.PkgPath + "/" + base
+			if _, ok := analysis.UnsafeAllowlist[key]; !ok {
+				pass.Reportf(imp.Pos(),
+					"unsafe import outside the allowlist: add %q with a reviewed justification to internal/analysis/unsafe_allow.go", key)
+			}
+		}
+	}
+	return nil
+}

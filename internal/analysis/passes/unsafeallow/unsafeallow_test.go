@@ -1,0 +1,12 @@
+package unsafeallow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/unsafeallow"
+)
+
+func TestUnsafeAllow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), unsafeallow.Analyzer, "bad", "repro/freq")
+}

@@ -1,0 +1,75 @@
+// Fixture for the wirereply analyzer: the package declares a sanitizer,
+// so both rules are active.
+package a
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+//freq:sanitizer
+func sanitize(s string) string {
+	return strings.ReplaceAll(s, "\n", "; ")
+}
+
+// Clean: a sanitizer may call Error() in its own body.
+//
+//freq:sanitizer
+func sanitizeErr(err error) string {
+	return strings.ReplaceAll(err.Error(), "\n", "; ")
+}
+
+// Flagged twice: the raw Error() call, and its unsanitized flow into
+// the ERR reply.
+func RawError(w io.Writer, err error) {
+	fmt.Fprintf(w, "ERR %s\n", err.Error()) // want `raw err\.Error\(\) in a wire-reply package` `unsanitized string flows into an ERR reply`
+}
+
+// Flagged: a plain string variable can carry a newline too.
+func RawString(w io.Writer, msg string) {
+	fmt.Fprintf(w, "ERR %s\n", msg) // want `unsanitized string flows into an ERR reply`
+}
+
+// Flagged: formatting the error value itself is the same leak.
+func RawValue(w io.Writer, err error) {
+	fmt.Fprintf(w, "ERR %v\n", err) // want `unsanitized error flows into an ERR reply`
+}
+
+// Flagged: a WriteString that continues an opened ERR line is part of
+// the reply.
+func Continuation(b *strings.Builder, msg string) {
+	b.WriteString("ERR ")
+	b.WriteString(msg) // want `unsanitized string flows into an ERR reply`
+	b.WriteByte('\n')
+}
+
+// Flagged: stashing raw error text anywhere in a wire-reply package is
+// how it later sneaks into a reply.
+func Stash(err error) string {
+	return err.Error() // want `raw err\.Error\(\) in a wire-reply package`
+}
+
+// Clean: the canonical form — Error() as the sanitizer's direct
+// argument, the sanitizer call as the reply operand.
+func Sanitized(w io.Writer, err error) {
+	fmt.Fprintf(w, "ERR %s\n", sanitize(err.Error()))
+}
+
+// Clean: constants cannot smuggle runtime newlines.
+func ConstOnly(w io.Writer) {
+	fmt.Fprintf(w, "ERR unknown command\n")
+}
+
+// Clean: a sanitized continuation of an opened ERR line.
+func SanitizedContinuation(b *strings.Builder, msg string) {
+	b.WriteString("ERR ")
+	b.WriteString(sanitize(msg))
+	b.WriteByte('\n')
+}
+
+// Clean: OK replies carry caller data by design; only ERR lines are
+// policed.
+func OKReply(w io.Writer, n int) {
+	fmt.Fprintf(w, "OK %d\n", n)
+}

@@ -1,0 +1,12 @@
+// Clean mirror: no //freq:sanitizer is declared here, so the pass is
+// inactive — an ordinary package may format errors however it likes.
+package quiet
+
+import (
+	"fmt"
+	"io"
+)
+
+func Reply(w io.Writer, err error) {
+	fmt.Fprintf(w, "ERR %s\n", err.Error())
+}

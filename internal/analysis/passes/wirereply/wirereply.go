@@ -1,0 +1,267 @@
+// Package wirereply guards the wire protocol's one-line reply
+// invariant: an ERR reply is exactly one '\n'-terminated line, so any
+// string that can contain a newline — error text above all — must pass
+// through the package's //freq:sanitizer helper before it reaches an
+// ERR write. Raw err.Error() concatenation is how the PR 5 UB-desync
+// bug class smuggled extra lines into the reply stream (errors.Join
+// separates with '\n'); this pass makes that construction un-mergeable.
+//
+// The pass activates only in packages that declare a sanitizer. It
+// flags:
+//
+//  1. any (error).Error() call that is not the direct argument of a
+//     sanitizer (or inside a sanitizer's own body), and
+//  2. any write call carrying an "ERR"-prefixed literal whose
+//     non-constant string/error operands are not direct sanitizer
+//     calls — covering fmt.Fprintf(w, "ERR %s", x), WriteString
+//     sequences that open with "ERR ", and "ERR "+x concatenations.
+package wirereply
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wirereply",
+	Doc:  "error text reaching ERR wire replies must pass through the //freq:sanitizer helper (one-line reply invariant)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	sanitizers := map[*types.Func]bool{}
+	var sanitizerDecls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := analysis.FuncDirective(fd, "sanitizer"); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					sanitizers[fn] = true
+					sanitizerDecls = append(sanitizerDecls, fd)
+				}
+			}
+		}
+	}
+	if len(sanitizers) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, sanitizers: sanitizers}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inSanitizer := false
+			for _, sd := range sanitizerDecls {
+				if sd == fd {
+					inSanitizer = true
+				}
+			}
+			c.checkFunc(fd, inSanitizer)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	sanitizers map[*types.Func]bool
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl, inSanitizer bool) {
+	info := c.pass.TypesInfo
+	// sanitized records expressions exempt from the Error() rule
+	// because they are direct sanitizer arguments.
+	sanitized := map[ast.Expr]bool{}
+	// errWriters records printed receiver paths that have written an
+	// "ERR"-prefixed literal earlier in this body, with the position of
+	// that write: later writes on the same receiver are reply
+	// continuation and must be sanitized.
+	type errWrite struct {
+		pos token.Pos
+	}
+	errWriters := map[string]errWrite{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.isSanitizerCall(call) {
+			for _, a := range call.Args {
+				sanitized[a] = true
+			}
+			return true
+		}
+		writeTarget, isWrite := writeReceiver(info, call)
+		if !isWrite && !isFmtPrint(info, call) {
+			return true // only writes and fmt assembly build replies;
+			// parsing helpers (strings.HasPrefix(line, "ERR ")...) don't
+		}
+
+		// Does this call carry an "ERR"-prefixed literal (format string
+		// or direct operand)?
+		carriesERR := false
+		for _, a := range call.Args {
+			if litStartsWithERR(info, a) {
+				carriesERR = true
+			}
+		}
+		// A WriteString on a receiver that already opened an ERR line is
+		// part of that reply.
+		continuation := false
+		if isWrite {
+			if w, ok := errWriters[writeTarget]; ok && call.Pos() > w.pos {
+				continuation = true
+			}
+			if carriesERR {
+				errWriters[writeTarget] = errWrite{pos: call.Pos()}
+			}
+		}
+		if carriesERR || continuation {
+			for _, a := range call.Args {
+				c.checkReplyOperand(a)
+			}
+		}
+		return true
+	})
+
+	if inSanitizer {
+		return
+	}
+	// Rule 1: raw Error() calls outside sanitizer arguments.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isErrorError(info, call) {
+			return true
+		}
+		if sanitized[ast.Expr(call)] {
+			return true
+		}
+		c.pass.Reportf(call.Pos(),
+			"raw err.Error() in a wire-reply package: wrap it in the //freq:sanitizer helper so the reply stays one line")
+		return true
+	})
+}
+
+// checkReplyOperand flags non-constant string/error operands of an ERR
+// write that are not direct sanitizer calls. Concatenations are checked
+// operand-wise, so "ERR " + x is caught through its parts.
+func (c *checker) checkReplyOperand(e ast.Expr) {
+	info := c.pass.TypesInfo
+	if bin, ok := e.(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+		c.checkReplyOperand(bin.X)
+		c.checkReplyOperand(bin.Y)
+		return
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil {
+		return // constants cannot smuggle runtime newlines
+	}
+	if call, ok := e.(*ast.CallExpr); ok && c.isSanitizerCall(call) {
+		return
+	}
+	if isStringType(tv.Type) || isErrorType(tv.Type) {
+		c.pass.Reportf(e.Pos(),
+			"unsanitized %s flows into an ERR reply: pass it through the //freq:sanitizer helper (one-line reply invariant)", tv.Type)
+	}
+}
+
+func (c *checker) isSanitizerCall(call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && c.sanitizers[fn]
+}
+
+// writeReceiver reports whether call is a Write/WriteString/WriteByte
+// method call and returns the printed receiver path.
+func writeReceiver(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte":
+		return types.ExprString(sel.X), true
+	}
+	return "", false
+}
+
+// isFmtPrint reports whether call is one of fmt's printing/assembly
+// functions (Fprintf, Fprint, Fprintln, Sprintf, Sprint, Sprintln).
+func isFmtPrint(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Fprintf", "Fprint", "Fprintln", "Sprintf", "Sprint", "Sprintln", "Appendf":
+		return true
+	}
+	return false
+}
+
+// litStartsWithERR reports whether e is a constant string starting with
+// "ERR".
+func litStartsWithERR(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.HasPrefix(constant.StringVal(tv.Value), "ERR")
+}
+
+// isErrorError reports whether call is x.Error() on an error value.
+func isErrorError(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType) || types.AssignableTo(t, errorType) && types.IsInterface(t)
+}

@@ -1,0 +1,12 @@
+package wirereply_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/wirereply"
+)
+
+func TestWireReply(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wirereply.Analyzer, "a", "quiet")
+}
