@@ -75,19 +75,8 @@ func main() {
 		return
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
-	}
+	w, closeOut := openOutput(*out)
+	defer closeOut()
 	switch *format {
 	case "text":
 		err = stream.WriteText(w, updates)
@@ -131,6 +120,23 @@ func pushStream(addr string, updates []stream.Update, batchSize int, wire string
 		}
 	}
 	return nil
+}
+
+// openOutput returns the stream destination and a close func: stdout
+// (with a no-op close) when path is empty, otherwise the created file.
+func openOutput(path string) (io.Writer, func()) {
+	if path == "" {
+		return os.Stdout, func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f, func() {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

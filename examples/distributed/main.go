@@ -34,17 +34,7 @@ func main() {
 	addrs := make([]string, nodes)
 	servers := make([]*server.Server, nodes)
 	for i := range servers {
-		srv, err := server.New(server.Config{MaxCounters: k, Shards: 4})
-		if err != nil {
-			log.Fatal(err)
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		go srv.Serve(ln)
-		servers[i] = srv
-		addrs[i] = ln.Addr().String()
+		servers[i], addrs[i] = startNode()
 	}
 
 	// Each worker ships its partition to its node in UB wire batches.
@@ -53,19 +43,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c, err := server.Dial[int64](addrs[w])
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer c.Close()
-			var items, weights []int64
-			for i := w; i < len(updates); i += nodes {
-				items = append(items, updates[i].Item)
-				weights = append(weights, updates[i].Weight)
-			}
-			if err := c.UpdateBatch(items, weights); err != nil {
-				log.Fatal(err)
-			}
+			shipPartition(addrs[w], updates, w)
 		}(w)
 	}
 	wg.Wait()
@@ -122,5 +100,38 @@ func main() {
 
 	for _, srv := range servers {
 		srv.Close()
+	}
+}
+
+// startNode boots one in-process freqd node on a loopback port and
+// returns it with its listen address.
+func startNode() (*server.Server, string) {
+	srv, err := server.New(server.Config{MaxCounters: k, Shards: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String()
+}
+
+// shipPartition sends every nodes-th update starting at offset w to the
+// node at addr in one wire batch.
+func shipPartition(addr string, updates []stream.Update, w int) {
+	c, err := server.Dial[int64](addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	var items, weights []int64
+	for i := w; i < len(updates); i += nodes {
+		items = append(items, updates[i].Item)
+		weights = append(weights, updates[i].Weight)
+	}
+	if err := c.UpdateBatch(items, weights); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -109,11 +109,9 @@ func NewWindowed[T comparable](k, intervals int, opts ...Option) (*Windowed[T], 
 		if cfg.seed != 0 {
 			slotCfg.seed = deriveSeed(cfg.seed, uint64(i)+1)
 		}
-		s, err := newFromConfig[T](slotCfg)
-		if err != nil {
+		if wd.slots[i], err = newFromConfig[T](slotCfg); err != nil {
 			return nil, err
 		}
-		wd.slots[i] = s
 	}
 	viewCfg := cfg
 	viewCfg.k = cfg.k * intervals
@@ -463,17 +461,16 @@ func (wd *Windowed[T]) UnmarshalBinary(data []byte) error {
 	slots := make([]*Sketch[T], intervals)
 	maxK := 1
 	for i := range slots {
-		s, err := New[T](1)
-		if err != nil {
+		if slots[i], err = New[T](1); err != nil {
 			return err
 		}
+		s := slots[i]
 		if wd.serde != nil {
 			s.SetSerDe(wd.serde)
 		}
 		if _, err := s.ReadFrom(r); err != nil {
 			return fmt.Errorf("%w: slot %d: %v", ErrCorrupt, i, err)
 		}
-		slots[i] = s
 		maxK = max(maxK, s.MaxCounters())
 	}
 	if r.Len() != 0 {

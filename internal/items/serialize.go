@@ -109,7 +109,7 @@ func ReadFrom[T comparable](r io.Reader, serde SerDe[T]) (*Sketch[T], int64, err
 	}
 	var lenBuf [4]byte
 	for i := 0; i < numActive; i++ {
-		n, err := io.ReadFull(r, lenBuf[:])
+		n, err = io.ReadFull(r, lenBuf[:])
 		consumed += int64(n)
 		if err != nil {
 			return nil, consumed, err
