@@ -61,7 +61,12 @@ var hostLittleEndian = func() bool {
 // binaryLoop serves the connection after a HELLO BIN upgrade. It owns
 // the read stream from the first frame header onward; it returns when
 // the connection is done (EOF, error, QUIT, or a frame violation that
-// cannot be resynchronized).
+// cannot be resynchronized). The pairs path is the ingest hot loop and
+// must stay allocation-free; the ERR formatting below is waived because
+// each site either drops the connection or answers a malformed frame —
+// cold by definition.
+//
+//freq:noalloc
 func (c *conn) binaryLoop() {
 	for {
 		if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
@@ -72,6 +77,7 @@ func (c *conn) binaryLoop() {
 		if n > MaxFrameBytes {
 			// The announced length exceeds the cap; per the UB precedent
 			// this is unrecoverable by policy: reply once, drop.
+			//freqvet:ignore noalloc cold protocol-violation path; the connection is dropped right after
 			c.errFrame(fmt.Sprintf("frame length %d exceeds cap %d", n, MaxFrameBytes))
 			c.nw.Flush()
 			return
@@ -86,6 +92,7 @@ func (c *conn) binaryLoop() {
 				if _, err := c.r.Discard(int(n)); err != nil {
 					return
 				}
+				//freqvet:ignore noalloc cold malformed-frame path; the payload was discarded, not ingested
 				c.errFrame(fmt.Sprintf("pairs frame length %d is not a multiple of %d", n, pairSize))
 				break
 			}
@@ -116,6 +123,7 @@ func (c *conn) binaryLoop() {
 			if _, err := c.r.Discard(int(n)); err != nil {
 				return
 			}
+			//freqvet:ignore noalloc cold unknown-opcode path
 			c.errFrame(fmt.Sprintf("unknown opcode 0x%02x", op))
 		}
 		if err := c.nw.Flush(); err != nil {
@@ -130,6 +138,8 @@ func (c *conn) binaryLoop() {
 // framePayload returns the connection's reusable pairs buffer sized to
 // npairs. Allocating it as pairs rather than bytes guarantees the
 // 8-byte alignment the zero-copy reinterpretation needs.
+//
+//freq:noalloc
 func (c *conn) framePayload(npairs int) []freq.Pair[int64] {
 	if cap(c.pairBuf) < npairs {
 		c.pairBuf = make([]freq.Pair[int64], npairs)
@@ -140,6 +150,8 @@ func (c *conn) framePayload(npairs int) []freq.Pair[int64] {
 // decodePairsInPlace converts a little-endian wire payload into native
 // pairs on big-endian hosts; buf aliases pairs' memory, so each field
 // is loaded as wire bytes before its native store clobbers it.
+//
+//freq:noalloc
 func decodePairsInPlace(buf []byte, pairs []freq.Pair[int64]) {
 	for i := range pairs {
 		off := i * pairSize
@@ -152,6 +164,8 @@ func decodePairsInPlace(buf []byte, pairs []freq.Pair[int64]) {
 // ingestPairs applies one decoded pairs frame: all-or-nothing into the
 // per-shard writer buffers (one partition pass), mirrored into the
 // windowed twin's batch buffer when one is configured.
+//
+//freq:noalloc
 func (c *conn) ingestPairs(pairs []freq.Pair[int64]) error {
 	if err := c.writer.AddPairs(pairs); err != nil {
 		return err
@@ -172,6 +186,8 @@ func (c *conn) ingestPairs(pairs []freq.Pair[int64]) error {
 
 // okFrame writes the pairs-frame acknowledgement — "OK <n>", exactly
 // the text UB reply — without fmt, keeping the ingest loop alloc-free.
+//
+//freq:noalloc
 func (c *conn) okFrame(n int) {
 	c.okBuf = append(c.okBuf[:0], 'O', 'K', ' ')
 	c.okBuf = strconv.AppendInt(c.okBuf, int64(n), 10)
@@ -180,16 +196,20 @@ func (c *conn) okFrame(n int) {
 }
 
 // errFrame writes a sanitized one-line ERR reply frame.
+//
+//freq:sanitizer
 func (c *conn) errFrame(msg string) {
 	c.replyBuf.Reset()
 	c.replyBuf.WriteString("ERR ")
-	c.replyBuf.WriteString(strings.ReplaceAll(msg, "\n", "; "))
+	c.replyBuf.WriteString(sanitizeLine(msg))
 	c.replyBuf.WriteByte('\n')
 	c.writeFrame(opReply, c.replyBuf.Bytes())
 }
 
 // writeFrame emits one frame into the connection's buffered writer; the
 // caller flushes.
+//
+//freq:noalloc
 func (c *conn) writeFrame(op byte, payload []byte) {
 	c.hdr[0] = op
 	binary.LittleEndian.PutUint32(c.hdr[1:], uint32(len(payload)))
@@ -223,7 +243,7 @@ func (c *conn) execCmd(payload []byte) (quit bool) {
 		quit, err = c.dispatch(line)
 	}
 	if err != nil {
-		fmt.Fprintf(c.bw, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", "; "))
+		fmt.Fprintf(c.bw, "ERR %s\n", sanitizeLine(err.Error()))
 	}
 	c.bw.Flush()
 	c.w = c.nw

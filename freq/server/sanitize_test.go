@@ -1,0 +1,34 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSanitizeLineCollapsesJoinedErrors pins the one-line ERR reply
+// invariant at its narrowest point: errors.Join separates causes with
+// '\n' (the writer's flush path produces exactly that shape), and a
+// newline inside an ERR reply desyncs every line-oriented client.
+func TestSanitizeLineCollapsesJoinedErrors(t *testing.T) {
+	joined := errors.Join(
+		errors.New("shard 0: flush failed"),
+		errors.New("shard 3: flush failed"),
+	)
+	got := sanitizeLine(joined.Error())
+	if strings.ContainsAny(got, "\n\r") {
+		t.Fatalf("sanitized reply still multi-line: %q", got)
+	}
+	for _, cause := range []string{"shard 0: flush failed", "shard 3: flush failed"} {
+		if !strings.Contains(got, cause) {
+			t.Fatalf("sanitizing dropped cause %q: %q", cause, got)
+		}
+	}
+}
+
+func TestSanitizeLinePassthrough(t *testing.T) {
+	const msg = "bad error type \"2\" (want 0/NFP or 1/NFN)"
+	if got := sanitizeLine(msg); got != msg {
+		t.Fatalf("single-line message altered: %q -> %q", msg, got)
+	}
+}

@@ -333,7 +333,7 @@ func (s *Server) handle(nc net.Conn) {
 			// An ERR reply is exactly one line; joined errors (errors.Join
 			// separates with '\n') must not smuggle extra lines into the
 			// reply stream.
-			fmt.Fprintf(c.w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", "; "))
+			fmt.Fprintf(c.w, "ERR %s\n", sanitizeLine(err.Error()))
 		}
 		if err := c.nw.Flush(); err != nil {
 			return
@@ -659,9 +659,10 @@ func (c *conn) dispatchWindow(args []string) (quit bool, err error) {
 		// A window-scoped snapshot is the merged view of the last w
 		// intervals in the ordinary single-sketch wire format — the
 		// same blob shape as SNAP, so the client decode path is shared.
-		c.snapBuf, err = s.win.AppendBinaryLast(width, c.snapBuf[:0])
-		if err != nil {
-			return false, err
+		buf, snapErr := s.win.AppendBinaryLast(width, c.snapBuf[:0])
+		c.snapBuf = buf
+		if snapErr != nil {
+			return false, snapErr
 		}
 		fmt.Fprintf(w, "SNAP %d\n", len(c.snapBuf))
 		if _, err := w.Write(c.snapBuf); err != nil {
@@ -748,9 +749,10 @@ func (c *conn) dispatchRange(args []string) (quit bool, err error) {
 		// A range snapshot is the merged historical summary in the
 		// ordinary single-sketch wire format — the same blob shape as
 		// SNAP and WIN SNAP, so the client decode path is shared.
-		c.snapBuf, err = v.AppendBinary(c.snapBuf[:0])
-		if err != nil {
-			return false, err
+		buf, snapErr := v.AppendBinary(c.snapBuf[:0])
+		c.snapBuf = buf
+		if snapErr != nil {
+			return false, snapErr
 		}
 		fmt.Fprintf(w, "SNAP %d\n", len(c.snapBuf))
 		if _, err := w.Write(c.snapBuf); err != nil {
@@ -785,6 +787,18 @@ func parseErrorType(s string) (freq.ErrorType, error) {
 		return freq.NoFalseNegatives, nil
 	}
 	return 0, fmt.Errorf("bad error type %q (want 0/NFP or 1/NFN)", s)
+}
+
+// sanitizeLine collapses a potentially multi-line message (errors.Join
+// separates causes with '\n') into the single line an ERR reply must
+// be: an embedded newline would desync the client's line-oriented
+// reader, which is exactly the bug class the wirereply analyzer exists
+// to keep extinct. Every string that reaches an ERR reply goes through
+// here or errFrame.
+//
+//freq:sanitizer
+func sanitizeLine(s string) string {
+	return strings.ReplaceAll(s, "\n", "; ")
 }
 
 func writeRows(w io.Writer, rows []freq.Row[int64]) {
