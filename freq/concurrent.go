@@ -41,7 +41,14 @@ type Concurrent[T comparable] struct {
 
 type itemShard[T comparable] struct {
 	mu sync.Mutex
-	s  *items.Sketch[T]
+	// s is the shard's summary. Every access goes through mu, and every
+	// mutating call bumps epoch inside the same locked region — the
+	// freshness contract slowView relies on, enforced by the epochlock
+	// analyzer.
+	//
+	//freq:guardedBy(mu)
+	//freq:epoch(epoch, Update UpdateBatch UpdateWeightedBatch Reset)
+	s *items.Sketch[T]
 	// epoch counts mutations to this shard (bumped under mu, read
 	// atomically by the view freshness check).
 	epoch atomic.Uint64
@@ -78,6 +85,7 @@ func NewConcurrent[T comparable](k int, opts ...Option) (*Concurrent[T], error) 
 		if err != nil {
 			return nil, err
 		}
+		//freqvet:ignore epochlock constructor runs before the sketch is published; no reader can exist yet
 		c.slow[i].s = s
 	}
 	return c, nil
@@ -310,8 +318,10 @@ func (c *Concurrent[T]) slowView() (*items.Sketch[T], error) {
 	}
 	total := 0
 	for i := range c.slow {
+		//freqvet:ignore epochlock MaxCounters is construction-time config, immutable after New
 		total += c.slow[i].s.MaxCounters()
 	}
+	//freqvet:ignore epochlock Quantile and SampleSize are construction-time config, immutable after New
 	out, err := items.NewWithConfig[T](total, c.slow[0].s.Quantile(), c.slow[0].s.SampleSize())
 	if err != nil {
 		return nil, err
@@ -333,6 +343,8 @@ func (c *Concurrent[T]) slowView() (*items.Sketch[T], error) {
 
 // slowViewFresh reports whether no shard changed since the cached view
 // was built. Caller holds viewMu.
+//
+//freq:locked(viewMu)
 func (c *Concurrent[T]) slowViewFresh() bool {
 	for i := range c.slow {
 		if c.slow[i].epoch.Load() != c.viewEpochs[i] {
@@ -423,10 +435,12 @@ func (c *Concurrent[T]) Snapshot() (*Sketch[T], error) {
 	}
 	total := 0
 	for i := range c.slow {
+		//freqvet:ignore epochlock MaxCounters is construction-time config, immutable after New
 		total += c.slow[i].s.MaxCounters()
 	}
 	// Carry the shards' shared decrement policy and sample size over to
 	// the merged summary.
+	//freqvet:ignore epochlock Quantile and SampleSize are construction-time config, immutable after New
 	out, err := items.NewWithConfig[T](total, c.slow[0].s.Quantile(), c.slow[0].s.SampleSize())
 	if err != nil {
 		return nil, err

@@ -69,12 +69,16 @@ func fastKind[T comparable]() bool {
 // asInt64 reinterprets item as an int64. Called only on the fast path,
 // which is selected exactly when T is an 8-byte integer kind, so the
 // conversion is a free, lossless bit cast.
+//
+//freq:noalloc
 func asInt64[T comparable](item T) int64 {
 	return *(*int64)(unsafe.Pointer(&item))
 }
 
 // fromInt64 is the inverse bit cast, used to surface stored items back as
 // T in query results.
+//
+//freq:noalloc
 func fromInt64[T comparable](v int64) T {
 	return *(*T)(unsafe.Pointer(&v))
 }
@@ -82,6 +86,8 @@ func fromInt64[T comparable](v int64) T {
 // asInt64Slice reinterprets a whole []T as []int64 without copying.
 // Called only on the fast path, where T is an 8-byte integer kind, so
 // layout and alignment match exactly.
+//
+//freq:noalloc
 func asInt64Slice[T comparable](items []T) []int64 {
 	if len(items) == 0 {
 		return nil

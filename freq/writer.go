@@ -72,6 +72,8 @@ type Pair[T comparable] struct {
 // asPairSlice reinterprets a whole []pair[T] as []hashmap.Pair without
 // copying. Called only on the fast path, where T is an 8-byte integer
 // kind, so the layouts match exactly.
+//
+//freq:noalloc
 func asPairSlice[T comparable](pairs []pair[T]) []hashmap.Pair {
 	if len(pairs) == 0 {
 		return nil
@@ -119,6 +121,8 @@ func NewWriter[T comparable](c *Concurrent[T], opts ...Option) (*Writer[T], erro
 // Add buffers a weighted update, flushing automatically when the buffer
 // reaches BatchSize. Zero weights are no-ops; negative weights return
 // ErrNegativeWeight, adds after Close return ErrWriterClosed.
+//
+//freq:noalloc
 func (w *Writer[T]) Add(item T, weight int64) error {
 	if weight <= 0 || w.closed {
 		if w.closed {
@@ -163,6 +167,8 @@ func (w *Writer[T]) Add(item T, weight int64) error {
 // once BatchSize pairs are pending, so callers may hand over slices that
 // alias transient network buffers: every pair is copied out before
 // AddPairs returns.
+//
+//freq:noalloc
 func (w *Writer[T]) AddPairs(pairs []Pair[T]) error {
 	if w.closed {
 		return ErrWriterClosed
@@ -246,6 +252,8 @@ func (w *Writer[T]) Flush() error {
 
 // flushShard applies one shard's pending pairs under a single lock
 // acquisition.
+//
+//freq:noalloc
 func (w *Writer[T]) flushShard(j int) error {
 	sh := &w.shards[j]
 	if sh.n == 0 {

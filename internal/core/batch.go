@@ -21,6 +21,8 @@ import (
 // UpdateBatch processes a slice of unit-weight updates, equivalent to
 // calling UpdateOne on each item in order but with the growth/decrement
 // check amortized across the batch.
+//
+//freq:noalloc
 func (s *Sketch) UpdateBatch(items []int64) {
 	s.applyBatch(items, nil)
 	s.streamN += int64(len(items))
@@ -30,10 +32,13 @@ func (s *Sketch) UpdateBatch(items []int64) {
 // row-layout twin of UpdateWeightedBatch, consumed directly by the
 // buffered writer's flush so a batch reads one cache line per update.
 // Validation is all-or-nothing as in UpdateWeightedBatch.
+//
+//freq:noalloc
 func (s *Sketch) UpdatePairs(pairs []hashmap.Pair) error {
 	var total int64
 	for _, p := range pairs {
 		if p.Value < 0 {
+			//freqvet:ignore noalloc cold rejection path; the batch is refused before any work, allocation is fine
 			return fmt.Errorf("core: negative weight %d in batch (use SignedSketch for deletions)", p.Value)
 		}
 		total += p.Value
@@ -61,13 +66,17 @@ func (s *Sketch) UpdatePairs(pairs []hashmap.Pair) error {
 // have equal length. Unlike an Update loop, validation is all-or-nothing:
 // a negative weight anywhere in the batch rejects the whole batch before
 // any update is applied. Zero weights are skipped as in Update.
+//
+//freq:noalloc
 func (s *Sketch) UpdateWeightedBatch(items, weights []int64) error {
 	if len(items) != len(weights) {
+		//freqvet:ignore noalloc cold rejection path; the batch is refused before any work, allocation is fine
 		return fmt.Errorf("core: batch length mismatch: %d items, %d weights", len(items), len(weights))
 	}
 	var total int64
 	for _, w := range weights {
 		if w < 0 {
+			//freqvet:ignore noalloc cold rejection path; the batch is refused before any work, allocation is fine
 			return fmt.Errorf("core: negative weight %d in batch (use SignedSketch for deletions)", w)
 		}
 		total += w
@@ -81,6 +90,8 @@ func (s *Sketch) UpdateWeightedBatch(items, weights []int64) error {
 // accounting to the caller (the total is never observed mid-batch, so
 // adding it once at the end is equivalent). A nil weights slice means
 // all-unit weights; weights are assumed validated non-negative.
+//
+//freq:noalloc
 func (s *Sketch) applyBatch(items, weights []int64) {
 	i := 0
 	for i < len(items) {
@@ -106,6 +117,8 @@ func (s *Sketch) applyBatch(items, weights []int64) {
 
 // checkBudget is the Algorithm 4 growth/decrement step shared by the
 // per-item and batch paths.
+//
+//freq:noalloc
 func (s *Sketch) checkBudget() {
 	if s.hm.NumActive() > s.hm.Capacity() {
 		if s.hm.LgLength() < s.lgMaxLength {

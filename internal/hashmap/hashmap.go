@@ -105,6 +105,8 @@ func (m *Map) hash(key int64) uint64 {
 }
 
 // Get returns the counter value for key and whether it is assigned.
+//
+//freq:noalloc
 func (m *Map) Get(key int64) (int64, bool) {
 	i := m.hash(key) & m.mask
 	// Plain linear probing: scan forward until the key or an empty cell.
@@ -123,6 +125,8 @@ func (m *Map) Get(key int64) (int64, bool) {
 // if an insert would fill the last slot, since lookups would then never
 // terminate. The sketches enforce NumActive <= Capacity (+1 transiently)
 // which keeps the table at most ~3/4 full.
+//
+//freq:noalloc
 func (m *Map) Adjust(key int64, delta int64) bool {
 	i := m.hash(key) & m.mask
 	d := uint16(1)
@@ -176,6 +180,8 @@ const probeWindow = 8
 // functions with loops, and a per-pair call would cost what batching
 // saves. The loop is software-pipelined with a probeWindow-deep
 // hash-ahead stage.
+//
+//freq:noalloc
 func (m *Map) AdjustPairs(pairs []Pair) {
 	n := len(pairs)
 	if n == 0 {
@@ -236,6 +242,8 @@ func (m *Map) AdjustPairs(pairs []Pair) {
 // enough headroom that the table never fills: as with Adjust, the
 // sketches' NumActive <= Capacity contract guarantees that. The loop is
 // software-pipelined with a probeWindow-deep hash-ahead stage.
+//
+//freq:noalloc
 func (m *Map) AdjustBatch(keys, values []int64) {
 	n := len(keys)
 	if n == 0 {
@@ -302,6 +310,8 @@ func (m *Map) AdjustBatch(keys, values []int64) {
 // cells, so each preloaded state seeds its probe directly): it is safe
 // for concurrent readers of an immutable table, the shared-view read
 // path.
+//
+//freq:noalloc
 func (m *Map) GetBatch(keys []int64, values []int64, found []bool) {
 	n := len(keys)
 	if n == 0 {
@@ -358,6 +368,8 @@ func (m *Map) GetBatch(keys []int64, values []int64, found []bool) {
 // byte-identical tables to a replay-based path get them for free.
 // Violating the distinctness contract silently corrupts the table; use
 // InsertUniqueChecked for untrusted input.
+//
+//freq:noalloc
 func (m *Map) InsertUnique(pairs []Pair) {
 	n := len(pairs)
 	if n == 0 {
@@ -404,6 +416,8 @@ func (m *Map) InsertUnique(pairs []Pair) {
 // and saves a separate FindDuplicate pass. On failure the pairs before
 // the duplicate remain inserted (numActive stays consistent); callers
 // are expected to Reset.
+//
+//freq:noalloc
 func (m *Map) InsertUniqueChecked(pairs []Pair) (int64, bool) {
 	n := len(pairs)
 	if n == 0 {
@@ -502,6 +516,8 @@ func (m *Map) deleteSlot(free int) {
 
 // AdjustAllValuesBy adds delta to every assigned counter. Combined with
 // KeepOnlyPositiveCounts this is the DecrementCounters body of Algorithm 4.
+//
+//freq:noalloc
 func (m *Map) AdjustAllValuesBy(delta int64) {
 	for i, s := range m.states {
 		if s != 0 {
@@ -517,6 +533,8 @@ func (m *Map) AdjustAllValuesBy(delta int64) {
 // The scan starts just past an empty slot so that no probe run wraps
 // across the scan origin; backward shifts therefore never move an entry
 // into territory the scan has already passed, and one pass suffices.
+//
+//freq:noalloc
 func (m *Map) KeepOnlyPositiveCounts() {
 	if m.numActive == 0 {
 		return
@@ -543,6 +561,8 @@ func (m *Map) KeepOnlyPositiveCounts() {
 // processed there, so every counter is decremented or deleted exactly
 // once — the same scan-from-an-empty-slot argument KeepOnlyPositiveCounts
 // relies on.
+//
+//freq:noalloc
 func (m *Map) DecrementAndPurge(dec int64) {
 	if m.numActive == 0 {
 		return
@@ -632,6 +652,8 @@ func (m *Map) RangeShuffled(rng *xrand.SplitMix64, fn func(key, value int64) boo
 // engine (grow, merge, and serialization feed InsertUnique from it
 // without a per-pair callback), emitting the row layout the bulk kernels
 // consume.
+//
+//freq:noalloc
 func (m *Map) AppendActive(dst []Pair) []Pair {
 	for i, s := range m.states {
 		if s != 0 {
@@ -643,6 +665,8 @@ func (m *Map) AppendActive(dst []Pair) []Pair {
 
 // ActiveValues appends the values of all assigned counters to dst and
 // returns the extended slice.
+//
+//freq:noalloc
 func (m *Map) ActiveValues(dst []int64) []int64 {
 	for i, s := range m.states {
 		if s != 0 {

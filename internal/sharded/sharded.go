@@ -47,7 +47,14 @@ type Sketch struct {
 
 type shard struct {
 	mu sync.Mutex
-	s  *core.Sketch
+	// s is the shard's summary. Every access goes through mu, and every
+	// mutating call bumps epoch inside the same locked region so the
+	// epoch-cached merged view can never serve a stale snapshot as
+	// fresh — the contract the epochlock analyzer enforces.
+	//
+	//freq:guardedBy(mu)
+	//freq:epoch(epoch, Update UpdateBatch UpdateWeightedBatch UpdatePairs Clear)
+	s *core.Sketch
 	// epoch counts mutations to this shard. It is incremented (atomically,
 	// under mu) by every write path and read without the lock by View's
 	// freshness check, so a cached merged view can be reused for free while
@@ -123,6 +130,7 @@ func NewWithOptions(numShards int, opts core.Options) (*Sketch, error) {
 		if err != nil {
 			return nil, err
 		}
+		//freqvet:ignore epochlock constructor runs before the sketch is published; no reader can exist yet
 		sk.shards[i].s = s
 	}
 	return sk, nil
@@ -404,6 +412,7 @@ func (sk *Sketch) mergeWorkers() int {
 // per salt, so worker partials and the combined output never share a
 // hash function); unpinned sketches keep the random per-sketch draw.
 func (sk *Sketch) mergeOptions(budget int, salt uint64) core.Options {
+	//freqvet:ignore epochlock Quantile is construction-time config, immutable after New
 	q := sk.shards[0].s.Quantile()
 	if q == 0 {
 		q = core.QuantileMin
@@ -417,8 +426,9 @@ func (sk *Sketch) mergeOptions(budget int, salt uint64) core.Options {
 	return core.Options{
 		MaxCounters: budget,
 		Quantile:    q,
-		SampleSize:  sk.shards[0].s.SampleSize(),
-		Seed:        seed,
+		//freqvet:ignore epochlock SampleSize is construction-time config, immutable after New
+		SampleSize: sk.shards[0].s.SampleSize(),
+		Seed:       seed,
 	}
 }
 
@@ -436,6 +446,7 @@ func (sk *Sketch) mergeOptions(budget int, salt uint64) core.Options {
 func (sk *Sketch) buildMerged(epochs []uint64) (*core.Sketch, error) {
 	total := 0
 	for i := range sk.shards {
+		//freqvet:ignore epochlock MaxCounters is construction-time config, immutable after New
 		total += sk.shards[i].s.MaxCounters()
 	}
 	out, err := core.NewWithOptions(sk.mergeOptions(total, 0))
@@ -464,6 +475,7 @@ func (sk *Sketch) buildMerged(epochs []uint64) (*core.Sketch, error) {
 			defer wg.Done()
 			budget := 0
 			for i := w; i < len(sk.shards); i += workers {
+				//freqvet:ignore epochlock MaxCounters is construction-time config, immutable after New
 				budget += sk.shards[i].s.MaxCounters()
 			}
 			p, err := core.NewWithOptions(sk.mergeOptions(budget, uint64(w)+1))
@@ -671,6 +683,8 @@ func (sk *Sketch) View() (*core.Sketch, error) {
 
 // viewFresh reports whether no shard has been written since the cached
 // view was built. Caller holds viewMu.
+//
+//freq:locked(viewMu)
 func (sk *Sketch) viewFresh() bool {
 	for i := range sk.shards {
 		if sk.shards[i].epoch.Load() != sk.viewEpochs[i] {
