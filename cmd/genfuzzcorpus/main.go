@@ -1,0 +1,204 @@
+// Command genfuzzcorpus regenerates the committed seed corpora for the
+// CI fuzz smokes. Each corpus entry is written in the `go test fuzz v1`
+// encoding so plain `go test` replays it as part of the seed corpus and
+// `go test -fuzz` mutates outward from structurally valid inputs
+// instead of groping for the magic bytes from scratch.
+//
+// The inputs are deterministic (fixed sketch seeds, fixed timestamps),
+// so rerunning the generator after a wire-format change refreshes the
+// corpora in one command:
+//
+//	go run ./cmd/genfuzzcorpus -root .
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/freq"
+	"repro/freq/store"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to write testdata under")
+	flag.Parse()
+
+	if err := run(*root); err != nil {
+		fmt.Fprintln(os.Stderr, "genfuzzcorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(root string) error {
+	sketch, err := sketchCorpus()
+	if err != nil {
+		return err
+	}
+	if err := writeCorpus(filepath.Join(root, "testdata", "fuzz", "FuzzSketchReadFrom"), sketch); err != nil {
+		return err
+	}
+	partition, err := partitionCorpus()
+	if err != nil {
+		return err
+	}
+	if err := writeCorpus(filepath.Join(root, "testdata", "fuzz", "FuzzStorePartitionDecode"), partition); err != nil {
+		return err
+	}
+	return writeCorpus(filepath.Join(root, "freq", "server", "testdata", "fuzz", "FuzzBinaryFrameDecode"), frameCorpus())
+}
+
+// sketchCorpus seeds the bulk-decode fuzzer: a valid marshaled sketch,
+// a truncated one, and magic bytes with a hostile body.
+func sketchCorpus() (map[string][]byte, error) {
+	s, err := freq.New[int64](64, freq.WithSeed(2))
+	if err != nil {
+		return nil, err
+	}
+	for i := int64(0); i < 2000; i++ {
+		if err := s.Update(i%150, i%11+1); err != nil {
+			return nil, err
+		}
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	small, err := freq.New[int64](8, freq.WithSeed(3))
+	if err != nil {
+		return nil, err
+	}
+	if err := small.Update(42, 7); err != nil {
+		return nil, err
+	}
+	smallBlob, err := small.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	zeroed := append([]byte(nil), blob...)
+	for i := len(zeroed) / 2; i < len(zeroed); i++ {
+		zeroed[i] = 0
+	}
+	return map[string][]byte{
+		"seed-valid":       blob,
+		"seed-small":       smallBlob,
+		"seed-truncated":   blob[:len(blob)-1],
+		"seed-header-only": blob[:16],
+		"seed-zeroed-body": zeroed,
+	}, nil
+}
+
+// partitionCorpus seeds the durable-store fuzzer with the bytes of a
+// real two-slot partition file plus damaged variants.
+func partitionCorpus() (map[string][]byte, error) {
+	dir, err := os.MkdirTemp("", "genfuzzcorpus-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open[int64](dir)
+	if err != nil {
+		return nil, err
+	}
+	base := time.Unix(1_700_000_000, 0).UTC()
+	for slot := 0; slot < 2; slot++ {
+		from := base.Add(time.Duration(slot) * time.Second)
+		if err := appendSeedSlot(st, slot, from); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	parts, err := filepath.Glob(filepath.Join(dir, "part-*.fps"))
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != 1 {
+		return nil, fmt.Errorf("expected one partition file, got %v", parts)
+	}
+	seed, err := os.ReadFile(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0xff
+	return map[string][]byte{
+		"seed-valid":      seed,
+		"seed-half":       seed[:len(seed)/2],
+		"seed-bit-flip":   flipped,
+		"seed-magic-only": []byte("FPS1"),
+	}, nil
+}
+
+// appendSeedSlot fills one deterministic window sketch and persists it
+// as the partition slot covering [from, from+1s).
+func appendSeedSlot(st *store.Store[int64], slot int, from time.Time) error {
+	sk, err := freq.New[int64](256, freq.WithSeed(uint64(5+slot)))
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := sk.Update(i%40, i%7+1); err != nil {
+			return err
+		}
+	}
+	return st.AppendSlot(freq.NewView(sk), from, from.Add(time.Second))
+}
+
+// frameCorpus seeds the binary-protocol fuzzer. Opcode and layout
+// constants are spelled as raw bytes on purpose: the corpus documents
+// the wire, not the implementation.
+func frameCorpus() map[string][]byte {
+	const (
+		opPairs = 0x01
+		opCmd   = 0x02
+		opReply = 0x81
+	)
+	frame := func(op byte, payload []byte) []byte {
+		b := make([]byte, 5+len(payload))
+		b[0] = op
+		binary.LittleEndian.PutUint32(b[1:], uint32(len(payload)))
+		copy(b[5:], payload)
+		return b
+	}
+	pairs := make([]byte, 32)
+	binary.LittleEndian.PutUint64(pairs[0:], 7)
+	binary.LittleEndian.PutUint64(pairs[8:], 100)
+	binary.LittleEndian.PutUint64(pairs[16:], 8)
+	binary.LittleEndian.PutUint64(pairs[24:], 50)
+	hostile := []byte{opPairs, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(hostile[1:], 0xffff_ffff)
+	return map[string][]byte{
+		"seed-pairs":          frame(opPairs, pairs),
+		"seed-pairs-ragged":   frame(opPairs, pairs[:13]),
+		"seed-pairs-headless": {opPairs, 16, 0, 0, 0},
+		"seed-hostile-length": hostile,
+		"seed-unknown-opcode": frame(0x7f, nil),
+		"seed-client-reply":   frame(opReply, []byte("OK 1\n")),
+		"seed-cmd-est":        frame(opCmd, []byte("EST 42")),
+		"seed-cmd-newline":    frame(opCmd, []byte("EST\nTOPK 1")),
+		"seed-cmd-ub":         frame(opCmd, []byte("UB 2")),
+		"seed-cmd-rehello":    frame(opCmd, []byte("HELLO BIN 2")),
+	}
+}
+
+// writeCorpus writes each entry in the `go test fuzz v1` single-[]byte
+// encoding the three targets share.
+func writeCorpus(dir string, entries map[string][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, data := range entries {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", filepath.Join(dir, name), len(data))
+	}
+	return nil
+}
