@@ -36,6 +36,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/freq"
 	"repro/freq/server"
@@ -76,7 +77,8 @@ func main() {
 		if *dumpFile != "" {
 			fatal(fmt.Errorf("-serialize is incompatible with -cluster (the summary lives on the servers; use their SNAP command)"))
 		}
-		cl, err := server.DialCluster[int64](strings.Split(*cluster, ",")...)
+		cl, err := server.DialCluster[int64](strings.Split(*cluster, ","),
+			server.WithNodeTimeout(5*time.Second))
 		if err != nil {
 			fatal(err)
 		}
@@ -94,6 +96,12 @@ func main() {
 			}
 			fmt.Printf("cluster of %d nodes: N=%d, err=%d\n",
 				cl.Nodes(), cl.StreamWeight(), cl.MaximumError())
+		}
+		if m := cl.Manifest(); m.Degraded() {
+			// The merged numbers below cover only the answering subset:
+			// say so, and name the nodes that are missing from them.
+			fmt.Fprintf(os.Stderr, "warning: %d/%d nodes answered; missing: %s\n",
+				m.Healthy(), cl.Nodes(), strings.Join(m.Dead(), ", "))
 		}
 		src = cl
 	} else if *window > 0 {

@@ -15,10 +15,14 @@
 // With -store-dir the window becomes durable: every retired interval is
 // appended to a time-partitioned on-disk store (see freq/store), the
 // RANGE command serves historical queries over it, and -retention /
-// -retention-bytes bound its footprint. On SIGINT/SIGTERM the daemon
-// flushes the live head interval to the store before exiting, so a
-// restart loses nothing but the partial interval in flight at the kill
-// — and not even that.
+// -retention-bytes bound its footprint.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
+// lets every in-flight command finish and flush its reply (bounded by
+// -drain-timeout; a second signal hard-closes immediately), then flushes
+// the live head interval to the store before exiting — so a restart
+// loses nothing, and no client sees a half-served command. -idle-timeout
+// and -io-timeout protect the daemon from dead and wedged peers.
 //
 // Usage:
 //
@@ -33,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -59,6 +64,10 @@ func main() {
 		storeSync   = flag.Bool("store-sync", false, "fsync each appended slot before acknowledging the rotation")
 		retention   = flag.Duration("retention", 0, "drop stored history older than this (0 = keep forever)")
 		retainBytes = flag.Int64("retention-bytes", 0, "drop oldest stored history beyond this many bytes (0 = no budget)")
+
+		idleTimeout  = flag.Duration("idle-timeout", 0, "drop connections idle between commands for this long (0 = never)")
+		ioTimeout    = flag.Duration("io-timeout", 0, "per-command IO deadline: cut connections that stall mid-request or mid-reply (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, how long to let in-flight commands finish before hard-closing")
 	)
 	flag.Parse()
 	if *window < 0 {
@@ -91,7 +100,13 @@ func main() {
 		}
 	}
 
-	cfg := server.Config{MaxCounters: *k, Shards: *shards, WindowIntervals: *window}
+	cfg := server.Config{
+		MaxCounters:     *k,
+		Shards:          *shards,
+		WindowIntervals: *window,
+		IdleTimeout:     *idleTimeout,
+		IOTimeout:       *ioTimeout,
+	}
 	if st != nil {
 		cfg.Store = st
 	}
@@ -122,25 +137,50 @@ func main() {
 		stopRotating = srv.Windowed().StartRotating(*rotateEvery)
 	}
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	sigSeen := make(chan struct{})
+	drained := make(chan struct{})
 	go func() {
 		<-sig
-		fmt.Fprintln(os.Stderr, "freqd: shutting down")
+		close(sigSeen)
+		fmt.Fprintf(os.Stderr, "freqd: draining (up to %s for in-flight commands)\n", *drainTimeout)
 		stopRotating()
-		srv.Close()
+		// Graceful drain: stop accepting, let every command in flight
+		// finish and flush its reply, hard-close stragglers at the
+		// deadline. A second signal cuts the drain short.
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		go func() {
+			<-sig
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "freqd: drain cut short:", err)
+		}
+		close(drained)
 	}()
 
-	if err := srv.Serve(ln); err != nil && err != net.ErrClosed {
-		// Closed listeners surface wrapped errors; a clean shutdown ends here.
-		if ne, ok := err.(*net.OpError); !ok || ne.Err.Error() != "use of closed network connection" {
-			fatal(err)
+	serveErr := srv.Serve(ln)
+	select {
+	case <-sigSeen:
+		// Signal-initiated stop: Serve returned because Shutdown closed
+		// the listener. Wait for the drain — every handler must have
+		// exited (and flushed its buffered ingest) before the store
+		// flush below reads the window's final state.
+		<-drained
+	default:
+		if serveErr != nil && serveErr != net.ErrClosed {
+			// Closed listeners surface wrapped errors; a clean shutdown ends here.
+			if ne, ok := serveErr.(*net.OpError); !ok || ne.Err.Error() != "use of closed network connection" {
+				fatal(serveErr)
+			}
 		}
 	}
 
-	// Graceful drain: every handler has returned (srv.Close waited), so
-	// the window holds its final state. Flush the live head interval into
-	// the store and close it — the restart picks up a complete history.
+	// Every handler has returned, so the window holds its final state.
+	// Flush the live head interval into the store and close it — the
+	// restart picks up a complete history.
 	if st != nil {
 		srv.Windowed().RotateAt(time.Now())
 		if err := srv.Windowed().SinkErr(); err != nil {

@@ -50,7 +50,7 @@ func main() {
 
 	// Coordinator: one fan-out client over the fleet. Refresh pulls and
 	// merges every node's summary; queries answer from the merged view.
-	cluster, err := server.DialCluster[int64](addrs...)
+	cluster, err := server.DialCluster[int64](addrs)
 	if err != nil {
 		log.Fatal(err)
 	}

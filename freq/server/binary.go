@@ -69,70 +69,91 @@ var hostLittleEndian = func() bool {
 //freq:noalloc
 func (c *conn) binaryLoop() {
 	for {
+		// The frame header is the between-commands boundary: waiting for
+		// it is "idle" for both the idle deadline and Shutdown's drain.
+		c.armIdle()
 		if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
 			return
 		}
-		op := c.hdr[0]
-		n := binary.LittleEndian.Uint32(c.hdr[1:])
-		if n > MaxFrameBytes {
-			// The announced length exceeds the cap; per the UB precedent
-			// this is unrecoverable by policy: reply once, drop.
-			//freqvet:ignore noalloc cold protocol-violation path; the connection is dropped right after
-			c.errFrame(fmt.Sprintf("frame length %d exceeds cap %d", n, MaxFrameBytes))
-			c.nw.Flush()
+		c.st.busy.Lock()
+		quit, ok := c.binaryFrame()
+		c.st.busy.Unlock()
+		if !ok || quit {
 			return
 		}
-		quit := false
-		switch op {
-		case opPairs:
-			if n%pairSize != 0 {
-				// The length is trustworthy (≤ cap) even though the payload
-				// is malformed: discard it whole and keep the stream
-				// synchronized, like the text UB drain.
-				if _, err := c.r.Discard(int(n)); err != nil {
-					return
-				}
-				//freqvet:ignore noalloc cold malformed-frame path; the payload was discarded, not ingested
-				c.errFrame(fmt.Sprintf("pairs frame length %d is not a multiple of %d", n, pairSize))
-				break
-			}
-			pairs := c.framePayload(int(n) / pairSize)
-			if len(pairs) > 0 {
-				buf := unsafe.Slice((*byte)(unsafe.Pointer(&pairs[0])), n)
-				if _, err := io.ReadFull(c.r, buf); err != nil {
-					return
-				}
-				if !hostLittleEndian {
-					decodePairsInPlace(buf, pairs)
-				}
-			}
-			if err := c.ingestPairs(pairs); err != nil {
-				// All-or-nothing: AddPairs validated before buffering, so
-				// the sketch is untouched and the connection stays usable.
-				c.errFrame(err.Error())
-				break
-			}
-			c.okFrame(len(pairs))
-		case opCmd:
-			payload := make([]byte, n)
-			if _, err := io.ReadFull(c.r, payload); err != nil {
-				return
-			}
-			quit = c.execCmd(payload)
-		default:
-			if _, err := c.r.Discard(int(n)); err != nil {
-				return
-			}
-			//freqvet:ignore noalloc cold unknown-opcode path
-			c.errFrame(fmt.Sprintf("unknown opcode 0x%02x", op))
-		}
-		if err := c.nw.Flush(); err != nil {
-			return
-		}
-		if quit {
+		if c.srv.draining.Load() {
+			// Graceful drain: this frame got its reply; exit instead of
+			// reading the next one.
 			return
 		}
 	}
+}
+
+// binaryFrame serves one frame whose header is already in c.hdr. It
+// reports quit (a QUIT command) and ok (the connection can keep going:
+// the stream is synchronized and the reply flushed). Runs under the
+// connection's busy lock, so Shutdown never cuts a frame in half.
+//
+//freq:noalloc
+func (c *conn) binaryFrame() (quit, ok bool) {
+	c.armIO()
+	op := c.hdr[0]
+	n := binary.LittleEndian.Uint32(c.hdr[1:])
+	if n > MaxFrameBytes {
+		// The announced length exceeds the cap; per the UB precedent
+		// this is unrecoverable by policy: reply once, drop.
+		//freqvet:ignore noalloc cold protocol-violation path; the connection is dropped right after
+		c.errFrame(fmt.Sprintf("frame length %d exceeds cap %d", n, MaxFrameBytes))
+		c.nw.Flush()
+		return false, false
+	}
+	switch op {
+	case opPairs:
+		if n%pairSize != 0 {
+			// The length is trustworthy (≤ cap) even though the payload
+			// is malformed: discard it whole and keep the stream
+			// synchronized, like the text UB drain.
+			if _, err := c.r.Discard(int(n)); err != nil {
+				return false, false
+			}
+			//freqvet:ignore noalloc cold malformed-frame path; the payload was discarded, not ingested
+			c.errFrame(fmt.Sprintf("pairs frame length %d is not a multiple of %d", n, pairSize))
+			break
+		}
+		pairs := c.framePayload(int(n) / pairSize)
+		if len(pairs) > 0 {
+			buf := unsafe.Slice((*byte)(unsafe.Pointer(&pairs[0])), n)
+			if _, err := io.ReadFull(c.r, buf); err != nil {
+				return false, false
+			}
+			if !hostLittleEndian {
+				decodePairsInPlace(buf, pairs)
+			}
+		}
+		if err := c.ingestPairs(pairs); err != nil {
+			// All-or-nothing: AddPairs validated before buffering, so
+			// the sketch is untouched and the connection stays usable.
+			c.errFrame(err.Error())
+			break
+		}
+		c.okFrame(len(pairs))
+	case opCmd:
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(c.r, payload); err != nil {
+			return false, false
+		}
+		quit = c.execCmd(payload)
+	default:
+		if _, err := c.r.Discard(int(n)); err != nil {
+			return false, false
+		}
+		//freqvet:ignore noalloc cold unknown-opcode path
+		c.errFrame(fmt.Sprintf("unknown opcode 0x%02x", op))
+	}
+	if err := c.nw.Flush(); err != nil {
+		return false, false
+	}
+	return quit, true
 }
 
 // framePayload returns the connection's reusable pairs buffer sized to

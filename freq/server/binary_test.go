@@ -237,7 +237,7 @@ func TestBinaryLoopZeroAlloc(t *testing.T) {
 	stream := bytes.Repeat(pairsFrame(items, weights), 8)
 	br := bytes.NewReader(stream)
 	nw := bufio.NewWriter(io.Discard)
-	c := &conn{srv: srv, r: bufio.NewReaderSize(br, 64*1024), nw: nw, w: nw, writer: writer, bin: true}
+	c := &conn{srv: srv, st: &connState{}, r: bufio.NewReaderSize(br, 64*1024), nw: nw, w: nw, writer: writer, bin: true}
 	run := func() {
 		br.Reset(stream)
 		c.r.Reset(br)

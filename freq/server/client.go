@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
 	"net"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/freq"
@@ -31,6 +33,22 @@ import (
 // failure is recorded and exposed via Err, and subsequent calls return
 // zero values. Callers that need per-call errors use the explicit
 // methods (Query, TopK, FrequentItemsAboveThreshold, Stats, ...).
+//
+// # Fault tolerance
+//
+// A dialed client survives a flaky network when configured to:
+// WithDialTimeout and WithIOTimeout bound every connect, read, and
+// write with deadlines; WithRetry makes the idempotent read commands
+// (EST, TOPK, FI, HH, STATS, SNAP, and their WIN/RANGE-scoped forms)
+// retry transport failures with jittered exponential backoff,
+// transparently re-dialing and re-negotiating the binary framing. The
+// non-idempotent ingest commands (Update, UpdateBatch) are NEVER
+// auto-retried — a lost acknowledgement is indistinguishable from a
+// lost request, so re-sending could double count; they return a
+// *TransportError and let the caller decide. After any transport
+// failure the connection is marked broken and the next operation
+// re-dials first (when the client knows its address), so a recovered
+// server is picked back up without new client state.
 type Client[T ~int64 | ~uint64] struct {
 	conn net.Conn
 	r    *bufio.Reader
@@ -40,18 +58,61 @@ type Client[T ~int64 | ~uint64] struct {
 	// opPairs frames and replies arrive as opReply frames whose payload
 	// is byte-for-byte the text protocol's reply.
 	bin bool
+	// wantBin records that the caller asked for binary framing, so a
+	// reconnect re-negotiates it.
+	wantBin bool
 	// frame is the unconsumed tail of the current reply frame's payload;
 	// readLine and readBlob drain it before fetching the next frame.
 	frame []byte
 	// cmdBuf is the reusable request encoding buffer (command lines and
 	// pairs payloads alike).
 	cmdBuf []byte
+
+	// addr is the dial target ("" for NewClient over an existing conn —
+	// such a client cannot reconnect).
+	addr string
+	// redial opens a replacement connection; defaults to a TCP dial of
+	// addr bounded by dialTimeout. Overridable for tests (fault
+	// injection wraps the raw conn here).
+	redial func() (net.Conn, error)
+	// dialTimeout bounds the initial and every replacement dial.
+	dialTimeout time.Duration
+	// ioTimeout, when positive, arms a read or write deadline around
+	// every conn operation, so no round trip can block forever on a
+	// stalled peer.
+	ioTimeout time.Duration
+	// retries and backoff configure WithRetry: up to retries additional
+	// attempts after the first failure, sleeping a jittered exponential
+	// backoff between them.
+	retries int
+	backoff time.Duration
+	// broken marks the connection poisoned by a transport failure (the
+	// reply stream may be desynchronized); the next operation must
+	// reconnect before using it.
+	broken bool
+	// aborted is set by an external deadline owner (Cluster's per-node
+	// timeout): while set, deadline arming is suppressed so the abort
+	// deadline cannot be extended by the operation in flight.
+	aborted atomic.Bool
+	// retryCount counts retry round trips performed (diagnostics; the
+	// fault-injection suite asserts on it).
+	retryCount int64
+	// lastSnapBytes is the wire size of the most recent snapshot blob
+	// (diagnostics; the Cluster manifest reports it).
+	lastSnapBytes int
 }
 
 // ClientOption configures Dial.
 type ClientOption func(*clientConfig)
 
-type clientConfig struct{ binary bool }
+type clientConfig struct {
+	binary      bool
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	retries     int
+	backoff     time.Duration
+	dialer      func() (net.Conn, error)
+}
 
 // WithBinary makes Dial negotiate the binary framing after connecting.
 // Negotiation is best-effort: a server that answers HELLO with ERR (an
@@ -59,6 +120,37 @@ type clientConfig struct{ binary bool }
 // mode and Dial still succeeds — Binary reports which framing won.
 func WithBinary() ClientOption {
 	return func(c *clientConfig) { c.binary = true }
+}
+
+// WithDialTimeout bounds the initial connect and every reconnect; zero
+// (the default) dials without a bound.
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.dialTimeout = d }
+}
+
+// WithIOTimeout arms a deadline around every read and write on the
+// connection — text and binary framing alike — so a stalled peer fails
+// the operation with a timeout instead of pinning the caller forever.
+// Zero (the default) leaves operations unbounded.
+func WithIOTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.ioTimeout = d }
+}
+
+// WithRetry makes idempotent read commands retry transport failures up
+// to n additional times, sleeping a jittered exponential backoff
+// starting at base between attempts (base doubles per attempt, capped
+// at 64x, jittered ±50%). Each retry re-dials the server and
+// re-negotiates the framing. Non-idempotent ingest never retries
+// regardless of this option.
+func WithRetry(n int, base time.Duration) ClientOption {
+	return func(c *clientConfig) { c.retries, c.backoff = n, base }
+}
+
+// WithDialer replaces the TCP dialer used for the initial connection
+// and every reconnect — the hook the fault-injection suite uses to wrap
+// connections in chaos. The addr argument of Dial is then only a label.
+func WithDialer(dial func() (net.Conn, error)) ClientOption {
+	return func(c *clientConfig) { c.dialer = dial }
 }
 
 // Queryable compile-time proof, mirroring the assertions in freq.
@@ -70,12 +162,25 @@ func Dial[T ~int64 | ~uint64](addr string, opts ...ClientOption) (*Client[T], er
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	conn, err := net.Dial("tcp", addr)
+	dial := cfg.dialer
+	if dial == nil {
+		dial = func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, cfg.dialTimeout)
+		}
+	}
+	conn, err := dial()
 	if err != nil {
-		return nil, err
+		return nil, &TransportError{Op: "DIAL", Attempts: 1, Err: err}
 	}
 	c := NewClient[T](conn)
+	c.addr = addr
+	c.redial = dial
+	c.dialTimeout = cfg.dialTimeout
+	c.ioTimeout = cfg.ioTimeout
+	c.retries = cfg.retries
+	c.backoff = cfg.backoff
 	if cfg.binary {
+		c.wantBin = true
 		if _, err := c.Negotiate(); err != nil {
 			conn.Close()
 			return nil, err
@@ -95,6 +200,129 @@ func NewClient[T ~int64 | ~uint64](conn net.Conn) *Client[T] {
 	}
 }
 
+// armRead arms the read deadline for one conn operation when an IO
+// timeout is configured. Suppressed while an external abort deadline is
+// in force (see abort).
+func (c *Client[T]) armRead() {
+	if c.ioTimeout > 0 && !c.aborted.Load() {
+		c.conn.SetReadDeadline(time.Now().Add(c.ioTimeout))
+	}
+}
+
+// armWrite arms the write deadline for one conn operation.
+func (c *Client[T]) armWrite() {
+	if c.ioTimeout > 0 && !c.aborted.Load() {
+		c.conn.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+	}
+}
+
+// abort expires the connection immediately and keeps it expired: every
+// blocked or future conn operation fails with a timeout until
+// clearAbort. Safe to call from another goroutine (the Cluster's
+// per-node refresh timeout is an AfterFunc); conn deadlines are
+// documented as concurrency-safe.
+func (c *Client[T]) abort() {
+	c.aborted.Store(true)
+	c.conn.SetDeadline(time.Now())
+}
+
+// clearAbort lifts an abort. The connection stays marked broken by the
+// failed operation itself, so the next use reconnects rather than
+// trusting a desynchronized stream.
+func (c *Client[T]) clearAbort() {
+	if c.aborted.Swap(false) {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// Retries returns how many retry round trips this client has performed
+// (diagnostics; reconnects that precede a first attempt don't count).
+func (c *Client[T]) Retries() int64 { return c.retryCount }
+
+// Addr returns the dial target, or the remote address for a client
+// wrapped around an existing connection.
+func (c *Client[T]) Addr() string {
+	if c.addr != "" {
+		return c.addr
+	}
+	if ra := c.conn.RemoteAddr(); ra != nil {
+		return ra.String()
+	}
+	return ""
+}
+
+// reconnect replaces a broken connection with a freshly dialed one and
+// re-negotiates the framing the caller originally asked for. It returns
+// a *TransportError when the client has no redial target (NewClient
+// over a raw conn) or the dial fails.
+func (c *Client[T]) reconnect() error {
+	if c.redial == nil {
+		return &TransportError{Op: "DIAL", Attempts: 1,
+			Err: errors.New("connection broken and no redial target (wrap with Dial to enable reconnects)")}
+	}
+	conn, err := c.redial()
+	if err != nil {
+		return &TransportError{Op: "DIAL", Attempts: 1, Err: err}
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = conn
+	c.r.Reset(conn)
+	c.w.Reset(conn)
+	c.bin = false
+	c.frame = nil
+	c.broken = false
+	c.aborted.Store(false)
+	if c.wantBin {
+		if _, err := c.Negotiate(); err != nil {
+			c.broken = true
+			return err
+		}
+	}
+	return nil
+}
+
+// do runs one whole operation (request plus full reply) with the
+// client's fault-tolerance policy: reconnect first if the connection is
+// known broken, classify failures, and — for idempotent operations with
+// retry configured — re-dial and re-run with jittered exponential
+// backoff. Protocol errors (the server answered ERR, or answered
+// something unparseable on an intact stream) are returned as-is and
+// never retried; transport failures poison the connection and surface
+// as *TransportError.
+func (c *Client[T]) do(op string, idempotent bool, fn func() error) error {
+	attempts := 0
+	for {
+		attempts++
+		var err error
+		if c.broken {
+			err = c.reconnect()
+		}
+		if err == nil {
+			err = fn()
+			if err == nil {
+				return nil
+			}
+			if !isTransport(err) {
+				return err // protocol-level: the stream is intact
+			}
+			// The reply stream can no longer be trusted; any buffered
+			// bytes may belong to the failed exchange.
+			c.broken = true
+		}
+		te := transportErr(err)
+		if !idempotent || attempts > c.retries || c.redial == nil {
+			te.Op, te.Attempts = op, attempts
+			return te
+		}
+		c.retryCount++
+		if d := jitteredBackoff(c.backoff, attempts); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
 // Negotiate sends HELLO BIN and upgrades the connection to the binary
 // framing if the server agrees. It returns (true, nil) on upgrade and
 // (false, nil) when the server declines with a text ERR — an older
@@ -106,15 +334,17 @@ func (c *Client[T]) Negotiate() (bool, error) {
 	if c.bin {
 		return true, nil
 	}
+	c.armWrite()
 	if _, err := fmt.Fprintf(c.w, "HELLO BIN %d\n", binaryVersion); err != nil {
-		return false, err
+		return false, transportErr(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return false, err
+		return false, transportErr(err)
 	}
+	c.armRead()
 	line, err := c.r.ReadString('\n')
 	if err != nil {
-		return false, err
+		return false, transportErr(err)
 	}
 	line = strings.TrimSpace(line)
 	if strings.HasPrefix(line, "ERR ") {
@@ -132,34 +362,47 @@ func (c *Client[T]) Binary() bool { return c.bin }
 
 // writeFrame ships one framed request and flushes it.
 func (c *Client[T]) writeFrame(op byte, payload []byte) error {
+	c.armWrite()
 	var hdr [frameHeader]byte
 	hdr[0] = op
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := c.w.Write(hdr[:]); err != nil {
-		return err
+		return transportErr(err)
 	}
 	if _, err := c.w.Write(payload); err != nil {
-		return err
+		return transportErr(err)
 	}
-	return c.w.Flush()
+	return transportErrOrNil(c.w.Flush())
+}
+
+// transportErrOrNil wraps err as a transport error, passing nil through
+// (a non-nil *TransportError inside a nil-checked error interface would
+// not compare equal to nil).
+func transportErrOrNil(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transportErr(err)
 }
 
 // readFrame fetches the next reply frame's payload into c.frame.
 func (c *Client[T]) readFrame() error {
+	c.armRead()
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-		return err
+		return transportErr(err)
 	}
 	if hdr[0] != opReply {
-		return fmt.Errorf("client: unexpected frame opcode 0x%02x", hdr[0])
+		// Framing violations desynchronize the stream: transport-class.
+		return transportErr(fmt.Errorf("client: unexpected frame opcode 0x%02x", hdr[0]))
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > MaxFrameBytes {
-		return fmt.Errorf("client: reply frame length %d exceeds cap %d", n, MaxFrameBytes)
+		return transportErr(fmt.Errorf("client: reply frame length %d exceeds cap %d", n, MaxFrameBytes))
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(c.r, buf); err != nil {
-		return err
+		return transportErr(err)
 	}
 	c.frame = buf
 	return nil
@@ -170,7 +413,9 @@ func (c *Client[T]) readFrame() error {
 // reply frame in binary framing.
 func (c *Client[T]) readLine() (string, error) {
 	if !c.bin {
-		return c.r.ReadString('\n')
+		c.armRead()
+		line, err := c.r.ReadString('\n')
+		return line, transportErrOrNil(err)
 	}
 	if len(c.frame) == 0 {
 		if err := c.readFrame(); err != nil {
@@ -192,8 +437,21 @@ func (c *Client[T]) readLine() (string, error) {
 // header line.
 func (c *Client[T]) readBlobInto(blob []byte) error {
 	if !c.bin {
-		_, err := io.ReadFull(c.r, blob)
-		return err
+		// Arm per chunk, not per blob: a large snapshot may legitimately
+		// take many read deadlines' worth of wall clock as long as bytes
+		// keep flowing.
+		for len(blob) > 0 {
+			c.armRead()
+			n, err := c.r.Read(blob)
+			blob = blob[n:]
+			if err != nil {
+				if err == io.EOF && len(blob) == 0 {
+					return nil
+				}
+				return transportErr(err)
+			}
+		}
+		return nil
 	}
 	for len(blob) > 0 {
 		if len(c.frame) == 0 {
@@ -208,17 +466,35 @@ func (c *Client[T]) readBlobInto(blob []byte) error {
 	return nil
 }
 
+// closeGraceTimeout bounds Close's wait for the server's BYE: a dead or
+// stalled peer must not hang Close forever.
+const closeGraceTimeout = time.Second
+
 // Close sends QUIT, waits for the server's BYE — which the server only
 // sends after flushing this connection's buffered updates into the
-// shared summary — and closes the connection.
+// shared summary — and closes the connection. The BYE wait is bounded
+// (by the IO timeout when configured, else one second): against a dead
+// peer Close gives up the handshake and just closes.
 func (c *Client[T]) Close() error {
-	if c.bin {
-		_ = c.writeFrame(opCmd, []byte("QUIT"))
-		_, _ = c.readLine()
-	} else {
-		fmt.Fprintln(c.w, "QUIT")
-		c.w.Flush()
-		_, _ = c.r.ReadString('\n')
+	if c.conn == nil {
+		return nil
+	}
+	if !c.broken {
+		grace := c.ioTimeout
+		if grace <= 0 || grace > closeGraceTimeout {
+			grace = closeGraceTimeout
+		}
+		c.conn.SetDeadline(time.Now().Add(grace))
+		if c.bin {
+			if err := c.writeFrame(opCmd, []byte("QUIT")); err == nil {
+				_, _ = c.readLine()
+			}
+		} else {
+			fmt.Fprintln(c.w, "QUIT")
+			if err := c.w.Flush(); err == nil {
+				_, _ = c.r.ReadString('\n')
+			}
+		}
 	}
 	return c.conn.Close()
 }
@@ -230,11 +506,12 @@ func (c *Client[T]) roundTrip(format string, args ...any) (string, error) {
 			return "", err
 		}
 	} else {
+		c.armWrite()
 		if _, err := fmt.Fprintf(c.w, format+"\n", args...); err != nil {
-			return "", err
+			return "", transportErr(err)
 		}
 		if err := c.w.Flush(); err != nil {
-			return "", err
+			return "", transportErr(err)
 		}
 	}
 	line, err := c.readLine()
@@ -248,16 +525,20 @@ func (c *Client[T]) roundTrip(format string, args ...any) (string, error) {
 	return line, nil
 }
 
-// Update sends a weighted update.
+// Update sends a weighted update. Not idempotent: a transport failure
+// returns a *TransportError and is never auto-retried — the caller
+// decides whether re-sending risks double counting.
 func (c *Client[T]) Update(item T, weight int64) error {
-	resp, err := c.roundTrip("U %d %d", int64(item), weight)
-	if err != nil {
-		return err
-	}
-	if resp != "OK" {
-		return fmt.Errorf("server: unexpected response %q", resp)
-	}
-	return nil
+	return c.do("U", false, func() error {
+		resp, err := c.roundTrip("U %d %d", int64(item), weight)
+		if err != nil {
+			return err
+		}
+		if resp != "OK" {
+			return fmt.Errorf("server: unexpected response %q", resp)
+		}
+		return nil
+	})
 }
 
 // UpdateBatch sends a batch of weighted updates as UB blocks — one
@@ -280,16 +561,27 @@ func (c *Client[T]) UpdateBatch(items []T, weights []int64) error {
 }
 
 // updateBlock ships one block of at most MaxWireBatch pairs — a UB
-// block in text framing, one opPairs frame in binary framing.
+// block in text framing, one opPairs frame in binary framing. Not
+// idempotent: transport failures surface as *TransportError, never
+// auto-retried (each block is all-or-nothing on the server, but a lost
+// acknowledgement leaves applied-or-not unknowable here).
 func (c *Client[T]) updateBlock(items []T, weights []int64) error {
 	if len(items) == 0 {
 		return nil
 	}
-	if c.bin {
-		return c.updateBlockBinary(items, weights)
-	}
+	return c.do("UB", false, func() error {
+		if c.bin {
+			return c.updateBlockBinary(items, weights)
+		}
+		return c.updateBlockText(items, weights)
+	})
+}
+
+// updateBlockText ships one UB block over the text framing.
+func (c *Client[T]) updateBlockText(items []T, weights []int64) error {
+	c.armWrite()
 	if _, err := fmt.Fprintf(c.w, "UB %d\n", len(items)); err != nil {
-		return err
+		return transportErr(err)
 	}
 	buf := make([]byte, 0, 48)
 	for i := range items {
@@ -298,13 +590,13 @@ func (c *Client[T]) updateBlock(items []T, weights []int64) error {
 		buf = strconv.AppendInt(buf, weights[i], 10)
 		buf = append(buf, '\n')
 		if _, err := c.w.Write(buf); err != nil {
-			return err
+			return transportErr(err)
 		}
 	}
 	if err := c.w.Flush(); err != nil {
-		return err
+		return transportErr(err)
 	}
-	line, err := c.r.ReadString('\n')
+	line, err := c.readLine()
 	if err != nil {
 		return err
 	}
@@ -352,14 +644,20 @@ func (c *Client[T]) updateBlockBinary(items []T, weights []int64) error {
 }
 
 // Query returns (estimate, lowerBound, upperBound) for item in one
-// round trip.
+// round trip. Idempotent: retried under WithRetry.
 func (c *Client[T]) Query(item T) (est, lb, ub int64, err error) {
-	resp, err := c.roundTrip("EST %d", int64(item))
+	err = c.do("EST", true, func() error {
+		resp, rerr := c.roundTrip("EST %d", int64(item))
+		if rerr != nil {
+			return rerr
+		}
+		if _, serr := fmt.Sscanf(resp, "EST %d %d %d", &est, &lb, &ub); serr != nil {
+			return fmt.Errorf("server: bad response %q", resp)
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, 0, 0, err
-	}
-	if _, err := fmt.Sscanf(resp, "EST %d %d %d", &est, &lb, &ub); err != nil {
-		return 0, 0, 0, fmt.Errorf("server: bad response %q", resp)
 	}
 	return est, lb, ub, nil
 }
@@ -389,13 +687,22 @@ func (c *Client[T]) readMulti(header string) ([]freq.Row[T], error) {
 }
 
 // TopK returns the n largest items (server-side TOPK command, answered
-// from the server's epoch-cached merged view).
+// from the server's epoch-cached merged view). Idempotent: retried
+// under WithRetry.
 func (c *Client[T]) TopK(n int) ([]freq.Row[T], error) {
-	resp, err := c.roundTrip("TOPK %d", n)
+	var rows []freq.Row[T]
+	err := c.do("TOPK", true, func() error {
+		resp, err := c.roundTrip("TOPK %d", n)
+		if err != nil {
+			return err
+		}
+		rows, err = c.readMulti(resp)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return c.readMulti(resp)
+	return rows, nil
 }
 
 // Top returns the n largest items. Deprecated name kept for existing
@@ -403,46 +710,79 @@ func (c *Client[T]) TopK(n int) ([]freq.Row[T], error) {
 func (c *Client[T]) Top(n int) ([]freq.Row[T], error) { return c.TopK(n) }
 
 // FrequentItemsAboveThreshold returns items qualifying against an
-// absolute threshold under et (server-side FI command).
+// absolute threshold under et (server-side FI command). Idempotent:
+// retried under WithRetry.
 func (c *Client[T]) FrequentItemsAboveThreshold(threshold int64, et freq.ErrorType) ([]freq.Row[T], error) {
-	resp, err := c.roundTrip("FI %d %d", int(et), threshold)
-	if err != nil {
-		return nil, err
-	}
-	return c.readMulti(resp)
+	return c.doMulti("FI", "FI %d %d", int(et), threshold)
 }
 
 // HeavyHitters returns items above phi (in [0,1]) of the stream weight.
+// Idempotent: retried under WithRetry.
 func (c *Client[T]) HeavyHitters(phi float64) ([]freq.Row[T], error) {
-	resp, err := c.roundTrip("HH %d", int(phi*1000))
+	return c.doMulti("HH", "HH %d", int(phi*1000))
+}
+
+// doMulti runs one idempotent MULTI-replying command under the retry
+// policy.
+func (c *Client[T]) doMulti(op, format string, args ...any) ([]freq.Row[T], error) {
+	var rows []freq.Row[T]
+	err := c.do(op, true, func() error {
+		resp, err := c.roundTrip(format, args...)
+		if err != nil {
+			return err
+		}
+		rows, err = c.readMulti(resp)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return c.readMulti(resp)
+	return rows, nil
 }
 
 // Stats returns the server-side stream weight and error band.
+// Idempotent: retried under WithRetry.
 func (c *Client[T]) Stats() (n, maxErr int64, err error) {
-	resp, err := c.roundTrip("STATS")
+	err = c.do("STATS", true, func() error {
+		resp, rerr := c.roundTrip("STATS")
+		if rerr != nil {
+			return rerr
+		}
+		var shards int
+		if _, serr := fmt.Sscanf(resp, "STATS n=%d err=%d shards=%d", &n, &maxErr, &shards); serr != nil {
+			return fmt.Errorf("server: bad stats %q", resp)
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, 0, err
-	}
-	var shards int
-	if _, err := fmt.Sscanf(resp, "STATS n=%d err=%d shards=%d", &n, &maxErr, &shards); err != nil {
-		return 0, 0, fmt.Errorf("server: bad stats %q", resp)
 	}
 	return n, maxErr, nil
 }
 
 // Snapshot fetches the serialized summary and decodes it into a sketch —
 // the §3 geographically-distributed pattern over the wire, and the unit
-// the Cluster fan-out merges.
+// the Cluster fan-out merges. Idempotent: retried under WithRetry.
 func (c *Client[T]) Snapshot() (*freq.Sketch[T], error) {
-	resp, err := c.roundTrip("SNAP")
+	return c.doSnapshot("SNAP", "SNAP")
+}
+
+// doSnapshot runs one idempotent snapshot-replying command under the
+// retry policy.
+func (c *Client[T]) doSnapshot(op, format string, args ...any) (*freq.Sketch[T], error) {
+	var sk *freq.Sketch[T]
+	err := c.do(op, true, func() error {
+		resp, err := c.roundTrip(format, args...)
+		if err != nil {
+			return err
+		}
+		sk, err = c.readSnapshot(resp)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return c.readSnapshot(resp)
+	return sk, nil
 }
 
 // readSnapshot consumes a "SNAP <bytes>" header's blob and decodes it.
@@ -455,6 +795,7 @@ func (c *Client[T]) readSnapshot(header string) (*freq.Sketch[T], error) {
 	if err := c.readBlobInto(blob); err != nil {
 		return nil, err
 	}
+	c.lastSnapBytes = n
 	sk, err := freq.New[T](64)
 	if err != nil {
 		return nil, err
@@ -470,47 +811,45 @@ func (c *Client[T]) readSnapshot(header string) (*freq.Sketch[T], error) {
 // They error when the server runs without a window.
 
 // QueryWindow returns (estimate, lowerBound, upperBound) for item over
-// the last w intervals of the server's sliding window.
+// the last w intervals of the server's sliding window. Idempotent:
+// retried under WithRetry.
 func (c *Client[T]) QueryWindow(w int, item T) (est, lb, ub int64, err error) {
-	resp, err := c.roundTrip("WIN %d EST %d", w, int64(item))
+	err = c.do("WIN EST", true, func() error {
+		resp, rerr := c.roundTrip("WIN %d EST %d", w, int64(item))
+		if rerr != nil {
+			return rerr
+		}
+		if _, serr := fmt.Sscanf(resp, "EST %d %d %d", &est, &lb, &ub); serr != nil {
+			return fmt.Errorf("server: bad response %q", resp)
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, 0, 0, err
-	}
-	if _, err := fmt.Sscanf(resp, "EST %d %d %d", &est, &lb, &ub); err != nil {
-		return 0, 0, 0, fmt.Errorf("server: bad response %q", resp)
 	}
 	return est, lb, ub, nil
 }
 
 // TopKWindow returns the n largest items over the last w intervals.
+// Idempotent: retried under WithRetry.
 func (c *Client[T]) TopKWindow(w, n int) ([]freq.Row[T], error) {
-	resp, err := c.roundTrip("WIN %d TOPK %d", w, n)
-	if err != nil {
-		return nil, err
-	}
-	return c.readMulti(resp)
+	return c.doMulti("WIN TOPK", "WIN %d TOPK %d", w, n)
 }
 
 // FrequentItemsAboveThresholdWindow returns items qualifying against an
-// absolute threshold under et over the last w intervals.
+// absolute threshold under et over the last w intervals. Idempotent:
+// retried under WithRetry.
 func (c *Client[T]) FrequentItemsAboveThresholdWindow(w int, threshold int64, et freq.ErrorType) ([]freq.Row[T], error) {
-	resp, err := c.roundTrip("WIN %d FI %d %d", w, int(et), threshold)
-	if err != nil {
-		return nil, err
-	}
-	return c.readMulti(resp)
+	return c.doMulti("WIN FI", "WIN %d FI %d %d", w, int(et), threshold)
 }
 
 // SnapshotWindow fetches the serialized merged view of the last w
 // intervals and decodes it into an ordinary sketch — the blob is the
 // standard single-sketch wire format, so the result merges and queries
 // like any other snapshot (Cluster.RefreshWindow fans this out).
+// Idempotent: retried under WithRetry.
 func (c *Client[T]) SnapshotWindow(w int) (*freq.Sketch[T], error) {
-	resp, err := c.roundTrip("WIN %d SNAP", w)
-	if err != nil {
-		return nil, err
-	}
-	return c.readSnapshot(resp)
+	return c.doSnapshot("WIN SNAP", "WIN %d SNAP", w)
 }
 
 // Range-scoped pass-throughs: each maps onto the RANGE command, scoping
@@ -519,79 +858,93 @@ func (c *Client[T]) SnapshotWindow(w int) (*freq.Sketch[T], error) {
 // seconds. They error when the server runs without a store.
 
 // QueryRange returns (estimate, lowerBound, upperBound) for item over
-// the stored history covering [from, to).
+// the stored history covering [from, to). Idempotent: retried under
+// WithRetry.
 func (c *Client[T]) QueryRange(from, to time.Time, item T) (est, lb, ub int64, err error) {
-	resp, err := c.roundTrip("RANGE %d %d EST %d", from.Unix(), to.Unix(), int64(item))
+	err = c.do("RANGE EST", true, func() error {
+		resp, rerr := c.roundTrip("RANGE %d %d EST %d", from.Unix(), to.Unix(), int64(item))
+		if rerr != nil {
+			return rerr
+		}
+		if _, serr := fmt.Sscanf(resp, "EST %d %d %d", &est, &lb, &ub); serr != nil {
+			return fmt.Errorf("server: bad response %q", resp)
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, 0, 0, err
-	}
-	if _, err := fmt.Sscanf(resp, "EST %d %d %d", &est, &lb, &ub); err != nil {
-		return 0, 0, 0, fmt.Errorf("server: bad response %q", resp)
 	}
 	return est, lb, ub, nil
 }
 
 // TopKRange returns the n largest items over the stored history
-// covering [from, to).
+// covering [from, to). Idempotent: retried under WithRetry.
 func (c *Client[T]) TopKRange(from, to time.Time, n int) ([]freq.Row[T], error) {
-	resp, err := c.roundTrip("RANGE %d %d TOPK %d", from.Unix(), to.Unix(), n)
-	if err != nil {
-		return nil, err
-	}
-	return c.readMulti(resp)
+	return c.doMulti("RANGE TOPK", "RANGE %d %d TOPK %d", from.Unix(), to.Unix(), n)
 }
 
 // FrequentItemsAboveThresholdRange returns items qualifying against an
 // absolute threshold under et over the stored history covering
-// [from, to).
+// [from, to). Idempotent: retried under WithRetry.
 func (c *Client[T]) FrequentItemsAboveThresholdRange(from, to time.Time, threshold int64, et freq.ErrorType) ([]freq.Row[T], error) {
-	resp, err := c.roundTrip("RANGE %d %d FI %d %d", from.Unix(), to.Unix(), int(et), threshold)
-	if err != nil {
-		return nil, err
-	}
-	return c.readMulti(resp)
+	return c.doMulti("RANGE FI", "RANGE %d %d FI %d %d", from.Unix(), to.Unix(), int(et), threshold)
 }
 
 // SnapshotRange fetches the serialized merged summary of the stored
 // history covering [from, to) — the standard single-sketch wire format,
-// decoded like any other snapshot.
+// decoded like any other snapshot. Idempotent: retried under WithRetry.
 func (c *Client[T]) SnapshotRange(from, to time.Time) (*freq.Sketch[T], error) {
-	resp, err := c.roundTrip("RANGE %d %d SNAP", from.Unix(), to.Unix())
-	if err != nil {
-		return nil, err
-	}
-	return c.readSnapshot(resp)
+	return c.doSnapshot("RANGE SNAP", "RANGE %d %d SNAP", from.Unix(), to.Unix())
 }
 
 // Rotate advances the server's sliding window one interval and returns
-// the server's total rotation count.
+// the server's total rotation count. Not idempotent (each call advances
+// the ring): transport failures are never auto-retried.
 func (c *Client[T]) Rotate() (rotations int64, err error) {
-	resp, err := c.roundTrip("ROTATE")
+	err = c.do("ROTATE", false, func() error {
+		resp, rerr := c.roundTrip("ROTATE")
+		if rerr != nil {
+			return rerr
+		}
+		if _, serr := fmt.Sscanf(resp, "OK %d", &rotations); serr != nil {
+			return fmt.Errorf("server: unexpected response %q", resp)
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, err
-	}
-	if _, err := fmt.Sscanf(resp, "OK %d", &rotations); err != nil {
-		return 0, fmt.Errorf("server: unexpected response %q", resp)
 	}
 	return rotations, nil
 }
 
-// Reset clears the server-side summary.
+// Reset clears the server-side summary. Not auto-retried.
 func (c *Client[T]) Reset() error {
-	resp, err := c.roundTrip("RESET")
-	if err != nil {
-		return err
-	}
-	if resp != "OK" {
-		return fmt.Errorf("server: unexpected response %q", resp)
-	}
-	return nil
+	return c.do("RESET", false, func() error {
+		resp, err := c.roundTrip("RESET")
+		if err != nil {
+			return err
+		}
+		if resp != "OK" {
+			return fmt.Errorf("server: unexpected response %q", resp)
+		}
+		return nil
+	})
 }
 
 // Raw sends a raw protocol line and returns the first response line
-// (diagnostics and protocol tests).
+// (diagnostics and protocol tests). The command's idempotence is
+// unknowable here, so Raw is never auto-retried.
 func (c *Client[T]) Raw(line string) (string, error) {
-	return c.roundTrip("%s", line)
+	var resp string
+	err := c.do("RAW", false, func() error {
+		var rerr error
+		resp, rerr = c.roundTrip("%s", line)
+		return rerr
+	})
+	if err != nil {
+		return "", err
+	}
+	return resp, nil
 }
 
 // Err returns the first transport or protocol error encountered by the

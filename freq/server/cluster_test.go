@@ -41,7 +41,7 @@ func TestQueryablePropertyAcrossBackends(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs := startCluster(t, 3, Config{MaxCounters: k, Shards: 4})
-	cluster, err := DialCluster[int64](addrs...)
+	cluster, err := DialCluster[int64](addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestClusterSnapshotIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cluster, err := DialCluster[int64](addrs...)
+	cluster, err := DialCluster[int64](addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestClusterUintItems(t *testing.T) {
 	if err := c.UpdateBatch([]uint64{big}, []int64{42}); err != nil {
 		t.Fatal(err)
 	}
-	cluster, err := DialCluster[uint64](addrs...)
+	cluster, err := DialCluster[uint64](addrs)
 	if err != nil {
 		t.Fatal(err)
 	}

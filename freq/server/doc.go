@@ -200,6 +200,40 @@
 // are one protocol under two encodings; the cross-framing conformance
 // suite holds them to that.
 //
+// # Fault tolerance
+//
+// Both ends of the wire defend themselves against the other end dying,
+// wedging, or lying mid-frame.
+//
+// Server side: Config.IdleTimeout drops connections parked between
+// commands; Config.IOTimeout arms a per-command deadline that re-arms
+// on every pair line and frame payload, so a peer making progress is
+// never cut off and a stalled one always is. Server.Shutdown drains
+// gracefully — stops accepting, closes idle connections, lets every
+// in-flight command finish and flush its reply, and hard-closes the
+// rest when its context expires. Ingest stays all-or-nothing under
+// every cut: a UB block or PAIRS frame that is severed mid-stream
+// applies no weight at all.
+//
+// Client side: WithDialTimeout and WithIOTimeout bound every dial and
+// round trip; a wire failure surfaces as a typed *TransportError
+// (distinct from a server ERR, which means the request was received
+// and answered) and poisons the connection, so the next operation
+// re-dials instead of trusting a desynchronized stream. WithRetry
+// re-runs idempotent reads (EST, TOPK, FI, SNAP, WIN, RANGE, STATS)
+// across reconnects with jittered exponential backoff; ingest (U, UB,
+// PAIRS) is never auto-retried, because a lost acknowledgement makes
+// applied-or-not unknowable and re-sending risks double counting —
+// that call belongs to the caller. Close bounds its QUIT/BYE handshake
+// so a dead peer cannot hang it.
+//
+// Fleet side: Cluster refreshes fan out with per-node bounds
+// (WithNodeTimeout) and merge whichever subset answers, down to
+// WithQuorum; the Manifest reports per-node latency, snapshot size,
+// and failure so degraded views are visible. The internal/netfault
+// harness drives all of this under injected latency, short writes,
+// mid-frame resets, and accept failures in the fault test suite.
+//
 // # Errors
 //
 // ERR reasons are free-form text for humans; clients should treat any

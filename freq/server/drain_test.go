@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitBusy polls until some connection's handler is inside a command
+// (its busy lock held) — the precondition for every "cut it off
+// mid-command" scenario below.
+func waitBusy(t *testing.T, srv *testServer) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		srv.mu.Lock()
+		busy := false
+		for _, st := range srv.conns {
+			if !st.busy.TryLock() {
+				busy = true
+			} else {
+				st.busy.Unlock()
+			}
+		}
+		srv.mu.Unlock()
+		if busy {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no connection entered a command")
+}
+
+// TestDrainShutdownLetsInFlightBatchFinish starts a UB block whose pair
+// lines trickle in while Shutdown runs: the drain must let the whole
+// block land, flush its OK, and only then close the connection.
+func TestDrainShutdownLetsInFlightBatchFinish(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 1024, Shards: 4})
+	nc, err := net.Dial("tcp", srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	const pairs = 50
+	fmt.Fprintf(nc, "UB %d\n", pairs)
+	writeDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < pairs; i++ {
+			if _, err := fmt.Fprintf(nc, "%d 1\n", i); err != nil {
+				writeDone <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		writeDone <- nil
+	}()
+	waitBusy(t, srv)
+
+	shut := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shut <- srv.Shutdown(ctx)
+	}()
+
+	// The in-flight block completes and is acknowledged.
+	line, err := bufio.NewReader(nc).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading the drained block's reply: %v", err)
+	}
+	if got := strings.TrimSpace(line); got != fmt.Sprintf("OK %d", pairs) {
+		t.Fatalf("drained block reply = %q, want OK %d", got, pairs)
+	}
+	if err := <-writeDone; err != nil {
+		t.Fatalf("pair-line writer was cut off: %v", err)
+	}
+	if err := <-shut; err != nil {
+		t.Fatalf("Shutdown after a clean drain = %v, want nil", err)
+	}
+	// Every pair landed exactly once; Shutdown's wg.Wait means the
+	// handler has exited and flushed its writer.
+	if got := srv.Sketch().StreamWeight(); got != pairs {
+		t.Fatalf("drained weight = %d, want %d", got, pairs)
+	}
+	// The listener is down: new connections are refused.
+	if c2, err := net.DialTimeout("tcp", srv.addr, 500*time.Millisecond); err == nil {
+		c2.Close()
+		t.Fatal("dial after Shutdown succeeded, want refused")
+	}
+}
+
+// TestDrainShutdownClosesIdleConnections verifies the other half of the
+// drain contract: a connection parked between commands is closed
+// immediately rather than holding Shutdown open.
+func TestDrainShutdownClosesIdleConnections(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 1024, Shards: 4})
+	c := dial(t, srv)
+	if _, _, _, err := c.Query(1); err != nil {
+		t.Fatal(err)
+	}
+	// No deadline: an unclosed idle conn would hang this forever (the
+	// test binary's own timeout is the backstop).
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown with only an idle connection = %v", err)
+	}
+	if _, _, _, err := c.Query(1); err == nil {
+		t.Fatal("query after Shutdown succeeded, want closed connection")
+	}
+}
+
+// TestDrainShutdownDeadlineHardCloses wedges a connection mid-UB and
+// gives Shutdown a short deadline: it must give up, hard-close, and
+// report the deadline — and the half-received block must not leave any
+// weight behind.
+func TestDrainShutdownDeadlineHardCloses(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 1024, Shards: 4})
+	nc, err := net.Dial("tcp", srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Announce 50 pairs, deliver 2, stall forever.
+	io.WriteString(nc, "UB 50\n1 5\n2 5\n")
+	waitBusy(t, srv)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown past a wedged conn = %v, want context.DeadlineExceeded", err)
+	}
+	// All-or-nothing: the unfinished block contributes nothing.
+	if got := srv.Sketch().StreamWeight(); got != 0 {
+		t.Fatalf("weight after hard-closed half-batch = %d, want 0", got)
+	}
+}
+
+// TestDrainCloseCutsMidTextBatch is the satellite Server.Close test for
+// the text framing: hard-closing with a UB block in flight must kill
+// the handler promptly and apply none of the block.
+func TestDrainCloseCutsMidTextBatch(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 1024, Shards: 4})
+	nc, err := net.Dial("tcp", srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	io.WriteString(nc, "UB 10\n1 5\n2 5\n")
+	waitBusy(t, srv)
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close with an in-flight batch: %v", err)
+	}
+	// Close waits for handlers, so this is the final state, not a race.
+	if got := srv.Sketch().StreamWeight(); got != 0 {
+		t.Fatalf("weight after mid-batch Close = %d, want 0 (all-or-nothing)", got)
+	}
+}
+
+// TestDrainCloseCutsMidBinaryFrame is the satellite Server.Close test
+// for the binary framing: a PAIRS frame whose payload never finishes
+// arriving must vanish whole when the server hard-closes under it.
+func TestDrainCloseCutsMidBinaryFrame(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 1024, Shards: 4})
+	nc, err := net.Dial("tcp", srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	r := bufio.NewReader(nc)
+	io.WriteString(nc, "HELLO BIN 1\n")
+	if line, err := r.ReadString('\n'); err != nil || strings.TrimSpace(line) != "HELLO BIN 1" {
+		t.Fatalf("HELLO reply = %q, %v", line, err)
+	}
+	// A 4-pair frame: header plus only half of the first pair, then stall.
+	hdr := make([]byte, 5)
+	hdr[0] = opPairs
+	binary.LittleEndian.PutUint32(hdr[1:], 4*pairSize)
+	nc.Write(hdr)
+	nc.Write(make([]byte, 8))
+	waitBusy(t, srv)
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close with an in-flight frame: %v", err)
+	}
+	if got := srv.Sketch().StreamWeight(); got != 0 {
+		t.Fatalf("weight after mid-frame Close = %d, want 0 (all-or-nothing)", got)
+	}
+}
+
+// TestDrainShutdownIsIdempotent makes sure a second Shutdown (or a
+// Shutdown racing Close) is safe — the freqd signal handler may fire
+// both paths.
+func TestDrainShutdownIsIdempotent(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 512, Shards: 2})
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown = %v, want nil", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Shutdown = %v, want nil", err)
+	}
+}
+
+// TestDrainIdleTimeoutReapsSilentConn covers the server-side idle
+// deadline: a connection that never sends a command is dropped.
+func TestDrainIdleTimeoutReapsSilentConn(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 512, Shards: 2, IdleTimeout: 50 * time.Millisecond})
+	nc, err := net.Dial("tcp", srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("idle connection was not closed")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("idle reap took %v, want ~50ms", elapsed)
+	}
+}
+
+// TestDrainIOTimeoutCutsStalledBatch covers the server-side IO
+// deadline: a batch that stops making progress mid-block is cut off,
+// while one that trickles along within the per-line deadline survives.
+func TestDrainIOTimeoutCutsStalledBatch(t *testing.T) {
+	srv := startServer(t, Config{MaxCounters: 512, Shards: 2, IOTimeout: 80 * time.Millisecond})
+
+	// A stalled block: two pairs then silence. The per-line deadline
+	// fires and the server drops the connection with nothing applied.
+	stalled, err := net.Dial("tcp", srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	io.WriteString(stalled, "UB 10\n1 5\n2 5\n")
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := stalled.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stalled batch connection was not cut")
+	}
+	if got := srv.Sketch().StreamWeight(); got != 0 {
+		t.Fatalf("weight after stalled batch = %d, want 0", got)
+	}
+
+	// A slow-but-alive block: each line arrives well within the deadline
+	// even though the whole block takes longer than one deadline.
+	slow, err := net.Dial("tcp", srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	fmt.Fprintf(slow, "UB 10\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(slow, "%d 1\n", i)
+		time.Sleep(20 * time.Millisecond) // 10 lines x 20ms > one 80ms deadline
+	}
+	slow.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(slow).ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "OK 10" {
+		t.Fatalf("slow-but-alive batch reply = %q, %v; the per-line deadline must re-arm", line, err)
+	}
+}

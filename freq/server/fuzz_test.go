@@ -47,7 +47,7 @@ func FuzzBinaryFrameDecode(f *testing.F) {
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			srv.handle(serverEnd)
+			srv.handle(serverEnd, &connState{})
 		}()
 		// net.Pipe is synchronous: drain replies so the handler's writes
 		// never block against our writes.
@@ -62,7 +62,7 @@ func FuzzBinaryFrameDecode(f *testing.F) {
 		h2 := make(chan struct{})
 		go func() {
 			defer close(h2)
-			srv.handle(s2)
+			srv.handle(s2, &connState{})
 		}()
 		r := bufio.NewReader(c2)
 		io.WriteString(c2, "U 1 1\nEST 1\nQUIT\n")

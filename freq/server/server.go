@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/freq"
@@ -39,6 +41,17 @@ type Config struct {
 	// equal — the property the cross-framing conformance suite asserts.
 	// Zero (the default) draws independent random seeds per server.
 	Seed uint64
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// between commands: a peer that goes silent has its connection closed
+	// after this long instead of pinning a handler goroutine forever.
+	// Zero (the default) keeps idle connections open indefinitely.
+	IdleTimeout time.Duration
+	// IOTimeout, when positive, bounds the reads and writes within one
+	// command — the pair lines of a UB block, a frame payload, a reply
+	// flush — so a peer that stalls mid-command is cut off. Zero (the
+	// default) leaves in-command IO unbounded (an idle timeout still
+	// applies between commands).
+	IOTimeout time.Duration
 }
 
 // RangeStore is the historical query surface the RANGE commands serve
@@ -60,12 +73,28 @@ type Server struct {
 
 	mu      sync.Mutex
 	ln      net.Listener
-	conns   map[net.Conn]struct{}
+	conns   map[net.Conn]*connState
 	closed  bool
 	wg      sync.WaitGroup
 	updates int64
 	queries int64
 	statsMu sync.Mutex
+
+	// idleTimeout/ioTimeout are Config.IdleTimeout/Config.IOTimeout.
+	idleTimeout time.Duration
+	ioTimeout   time.Duration
+	// draining is set by Shutdown: handlers finish the command in flight
+	// and exit instead of reading the next one.
+	draining atomic.Bool
+}
+
+// connState is the drain-coordination handle for one connection: busy is
+// held by the handler exactly while a command is being processed (from a
+// successfully read request line or frame until its reply is flushed),
+// so Shutdown can TryLock to distinguish idle connections — safe to
+// close immediately — from in-flight ones, which get to finish.
+type connState struct {
+	busy sync.Mutex
 }
 
 // New returns a server with a fresh summary.
@@ -85,9 +114,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	srv := &Server{
-		sketch: sk,
-		store:  cfg.Store,
-		conns:  map[net.Conn]struct{}{},
+		sketch:      sk,
+		store:       cfg.Store,
+		conns:       map[net.Conn]*connState{},
+		idleTimeout: cfg.IdleTimeout,
+		ioTimeout:   cfg.IOTimeout,
 	}
 	if cfg.WindowIntervals > 0 {
 		var wopts []freq.Option
@@ -152,12 +183,13 @@ func (s *Server) Serve(ln net.Listener) error {
 			conn.Close()
 			return net.ErrClosed
 		}
-		s.conns[conn] = struct{}{}
+		st := &connState{}
+		s.conns[conn] = st
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			s.handle(conn, st)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -184,11 +216,15 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting, closes all connections, and waits for handlers.
+// Close stops accepting, hard-closes all connections, and waits for
+// handlers. Commands in flight are cut off mid-stream (their summary
+// mutations stay all-or-nothing; see the drain tests). For a graceful
+// stop that lets in-flight work finish, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return nil
 	}
 	s.closed = true
@@ -205,6 +241,70 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown gracefully drains the server: it stops accepting, closes
+// connections that are idle between commands, and lets every command in
+// flight — a UB block mid-pair-lines, a PAIRS frame mid-payload, a SNAP
+// mid-blob — finish and flush its reply. Handlers exit after their
+// current command instead of reading the next. When ctx expires before
+// the drain completes, the remaining connections are hard-closed (their
+// in-flight mutations remain all-or-nothing) and ctx's error is
+// returned; a completed drain returns the listener's close error, if
+// any. Safe to call concurrently with Close and from signal handlers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	s.draining.Store(true)
+	var lnErr error
+	if ln != nil && !alreadyClosed {
+		lnErr = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	// Poll: close whichever connections are idle right now, then wait for
+	// the rest to finish their in-flight command and exit on the draining
+	// flag. The poll re-runs because a pipelining connection can only be
+	// caught between commands.
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.closeIdleConns()
+		select {
+		case <-done:
+			return lnErr
+		case <-ctx.Done():
+			s.mu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+			s.wg.Wait()
+			return errors.Join(lnErr, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// closeIdleConns closes every connection not currently processing a
+// command: its handler is blocked reading the next request, and closing
+// the conn wakes it into a clean exit (which still flushes the
+// connection's buffered ingest into the summary).
+func (s *Server) closeIdleConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for nc, st := range s.conns {
+		if st.busy.TryLock() {
+			nc.Close()
+			st.busy.Unlock()
+		}
+	}
+}
+
 // MaxWireBatch caps a UB block so a malicious count cannot force an
 // arbitrarily large allocation; Client.UpdateBatch transparently chunks
 // larger batches.
@@ -216,6 +316,10 @@ const MaxWireBatch = 1 << 20
 // hold by construction).
 type conn struct {
 	srv *Server
+	// nc is the raw connection, kept for deadline arming.
+	nc net.Conn
+	// st is the drain-coordination handle shared with Server.Shutdown.
+	st *connState
 	// r replaces the line scanner so the connection can switch framings:
 	// after a HELLO BIN upgrade the same buffered reader hands out binary
 	// frames with nothing lost between the framing boundary.
@@ -268,6 +372,31 @@ type conn struct {
 // 64 KiB framing limit; there is no way to resynchronize mid-line.
 var errLineTooLong = errors.New("server: line exceeds 64 KiB limit")
 
+// armIdle arms the between-commands read deadline. When only an IO
+// timeout is configured the previous command's deadline is cleared, so
+// a legitimately quiet connection is not killed by a stale in-command
+// deadline.
+//
+//freq:noalloc
+func (c *conn) armIdle() {
+	switch {
+	case c.srv.idleTimeout > 0:
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.idleTimeout))
+	case c.srv.ioTimeout > 0:
+		c.nc.SetReadDeadline(time.Time{})
+	}
+}
+
+// armIO arms the in-command deadline around both directions: the rest
+// of the request (pair lines, frame payload) and the reply flush.
+//
+//freq:noalloc
+func (c *conn) armIO() {
+	if c.srv.ioTimeout > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.srv.ioTimeout))
+	}
+}
+
 // readLine returns the next '\n'-terminated line (delimiter stripped,
 // final unterminated line included), or an error when the connection is
 // done or a line overflows the read buffer.
@@ -307,7 +436,7 @@ func (c *conn) flushWindowed() {
 	c.winWeights = c.winWeights[:0]
 }
 
-func (s *Server) handle(nc net.Conn) {
+func (s *Server) handle(nc net.Conn, st *connState) {
 	defer nc.Close()
 	writer, err := freq.NewWriter(s.sketch)
 	if err != nil {
@@ -315,11 +444,12 @@ func (s *Server) handle(nc net.Conn) {
 	}
 	defer writer.Close()
 	nw := bufio.NewWriter(nc)
-	c := &conn{srv: s, r: bufio.NewReaderSize(nc, 64*1024), nw: nw, w: nw, writer: writer}
+	c := &conn{srv: s, nc: nc, st: st, r: bufio.NewReaderSize(nc, 64*1024), nw: nw, w: nw, writer: writer}
 	if s.win != nil {
 		defer c.flushWindowed()
 	}
 	for {
+		c.armIdle()
 		line, rerr := c.readLine()
 		if rerr != nil {
 			return
@@ -328,6 +458,10 @@ func (s *Server) handle(nc net.Conn) {
 		if line == "" {
 			continue
 		}
+		// busy marks a command in flight: Shutdown's idle-closer skips the
+		// connection until the reply below has flushed.
+		st.busy.Lock()
+		c.armIO()
 		quit, err := c.dispatch(line)
 		if err != nil {
 			// An ERR reply is exactly one line; joined errors (errors.Join
@@ -335,10 +469,15 @@ func (s *Server) handle(nc net.Conn) {
 			// reply stream.
 			fmt.Fprintf(c.w, "ERR %s\n", sanitizeLine(err.Error()))
 		}
-		if err := c.nw.Flush(); err != nil {
+		ferr := c.nw.Flush()
+		st.busy.Unlock()
+		if ferr != nil || quit {
 			return
 		}
-		if quit {
+		if s.draining.Load() {
+			// Graceful drain: the command in flight got its reply; exit
+			// instead of reading the next one (the deferred writer close
+			// flushes this connection's buffered ingest).
 			return
 		}
 		if c.bin {
@@ -427,7 +566,10 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		var parseErr error
 		for i := 0; i < n; i++ {
 			// Consume the whole block even past a bad line, so one
-			// malformed pair does not desynchronize the protocol.
+			// malformed pair does not desynchronize the protocol. The IO
+			// deadline re-arms per line: a peer making progress is never
+			// cut off mid-block, a stalled one is.
+			c.armIO()
 			pairLine, rerr := c.readLine()
 			if rerr != nil {
 				return true, errors.New("connection closed mid-batch")
@@ -593,6 +735,7 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 // connection stayed alive.
 func (c *conn) drainLines(n int) bool {
 	for i := 0; i < n; i++ {
+		c.armIO()
 		if _, err := c.readLine(); err != nil {
 			return false
 		}

@@ -287,7 +287,7 @@ func TestClusterWindowFanout(t *testing.T) {
 		}
 	}
 
-	cl, err := DialCluster[int64](addrs...)
+	cl, err := DialCluster[int64](addrs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,206 @@
+// Package netfault wraps net.Conn and net.Listener with deterministic,
+// test-controlled fault injection: added latency, short writes, connection
+// kills after a byte budget (a mid-frame reset as the peer sees it), read
+// truncation, and accept-time failures. It exists so the server package's
+// fault-tolerance suite can drive the retry, deadline, quorum, and drain
+// machinery against realistic network misbehaviour without flaky real
+// sockets or privileged tooling.
+//
+// A Chaos value is a template: Conn and Listener stamp each wrapped
+// connection with its own countdown state copied from the template, so
+// "kill after 8 bytes" means 8 bytes per connection, not 8 bytes across
+// the test. All counters are atomics; a Chaos may be shared by the accept
+// loop and the test goroutine.
+package netfault
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by reads and writes that hit an
+// injected fault; it reports itself as a (non-timeout) net.Error so the
+// client's transport-error classification treats it like a real peer
+// failure.
+var ErrInjected = &injectedError{}
+
+type injectedError struct{}
+
+func (*injectedError) Error() string   { return "netfault: injected fault" }
+func (*injectedError) Timeout() bool   { return false }
+func (*injectedError) Temporary() bool { return false }
+
+// Chaos configures the faults a wrapped connection injects. The zero
+// value injects nothing and is a transparent pass-through.
+type Chaos struct {
+	// Latency is added before every Read and Write.
+	Latency time.Duration
+	// ShortWriteMax, when positive, segments each Write into underlying
+	// writes of at most that many bytes — the peer receives the stream in
+	// dribs, so its framing reassembly (ReadFull across tiny segments)
+	// gets exercised. The io.Writer contract is preserved: Write loops
+	// until everything is delivered or a fault fires.
+	ShortWriteMax int
+	// WriteCut, when positive, hard-closes the connection after that many
+	// bytes have been written through it — the peer observes a mid-frame
+	// reset. Counted per connection.
+	WriteCut int64
+	// ReadCut, when positive, hard-closes the connection after that many
+	// bytes have been read through it — the reader observes truncation.
+	// Counted per connection.
+	ReadCut int64
+
+	// KillNextAccepts makes the listener close the next n accepted
+	// connections immediately (the dialer sees a connect-then-reset).
+	// Shared across the listener, decremented per accept.
+	killAccepts atomic.Int64
+
+	// accepted counts connections the listener handed out alive.
+	accepted atomic.Int64
+}
+
+// KillNextAccepts arranges for the next n accepted connections to be
+// closed immediately after Accept returns them to the serving loop.
+func (c *Chaos) KillNextAccepts(n int64) { c.killAccepts.Store(n) }
+
+// Accepted returns how many connections the wrapped listener accepted
+// and handed out alive (killed accepts are not counted).
+func (c *Chaos) Accepted() int64 { return c.accepted.Load() }
+
+// Conn wraps nc with this template's faults; the countdowns are private
+// to the returned connection.
+func (c *Chaos) Conn(nc net.Conn) net.Conn {
+	fc := &faultConn{Conn: nc, chaos: c}
+	fc.writeLeft.Store(c.WriteCut)
+	fc.readLeft.Store(c.ReadCut)
+	return fc
+}
+
+// Listener wraps ln so every accepted connection carries this template's
+// faults, and accept-kill injection applies.
+func (c *Chaos) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, chaos: c}
+}
+
+type faultListener struct {
+	net.Listener
+	chaos *Chaos
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+accepting:
+	for {
+		nc, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			k := l.chaos.killAccepts.Load()
+			if k <= 0 {
+				break
+			}
+			if l.chaos.killAccepts.CompareAndSwap(k, k-1) {
+				// Injected accept failure: the dialer connected, but the
+				// connection dies before a single byte — the same shape
+				// as a backend crashing between accept and handler start.
+				nc.Close()
+				continue accepting
+			}
+		}
+		l.chaos.accepted.Add(1)
+		return l.chaos.Conn(nc), nil
+	}
+}
+
+// faultConn injects the template's faults around an underlying net.Conn.
+type faultConn struct {
+	net.Conn
+	chaos     *Chaos
+	writeLeft atomic.Int64
+	readLeft  atomic.Int64
+	dead      atomic.Bool
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, ErrInjected
+	}
+	if d := c.chaos.Latency; d > 0 {
+		time.Sleep(d)
+	}
+	if cut := c.chaos.ReadCut; cut > 0 {
+		left := c.readLeft.Load()
+		if left <= 0 {
+			c.kill()
+			return 0, ErrInjected
+		}
+		if int64(len(p)) > left {
+			p = p[:left]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	if c.chaos.ReadCut > 0 && c.readLeft.Add(-int64(n)) <= 0 {
+		c.kill()
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, ErrInjected
+	}
+	if d := c.chaos.Latency; d > 0 {
+		time.Sleep(d)
+	}
+	if len(p) == 0 {
+		return c.Conn.Write(p)
+	}
+	total := 0
+	for total < len(p) {
+		seg := p[total:]
+		if m := c.chaos.ShortWriteMax; m > 0 && len(seg) > m {
+			seg = seg[:m]
+		}
+		if cut := c.chaos.WriteCut; cut > 0 {
+			left := c.writeLeft.Load()
+			if left <= 0 {
+				c.kill()
+				return total, ErrInjected
+			}
+			if int64(len(seg)) > left {
+				// Deliver the budget's worth, then die: the peer sees a
+				// partial frame followed by a reset.
+				seg = seg[:left]
+			}
+		}
+		n, err := c.Conn.Write(seg)
+		total += n
+		if c.chaos.WriteCut > 0 && c.writeLeft.Add(-int64(n)) <= 0 {
+			c.kill()
+			if err == nil {
+				err = ErrInjected
+			}
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// kill hard-closes the underlying connection, abandoning any buffered
+// bytes (on TCP, close with unread data pending resets rather than
+// FINs — close enough to a crash for these tests).
+func (c *faultConn) kill() {
+	if c.dead.CompareAndSwap(false, true) {
+		c.Conn.Close()
+	}
+}
+
+// IsInjected reports whether err is (or wraps) an injected fault.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }

@@ -1,0 +1,158 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of an in-memory connection, the first
+// wrapped with chaos.
+func pipePair(chaos *Chaos) (faulty, peer net.Conn) {
+	a, b := net.Pipe()
+	return chaos.Conn(a), b
+}
+
+func TestZeroChaosIsTransparent(t *testing.T) {
+	faulty, peer := pipePair(&Chaos{})
+	defer faulty.Close()
+	defer peer.Close()
+	go func() {
+		faulty.Write([]byte("hello"))
+	}()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(peer, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("ReadFull = %q, %v", buf, err)
+	}
+}
+
+func TestWriteCutKillsMidStream(t *testing.T) {
+	faulty, peer := pipePair(&Chaos{WriteCut: 8})
+	defer faulty.Close()
+	defer peer.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := faulty.Write(make([]byte, 16))
+		errc <- err
+	}()
+	got, err := io.ReadAll(peer)
+	if len(got) != 8 {
+		t.Fatalf("peer read %d bytes, want the 8-byte budget (err=%v)", len(got), err)
+	}
+	if werr := <-errc; !IsInjected(werr) {
+		t.Fatalf("writer error = %v, want injected", werr)
+	}
+	// The connection is dead for good.
+	if _, err := faulty.Write([]byte("x")); !IsInjected(err) {
+		t.Fatalf("post-kill write error = %v, want injected", err)
+	}
+}
+
+func TestShortWritesSegmentButDeliverAll(t *testing.T) {
+	faulty, peer := pipePair(&Chaos{ShortWriteMax: 3})
+	defer faulty.Close()
+	defer peer.Close()
+	payload := bytes.Repeat([]byte("abcdefg"), 10)
+	go func() {
+		n, err := faulty.Write(payload)
+		if n != len(payload) || err != nil {
+			t.Errorf("Write = %d, %v, want %d, nil", n, err, len(payload))
+		}
+		faulty.Close()
+	}()
+	got, _ := io.ReadAll(peer)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("peer got %d bytes, want %d identical", len(got), len(payload))
+	}
+}
+
+func TestReadCutTruncates(t *testing.T) {
+	faulty, peer := pipePair(&Chaos{ReadCut: 4})
+	defer faulty.Close()
+	defer peer.Close()
+	go func() {
+		peer.Write(make([]byte, 64))
+	}()
+	buf := make([]byte, 64)
+	n, err := io.ReadFull(faulty, buf)
+	if n > 4 {
+		t.Fatalf("read %d bytes past the 4-byte cut", n)
+	}
+	if err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestLatencyIsApplied(t *testing.T) {
+	faulty, peer := pipePair(&Chaos{Latency: 30 * time.Millisecond})
+	defer faulty.Close()
+	defer peer.Close()
+	go func() {
+		peer.Write([]byte("x"))
+	}()
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := faulty.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("read returned after %v, want >= ~30ms injected latency", d)
+	}
+}
+
+func TestKillNextAccepts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := &Chaos{}
+	chaos.KillNextAccepts(2)
+	fln := chaos.Listener(ln)
+	defer fln.Close()
+
+	// Echo server over the chaotic listener.
+	go func() {
+		for {
+			c, err := fln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+
+	// The first two dials connect but die before echoing; the third works.
+	alive := 0
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		c.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err == nil {
+			alive++
+		}
+		c.Close()
+	}
+	if alive != 1 {
+		t.Fatalf("%d of 3 connections survived, want exactly the last", alive)
+	}
+	if got := chaos.Accepted(); got != 1 {
+		t.Fatalf("Accepted() = %d, want 1", got)
+	}
+}
+
+func TestErrInjectedIsNetError(t *testing.T) {
+	var ne net.Error
+	if !errors.As(error(ErrInjected), &ne) {
+		t.Fatal("ErrInjected must satisfy net.Error")
+	}
+	if ne.Timeout() {
+		t.Fatal("injected faults are resets, not timeouts")
+	}
+}
