@@ -1,7 +1,7 @@
 // Command benchfreq runs the repository's canonical performance kernels
 // — Update, UpdateBatch, Merge, Serialize/Deserialize, View, QueryTopK,
 // WindowedRotate, WindowedTopK, StoreAppend, StoreQueryRange,
-// EstimateBatch, and the daemon-side network ingest pair
+// TenantChurn, EstimateBatch, and the daemon-side network ingest pair
 // ServerIngestText64/ServerIngestBinary64 — and emits the results
 // as BENCH_core.json (the
 // machine-readable perf trajectory committed at the repo root) plus a
@@ -39,6 +39,7 @@ import (
 	"repro/freq"
 	"repro/freq/server"
 	"repro/freq/store"
+	"repro/freq/tenant"
 	"repro/internal/core"
 	"repro/internal/sharded"
 )
@@ -363,6 +364,41 @@ func kernels() []kernel {
 		}},
 		{"ServerIngestBinary64", func(b *testing.B) {
 			benchServerIngest(b, 64, true)
+		}},
+		{"TenantChurn", func(b *testing.B) {
+			// Steady-state tenant lifecycle: acquire (recreating from the
+			// warm pool), ingest, release, evict. After one priming cycle
+			// seeds the pool, the loop must allocate nothing — eviction
+			// recycles the tenant's sketch tables in place and the
+			// map-tombstone reuse keeps the registry itself quiet. The
+			// kernel hard-fails if the warm path allocates, so a pooling
+			// regression breaks the bench run, not just the numbers.
+			mgr, err := tenant.New[int64](tenant.Config{MaxCounters: 512, Shards: 2, MaxTenants: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			churn := func() {
+				ten, err := mgr.Acquire("bench-tenant")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ten.Update(7, 100); err != nil {
+					b.Fatal(err)
+				}
+				ten.Release()
+				if err := mgr.Evict("bench-tenant"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			churn() // prime the warm pool
+			if allocs := testing.AllocsPerRun(100, churn); allocs != 0 {
+				b.Fatalf("warm tenant churn allocates %.1f allocs/op, want 0", allocs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				churn()
+			}
 		}},
 		{"EstimateBatch", func(b *testing.B) {
 			s := builtSketch(1<<17, streamLen, 1<<17, 10)

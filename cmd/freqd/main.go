@@ -17,6 +17,16 @@
 // RANGE command serves historical queries over it, and -retention /
 // -retention-bytes bound its footprint.
 //
+// With -tenants the daemon serves many isolated summaries behind one
+// port: the TENANT <id> command scope (and the HELLO BIN 2 framing's
+// tenant-scoped batch frames) routes each update and query to a lazily
+// created per-tenant sketch. -max-tenants bounds live occupancy (the
+// idlest tenant is evicted to make room, its tables recycled through a
+// warm pool), and -tenant-ttl evicts idle tenants on a sweep ticker.
+// With -store-dir, eviction persists the tenant's summary under
+// <store-dir>/tenants/, so TENANT RANGE queries see history across
+// evictions and restarts.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
 // lets every in-flight command finish and flush its reply (bounded by
 // -drain-timeout; a second signal hard-closes immediately), then flushes
@@ -43,11 +53,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/freq/server"
 	"repro/freq/store"
+	"repro/freq/tenant"
 )
 
 func main() {
@@ -65,6 +77,10 @@ func main() {
 		retention   = flag.Duration("retention", 0, "drop stored history older than this (0 = keep forever)")
 		retainBytes = flag.Int64("retention-bytes", 0, "drop oldest stored history beyond this many bytes (0 = no budget)")
 
+		tenants    = flag.Bool("tenants", false, "enable the multi-tenant registry (TENANT commands, HELLO BIN 2 scoped batches)")
+		maxTenants = flag.Int("max-tenants", 1024, "live tenant capacity: creating one more evicts the idlest (with -tenants)")
+		tenantTTL  = flag.Duration("tenant-ttl", 0, "evict tenants idle for this long, persisting their history when -store-dir is set (0 = never)")
+
 		idleTimeout  = flag.Duration("idle-timeout", 0, "drop connections idle between commands for this long (0 = never)")
 		ioTimeout    = flag.Duration("io-timeout", 0, "per-command IO deadline: cut connections that stall mid-request or mid-reply (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, how long to let in-flight commands finish before hard-closing")
@@ -78,6 +94,12 @@ func main() {
 	}
 	if *storeDir != "" && *window == 0 {
 		fatal(fmt.Errorf("-store-dir requires -window: the store persists rotated window intervals"))
+	}
+	if !*tenants && (*tenantTTL != 0 || *maxTenants != 1024) {
+		fatal(fmt.Errorf("-tenant-ttl and -max-tenants require -tenants"))
+	}
+	if *tenants && *maxTenants <= 0 {
+		fatal(fmt.Errorf("-max-tenants must be positive, got %d", *maxTenants))
 	}
 
 	// Open the durable store first: it backs both the window's rotation
@@ -110,6 +132,48 @@ func main() {
 	if st != nil {
 		cfg.Store = st
 	}
+
+	// The tenant registry shares the daemon's sketch geometry: each
+	// tenant gets its own k-counter summary (and windowed twin when
+	// -window is set). With -store-dir, evicted tenants' summaries are
+	// persisted under <store-dir>/tenants/<id> so TENANT RANGE sees
+	// history across evictions and restarts.
+	var (
+		mgr *tenant.Manager[int64]
+		ts  *store.Tenants[int64]
+	)
+	if *tenants {
+		var err error
+		mgr, err = tenant.New[int64](tenant.Config{
+			MaxCounters:     *k,
+			Shards:          *shards,
+			WindowIntervals: *window,
+			MaxTenants:      *maxTenants,
+			IdleTTL:         *tenantTTL,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if st != nil {
+			codec, err := store.CodecByName(*storeCodec)
+			if err != nil {
+				fatal(err)
+			}
+			ts, err = store.OpenTenants[int64](filepath.Join(*storeDir, "tenants"),
+				store.WithPartitionDuration(*storePart),
+				store.WithCodec(codec),
+				store.WithRetentionAge(*retention),
+				store.WithRetentionBytes(*retainBytes),
+				store.WithSync(*storeSync),
+			)
+			if err != nil {
+				fatal(err)
+			}
+			mgr.SetSink(ts)
+			cfg.TenantStore = ts
+		}
+		cfg.Tenants = mgr
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -137,6 +201,29 @@ func main() {
 		stopRotating = srv.Windowed().StartRotating(*rotateEvery)
 	}
 
+	// Tenant maintenance tickers: the idle sweep walks the registry a few
+	// times per TTL (bounded to [1s, 1m]), and the rotation ticker
+	// advances every live tenant's window in lockstep with the global one.
+	stopTenantTickers := func() {}
+	if mgr != nil {
+		fmt.Fprintf(os.Stderr, "freqd: multi-tenant registry (max %d tenants, idle ttl %s)\n", *maxTenants, tenantTTL)
+		stopEvict := func() {}
+		if *tenantTTL > 0 {
+			sweep := *tenantTTL / 4
+			sweep = max(sweep, time.Second)
+			sweep = min(sweep, time.Minute)
+			stopEvict = mgr.StartEvicting(sweep)
+		}
+		stopRotate := func() {}
+		if *window > 0 {
+			stopRotate = mgr.StartRotating(*rotateEvery)
+		}
+		stopTenantTickers = func() {
+			stopEvict()
+			stopRotate()
+		}
+	}
+
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	sigSeen := make(chan struct{})
@@ -146,6 +233,7 @@ func main() {
 		close(sigSeen)
 		fmt.Fprintf(os.Stderr, "freqd: draining (up to %s for in-flight commands)\n", *drainTimeout)
 		stopRotating()
+		stopTenantTickers()
 		// Graceful drain: stop accepting, let every command in flight
 		// finish and flush its reply, hard-close stragglers at the
 		// deadline. A second signal cuts the drain short.
@@ -176,6 +264,23 @@ func main() {
 				fatal(serveErr)
 			}
 		}
+	}
+
+	// Every handler has returned, so the registries hold their final
+	// state. Drain every live tenant's head slot through the sink before
+	// the stores close — a restart loses no tenant's history.
+	if mgr != nil {
+		mts := mgr.Stats()
+		if ts != nil {
+			if err := mgr.Drain(time.Now()); err != nil {
+				fmt.Fprintln(os.Stderr, "freqd: tenant drain failed:", err)
+			}
+			if err := ts.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "freqd: tenant store close failed:", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "freqd: %d live tenants drained (%d created, %d evicted over the run)\n",
+			mts.Active, mts.Created, mts.Evictions)
 	}
 
 	// Every handler has returned, so the window holds its final state.

@@ -49,7 +49,10 @@ func run(root string) error {
 	if err := writeCorpus(filepath.Join(root, "testdata", "fuzz", "FuzzStorePartitionDecode"), partition); err != nil {
 		return err
 	}
-	return writeCorpus(filepath.Join(root, "freq", "server", "testdata", "fuzz", "FuzzBinaryFrameDecode"), frameCorpus())
+	if err := writeCorpus(filepath.Join(root, "freq", "server", "testdata", "fuzz", "FuzzBinaryFrameDecode"), frameCorpus()); err != nil {
+		return err
+	}
+	return writeCorpus(filepath.Join(root, "freq", "server", "testdata", "fuzz", "FuzzTenantCommand"), tenantCorpus())
 }
 
 // sketchCorpus seeds the bulk-decode fuzzer: a valid marshaled sketch,
@@ -184,6 +187,54 @@ func frameCorpus() map[string][]byte {
 		"seed-cmd-newline":    frame(opCmd, []byte("EST\nTOPK 1")),
 		"seed-cmd-ub":         frame(opCmd, []byte("UB 2")),
 		"seed-cmd-rehello":    frame(opCmd, []byte("HELLO BIN 2")),
+	}
+}
+
+// tenantCorpus seeds the tenant-protocol fuzzer: v2 pairs frames (a
+// 2-byte little-endian id length and the id precede the pairs; length 0
+// scopes to the global summary) plus TENANT command frames. Like
+// frameCorpus, the layout is spelled in raw bytes: the corpus documents
+// the wire.
+func tenantCorpus() map[string][]byte {
+	const (
+		opPairs = 0x01
+		opCmd   = 0x02
+	)
+	frame := func(op byte, payload []byte) []byte {
+		b := make([]byte, 5+len(payload))
+		b[0] = op
+		binary.LittleEndian.PutUint32(b[1:], uint32(len(payload)))
+		copy(b[5:], payload)
+		return b
+	}
+	v2pairs := func(id string, pairs []byte) []byte {
+		payload := make([]byte, 2+len(id)+len(pairs))
+		binary.LittleEndian.PutUint16(payload, uint16(len(id)))
+		copy(payload[2:], id)
+		copy(payload[2+len(id):], pairs)
+		return frame(opPairs, payload)
+	}
+	pair := make([]byte, 16)
+	binary.LittleEndian.PutUint64(pair, 7)
+	binary.LittleEndian.PutUint64(pair[8:], 100)
+	idLies := v2pairs("alice", pair)
+	binary.LittleEndian.PutUint16(idLies[5:], 500)
+	longID := make([]byte, 200)
+	for i := range longID {
+		longID[i] = 'x'
+	}
+	return map[string][]byte{
+		"seed-v2-pairs":        v2pairs("alice", pair),
+		"seed-v2-global":       v2pairs("", pair),
+		"seed-v2-id-lies":      idLies,
+		"seed-v2-id-toolong":   v2pairs(string(longID), pair),
+		"seed-v2-id-invalid":   v2pairs("bad id\x01", pair),
+		"seed-v2-ragged-pairs": v2pairs("alice", pair[:13]),
+		"seed-v2-headerless":   {opPairs, 1, 0, 0, 0, 0x02},
+		"seed-cmd-tenant-est":  frame(opCmd, []byte("TENANT alice EST 7")),
+		"seed-cmd-tenant-ub":   frame(opCmd, []byte("TENANT alice UB 2")),
+		"seed-cmd-evict":       frame(opCmd, []byte("TENANT alice EVICT")),
+		"seed-cmd-rotate":      frame(opCmd, []byte("TENANT alice ROTATE")),
 	}
 }
 

@@ -11,9 +11,10 @@ import (
 	"unsafe"
 
 	"repro/freq"
+	"repro/freq/tenant"
 )
 
-// Binary framing v1 — negotiated by "HELLO BIN 1" on a text connection.
+// Binary framing — negotiated by "HELLO BIN <v>" on a text connection.
 // Every frame is a 5-byte header followed by a payload:
 //
 //	[1 byte opcode][4 bytes payload length, little-endian][payload]
@@ -23,10 +24,20 @@ import (
 // payload is exactly the bytes the text protocol would have written for
 // the same command — so the two framings are byte-identical at the
 // reply level, which is what the conformance suite asserts.
+//
+// Version 2 changes only the opPairs payload: it gains a tenant-id
+// prefix — [2 bytes id length, little-endian][id bytes][pairs] — so a
+// binary collector can stream scoped ingest without a per-batch CMD
+// round trip. A zero-length id is the global summary, making the v2
+// encoding a strict superset of v1 (v1 payload + 2 zero bytes in
+// front). Clients offer BIN 2 and descend to BIN 1 on ERR, so old
+// servers keep working unchanged.
 const (
-	// binaryVersion is the framing version HELLO negotiates; a version
-	// bump means the frame layout changed incompatibly.
-	binaryVersion = 1
+	// binaryVersionMin..binaryVersionMax is the framing version range
+	// HELLO accepts; a min bump means the frame layout changed
+	// incompatibly, a max bump adds a negotiated sub-encoding.
+	binaryVersionMin = 1
+	binaryVersionMax = 2
 	// frameHeader is the fixed frame prefix: opcode + payload length.
 	frameHeader = 5
 	// opPairs is a block of pairSize-byte little-endian (item, weight)
@@ -99,16 +110,28 @@ func (c *conn) binaryFrame() (quit, ok bool) {
 	c.armIO()
 	op := c.hdr[0]
 	n := binary.LittleEndian.Uint32(c.hdr[1:])
-	if n > MaxFrameBytes {
+	// A v2 pairs frame may exceed the pairs cap by its id prefix and
+	// still carry a maximal batch.
+	limit := uint32(MaxFrameBytes)
+	if op == opPairs && c.binVer >= 2 {
+		limit += 2 + tenant.MaxIDLen
+	}
+	if n > limit {
 		// The announced length exceeds the cap; per the UB precedent
 		// this is unrecoverable by policy: reply once, drop.
 		//freqvet:ignore noalloc cold protocol-violation path; the connection is dropped right after
-		c.errFrame(fmt.Sprintf("frame length %d exceeds cap %d", n, MaxFrameBytes))
+		c.errFrame(fmt.Sprintf("frame length %d exceeds cap %d", n, limit))
 		c.nw.Flush()
 		return false, false
 	}
 	switch op {
 	case opPairs:
+		if c.binVer >= 2 {
+			if !c.pairsFrameV2(n) {
+				return false, false
+			}
+			break
+		}
 		if n%pairSize != 0 {
 			// The length is trustworthy (≤ cap) even though the payload
 			// is malformed: discard it whole and keep the stream
@@ -154,6 +177,97 @@ func (c *conn) binaryFrame() (quit, ok bool) {
 		return false, false
 	}
 	return quit, true
+}
+
+// pairsFrameV2 serves one v2 opPairs payload of n bytes:
+// [2B id length][id][pairs]. An empty id ingests into the global
+// summary exactly like a v1 frame; a non-empty id acquires that tenant
+// and applies the pairs as one all-or-nothing batch. Reports whether
+// the connection can keep going; every malformed-but-bounded payload is
+// consumed whole before the ERR reply, so the stream stays
+// synchronized. This is the tenant ingest hot path and stays
+// allocation-free at steady state (registry-hit acquires and within-cap
+// buffer reuse); the error formatting below is cold by definition.
+//
+//freq:noalloc
+func (c *conn) pairsFrameV2(n uint32) (ok bool) {
+	if n < 2 {
+		if _, err := c.r.Discard(int(n)); err != nil {
+			return false
+		}
+		c.errFrame("v2 pairs frame shorter than its id-length header")
+		return true
+	}
+	if _, err := io.ReadFull(c.r, c.hdr[:2]); err != nil {
+		return false
+	}
+	idLen := int(binary.LittleEndian.Uint16(c.hdr[:2]))
+	rest := int(n) - 2
+	if idLen > tenant.MaxIDLen || idLen > rest || (rest-idLen)%pairSize != 0 {
+		// Bounded garbage: consume the payload, answer, keep going.
+		if _, err := c.r.Discard(rest); err != nil {
+			return false
+		}
+		//freqvet:ignore noalloc cold malformed-frame path; the payload was discarded, not ingested
+		c.errFrame(fmt.Sprintf("malformed v2 pairs frame: id length %d, payload %d", idLen, rest))
+		return true
+	}
+	if cap(c.idBuf) < idLen {
+		c.idBuf = make([]byte, idLen, tenant.MaxIDLen)
+	}
+	c.idBuf = c.idBuf[:idLen]
+	if _, err := io.ReadFull(c.r, c.idBuf); err != nil {
+		return false
+	}
+	npairs := (rest - idLen) / pairSize
+	pairs := c.framePayload(npairs)
+	if npairs > 0 {
+		buf := unsafe.Slice((*byte)(unsafe.Pointer(&pairs[0])), npairs*pairSize)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return false
+		}
+		if !hostLittleEndian {
+			decodePairsInPlace(buf, pairs)
+		}
+	}
+	if idLen == 0 {
+		// Global scope: identical semantics to a v1 pairs frame.
+		if err := c.ingestPairs(pairs); err != nil {
+			c.errFrame(err.Error())
+			return true
+		}
+		c.okFrame(len(pairs))
+		return true
+	}
+	s := c.srv
+	if s.tenants == nil {
+		c.errFrame(ErrNoTenants.Error())
+		return true
+	}
+	ten, err := s.tenants.AcquireBytes(c.idBuf)
+	if err != nil {
+		c.errFrame(err.Error())
+		return true
+	}
+	c.tenItems = c.tenItems[:0]
+	c.tenWeights = c.tenWeights[:0]
+	for i := range pairs {
+		c.tenItems = append(c.tenItems, pairs[i].Item)
+		c.tenWeights = append(c.tenWeights, pairs[i].Weight)
+	}
+	// All-or-nothing into both tenant summaries; a bad weight rejects
+	// the whole frame with the registry untouched.
+	err = ten.UpdateWeightedBatch(c.tenItems, c.tenWeights)
+	ten.Release()
+	if err != nil {
+		c.errFrame(err.Error())
+		return true
+	}
+	s.statsMu.Lock()
+	s.updates += int64(len(pairs))
+	s.statsMu.Unlock()
+	c.okFrame(len(pairs))
+	return true
 }
 
 // framePayload returns the connection's reusable pairs buffer sized to

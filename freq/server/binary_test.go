@@ -102,15 +102,17 @@ func TestNegotiateFallbackOldServer(t *testing.T) {
 func TestHelloMalformed(t *testing.T) {
 	srv := startServer(t, Config{MaxCounters: 512, Shards: 2})
 	c := dial(t, srv)
-	for _, line := range []string{
+	lines := []string{
 		"HELLO",
 		"HELLO BIN",
 		"HELLO BIN 1 EXTRA",
-		"HELLO BIN 2",
+		"HELLO BIN 3",
+		"HELLO BIN 0",
 		"HELLO BIN notanumber",
 		"HELLO GOPHER 1",
 		"HELLO TEXT 9",
-	} {
+	}
+	for _, line := range lines {
 		resp, err := c.Raw(line)
 		if err == nil {
 			t.Fatalf("%q: accepted with %q, want ERR", line, resp)
@@ -129,8 +131,8 @@ func TestHelloMalformed(t *testing.T) {
 		t.Fatalf("HELLO TEXT 1: %q, %v", resp, err)
 	}
 	est, _, _, err := c.Query(3)
-	if err != nil || est != 7*7 {
-		t.Fatalf("EST after HELLO gauntlet: %d, %v, want 49", est, err)
+	if want := int64(7 * len(lines)); err != nil || est != want {
+		t.Fatalf("EST after HELLO gauntlet: %d, %v, want %d", est, err, want)
 	}
 }
 

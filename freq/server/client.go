@@ -56,8 +56,10 @@ type Client[T ~int64 | ~uint64] struct {
 	err  error
 	// bin is set by a successful Negotiate: requests travel as opCmd and
 	// opPairs frames and replies arrive as opReply frames whose payload
-	// is byte-for-byte the text protocol's reply.
-	bin bool
+	// is byte-for-byte the text protocol's reply. binVer is the
+	// negotiated version (2 adds the tenant-id prefix to pairs frames).
+	bin    bool
+	binVer int
 	// wantBin records that the caller asked for binary framing, so a
 	// reconnect re-negotiates it.
 	wantBin bool
@@ -324,41 +326,57 @@ func (c *Client[T]) do(op string, idempotent bool, fn func() error) error {
 }
 
 // Negotiate sends HELLO BIN and upgrades the connection to the binary
-// framing if the server agrees. It returns (true, nil) on upgrade and
-// (false, nil) when the server declines with a text ERR — an older
-// server that has never heard of HELLO answers exactly that way and the
-// line stream stays synchronized, so the client simply keeps talking
-// text. Only transport failures return an error. Negotiate is a no-op
-// on an already-binary connection.
+// framing if the server agrees. It offers the newest framing version
+// first and descends on each ERR decline — a current server answers
+// BIN 2 immediately, a BIN-1-only build declines once and accepts BIN 1,
+// and an older server that has never heard of HELLO declines every
+// version, leaving the client in text mode: each HELLO is a single line
+// and each ERR a single line, so the stream stays synchronized
+// throughout. It returns (true, nil) on upgrade and (false, nil) when
+// every version was declined. Only transport failures return an error.
+// Negotiate is a no-op on an already-binary connection.
 func (c *Client[T]) Negotiate() (bool, error) {
 	if c.bin {
 		return true, nil
 	}
-	c.armWrite()
-	if _, err := fmt.Fprintf(c.w, "HELLO BIN %d\n", binaryVersion); err != nil {
-		return false, transportErr(err)
+	for ver := binaryVersionMax; ver >= binaryVersionMin; ver-- {
+		c.armWrite()
+		if _, err := fmt.Fprintf(c.w, "HELLO BIN %d\n", ver); err != nil {
+			return false, transportErr(err)
+		}
+		if err := c.w.Flush(); err != nil {
+			return false, transportErr(err)
+		}
+		c.armRead()
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return false, transportErr(err)
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "ERR ") {
+			continue
+		}
+		if line != fmt.Sprintf("HELLO BIN %d", ver) {
+			return false, fmt.Errorf("server: unexpected HELLO response %q", line)
+		}
+		c.bin = true
+		c.binVer = ver
+		return true, nil
 	}
-	if err := c.w.Flush(); err != nil {
-		return false, transportErr(err)
-	}
-	c.armRead()
-	line, err := c.r.ReadString('\n')
-	if err != nil {
-		return false, transportErr(err)
-	}
-	line = strings.TrimSpace(line)
-	if strings.HasPrefix(line, "ERR ") {
-		return false, nil
-	}
-	if line != fmt.Sprintf("HELLO BIN %d", binaryVersion) {
-		return false, fmt.Errorf("server: unexpected HELLO response %q", line)
-	}
-	c.bin = true
-	return true, nil
+	return false, nil
 }
 
 // Binary reports whether the connection negotiated the binary framing.
 func (c *Client[T]) Binary() bool { return c.bin }
+
+// BinaryVersion returns the negotiated binary framing version, 0 while
+// in text framing.
+func (c *Client[T]) BinaryVersion() int {
+	if !c.bin {
+		return 0
+	}
+	return c.binVer
+}
 
 // writeFrame ships one framed request and flushes it.
 func (c *Client[T]) writeFrame(op byte, payload []byte) error {
@@ -553,34 +571,59 @@ func (c *Client[T]) UpdateBatch(items []T, weights []int64) error {
 	}
 	for lo := 0; lo < len(items); lo += MaxWireBatch {
 		hi := min(lo+MaxWireBatch, len(items))
-		if err := c.updateBlock(items[lo:hi], weights[lo:hi]); err != nil {
+		if err := c.updateBlock("", items[lo:hi], weights[lo:hi]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// updateBlock ships one block of at most MaxWireBatch pairs — a UB
-// block in text framing, one opPairs frame in binary framing. Not
-// idempotent: transport failures surface as *TransportError, never
-// auto-retried (each block is all-or-nothing on the server, but a lost
-// acknowledgement leaves applied-or-not unknowable here).
-func (c *Client[T]) updateBlock(items []T, weights []int64) error {
+// updateBlock ships one block of at most MaxWireBatch pairs, scoped to
+// tenant id when non-empty — a UB block in text framing, one opPairs
+// frame in binary framing. A tenant-scoped block on a BIN 1 connection
+// has no batch encoding (v1 pairs frames carry no id, and UB's pair
+// lines belong to the text framing), so it degrades to per-update
+// TENANT U command frames. Not idempotent: transport failures surface
+// as *TransportError, never auto-retried (each block is all-or-nothing
+// on the server, but a lost acknowledgement leaves applied-or-not
+// unknowable here).
+func (c *Client[T]) updateBlock(id string, items []T, weights []int64) error {
 	if len(items) == 0 {
 		return nil
 	}
 	return c.do("UB", false, func() error {
-		if c.bin {
-			return c.updateBlockBinary(items, weights)
+		switch {
+		case c.bin && (id == "" || c.binVer >= 2):
+			return c.updateBlockBinary(id, items, weights)
+		case c.bin:
+			// BIN 1 with a tenant scope: per-update command frames.
+			for i := range items {
+				resp, err := c.roundTrip("TENANT %s U %d %d", id, int64(items[i]), weights[i])
+				if err != nil {
+					return err
+				}
+				if resp != "OK" {
+					return fmt.Errorf("server: unexpected response %q", resp)
+				}
+			}
+			return nil
+		default:
+			return c.updateBlockText(id, items, weights)
 		}
-		return c.updateBlockText(items, weights)
 	})
 }
 
-// updateBlockText ships one UB block over the text framing.
-func (c *Client[T]) updateBlockText(items []T, weights []int64) error {
+// updateBlockText ships one UB block over the text framing, prefixed
+// with a TENANT scope when id is non-empty.
+func (c *Client[T]) updateBlockText(id string, items []T, weights []int64) error {
 	c.armWrite()
-	if _, err := fmt.Fprintf(c.w, "UB %d\n", len(items)); err != nil {
+	var err error
+	if id == "" {
+		_, err = fmt.Fprintf(c.w, "UB %d\n", len(items))
+	} else {
+		_, err = fmt.Fprintf(c.w, "TENANT %s UB %d\n", id, len(items))
+	}
+	if err != nil {
 		return transportErr(err)
 	}
 	buf := make([]byte, 0, 48)
@@ -612,18 +655,28 @@ func (c *Client[T]) updateBlockText(items []T, weights []int64) error {
 }
 
 // updateBlockBinary encodes one pairs frame — pairSize bytes per
-// update, little-endian item then weight — and waits for the same
-// "OK <n>" the text block gets. The encoding buffer is reused, so a
-// steady stream of equal-size blocks allocates nothing.
-func (c *Client[T]) updateBlockBinary(items []T, weights []int64) error {
-	need := len(items) * pairSize
+// update, little-endian item then weight, preceded on a BIN 2
+// connection by the tenant-id prefix (length 0 = global) — and waits
+// for the same "OK <n>" the text block gets. The encoding buffer is
+// reused, so a steady stream of equal-size blocks allocates nothing.
+func (c *Client[T]) updateBlockBinary(id string, items []T, weights []int64) error {
+	prefix := 0
+	if c.binVer >= 2 {
+		prefix = 2 + len(id)
+	}
+	need := prefix + len(items)*pairSize
 	if cap(c.cmdBuf) < need {
 		c.cmdBuf = make([]byte, need)
 	}
 	buf := c.cmdBuf[:need]
+	if c.binVer >= 2 {
+		binary.LittleEndian.PutUint16(buf, uint16(len(id)))
+		copy(buf[2:], id)
+	}
+	pairs := buf[prefix:]
 	for i := range items {
-		binary.LittleEndian.PutUint64(buf[i*pairSize:], uint64(int64(items[i])))
-		binary.LittleEndian.PutUint64(buf[i*pairSize+8:], uint64(weights[i]))
+		binary.LittleEndian.PutUint64(pairs[i*pairSize:], uint64(int64(items[i])))
+		binary.LittleEndian.PutUint64(pairs[i*pairSize+8:], uint64(weights[i]))
 	}
 	if err := c.writeFrame(opPairs, buf); err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/freq"
+	"repro/freq/tenant"
 )
 
 // Cluster is the distributed read path: a fan-out client over N freqd
@@ -204,6 +205,26 @@ func (c *Cluster[T]) Refresh() error {
 func (c *Cluster[T]) RefreshWindow(w int) error {
 	return c.refresh(func(cl *Client[T]) (*freq.Sketch[T], error) {
 		return cl.SnapshotWindow(w)
+	})
+}
+
+// RefreshTenant is Refresh scoped to one tenant: it fans out
+// TENANT <id> SNAP, so the installed view merges that tenant's summary
+// across every node — the fleet-wide top-k of a single tenant. The id
+// is validated locally before any network traffic. All subsequent
+// Queryable reads answer tenant-scoped until the next refresh of any
+// kind. It fails (down to the quorum) on nodes running without a
+// tenant manager.
+func (c *Cluster[T]) RefreshTenant(id string) error {
+	if !tenant.ValidID(id) {
+		return fmt.Errorf("cluster: %w: %q", tenant.ErrBadID, id)
+	}
+	return c.refresh(func(cl *Client[T]) (*freq.Sketch[T], error) {
+		th, err := cl.Tenant(id)
+		if err != nil {
+			return nil, err
+		}
+		return th.Snapshot()
 	})
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"repro/freq"
 	"repro/freq/store"
+	"repro/freq/tenant"
 )
 
 // conformanceSeed pins both servers' sketch hash seeds so equal update
@@ -41,12 +42,33 @@ func newConformancePair(t *testing.T) *conformancePair {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { st.Close() })
+		// Twin tenant registries: the same seed and the same tenant
+		// creation order yield byte-identical per-tenant summaries, so
+		// TENANT SNAP blobs compare across framings exactly like the
+		// global SNAP.
+		ts, err := store.OpenTenants[int64](t.TempDir(), store.WithPartitionDuration(time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ts.Close() })
+		mgr, err := tenant.New[int64](tenant.Config{
+			MaxCounters:     512,
+			Shards:          2,
+			WindowIntervals: 3,
+			Seed:            conformanceSeed,
+			MaxTenants:      16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		srv := startServer(t, Config{
 			MaxCounters:     1024,
 			Shards:          4,
 			WindowIntervals: 3,
 			Store:           st,
 			Seed:            conformanceSeed,
+			Tenants:         mgr.SetSink(ts),
+			TenantStore:     ts,
 		})
 		srv.Windowed().SetRotationSink(st, base)
 		return srv
@@ -280,6 +302,125 @@ func TestConformanceAllCommands(t *testing.T) {
 	}
 	p.rawBoth(t, "STATS")
 	p.assertSnapEqual(t, "SNAP")
+}
+
+// TestConformanceTenantCommands extends the suite to the TENANT scope:
+// twin seeded registries ingest identical per-tenant streams over the
+// two framings (text UB blocks vs v2 tenant-id pairs frames), and every
+// TENANT-scoped command must answer byte-identically — including SNAP
+// blob equality per tenant, the EVICT→store→RANGE durability loop, and
+// the tenant error surface.
+func TestConformanceTenantCommands(t *testing.T) {
+	p := newConformancePair(t)
+
+	// Identical tenant creation order on both servers pins the per-build
+	// seed derivation, so each tenant's twin summaries share hash seeds.
+	if err := p.each(func(c *Client[int64]) error {
+		alice, err := c.Tenant("alice")
+		if err != nil {
+			return err
+		}
+		bob, err := c.Tenant("bob")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 150; i++ {
+			if err := alice.Update(int64(i%19), int64(1+i%5)); err != nil {
+				return err
+			}
+		}
+		items := make([]int64, 800)
+		weights := make([]int64, 800)
+		for i := range items {
+			items[i] = int64(i * 3 % 97)
+			weights[i] = int64(1 + i%13)
+		}
+		if err := alice.UpdateBatch(items, weights); err != nil {
+			return err
+		}
+		return bob.UpdateBatch([]int64{5, 6, 7}, []int64{500, 60, 7})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-line replies, byte for byte.
+	for _, line := range []string{
+		"TENANT alice EST 1", "TENANT alice EST 96", "TENANT alice Q 999",
+		"TENANT bob EST 5",
+		"TENANT alice STATS", "TENANT bob STATS",
+		"TENANT alice ROTATE",
+		"TENANT alice U 4 44",
+		"TENANT bob RESET",
+	} {
+		p.rawBoth(t, line)
+	}
+
+	// Row-valued commands compare deeply through the typed client.
+	type rowsFn func(tc *TenantClient[int64]) ([]freq.Row[int64], error)
+	for name, fn := range map[string]rowsFn{
+		"TENANT TOPK": func(tc *TenantClient[int64]) ([]freq.Row[int64], error) { return tc.TopK(10) },
+		"TENANT FI": func(tc *TenantClient[int64]) ([]freq.Row[int64], error) {
+			return tc.FrequentItemsAboveThreshold(50, freq.NoFalseNegatives)
+		},
+		"TENANT HH":       func(tc *TenantClient[int64]) ([]freq.Row[int64], error) { return tc.HeavyHitters(0.01) },
+		"TENANT WIN TOPK": func(tc *TenantClient[int64]) ([]freq.Row[int64], error) { return tc.TopKWindow(2, 10) },
+	} {
+		ta, err1 := p.text.Tenant("alice")
+		ba, err2 := p.bin.Tenant("alice")
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		tr, terr := fn(ta)
+		br, berr := fn(ba)
+		if terr != nil || berr != nil {
+			t.Fatalf("%s: text err %v, binary err %v", name, terr, berr)
+		}
+		if !reflect.DeepEqual(tr, br) {
+			t.Fatalf("%s: divergent rows:\n  text:   %v\n  binary: %v", name, tr, br)
+		}
+	}
+
+	// Summary state per tenant: byte-identical blobs across framings.
+	p.assertSnapEqual(t, "TENANT alice SNAP")
+	p.assertSnapEqual(t, "TENANT bob SNAP")
+	p.assertSnapEqual(t, "TENANT alice WIN 2 SNAP")
+
+	// EVICT flushes through the seeded sink on both servers; RANGE then
+	// answers from the per-tenant store partitions. (Blob-level RANGE
+	// SNAP comparison is excluded for the same reason as the global
+	// suite: the store's merge accumulator seeds are per-server.)
+	p.rawBoth(t, "TENANT alice EVICT")
+	from := time.Now().Add(-time.Hour).Unix()
+	to := time.Now().Add(time.Hour).Unix()
+	p.rawBoth(t, fmt.Sprintf("TENANT alice RANGE %d %d EST 1", from, to))
+	p.rawBoth(t, fmt.Sprintf("TENANT alice RANGE %d %d EST 96", from, to))
+	{
+		ta, _ := p.text.Tenant("alice")
+		ba, _ := p.bin.Tenant("alice")
+		tr, terr := ta.TopKRange(time.Unix(from, 0), time.Unix(to, 0), 10)
+		br, berr := ba.TopKRange(time.Unix(from, 0), time.Unix(to, 0), 10)
+		if terr != nil || berr != nil {
+			t.Fatalf("TENANT RANGE TOPK: text err %v, binary err %v", terr, berr)
+		}
+		if !reflect.DeepEqual(tr, br) {
+			t.Fatalf("TENANT RANGE TOPK diverged:\n  text:   %v\n  binary: %v", tr, br)
+		}
+	}
+
+	// Error surface: malformed tenant commands answer identically.
+	for _, line := range []string{
+		"TENANT",
+		"TENANT alice",
+		"TENANT alice NOPE 1",
+		"TENANT alice U 1",
+		"TENANT alice U x y",
+		"TENANT alice EVICT extra",
+		"TENANT alice WIN 0 EST 1",
+		"TENANT ghost EVICT",
+		"TENANT alice TOPK 0",
+	} {
+		p.rawBoth(t, line)
+	}
 }
 
 // TestConformanceBatchReplyParity pins the batch acknowledgement shape:

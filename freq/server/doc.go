@@ -10,10 +10,11 @@
 // # Framing
 //
 // Every connection starts in the text framing below. A client may send
-// "HELLO BIN 1" to negotiate the length-prefixed binary framing (see
-// "Binary framing"), which carries the same commands and byte-identical
-// replies at a fraction of the per-item cost; the text protocol remains
-// the debugging surface ("printf | nc" keeps working forever).
+// "HELLO BIN 2" (or "HELLO BIN 1") to negotiate the length-prefixed
+// binary framing (see "Binary framing"), which carries the same
+// commands and byte-identical replies at a fraction of the per-item
+// cost; the text protocol remains the debugging surface
+// ("printf | nc" keeps working forever).
 //
 // The text protocol is line-oriented UTF-8: one request per
 // '\n'-terminated line, fields separated by any run of spaces or tabs,
@@ -41,15 +42,23 @@
 //	TOP <n>               alias of TOPK               -> MULTI block
 //	FI <et> <threshold>   items above a threshold     -> MULTI block
 //	HH <phi-millis>       items above phi/1000 * N    -> MULTI block
-//	STATS                 summary state               -> "STATS n=<N> err=<maxError> shards=<s>"
+//	STATS                 summary state               -> "STATS n=<N> err=<maxError> shards=<s> slots=<w> partitions=<p> tenants=<t> tenants_max=<m> tenant_evictions=<e>"
 //	SNAP                  serialized summary          -> "SNAP <bytes>" then <bytes> of sketch wire format
 //	SNAPSHOT              alias of SNAP               -> "SNAP <bytes>" then blob
 //	WIN <w> <cmd> ...     window-scoped query         -> the scoped command's ordinary reply
 //	RANGE <f> <t> <cmd> .. historical range query      -> the scoped command's ordinary reply
+//	TENANT <id> <cmd> ... tenant-scoped command       -> the scoped command's ordinary reply
 //	ROTATE                advance the window          -> "OK <rotations>"
 //	RESET                 clear the summary           -> "OK"
 //	HELLO <proto> <ver>   negotiate framing           -> "HELLO <proto> <ver>" or ERR
 //	QUIT                  close the connection        -> "BYE"
+//
+// STATS fields beyond shards describe optional subsystems and read 0
+// when the subsystem is off: slots is the sliding window's interval
+// count, partitions the durable store's live partition count, and the
+// tenants triple the tenant registry's occupancy, capacity, and
+// lifetime eviction count. Clients parse STATS as key=value fields and
+// ignore unknown keys.
 //
 // A MULTI block is a header line "MULTI <k>" followed by k lines
 //
@@ -138,6 +147,52 @@
 // not visible to RANGE until it rotates. On a server with no store
 // configured, RANGE replies ERR.
 //
+// # Multi-tenancy
+//
+// A server started with a tenant registry (Config.Tenants, freqd's
+// -tenants flag) also serves isolated per-tenant summaries keyed by an
+// opaque id. TENANT scopes any command to one tenant's sketch:
+//
+//	TENANT <id> U <item> <weight>     tenant update            -> "OK"
+//	TENANT <id> UB <count>            tenant bulk ingest       -> "OK <count>"  (text framing only)
+//	TENANT <id> EST <item>            tenant point query       -> "EST <estimate> <lower> <upper>"
+//	TENANT <id> TOPK <k>              tenant top k             -> MULTI block
+//	TENANT <id> FI <et> <threshold>   tenant threshold         -> MULTI block
+//	TENANT <id> HH <phi-millis>       tenant heavy hitters     -> MULTI block
+//	TENANT <id> STATS                 tenant summary state     -> "STATS n=<N> err=<maxError> shards=<s> slots=<w>"
+//	TENANT <id> SNAP                  tenant snapshot          -> "SNAP <bytes>" then blob
+//	TENANT <id> WIN <w> <cmd> ...     tenant windowed query    -> the scoped command's ordinary reply
+//	TENANT <id> RANGE <f> <t> <cmd> . tenant historical query  -> the scoped command's ordinary reply
+//	TENANT <id> ROTATE                advance tenant window    -> "OK <rotations>"
+//	TENANT <id> RESET                 clear tenant summary     -> "OK"
+//	TENANT <id> EVICT                 evict the tenant         -> "OK"
+//
+// A tenant id is 1 to 128 bytes of printable non-space ASCII. Tenants
+// are created lazily: the first TENANT command naming an id allocates
+// its sketch (plus a windowed twin when the server has a window) from
+// the server's shared geometry template. The registry is bounded —
+// creating one past Config.Tenants' capacity evicts the idlest live
+// tenant first — and idle tenants past the configured TTL are swept in
+// the background (freqd's -max-tenants and -tenant-ttl flags).
+//
+// EVICT retires a tenant immediately: when the server has a tenant
+// store (automatic with freqd's -store-dir), the evicted tenant's
+// counters are first persisted under a tenant-scoped partition prefix,
+// so TENANT <id> RANGE answers over the full history — including
+// pre-eviction generations — after the tenant is re-created. EVICT on
+// an id that was never created replies ERR ("unknown tenant"); all
+// other TENANT commands create on demand. Q, TOP, and SNAPSHOT alias
+// inside TENANT exactly as they do at top level. The aliases, error
+// surfaces, and reply bytes of every scoped command are identical to
+// the global forms; the cross-framing conformance suite pins that.
+//
+// Over binary framing, TENANT commands travel in CMD frames like any
+// other — except TENANT UB, which is rejected ("text-framing only"):
+// binary clients carry tenant bulk ingest in v2 PAIRS frames instead
+// (see "Binary framing"). The global STATS reply's tenants,
+// tenants_max, and tenant_evictions fields report registry occupancy;
+// the per-tenant STATS reply carries only that tenant's counters.
+//
 // # Update visibility
 //
 // Updates are the hot path and ride a per-connection buffered writer
@@ -152,20 +207,25 @@
 //
 // # Binary framing
 //
-// "HELLO BIN 1" upgrades a connection to binary framing v1 — the bulk
-// ingest path for high-rate collectors, where a frame of fixed-width
-// pairs decodes into the sketch's partitioned bulk path with zero
-// copies. Negotiation happens in text, so it composes with servers of
-// any age:
+// "HELLO BIN <version>" upgrades a connection to binary framing — the
+// bulk ingest path for high-rate collectors, where a frame of
+// fixed-width pairs decodes into the sketch's partitioned bulk path
+// with zero copies. Two versions exist: v1 (global pairs frames) and
+// v2 (pairs frames carry an optional tenant id). Negotiation happens
+// in text and descends, so it composes with servers of any age — a
+// client offers its highest version and steps down one ERR at a time:
 //
 //	client                         server
-//	  | -- "HELLO BIN 1\n" ------->  |
-//	  | <------ "HELLO BIN 1\n" --   |   upgrade: both sides binary now
-//	  | <- "ERR unknown command.." - |   old server: stay text, no desync
-//	  | <- "ERR unsupported ..." --- |   version skew: stay text, no desync
+//	  | -- "HELLO BIN 2\n" ------->  |
+//	  | <------ "HELLO BIN 2\n" --   |   upgrade: both sides binary v2
+//	  | <- "ERR unsupported ..." --- |   v1-only server: still text...
+//	  | -- "HELLO BIN 1\n" ------->  |   ...so offer the next version
+//	  | <------ "HELLO BIN 1\n" --   |   upgrade: both sides binary v1
+//	  | <- "ERR unknown command.." - |   ancient server: stay text, no desync
 //
-// The reply is the last text line either side sends on an upgraded
-// connection; every subsequent byte in both directions is framed as
+// The accepting reply is the last text line either side sends on an
+// upgraded connection; every subsequent byte in both directions is
+// framed as
 //
 //	+--------+--------------------------------+----------------------+
 //	| opcode | payload length (uint32 LE)     | payload              |
@@ -174,15 +234,34 @@
 //
 // with three opcodes:
 //
-//	0x01 PAIRS  client->server  bulk update block: length/16 pairs,
+//	0x01 PAIRS  client->server  bulk update block of fixed-width pairs,
 //	                            each [item int64 LE][weight int64 LE].
 //	                            Reply: "OK <count>", as for UB.
 //	0x02 CMD    client->server  one text command line (no newline
-//	                            needed); any command except UB.
+//	                            needed); any command except UB and
+//	                            TENANT UB.
 //	0x81 REPLY  server->client  every reply: the payload is exactly the
 //	                            bytes the text framing would have sent
 //	                            for the same command, including MULTI
 //	                            blocks and SNAP header+blob.
+//
+// Under v1 a PAIRS payload is the pairs alone (length/16 of them),
+// always scoped to the global summary. Under v2 the payload starts
+// with a tenant-id header:
+//
+//	+--------------------+----------------+----------------------+
+//	| id length (u16 LE) | tenant id      | pairs                |
+//	| 2 bytes            | <idlen> bytes  | 16 bytes each        |
+//	+--------------------+----------------+----------------------+
+//
+// An id length of 0 scopes the frame to the global summary (v2's
+// spelling of a v1 frame); a non-zero id scopes it to that tenant,
+// created on demand exactly as a TENANT command would. The id is
+// validated against the tenant-id rules before any weight is applied,
+// and a payload shorter than its announced id header is rejected
+// whole. MaxFrameBytes caps a v2 payload two bytes plus a maximum id
+// (130 bytes) above the v1 pairs cap, so a full 2^20-pair batch still
+// fits under any tenant id.
 //
 // A PAIRS block follows UB's rules: all-or-nothing validation, at most
 // 2^20 pairs per frame (MaxFrameBytes caps the payload at 16 MiB), zero
@@ -193,8 +272,11 @@
 // stays usable. A length exceeding MaxFrameBytes is answered once and
 // the connection dropped, mirroring the text protocol's oversized-UB
 // policy. UB itself is rejected over CMD frames (its pair lines belong
-// to the text framing); HELLO inside a CMD frame cannot downgrade an
-// upgraded connection.
+// to the text framing), and TENANT UB likewise — a v1 binary client
+// that needs tenant-scoped ingest sends per-update TENANT U command
+// frames, which is exactly what the stock client does when a v2 offer
+// is declined. HELLO inside a CMD frame cannot downgrade an upgraded
+// connection.
 //
 // Because replies are byte-identical across framings, the two protocols
 // are one protocol under two encodings; the cross-framing conformance

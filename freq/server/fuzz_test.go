@@ -13,7 +13,105 @@ import (
 	"net"
 	"strings"
 	"testing"
+
+	"repro/freq/tenant"
 )
+
+// FuzzTenantCommand throws arbitrary bytes at a BIN 2 connection on a
+// tenant-enabled server: hostile v2 pairs frames (id-length lies,
+// over-long ids, unvalidatable id bytes, ragged pair payloads) and
+// TENANT command frames. Invariants mirror FuzzBinaryFrameDecode: no
+// panic, the handler terminates, and the server — including its tenant
+// registry — stays usable afterward.
+func FuzzTenantCommand(f *testing.F) {
+	// A valid v2 pairs frame scoped to tenant "alice".
+	v2 := func(id string, pairs []byte) []byte {
+		b := make([]byte, frameHeader+2+len(id)+len(pairs))
+		b[0] = opPairs
+		binary.LittleEndian.PutUint32(b[1:], uint32(2+len(id)+len(pairs)))
+		binary.LittleEndian.PutUint16(b[frameHeader:], uint16(len(id)))
+		copy(b[frameHeader+2:], id)
+		copy(b[frameHeader+2+len(id):], pairs)
+		return b
+	}
+	pair := make([]byte, pairSize)
+	binary.LittleEndian.PutUint64(pair, 7)
+	binary.LittleEndian.PutUint64(pair[8:], 100)
+	f.Add(v2("alice", pair))
+	// Global scope in v2: zero-length id.
+	f.Add(v2("", pair))
+	// Id length announces more than the payload holds.
+	lying := v2("alice", pair)
+	binary.LittleEndian.PutUint16(lying[frameHeader:], 500)
+	f.Add(lying)
+	// Id longer than MaxIDLen.
+	f.Add(v2(strings.Repeat("x", 200), pair))
+	// Invalid id bytes (spaces, control chars).
+	f.Add(v2("bad id\x01", pair))
+	// Ragged pairs after a valid id.
+	f.Add(v2("alice", pair[:13]))
+	// Pairs-only frame shorter than its own id-length header.
+	f.Add([]byte{opPairs, 1, 0, 0, 0, 0x02})
+	// TENANT text commands inside CMD frames, including the UB smuggle
+	// (text-framing only) and EVICT.
+	cmd := func(s string) []byte {
+		b := make([]byte, frameHeader+len(s))
+		b[0] = opCmd
+		binary.LittleEndian.PutUint32(b[1:], uint32(len(s)))
+		copy(b[frameHeader:], s)
+		return b
+	}
+	f.Add(cmd("TENANT alice EST 7"))
+	f.Add(cmd("TENANT alice UB 2"))
+	f.Add(cmd("TENANT alice EVICT"))
+	f.Add(cmd("TENANT " + strings.Repeat("y", 129) + " U 1 1"))
+	f.Add(cmd("TENANT alice ROTATE"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mgr, err := tenant.New[int64](tenant.Config{MaxCounters: 128, Shards: 2, WindowIntervals: 2, MaxTenants: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(Config{MaxCounters: 256, Shards: 2, Tenants: mgr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, serverEnd := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.handle(serverEnd, &connState{})
+		}()
+		go io.Copy(io.Discard, client)
+		io.WriteString(client, "HELLO BIN 2\n")
+		client.Write(data)
+		client.Close()
+		<-done
+
+		// The server and its registry must remain usable afterward.
+		c2, s2 := net.Pipe()
+		h2 := make(chan struct{})
+		go func() {
+			defer close(h2)
+			srv.handle(s2, &connState{})
+		}()
+		r := bufio.NewReader(c2)
+		io.WriteString(c2, "TENANT t U 1 1\nTENANT t EST 1\nQUIT\n")
+		var lines []string
+		for i := 0; i < 3; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("server unusable after fuzz connection: %v (got %q)", err, lines)
+			}
+			lines = append(lines, strings.TrimSpace(line))
+		}
+		if lines[0] != "OK" || !strings.HasPrefix(lines[1], "EST ") || lines[2] != "BYE" {
+			t.Fatalf("server misbehaving after fuzz connection: %q", lines)
+		}
+		c2.Close()
+		<-h2
+	})
+}
 
 func FuzzBinaryFrameDecode(f *testing.F) {
 	// A valid pairs frame.

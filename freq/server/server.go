@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/freq"
+	"repro/freq/tenant"
 )
 
 // Config parameterizes a Server.
@@ -35,6 +36,15 @@ type Config struct {
 	// history of retired window slots (typically a *store.Store[int64]
 	// installed as the window's rotation sink). Nil disables RANGE.
 	Store RangeStore
+	// Tenants, when set, enables the TENANT command family: every
+	// command scoped by a "TENANT <id>" prefix runs against that
+	// tenant's own summary pair from the manager's registry instead of
+	// the global pair. Nil disables tenant scoping.
+	Tenants *tenant.Manager[int64]
+	// TenantStore, when set, backs TENANT-scoped RANGE queries with each
+	// tenant's durable history (typically a *store.Tenants[int64] also
+	// installed as the manager's eviction sink). Nil disables them.
+	TenantStore TenantRangeStore
 	// Seed, when nonzero, pins the sketch hash seeds: two servers built
 	// with the same Seed and geometry hold byte-identical summary state
 	// after identical update streams, so their SNAP encodings compare
@@ -62,6 +72,13 @@ type RangeStore interface {
 	QueryInto(dst *freq.Sketch[int64], from, to time.Time) (*freq.Sketch[int64], error)
 }
 
+// TenantRangeStore is the tenant-scoped analogue of RangeStore: merge
+// one tenant's persisted history overlapping [from, to) into dst.
+// *store.Tenants[int64] satisfies it.
+type TenantRangeStore interface {
+	QueryTenantInto(id string, dst *freq.Sketch[int64], from, to time.Time) (*freq.Sketch[int64], error)
+}
+
 // Server owns the live summary and serves the line protocol.
 type Server struct {
 	sketch *freq.Concurrent[int64]
@@ -70,6 +87,12 @@ type Server struct {
 	win *freq.ConcurrentWindowed[int64]
 	// store is the optional durable history behind RANGE; nil disables it.
 	store RangeStore
+	// tenants is the optional per-tenant registry behind the TENANT
+	// command family; nil disables it.
+	tenants *tenant.Manager[int64]
+	// tenantStore is the optional per-tenant durable history behind
+	// TENANT-scoped RANGE; nil disables it.
+	tenantStore TenantRangeStore
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -116,6 +139,8 @@ func New(cfg Config) (*Server, error) {
 	srv := &Server{
 		sketch:      sk,
 		store:       cfg.Store,
+		tenants:     cfg.Tenants,
+		tenantStore: cfg.TenantStore,
 		conns:       map[net.Conn]*connState{},
 		idleTimeout: cfg.IdleTimeout,
 		ioTimeout:   cfg.IOTimeout,
@@ -143,6 +168,10 @@ func (s *Server) Sketch() *freq.Concurrent[int64] { return s.sketch }
 // server was configured without one.
 func (s *Server) Windowed() *freq.ConcurrentWindowed[int64] { return s.win }
 
+// Tenants exposes the optional per-tenant registry; nil when the server
+// was configured without one.
+func (s *Server) Tenants() *tenant.Manager[int64] { return s.tenants }
+
 // ErrNoWindow rejects window-scoped operations on a server configured
 // without a sliding window.
 var ErrNoWindow = errors.New("server: no window configured (set Config.WindowIntervals)")
@@ -150,6 +179,14 @@ var ErrNoWindow = errors.New("server: no window configured (set Config.WindowInt
 // ErrNoStore rejects RANGE commands on a server configured without a
 // durable store.
 var ErrNoStore = errors.New("server: no store configured (set Config.Store)")
+
+// ErrNoTenants rejects TENANT commands on a server configured without a
+// tenant registry.
+var ErrNoTenants = errors.New("server: no tenants configured (set Config.Tenants)")
+
+// ErrNoTenantStore rejects TENANT-scoped RANGE commands on a server
+// configured without a per-tenant durable store.
+var ErrNoTenantStore = errors.New("server: no tenant store configured (set Config.TenantStore)")
 
 // Rotate advances the sliding window one interval — the hook a
 // rotation driver (freqd's wall-clock ticker, a test, an operator via
@@ -332,8 +369,18 @@ type conn struct {
 	w      *bufio.Writer
 	writer *freq.Writer[int64]
 	// bin is set by a successful HELLO BIN negotiation; the text loop
-	// hands the connection to binaryLoop when it sees it.
-	bin bool
+	// hands the connection to binaryLoop when it sees it. binVer is the
+	// negotiated binary version (1: v1 PAIRS frames only; 2: PAIRS
+	// frames carry a tenant-id header, empty = global).
+	bin    bool
+	binVer int
+	// idBuf holds the tenant id of the v2 PAIRS frame being served;
+	// tenItems/tenWeights split its pairs into the column layout the
+	// tenant batch path takes. All reused per connection so the binary
+	// tenant ingest loop allocates nothing at steady state.
+	idBuf      []byte
+	tenItems   []int64
+	tenWeights []int64
 	// winItems/winWeights buffer this connection's single-U updates for
 	// the windowed twin, mirroring the Writer's batching for the
 	// all-time summary: without it every U would take the one
@@ -528,71 +575,9 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		s.statsMu.Unlock()
 		fmt.Fprintln(w, "OK")
 	case "UB":
-		if len(args) < 1 {
-			return false, errors.New("usage: UB <count>")
-		}
-		n, err := strconv.Atoi(args[0])
+		items, weights, q, err := c.readBatch(args, "UB <count>")
 		if err != nil {
-			// The announced batch length is unknowable; nothing can be
-			// drained. (A real client never sends this: the count is the
-			// one field it computes itself.)
-			return false, errors.New("usage: UB <count>")
-		}
-		if len(args) != 1 || n < 1 || n > MaxWireBatch {
-			if n > MaxWireBatch {
-				// The announced count exceeds the protocol cap, so the
-				// pair lines in flight cannot be consumed within bounded
-				// work (the count is a liar's number); reply once and drop
-				// the connection instead of reinterpreting the pairs as
-				// commands — the pre-fix behaviour, whose per-line ERR
-				// flood desynchronized the reply stream and could deadlock
-				// against a client that writes the whole batch first.
-				return true, fmt.Errorf("batch count must be 1..%d", MaxWireBatch)
-			}
-			// Invalid, but the count is known and within the cap — and the
-			// client has already committed that many pair lines to the
-			// wire. Consume them all before replying, keeping the
-			// connection synchronized and usable.
-			if !c.drainLines(n) {
-				return true, errors.New("connection closed mid-batch")
-			}
-			if len(args) != 1 {
-				return false, errors.New("usage: UB <count>")
-			}
-			return false, fmt.Errorf("batch count must be 1..%d", MaxWireBatch)
-		}
-		items := make([]int64, 0, n)
-		weights := make([]int64, 0, n)
-		var parseErr error
-		for i := 0; i < n; i++ {
-			// Consume the whole block even past a bad line, so one
-			// malformed pair does not desynchronize the protocol. The IO
-			// deadline re-arms per line: a peer making progress is never
-			// cut off mid-block, a stalled one is.
-			c.armIO()
-			pairLine, rerr := c.readLine()
-			if rerr != nil {
-				return true, errors.New("connection closed mid-batch")
-			}
-			f := strings.Fields(pairLine)
-			if parseErr != nil {
-				continue
-			}
-			if len(f) != 2 {
-				parseErr = fmt.Errorf("batch line %d: want \"<item> <weight>\"", i+1)
-				continue
-			}
-			item, err1 := strconv.ParseInt(f[0], 10, 64)
-			weight, err2 := strconv.ParseInt(f[1], 10, 64)
-			if err1 != nil || err2 != nil {
-				parseErr = fmt.Errorf("batch line %d: bad integer", i+1)
-				continue
-			}
-			items = append(items, item)
-			weights = append(weights, weight)
-		}
-		if parseErr != nil {
-			return false, parseErr
+			return q, err
 		}
 		// Preserve per-connection ordering: buffered singles land before
 		// the batch, and the batch is all-or-nothing.
@@ -610,77 +595,48 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 			_ = s.win.UpdateWeightedBatch(items, weights)
 		}
 		s.statsMu.Lock()
-		s.updates += int64(n)
+		s.updates += int64(len(items))
 		s.statsMu.Unlock()
-		fmt.Fprintf(w, "OK %d\n", n)
+		fmt.Fprintf(w, "OK %d\n", len(items))
 	case "Q", "EST":
-		if len(args) != 1 {
-			return false, fmt.Errorf("usage: %s <item>", cmd)
-		}
-		item, err := strconv.ParseInt(args[0], 10, 64)
-		if err != nil {
-			return false, errors.New("bad integer")
-		}
-		s.statsMu.Lock()
-		s.queries++
-		s.statsMu.Unlock()
-		fmt.Fprintf(w, "EST %d %d %d\n",
-			s.sketch.Estimate(item), s.sketch.LowerBound(item), s.sketch.UpperBound(item))
+		return false, c.cmdEstimate(cmd, args, s.sketch)
 	case "TOP", "TOPK":
-		if len(args) != 1 {
-			return false, fmt.Errorf("usage: %s <n>", cmd)
-		}
-		n, err := strconv.Atoi(args[0])
-		if err != nil || n < 1 {
-			return false, errors.New("bad count")
-		}
-		writeRows(w, s.sketch.TopK(n))
+		return false, c.cmdTopK(cmd, args, s.sketch)
 	case "FI":
-		if len(args) != 2 {
-			return false, errors.New("usage: FI <et> <threshold>")
-		}
-		et, err := parseErrorType(args[0])
-		if err != nil {
-			return false, err
-		}
-		threshold, err := strconv.ParseInt(args[1], 10, 64)
-		if err != nil {
-			return false, errors.New("bad threshold")
-		}
-		writeRows(w, s.sketch.FrequentItemsAboveThreshold(threshold, et))
+		return false, c.cmdFI(args, s.sketch)
 	case "HH":
-		if len(args) != 1 {
-			return false, errors.New("usage: HH <phi-millis>")
-		}
-		millis, err := strconv.Atoi(args[0])
-		if err != nil || millis < 0 || millis > 1000 {
-			return false, errors.New("phi-millis must be 0..1000")
-		}
-		threshold := int64(float64(millis) / 1000 * float64(s.sketch.StreamWeight()))
-		writeRows(w, s.sketch.FrequentItemsAboveThreshold(threshold, freq.NoFalseNegatives))
+		return false, c.cmdHH(args, s.sketch)
 	case "STATS":
-		fmt.Fprintf(w, "STATS n=%d err=%d shards=%d\n",
-			s.sketch.StreamWeight(), s.sketch.MaximumError(), s.sketch.NumShards())
+		// One consistent reply shape regardless of configuration: the
+		// optional subsystems report zero when absent. Clients parse the
+		// leading fields positionally (Client.Stats) or the whole line
+		// as key=value pairs (Client.StatsFull); both tolerate growth.
+		slots := 0
+		if s.win != nil {
+			slots = s.win.Intervals()
+		}
+		partitions := 0
+		if pc, ok := s.store.(interface{ PartitionCount() int }); ok {
+			partitions = pc.PartitionCount()
+		}
+		var ts tenant.Stats
+		if s.tenants != nil {
+			ts = s.tenants.Stats()
+		}
+		fmt.Fprintf(w, "STATS n=%d err=%d shards=%d slots=%d partitions=%d tenants=%d tenants_max=%d tenant_evictions=%d\n",
+			s.sketch.StreamWeight(), s.sketch.MaximumError(), s.sketch.NumShards(),
+			slots, partitions, ts.Active, ts.Max, ts.Evictions)
 	case "SNAPSHOT", "SNAP":
-		// Serve from the epoch-cached merged view: repeated SNAPs with no
-		// interleaved writes re-merge nothing, and the encoding reuses the
-		// connection's buffer.
-		v, err := s.sketch.View()
-		if err != nil {
-			return false, err
-		}
-		c.snapBuf, err = v.AppendBinary(c.snapBuf[:0])
-		if err != nil {
-			return false, err
-		}
-		fmt.Fprintf(w, "SNAP %d\n", len(c.snapBuf))
-		if _, err := w.Write(c.snapBuf); err != nil {
-			return false, err
-		}
+		return false, c.cmdSnap(s.sketch)
 	case "WIN":
-		return c.dispatchWindow(args)
+		return c.dispatchWindow(s.win, args)
 	case "RANGE":
-		return c.dispatchRange(args)
+		if s.store == nil {
+			return false, ErrNoStore
+		}
+		return c.dispatchRange(args, s.store.QueryInto)
+	case "TENANT":
+		return c.dispatchTenant(args)
 	case "ROTATE":
 		if s.win == nil {
 			return false, ErrNoWindow
@@ -696,13 +652,20 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		}
 		fmt.Fprintln(w, "OK")
 	case "HELLO":
-		// Framing negotiation. "HELLO BIN 1" upgrades the connection to
-		// the length-prefixed binary framing (acknowledged in text — the
-		// switch happens after this reply flushes); "HELLO TEXT 1"
-		// explicitly confirms the default. Anything else is a sanitized
-		// one-line ERR and the connection stays in text framing, fully
-		// synchronized: HELLO is a single line, so there is nothing in
-		// flight to drain.
+		// Framing negotiation. "HELLO BIN <v>" (v in 1..binaryVersionMax)
+		// upgrades the connection to the length-prefixed binary framing
+		// at that version (acknowledged in text — the switch happens
+		// after this reply flushes); clients offer their best version and
+		// descend on ERR, so an old server declining BIN 2 falls back to
+		// BIN 1 cleanly. "HELLO TEXT 1" explicitly confirms the default.
+		// Anything else is a sanitized one-line ERR and the connection
+		// stays in text framing, fully synchronized: HELLO is a single
+		// line, so there is nothing in flight to drain.
+		if c.bin {
+			// Reached via a CMD frame: the framing is already fixed for
+			// the connection's lifetime and cannot be renegotiated.
+			return false, errors.New("framing already negotiated")
+		}
 		if len(args) != 2 {
 			return false, errors.New("usage: HELLO <BIN|TEXT> <version>")
 		}
@@ -712,13 +675,15 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 			return false, errors.New("usage: HELLO <BIN|TEXT> <version>")
 		}
 		switch {
-		case proto == "BIN" && ver == binaryVersion:
+		case proto == "BIN" && ver >= binaryVersionMin && ver <= binaryVersionMax:
 			c.bin = true
-			fmt.Fprintf(w, "HELLO BIN %d\n", binaryVersion)
+			c.binVer = ver
+			fmt.Fprintf(w, "HELLO BIN %d\n", ver)
 		case proto == "TEXT" && ver == 1:
 			fmt.Fprintln(w, "HELLO TEXT 1")
 		default:
-			return false, fmt.Errorf("unsupported protocol %s %d (want BIN %d or TEXT 1)", proto, ver, binaryVersion)
+			return false, fmt.Errorf("unsupported protocol %s %d (want BIN %d..%d or TEXT 1)",
+				proto, ver, binaryVersionMin, binaryVersionMax)
 		}
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
@@ -727,6 +692,83 @@ func (c *conn) dispatch(line string) (quit bool, err error) {
 		return false, fmt.Errorf("unknown command %q", cmd)
 	}
 	return false, nil
+}
+
+// readBatch consumes one UB-style batch — the "<count>" argument plus
+// that many "<item> <weight>" pair lines — shared by the global UB and
+// the TENANT-scoped UB. usage names the command shape for error text.
+// The desync discipline is the load-bearing part: an announced count
+// within the cap is always fully consumed (drained past errors) so the
+// connection stays synchronized, while an over-cap count — unbounded
+// work — replies once and drops the connection (quit=true).
+func (c *conn) readBatch(args []string, usage string) (items, weights []int64, quit bool, err error) {
+	if len(args) < 1 {
+		return nil, nil, false, fmt.Errorf("usage: %s", usage)
+	}
+	n, aerr := strconv.Atoi(args[0])
+	if aerr != nil {
+		// The announced batch length is unknowable; nothing can be
+		// drained. (A real client never sends this: the count is the
+		// one field it computes itself.)
+		return nil, nil, false, fmt.Errorf("usage: %s", usage)
+	}
+	if len(args) != 1 || n < 1 || n > MaxWireBatch {
+		if n > MaxWireBatch {
+			// The announced count exceeds the protocol cap, so the
+			// pair lines in flight cannot be consumed within bounded
+			// work (the count is a liar's number); reply once and drop
+			// the connection instead of reinterpreting the pairs as
+			// commands — the pre-fix behaviour, whose per-line ERR
+			// flood desynchronized the reply stream and could deadlock
+			// against a client that writes the whole batch first.
+			return nil, nil, true, fmt.Errorf("batch count must be 1..%d", MaxWireBatch)
+		}
+		// Invalid, but the count is known and within the cap — and the
+		// client has already committed that many pair lines to the
+		// wire. Consume them all before replying, keeping the
+		// connection synchronized and usable.
+		if !c.drainLines(n) {
+			return nil, nil, true, errors.New("connection closed mid-batch")
+		}
+		if len(args) != 1 {
+			return nil, nil, false, fmt.Errorf("usage: %s", usage)
+		}
+		return nil, nil, false, fmt.Errorf("batch count must be 1..%d", MaxWireBatch)
+	}
+	items = make([]int64, 0, n)
+	weights = make([]int64, 0, n)
+	var parseErr error
+	for i := 0; i < n; i++ {
+		// Consume the whole block even past a bad line, so one
+		// malformed pair does not desynchronize the protocol. The IO
+		// deadline re-arms per line: a peer making progress is never
+		// cut off mid-block, a stalled one is.
+		c.armIO()
+		pairLine, rerr := c.readLine()
+		if rerr != nil {
+			return nil, nil, true, errors.New("connection closed mid-batch")
+		}
+		f := strings.Fields(pairLine)
+		if parseErr != nil {
+			continue
+		}
+		if len(f) != 2 {
+			parseErr = fmt.Errorf("batch line %d: want \"<item> <weight>\"", i+1)
+			continue
+		}
+		item, err1 := strconv.ParseInt(f[0], 10, 64)
+		weight, err2 := strconv.ParseInt(f[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			parseErr = fmt.Errorf("batch line %d: bad integer", i+1)
+			continue
+		}
+		items = append(items, item)
+		weights = append(weights, weight)
+	}
+	if parseErr != nil {
+		return nil, nil, false, parseErr
+	}
+	return items, weights, false, nil
 }
 
 // drainLines consumes up to n protocol lines without interpreting or
@@ -745,12 +787,12 @@ func (c *conn) drainLines(n int) bool {
 
 // dispatchWindow executes one WIN-scoped query: the read commands
 // (EST/Q, TOPK/TOP, FI, SNAP/SNAPSHOT) against the merged view of the
-// last w intervals of the sliding window, with replies shaped exactly
-// like their all-time counterparts.
-func (c *conn) dispatchWindow(args []string) (quit bool, err error) {
+// last w intervals of win — the global sliding window or a tenant's
+// twin — with replies shaped exactly like their all-time counterparts.
+func (c *conn) dispatchWindow(win *freq.ConcurrentWindowed[int64], args []string) (quit bool, err error) {
 	s := c.srv
 	w := c.w
-	if s.win == nil {
+	if win == nil {
 		return false, ErrNoWindow
 	}
 	if len(args) < 2 {
@@ -774,7 +816,7 @@ func (c *conn) dispatchWindow(args []string) (quit bool, err error) {
 		s.statsMu.Lock()
 		s.queries++
 		s.statsMu.Unlock()
-		est, lb, ub := s.win.EstimateLast(width, item)
+		est, lb, ub := win.EstimateLast(width, item)
 		fmt.Fprintf(w, "EST %d %d %d\n", est, lb, ub)
 	case "TOP", "TOPK":
 		if len(rest) != 1 {
@@ -784,7 +826,7 @@ func (c *conn) dispatchWindow(args []string) (quit bool, err error) {
 		if err != nil || n < 1 {
 			return false, errors.New("bad count")
 		}
-		writeRows(w, s.win.TopKLast(width, n))
+		writeRows(w, win.TopKLast(width, n))
 	case "FI":
 		if len(rest) != 2 {
 			return false, errors.New("usage: WIN <w> FI <et> <threshold>")
@@ -797,12 +839,12 @@ func (c *conn) dispatchWindow(args []string) (quit bool, err error) {
 		if err != nil {
 			return false, errors.New("bad threshold")
 		}
-		writeRows(w, s.win.FrequentItemsAboveThresholdLast(width, threshold, et))
+		writeRows(w, win.FrequentItemsAboveThresholdLast(width, threshold, et))
 	case "SNAPSHOT", "SNAP":
 		// A window-scoped snapshot is the merged view of the last w
 		// intervals in the ordinary single-sketch wire format — the
 		// same blob shape as SNAP, so the client decode path is shared.
-		buf, snapErr := s.win.AppendBinaryLast(width, c.snapBuf[:0])
+		buf, snapErr := win.AppendBinaryLast(width, c.snapBuf[:0])
 		c.snapBuf = buf
 		if snapErr != nil {
 			return false, snapErr
@@ -819,16 +861,15 @@ func (c *conn) dispatchWindow(args []string) (quit bool, err error) {
 
 // dispatchRange executes one RANGE-scoped query: the read commands
 // (EST/Q, TOPK/TOP, FI, SNAP/SNAPSHOT) against the merged summary of
-// every persisted window slot overlapping [from, to), with replies
-// shaped exactly like their all-time and WIN counterparts. The merge
-// reuses the connection's accumulator, so polling a stable range costs
-// no allocation.
-func (c *conn) dispatchRange(args []string) (quit bool, err error) {
+// every persisted slot overlapping [from, to), with replies shaped
+// exactly like their all-time and WIN counterparts. query is the
+// history to merge from — the global store's QueryInto or a
+// tenant-scoped closure over the tenant store. The merge reuses the
+// connection's accumulator, so polling a stable range costs no
+// allocation.
+func (c *conn) dispatchRange(args []string, query func(dst *freq.Sketch[int64], from, to time.Time) (*freq.Sketch[int64], error)) (quit bool, err error) {
 	s := c.srv
 	w := c.w
-	if s.store == nil {
-		return false, ErrNoStore
-	}
 	if len(args) < 3 {
 		return false, errors.New("usage: RANGE <from> <to> <EST|TOPK|FI|SNAP> ...")
 	}
@@ -843,7 +884,7 @@ func (c *conn) dispatchRange(args []string) (quit bool, err error) {
 	if !to.After(from) {
 		return false, errors.New("empty range: to must be after from")
 	}
-	sk, err := s.store.QueryInto(c.rangeSk, from, to)
+	sk, err := query(c.rangeSk, from, to)
 	if sk != nil {
 		c.rangeSk = sk
 	}
@@ -903,6 +944,212 @@ func (c *conn) dispatchRange(args []string) (quit bool, err error) {
 		}
 	default:
 		return false, fmt.Errorf("unknown range command %q", sub)
+	}
+	return false, nil
+}
+
+// cmdEstimate serves EST/Q against sk — the global summary or an
+// acquired tenant's. cmd names the command for usage text.
+func (c *conn) cmdEstimate(cmd string, args []string, sk *freq.Concurrent[int64]) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s <item>", cmd)
+	}
+	item, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return errors.New("bad integer")
+	}
+	s := c.srv
+	s.statsMu.Lock()
+	s.queries++
+	s.statsMu.Unlock()
+	fmt.Fprintf(c.w, "EST %d %d %d\n", sk.Estimate(item), sk.LowerBound(item), sk.UpperBound(item))
+	return nil
+}
+
+// cmdTopK serves TOPK/TOP against sk.
+func (c *conn) cmdTopK(cmd string, args []string, sk *freq.Concurrent[int64]) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s <n>", cmd)
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 1 {
+		return errors.New("bad count")
+	}
+	writeRows(c.w, sk.TopK(n))
+	return nil
+}
+
+// cmdFI serves FI against sk.
+func (c *conn) cmdFI(args []string, sk *freq.Concurrent[int64]) error {
+	if len(args) != 2 {
+		return errors.New("usage: FI <et> <threshold>")
+	}
+	et, err := parseErrorType(args[0])
+	if err != nil {
+		return err
+	}
+	threshold, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return errors.New("bad threshold")
+	}
+	writeRows(c.w, sk.FrequentItemsAboveThreshold(threshold, et))
+	return nil
+}
+
+// cmdHH serves HH against sk.
+func (c *conn) cmdHH(args []string, sk *freq.Concurrent[int64]) error {
+	if len(args) != 1 {
+		return errors.New("usage: HH <phi-millis>")
+	}
+	millis, err := strconv.Atoi(args[0])
+	if err != nil || millis < 0 || millis > 1000 {
+		return errors.New("phi-millis must be 0..1000")
+	}
+	threshold := int64(float64(millis) / 1000 * float64(sk.StreamWeight()))
+	writeRows(c.w, sk.FrequentItemsAboveThreshold(threshold, freq.NoFalseNegatives))
+	return nil
+}
+
+// cmdSnap serves SNAP/SNAPSHOT against sk from its epoch-cached merged
+// view: repeated SNAPs with no interleaved writes re-merge nothing, and
+// the encoding reuses the connection's buffer.
+func (c *conn) cmdSnap(sk *freq.Concurrent[int64]) error {
+	v, err := sk.View()
+	if err != nil {
+		return err
+	}
+	c.snapBuf, err = v.AppendBinary(c.snapBuf[:0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.w, "SNAP %d\n", len(c.snapBuf))
+	if _, err := c.w.Write(c.snapBuf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// dispatchTenant executes one TENANT-scoped command: the same command
+// surface as the global dispatcher (U, UB, EST/Q, TOPK/TOP, FI, HH,
+// SNAP, STATS, WIN, RANGE, ROTATE, RESET — plus EVICT), run against the
+// tenant's own summary pair from the registry. The tenant handle is
+// acquired for exactly the duration of the command, so an eviction can
+// never recycle the tables out from under a command in flight.
+func (c *conn) dispatchTenant(args []string) (quit bool, err error) {
+	s := c.srv
+	if s.tenants == nil {
+		return false, ErrNoTenants
+	}
+	if len(args) < 2 {
+		return false, errors.New("usage: TENANT <id> <command> ...")
+	}
+	id := args[0]
+	sub := strings.ToUpper(args[1])
+	rest := args[2:]
+	w := c.w
+	switch sub {
+	case "EVICT":
+		// EVICT must not acquire the handle it is trying to retire: a
+		// held handle is exactly what Evict rejects as busy.
+		if len(rest) != 0 {
+			return false, errors.New("usage: TENANT <id> EVICT")
+		}
+		if err := s.tenants.Evict(id); err != nil {
+			return false, err
+		}
+		fmt.Fprintln(w, "OK")
+		return false, nil
+	case "UB":
+		if c.bin {
+			// Inside a CMD frame the pair lines would have to be read
+			// from the binary stream as text — a framing violation. The
+			// binary tenant batch path is a v2 PAIRS frame.
+			return false, errors.New("TENANT UB is text-framing only (binary clients send v2 PAIRS frames)")
+		}
+		// The client committed the pair lines to the wire with the
+		// header, so consume the batch before acquiring: a failed
+		// acquire (bad id, full registry) must still leave the
+		// connection synchronized.
+		items, weights, q, berr := c.readBatch(rest, "TENANT <id> UB <count>")
+		if berr != nil {
+			return q, berr
+		}
+		ten, aerr := s.tenants.Acquire(id)
+		if aerr != nil {
+			return false, aerr
+		}
+		defer ten.Release()
+		if berr := ten.UpdateWeightedBatch(items, weights); berr != nil {
+			return false, berr
+		}
+		s.statsMu.Lock()
+		s.updates += int64(len(items))
+		s.statsMu.Unlock()
+		fmt.Fprintf(w, "OK %d\n", len(items))
+		return false, nil
+	}
+	ten, err := s.tenants.Acquire(id)
+	if err != nil {
+		return false, err
+	}
+	defer ten.Release()
+	switch sub {
+	case "U":
+		if len(rest) != 2 {
+			return false, errors.New("usage: TENANT <id> U <item> <weight>")
+		}
+		item, err1 := strconv.ParseInt(rest[0], 10, 64)
+		weight, err2 := strconv.ParseInt(rest[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return false, errors.New("bad integer")
+		}
+		if err := ten.Update(item, weight); err != nil {
+			return false, err
+		}
+		s.statsMu.Lock()
+		s.updates++
+		s.statsMu.Unlock()
+		fmt.Fprintln(w, "OK")
+	case "Q", "EST":
+		return false, c.cmdEstimate(sub, rest, ten.Sketch())
+	case "TOP", "TOPK":
+		return false, c.cmdTopK(sub, rest, ten.Sketch())
+	case "FI":
+		return false, c.cmdFI(rest, ten.Sketch())
+	case "HH":
+		return false, c.cmdHH(rest, ten.Sketch())
+	case "SNAPSHOT", "SNAP":
+		return false, c.cmdSnap(ten.Sketch())
+	case "STATS":
+		// The tenant-scoped reply leads with the same fields as the
+		// global one, so the client's positional prefix parse is shared.
+		slots := 0
+		if win := ten.Windowed(); win != nil {
+			slots = win.Intervals()
+		}
+		fmt.Fprintf(w, "STATS n=%d err=%d shards=%d slots=%d\n",
+			ten.Sketch().StreamWeight(), ten.Sketch().MaximumError(), ten.Sketch().NumShards(), slots)
+	case "WIN":
+		return c.dispatchWindow(ten.Windowed(), rest)
+	case "RANGE":
+		if s.tenantStore == nil {
+			return false, ErrNoTenantStore
+		}
+		return c.dispatchRange(rest, func(dst *freq.Sketch[int64], from, to time.Time) (*freq.Sketch[int64], error) {
+			return s.tenantStore.QueryTenantInto(id, dst, from, to)
+		})
+	case "ROTATE":
+		win := ten.Windowed()
+		if win == nil {
+			return false, ErrNoWindow
+		}
+		win.Rotate()
+		fmt.Fprintf(w, "OK %d\n", win.Rotations())
+	case "RESET":
+		ten.Reset()
+		fmt.Fprintln(w, "OK")
+	default:
+		return false, fmt.Errorf("unknown tenant command %q", sub)
 	}
 	return false, nil
 }

@@ -851,6 +851,14 @@ func (st *Store[T]) Stats() Stats {
 	return s
 }
 
+// PartitionCount returns the live partition file count — the cheap
+// subset of Stats the server's STATS reply reports on every call.
+func (st *Store[T]) PartitionCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.parts)
+}
+
 // Close syncs and closes every partition file, commits a final
 // manifest, and stops the worker pool. A closed store rejects further
 // operations; Close is idempotent.

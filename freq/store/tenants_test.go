@@ -1,0 +1,243 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/freq"
+)
+
+func tenantView(t *testing.T, pairs map[int64]int64) *freq.View[int64] {
+	t.Helper()
+	sk, err := freq.New[int64](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for item, w := range pairs {
+		if err := sk.Update(item, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return freq.NewView(sk)
+}
+
+func TestTenantsAppendQueryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ts, err := OpenTenants[int64](dir, WithPartitionDuration(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	if err := ts.AppendTenant("alice", tenantView(t, map[int64]int64{7: 100}), base, base.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AppendTenant("alice", tenantView(t, map[int64]int64{7: 50, 9: 25}), base.Add(time.Second), base.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AppendTenant("bob", tenantView(t, map[int64]int64{7: 1}), base, base.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	sk, err := ts.QueryTenantInto("alice", nil, base, base.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Estimate(7); got != 150 {
+		t.Fatalf("alice Estimate(7) = %d, want 150 (bob's weight must not bleed in)", got)
+	}
+	if got := sk.Estimate(9); got != 25 {
+		t.Fatalf("alice Estimate(9) = %d, want 25", got)
+	}
+	// Recycling contract: passing the result back clears and reuses it.
+	sk2, err := ts.QueryTenantInto("bob", sk, base, base.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk2.Estimate(7); got != 1 {
+		t.Fatalf("bob Estimate(7) = %d, want 1", got)
+	}
+	if ts.PartitionCount() == 0 {
+		t.Fatal("PartitionCount = 0 with two live tenant stores")
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent close; closed registry rejects work.
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AppendTenant("alice", tenantView(t, map[int64]int64{1: 1}), base, base.Add(time.Second)); err != ErrClosed {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+
+	// Reopen: history survives per tenant.
+	ts2, err := OpenTenants[int64](dir, WithPartitionDuration(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts2.Close()
+	sk3, err := ts2.QueryTenantInto("alice", nil, base, base.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk3.Estimate(7); got != 150 {
+		t.Fatalf("reopened alice Estimate(7) = %d, want 150", got)
+	}
+	ids, err := ts2.TenantIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(ids)
+	if len(ids) != 2 || ids[0] != "alice" || ids[1] != "bob" {
+		t.Fatalf("TenantIDs = %v, want [alice bob]", ids)
+	}
+}
+
+func TestTenantsUnknownTenantAnswersEmpty(t *testing.T) {
+	ts, err := OpenTenants[int64](t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	base := time.Unix(1_700_000_000, 0)
+	// nil dst: a fresh minimal accumulator, no error, and — critically —
+	// no directory littered for a tenant that never persisted anything.
+	sk, err := ts.QueryTenantInto("ghost", nil, base, base.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk == nil || sk.StreamWeight() != 0 {
+		t.Fatalf("unknown tenant query: sk=%v, want empty sketch", sk)
+	}
+	// Reused dst: cleared in place.
+	if err := sk.Update(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	sk, err = ts.QueryTenantInto("ghost", sk, base, base.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.StreamWeight() != 0 {
+		t.Fatal("unknown tenant query must clear the reused accumulator")
+	}
+	ents, err := os.ReadDir(filepath.Join(ts.dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("query littered the tenant root: %v", ents)
+	}
+	st, err := ts.TenantStats("ghost")
+	if err != nil || st.Partitions != 0 {
+		t.Fatalf("TenantStats(ghost) = %+v, %v; want zero stats", st, err)
+	}
+}
+
+func TestTenantsLRUBoundsOpenStores(t *testing.T) {
+	ts, err := OpenTenants[int64](t.TempDir(), WithPartitionDuration(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	ts.SetMaxOpen(2)
+	base := time.Unix(1_700_000_000, 0)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if err := ts.AppendTenant(id, tenantView(t, map[int64]int64{3: 7}), base, base.Add(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.mu.Lock()
+	open := len(ts.open)
+	ts.mu.Unlock()
+	if open > 2 {
+		t.Fatalf("%d stores open, want <= 2", open)
+	}
+	// An LRU-closed tenant reopens transparently with its history intact.
+	sk, err := ts.QueryTenantInto("a", nil, base, base.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Estimate(3); got != 7 {
+		t.Fatalf("reopened LRU-evicted tenant Estimate(3) = %d, want 7", got)
+	}
+}
+
+func TestTenantIDEscaping(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"has.dot":    "has.dot",
+		".leading":   "%2Eleading",
+		"..":         "%2E.",
+		"pct%20":     "pct%2520",
+		"mixed/Id:1": "mixed%2FId%3A1",
+		"~":          "%7E",
+	}
+	for id, want := range cases {
+		got := escapeTenantID(id)
+		if got != want {
+			t.Errorf("escapeTenantID(%q) = %q, want %q", id, got, want)
+		}
+		back, ok := unescapeTenantID(got)
+		if !ok || back != id {
+			t.Errorf("unescapeTenantID(%q) = %q, %v; want %q", got, back, ok, id)
+		}
+	}
+	// Foreign names that are not canonical escapes do not round-trip.
+	for _, name := range []string{"%", "%G1", "bad%", "%2e", "has space"} {
+		if id, ok := unescapeTenantID(name); ok {
+			t.Errorf("unescapeTenantID(%q) accepted as %q, want rejection", name, id)
+		}
+	}
+}
+
+// TestTenantsBesideGlobalStore locks the layout invariant the daemon
+// relies on: the tenant registry lives inside the global store's
+// directory, and the global store's recovery scan and janitor ignore it.
+func TestTenantsBesideGlobalStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open[int64](dir, WithPartitionDuration(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	if err := st.AppendSlot(tenantView(t, map[int64]int64{1: 10}), base, base.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := OpenTenants[int64](filepath.Join(dir, "tenants"), WithPartitionDuration(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AppendTenant("alice", tenantView(t, map[int64]int64{2: 20}), base, base.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen the global store: recovery must neither adopt nor delete
+	// the tenants subtree.
+	st2, err := Open[int64](dir, WithPartitionDuration(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.PartitionCount(); got != 1 {
+		t.Fatalf("global PartitionCount after reopen = %d, want 1", got)
+	}
+	ts2, err := OpenTenants[int64](filepath.Join(dir, "tenants"), WithPartitionDuration(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts2.Close()
+	sk, err := ts2.QueryTenantInto("alice", nil, base, base.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Estimate(2); got != 20 {
+		t.Fatalf("tenant history after global reopen: Estimate(2) = %d, want 20", got)
+	}
+}
